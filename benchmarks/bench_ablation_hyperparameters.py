@@ -1,0 +1,106 @@
+"""Ablation: sensitivity to the sampler's hyper-parameters.
+
+Sweeps the three knobs the paper discusses in Section IV-B (batch size,
+iteration count, learning rate) on a representative instance and records the
+unique-solution throughput of each setting.  Expected shapes: throughput
+grows with batch size (until the solution space saturates), more iterations
+yield more unique solutions per batch at higher per-batch cost, and the
+paper's learning rate of 10 sits on the high-throughput plateau.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SamplerConfig
+from repro.core.pipeline import sample_cnf
+from repro.core.transform import transform_cnf
+from repro.eval.report import render_rows
+from repro.instances.registry import get_instance
+
+INSTANCE = "90-10-10-q"
+
+
+def _run(formula, transform, **overrides):
+    config = SamplerConfig.paper_defaults(batch_size=512, seed=0, max_rounds=4).with_(**overrides)
+    result = sample_cnf(formula, num_solutions=300, config=config, transform=transform)
+    return result.sample
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_batch_size(benchmark):
+    formula, _ = get_instance(INSTANCE).build()
+    transform = transform_cnf(formula)
+
+    def run():
+        rows = []
+        for batch_size in (64, 256, 1024, 4096):
+            sample = _run(formula, transform, batch_size=batch_size)
+            rows.append(
+                {
+                    "batch_size": batch_size,
+                    "unique": sample.num_unique,
+                    "seconds": sample.elapsed_seconds,
+                    "throughput": sample.throughput,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_rows(rows, title=f"Ablation - batch size ({INSTANCE})"))
+    benchmark.extra_info["rows"] = rows
+    uniques = [row["unique"] for row in rows]
+    assert uniques[-1] >= uniques[0]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_iterations(benchmark):
+    formula, _ = get_instance(INSTANCE).build()
+    transform = transform_cnf(formula)
+
+    def run():
+        rows = []
+        for iterations in (1, 2, 5, 10):
+            sample = _run(formula, transform, iterations=iterations, max_rounds=1)
+            rows.append(
+                {
+                    "iterations": iterations,
+                    "unique": sample.num_unique,
+                    "validity": sample.validity_rate,
+                    "seconds": sample.elapsed_seconds,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_rows(rows, title=f"Ablation - GD iterations ({INSTANCE})"))
+    benchmark.extra_info["rows"] = rows
+    assert rows[-1]["validity"] >= rows[0]["validity"]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_learning_rate(benchmark):
+    formula, _ = get_instance(INSTANCE).build()
+    transform = transform_cnf(formula)
+
+    def run():
+        rows = []
+        for learning_rate in (0.5, 2.0, 10.0, 30.0):
+            sample = _run(formula, transform, learning_rate=learning_rate, max_rounds=1)
+            rows.append(
+                {
+                    "learning_rate": learning_rate,
+                    "unique": sample.num_unique,
+                    "validity": sample.validity_rate,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_rows(rows, title=f"Ablation - learning rate ({INSTANCE})"))
+    benchmark.extra_info["rows"] = rows
+    paper_row = next(row for row in rows if row["learning_rate"] == 10.0)
+    assert paper_row["validity"] >= max(row["validity"] for row in rows) * 0.5

@@ -1,0 +1,54 @@
+"""Fig. 2: log-log latency vs number of unique solutions, per sampler.
+
+Each sampler is run for an increasing number of requested solutions on the
+ablation instances; the resulting (unique solutions, latency) points are the
+series plotted in the paper's Fig. 2.  The expected shape: the gradient
+sampler's latency grows only mildly with the solution count, while CNF-level
+samplers scale roughly linearly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_timeout
+from repro.baselines.cmsgen_like import CMSGenStyleSampler
+from repro.baselines.diffsampler_like import DiffSamplerStyleSampler
+from repro.eval.figures import fig2_latency_vs_solutions
+from repro.eval.report import render_series
+from repro.eval.runner import ThisWorkSampler
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_latency_vs_unique_solutions(benchmark, figure_instances, sampler_config):
+    samplers = [
+        ThisWorkSampler(config=sampler_config),
+        CMSGenStyleSampler(seed=0),
+        DiffSamplerStyleSampler(seed=0, batch_size=128),
+    ]
+
+    def run():
+        return fig2_latency_vs_solutions(
+            instance_names=figure_instances,
+            samplers=samplers,
+            solution_counts=(10, 50, 200),
+            timeout_seconds=bench_timeout(),
+            config=sampler_config,
+        )
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_series(series, x_label="unique solutions", y_label="latency (ms)",
+                        title="Fig. 2 - latency vs unique solutions"))
+    benchmark.extra_info["series"] = {name: points for name, points in series.items()}
+
+    # Shape check: for any solution count reached by both, this work is faster
+    # per unique solution than the CNF-level baselines on these instances.
+    this_work = series["this-work"]
+    assert this_work, "the gradient sampler must produce at least one point"
+    ours_best_rate = max(unique / ms for unique, ms in this_work)
+    for name, points in series.items():
+        if name == "this-work" or not points:
+            continue
+        baseline_best_rate = max(unique / ms for unique, ms in points)
+        assert ours_best_rate > baseline_best_rate

@@ -1,0 +1,39 @@
+"""Fig. 3 (left): number of unique satisfying solutions vs GD iteration count.
+
+One batch is trained for up to 10 iterations on each ablation instance; after
+every iteration the hard-thresholded assignments are validated and the
+cumulative unique-solution count recorded.  The paper's shape: the count
+increases with more iterations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.figures import fig3_learning_curve
+from repro.eval.report import render_series
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_learning_curve(benchmark, figure_instances, sampler_config):
+    def run():
+        return fig3_learning_curve(
+            instance_names=figure_instances,
+            max_iterations=10,
+            batch_size=sampler_config.batch_size,
+            config=sampler_config,
+        )
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_series(curves, x_label="iteration", y_label="unique solutions",
+                        title="Fig. 3 (left) - learning curve"))
+    benchmark.extra_info["curves"] = curves
+
+    for name, series in curves.items():
+        counts = [count for _, count in series]
+        assert len(counts) == 11
+        # Unique solutions never decrease and the final count beats iteration 0.
+        assert all(later >= earlier for earlier, later in zip(counts, counts[1:]))
+        assert counts[-1] >= counts[0]
+        assert counts[-1] > 0, f"no solutions found on {name}"

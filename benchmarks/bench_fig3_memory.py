@@ -1,0 +1,39 @@
+"""Fig. 3 (right): modelled GPU memory vs batch size, log-log.
+
+The paper measures ``nvidia-smi`` usage across batch sizes 100..1e6; this
+reproduction uses the analytic tensor-memory model documented in DESIGN.md
+(activations + gradients + parameters per batch element, float32, plus a
+fixed framework overhead).  The expected shape: memory grows linearly with
+batch size and with the complexity of the recovered circuit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.figures import fig3_memory_vs_batch
+from repro.eval.report import render_series
+
+BATCH_SIZES = (100, 1_000, 10_000, 100_000, 1_000_000)
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_memory_vs_batch_size(benchmark, figure_instances):
+    def run():
+        return fig3_memory_vs_batch(instance_names=figure_instances, batch_sizes=BATCH_SIZES)
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_series(curves, x_label="batch size", y_label="memory (MB)",
+                        title="Fig. 3 (right) - GPU memory model vs batch size"))
+    benchmark.extra_info["curves"] = curves
+
+    for series in curves.values():
+        memory = [mb for _, mb in series]
+        assert all(later > earlier for earlier, later in zip(memory, memory[1:]))
+
+    # Memory also grows with circuit complexity: the Prod instance dominates
+    # the or-instance at every batch size.
+    if "Prod-32" in curves and "or-100-20-8-UC-10" in curves:
+        for (_, prod_mb), (_, or_mb) in zip(curves["Prod-32"], curves["or-100-20-8-UC-10"]):
+            assert prod_mb >= or_mb

@@ -1,0 +1,32 @@
+"""Fig. 4 (middle): bit-wise operation reduction from the CNF transformation.
+
+For each ablation instance the number of 2-input gate equivalents needed to
+evaluate the original CNF is divided by the number needed to evaluate the
+recovered multi-level, multi-output function.  The paper reports an average
+reduction of 4.2x; the expected shape is a reduction factor above 1x on every
+instance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.figures import fig4_ops_reduction
+from repro.eval.report import render_rows
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_operation_reduction(benchmark, figure_instances):
+    def run():
+        return fig4_ops_reduction(instance_names=figure_instances)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [{"instance": name, "ops_reduction": value} for name, value in results.items()]
+    print()
+    print(render_rows(rows, title="Fig. 4 (middle) - operation reduction (CNF ops / circuit ops)"))
+    benchmark.extra_info["results"] = results
+
+    values = list(results.values())
+    assert all(value > 1.0 for value in values)
+    benchmark.extra_info["average_reduction"] = sum(values) / len(values)
+    assert sum(values) / len(values) > 2.0

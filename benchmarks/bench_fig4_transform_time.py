@@ -1,0 +1,41 @@
+"""Fig. 4 (right): CNF-to-circuit transformation time.
+
+Measures the one-off cost of running Algorithm 1 on each ablation instance.
+The paper reports seconds-to-minutes depending on instance size (2.1 s to
+292 s on the original, much larger, instances); the expected shape here is
+that the transformation time grows with clause count and stays a small
+one-off cost relative to the sampling campaign it enables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.figures import fig4_transform_time
+from repro.eval.report import render_rows
+from repro.instances.registry import get_instance
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_transformation_time(benchmark, figure_instances):
+    def run():
+        return fig4_transform_time(instance_names=figure_instances)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    clause_counts = {
+        name: get_instance(name).build_cnf().num_clauses for name in figure_instances
+    }
+    rows = [
+        {"instance": name, "clauses": clause_counts[name], "transform_seconds": value}
+        for name, value in results.items()
+    ]
+    print()
+    print(render_rows(rows, title="Fig. 4 (right) - transformation time (s)"))
+    benchmark.extra_info["results"] = results
+
+    assert all(value > 0.0 for value in results.values())
+    # Larger instances take longer: the biggest clause count also has the
+    # largest transformation time among the ablation instances.
+    largest = max(clause_counts, key=clause_counts.get)
+    smallest = min(clause_counts, key=clause_counts.get)
+    assert results[largest] > results[smallest]

@@ -1,0 +1,76 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see DESIGN.md's
+per-experiment index) at a CPU-friendly scale, prints the reproduced rows /
+series, and records them in ``benchmark.extra_info`` so that the JSON output
+of ``pytest benchmarks/ --benchmark-only --benchmark-json=...`` contains the
+data as well.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_FULL=1``  — run the full Table II instance list (all 14 rows)
+  and the full figure-instance list instead of the fast defaults.
+* ``REPRO_BENCH_TIMEOUT`` — per-sampler timeout in seconds (default 10).
+* ``REPRO_BENCH_SOLUTIONS`` — unique-solution target per run (default 50).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.config import SamplerConfig
+
+#: Fast-default representative instances: two per family (first of each pair is
+#: also one of the paper's Fig. 3 / Fig. 4 ablation instances).
+FAST_TABLE2_INSTANCES = [
+    "or-50-10-7-UC-10",
+    "or-100-20-8-UC-10",
+    "75-10-1-q",
+    "90-10-10-q",
+    "s15850a_3_2",
+    "s15850a_15_7",
+    "Prod-8",
+    "Prod-32",
+]
+
+#: The paper's four ablation instances (Fig. 3 and Fig. 4).
+FIGURE_INSTANCES = ["or-100-20-8-UC-10", "90-10-10-q", "s15850a_15_7", "Prod-32"]
+
+
+def bench_full() -> bool:
+    """Whether the full-scale benchmark protocol was requested."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def bench_timeout() -> float:
+    """Per-sampler timeout in seconds."""
+    return float(os.environ.get("REPRO_BENCH_TIMEOUT", "10"))
+
+
+def bench_solutions() -> int:
+    """Unique-solution target per sampler run."""
+    return int(os.environ.get("REPRO_BENCH_SOLUTIONS", "50"))
+
+
+@pytest.fixture(scope="session")
+def table2_instances():
+    """Instance list for the Table II benchmark."""
+    if bench_full():
+        from repro.instances.registry import TABLE2_INSTANCES
+
+        return list(TABLE2_INSTANCES)
+    return list(FAST_TABLE2_INSTANCES)
+
+
+@pytest.fixture(scope="session")
+def figure_instances():
+    """Instance list for the Fig. 2/3/4 benchmarks."""
+    return list(FIGURE_INSTANCES)
+
+
+@pytest.fixture(scope="session")
+def sampler_config():
+    """The paper's hyper-parameters (lr=10, 5 iterations) at a CPU-friendly batch size."""
+    return SamplerConfig.paper_defaults(batch_size=1024, seed=0, max_rounds=8)

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Constrained-random verification (CRV): generating stimulus for a DUT.
+
+The paper motivates SAT sampling with hardware verification: a testbench needs
+many *diverse* input vectors that all satisfy the DUT's input constraints.
+This example builds a small arithmetic DUT (an 8-bit array multiplier), states
+a verification constraint ("the product's two middle bits must both be 1"),
+Tseitin-encodes the constraint circuit to CNF, and uses the gradient sampler
+to generate a large batch of legal stimulus vectors, comparing its throughput
+against a CNF-level baseline sampler.
+
+Run with:  python examples/crv_stimulus_generation.py
+"""
+
+import numpy as np
+
+from repro import SamplerConfig, sample_cnf
+from repro.baselines import CMSGenStyleSampler
+from repro.circuit import CircuitBuilder, circuit_to_cnf
+from repro.metrics import hamming_diversity
+
+
+def build_dut_constraint_cnf(width: int = 8):
+    """Build the multiplier DUT and the CNF of its stimulus constraint."""
+    builder = CircuitBuilder("multiplier-dut")
+    a_bits = builder.inputs(width, prefix="a")
+    b_bits = builder.inputs(width, prefix="b")
+    product_bits = builder.multiplier(a_bits, b_bits)
+
+    # Verification constraint: both middle product bits are 1 (exercises the
+    # carry chains), i.e. product[width-1] & product[width].
+    constrained = {product_bits[width - 1]: True, product_bits[width]: True}
+    for net in constrained:
+        builder.output(net)
+
+    formula, var_map = circuit_to_cnf(builder.circuit, output_constraints=constrained)
+    formula.name = "crv-multiplier"
+    input_columns = [var_map[name] - 1 for name in builder.circuit.inputs]
+    return formula, builder.circuit, input_columns
+
+
+def main() -> None:
+    width = 6
+    formula, circuit, input_columns = build_dut_constraint_cnf(width)
+    print(f"DUT constraint CNF: {formula.num_variables} variables, {formula.num_clauses} clauses")
+
+    config = SamplerConfig.paper_defaults(batch_size=2048, seed=7, max_rounds=16)
+    result = sample_cnf(formula, num_solutions=500, config=config)
+    sample = result.sample
+    print("\n--- Gradient sampler (this work) ---")
+    print(f"unique stimulus vectors: {sample.num_unique}")
+    print(f"throughput             : {sample.throughput:,.0f} / second")
+    print(f"ops reduction          : {result.transform.stats.operations_reduction:.1f}x")
+
+    # Project solutions onto the DUT's primary inputs (the stimulus itself).
+    solutions = sample.solution_matrix()
+    stimulus = solutions[:, input_columns]
+    print(f"stimulus diversity (mean normalised Hamming distance): "
+          f"{hamming_diversity(stimulus):.2f}")
+
+    # Check a few stimulus vectors against the DUT directly.
+    names = list(circuit.inputs)
+    for row in stimulus[:5]:
+        assignment = dict(zip(names, row))
+        a_value = sum(assignment[f"a{i}"] << i for i in range(width))
+        b_value = sum(assignment[f"b{i}"] << i for i in range(width))
+        product = a_value * b_value
+        middle = (product >> (width - 1)) & 0b11
+        print(f"   a={a_value:3d}  b={b_value:3d}  product={product:6d}  middle bits=0b{middle:02b}")
+
+    print("\n--- CNF-level baseline (CMSGen-style) ---")
+    baseline = CMSGenStyleSampler(seed=7).sample(formula, num_solutions=500, timeout_seconds=30)
+    print(f"unique stimulus vectors: {baseline.num_unique}")
+    print(f"throughput             : {baseline.throughput:,.0f} / second")
+    if baseline.throughput > 0:
+        print(f"\nSpeedup of the gradient sampler: "
+              f"{sample.throughput / baseline.throughput:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Quickstart: sample diverse solutions of a CNF with the gradient-descent sampler.
+
+This walks through the full pipeline of the paper on its own Fig. 1 example:
+
+1. parse a DIMACS CNF,
+2. transform it into a multi-level, multi-output Boolean function (Algorithm 1),
+3. inspect the recovered structure (primary inputs, constrained paths, ops reduction),
+4. run batched gradient-descent sampling, and
+5. validate and print the unique solutions.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import SamplerConfig, sample_cnf
+from repro.cnf import parse_dimacs
+
+# The annotated CNF of the paper's Fig. 1(a): two buffer/inverter chains feeding
+# two multiplexers; the second mux output (x10) is constrained to 1.
+FIG1_DIMACS = """\
+p cnf 14 21
+c x2 = not x1
+-1 -2 0
+1 2 0
+c x3 = x2
+-2 3 0
+2 -3 0
+c x4 = x3
+-3 4 0
+3 -4 0
+c x5 = (x4 and x11) or (not x4 and x12)
+-4 -11 5 0
+-4 11 -5 0
+4 -12 5 0
+4 12 -5 0
+c x7 = x6
+-6 7 0
+6 -7 0
+c x8 = x7
+-7 8 0
+7 -8 0
+c x9 = not x8
+-8 -9 0
+8 9 0
+c x10 = (x9 and x13) or (not x9 and x14)
+-9 -13 10 0
+-9 13 -10 0
+9 -14 10 0
+9 14 -10 0
+c constraint: x10 = 1
+10 0
+"""
+
+
+def main() -> None:
+    formula = parse_dimacs(FIG1_DIMACS, name="fig1")
+    print(f"Loaded {formula!r}")
+
+    config = SamplerConfig.paper_defaults(batch_size=256, seed=0)
+    result = sample_cnf(formula, num_solutions=32, config=config)
+
+    transform = result.transform
+    print("\n--- Recovered multi-level, multi-output function (Algorithm 1) ---")
+    print(f"primary inputs      : {transform.primary_inputs}")
+    print(f"constrained inputs  : {transform.constrained_inputs()}  (learned by GD)")
+    print(f"unconstrained inputs: {transform.unconstrained_inputs()}  (sampled at random)")
+    print(f"definitions         : {len(transform.definitions)} intermediate variables")
+    for name, expr in transform.definitions:
+        print(f"    {name} = {expr}")
+    print(f"constraint outputs  : {[name for name, _ in transform.constraints]}")
+    print(f"operation reduction : {transform.stats.operations_reduction:.1f}x "
+          f"({transform.stats.cnf_operations} CNF ops -> {transform.stats.circuit_operations} circuit ops)")
+
+    sample = result.sample
+    print("\n--- Sampling ---")
+    print(f"unique valid solutions : {sample.num_unique}")
+    print(f"validity rate          : {sample.validity_rate:.1%}")
+    print(f"throughput             : {sample.throughput:,.0f} unique solutions / second")
+    print(f"transform time         : {result.transform_seconds * 1e3:.1f} ms")
+    print(f"sampling time          : {result.sample_seconds * 1e3:.1f} ms")
+
+    print("\nFirst 8 solutions (variables x1..x14):")
+    for row in sample.solution_matrix(limit=8):
+        print("   ", "".join("1" if bit else "0" for bit in row))
+
+    # Every solution is checked against the original CNF.
+    assert formula.evaluate_batch(sample.solution_matrix()).all()
+    print("\nAll reported solutions satisfy the original CNF.")
+
+
+if __name__ == "__main__":
+    main()

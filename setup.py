@@ -1,0 +1,10 @@
+"""Setuptools shim so that editable installs work without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only exists to
+allow ``pip install -e .`` to fall back to the legacy ``setup.py develop``
+code path on environments that lack PEP 660 support.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""High-Throughput SAT Sampling — reproduction library.
+
+Public API surface: the most common entry points are re-exported here.
+
+* :func:`repro.sample_cnf` — end-to-end DIMACS/CNF -> transformation -> GD sampling
+* :func:`repro.transform_cnf` — Algorithm 1 only (CNF -> multi-level function)
+* :class:`repro.GradientSATSampler` — the paper's sampler
+* :class:`repro.SamplerConfig` — hyper-parameters (lr=10, 5 iterations, ...)
+* :mod:`repro.baselines` — UniGen/CMSGen/QuickSampler/DiffSampler-style baselines
+* :mod:`repro.instances` — synthetic benchmark-instance generators (Table II families)
+* :mod:`repro.eval` — throughput harness and table/figure builders
+"""
+
+from repro.cnf import CNF, parse_dimacs, parse_dimacs_file, write_dimacs
+from repro.core import (
+    GradientSATSampler,
+    PipelineResult,
+    SampleResult,
+    SamplerConfig,
+    SolutionSet,
+    TransformResult,
+    sample_cnf,
+    transform_cnf,
+)
+from repro.gpu import Device, DeviceKind, get_device
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CNF",
+    "parse_dimacs",
+    "parse_dimacs_file",
+    "write_dimacs",
+    "GradientSATSampler",
+    "PipelineResult",
+    "SampleResult",
+    "SamplerConfig",
+    "SolutionSet",
+    "TransformResult",
+    "sample_cnf",
+    "transform_cnf",
+    "Device",
+    "DeviceKind",
+    "get_device",
+    "__version__",
+]

@@ -1,0 +1,84 @@
+"""CMSGen-style sampler: randomised CDCL enumeration.
+
+CMSGen (Golia et al., FMCAD 2021) obtains surprisingly uniform samples by
+running a CDCL solver with heavily randomised branching polarity and order,
+restarting for every sample.  This baseline reproduces that recipe on top of
+:class:`repro.baselines.cdcl.CDCLSolver`: each sample is one solver call with
+fresh random seed, random polarities and a small random-decision rate, and
+duplicates are discarded.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.baselines.base import BaselineSampler, SamplerOutput
+from repro.baselines.cdcl import CDCLSolver
+from repro.cnf.formula import CNF
+from repro.core.solutions import SolutionSet
+from repro.utils.rng import new_rng
+
+
+class CMSGenStyleSampler(BaselineSampler):
+    """One randomised CDCL run per sample, in the style of CMSGen."""
+
+    name = "cmsgen-style"
+
+    def __init__(
+        self,
+        seed: Optional[int] = 0,
+        random_decision_rate: float = 0.3,
+        max_conflicts_per_call: Optional[int] = 50000,
+        max_attempt_factor: int = 20,
+    ) -> None:
+        self.seed = seed
+        self.random_decision_rate = random_decision_rate
+        self.max_conflicts_per_call = max_conflicts_per_call
+        self.max_attempt_factor = max_attempt_factor
+
+    def sample(
+        self,
+        formula: CNF,
+        num_solutions: int = 1000,
+        timeout_seconds: Optional[float] = None,
+    ) -> SamplerOutput:
+        start = time.perf_counter()
+        rng = new_rng(self.seed)
+        solutions = SolutionSet(formula.num_variables)
+        attempts = 0
+        generated = 0
+        timed_out = False
+        max_attempts = max(num_solutions * self.max_attempt_factor, 10)
+
+        solver = CDCLSolver(
+            formula,
+            seed=int(rng.integers(2**31 - 1)),
+            random_polarity=True,
+            random_decision_rate=self.random_decision_rate,
+            max_conflicts=self.max_conflicts_per_call,
+        )
+        while len(solutions) < num_solutions and attempts < max_attempts:
+            if timeout_seconds is not None and time.perf_counter() - start > timeout_seconds:
+                timed_out = True
+                break
+            attempts += 1
+            solver._rng = new_rng(int(rng.integers(2**31 - 1)))
+            result = solver.solve()
+            if result.satisfiable is not True or result.assignment is None:
+                if result.satisfiable is False:
+                    break  # UNSAT: no solutions exist at all.
+                continue
+            generated += 1
+            solutions.add(result.assignment)
+        elapsed = time.perf_counter() - start
+        return SamplerOutput(
+            sampler_name=self.name,
+            instance_name=formula.name,
+            solutions=solutions,
+            num_requested=num_solutions,
+            elapsed_seconds=elapsed,
+            num_generated=generated,
+            timed_out=timed_out,
+            extra={"attempts": attempts},
+        )

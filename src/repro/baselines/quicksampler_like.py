@@ -1,0 +1,167 @@
+"""QuickSampler-style sampler: seed solution + atomic-mutation combination.
+
+QuickSampler (Dutra et al., ICSE 2018) observes that, starting from one
+satisfying "seed" assignment, the *atomic mutations* needed to flip each
+individual variable (while staying satisfiable) can be combined — simply
+XOR-ing several mutation patterns onto the seed — to produce large numbers of
+candidate assignments with very few solver calls; candidates are then checked
+and only the valid ones kept.  This baseline reproduces that recipe:
+
+1. obtain a seed solution with the CDCL solver;
+2. for every variable, solve once under the assumption that the variable is
+   flipped (phase saving biased towards the seed keeps the solution close),
+   recording the difference pattern;
+3. combine random subsets of the difference patterns into candidates;
+4. validate candidates against the formula and keep the unique valid ones.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines.base import BaselineSampler, SamplerOutput
+from repro.baselines.cdcl import CDCLSolver
+from repro.cnf.formula import CNF
+from repro.core.solutions import SolutionSet
+from repro.utils.rng import new_rng
+
+
+class QuickSamplerStyleSampler(BaselineSampler):
+    """Mutation-combining sampler in the style of QuickSampler."""
+
+    name = "quicksampler-style"
+
+    def __init__(
+        self,
+        seed: Optional[int] = 0,
+        max_mutations: int = 128,
+        combinations_per_round: int = 512,
+        max_combination_size: int = 4,
+        max_conflicts_per_call: Optional[int] = 50000,
+    ) -> None:
+        self.seed = seed
+        self.max_mutations = max_mutations
+        self.combinations_per_round = combinations_per_round
+        self.max_combination_size = max_combination_size
+        self.max_conflicts_per_call = max_conflicts_per_call
+
+    def sample(
+        self,
+        formula: CNF,
+        num_solutions: int = 1000,
+        timeout_seconds: Optional[float] = None,
+    ) -> SamplerOutput:
+        start = time.perf_counter()
+        rng = new_rng(self.seed)
+        solutions = SolutionSet(formula.num_variables)
+        generated = 0
+        timed_out = False
+
+        solver = CDCLSolver(
+            formula,
+            seed=int(rng.integers(2**31 - 1)),
+            random_polarity=True,
+            max_conflicts=self.max_conflicts_per_call,
+        )
+        seed_result = solver.solve()
+        if seed_result.satisfiable is not True or seed_result.assignment is None:
+            return self._empty_output(
+                formula, num_solutions, time.perf_counter() - start
+            )
+        seed_solution = seed_result.assignment
+        solutions.add(seed_solution)
+        generated += 1
+
+        mutations = self._collect_mutations(
+            formula, seed_solution, rng, start, timeout_seconds
+        )
+
+        # Combine mutations until the target count or the budget is reached.
+        while len(solutions) < num_solutions:
+            if timeout_seconds is not None and time.perf_counter() - start > timeout_seconds:
+                timed_out = True
+                break
+            if not mutations:
+                break
+            candidates = self._combine(seed_solution, mutations, rng)
+            generated += candidates.shape[0]
+            valid = formula.evaluate_batch(candidates)
+            before = len(solutions)
+            solutions.add_batch(candidates, valid)
+            if len(solutions) == before:
+                # The mutation pool is exhausted for this seed; draw a new seed
+                # to escape, or stop when the solver cannot produce one.
+                solver._rng = new_rng(int(rng.integers(2**31 - 1)))
+                new_seed = solver.solve()
+                if new_seed.satisfiable is not True or new_seed.assignment is None:
+                    break
+                if solutions.contains(new_seed.assignment):
+                    break
+                seed_solution = new_seed.assignment
+                solutions.add(seed_solution)
+                mutations = self._collect_mutations(
+                    formula, seed_solution, rng, start, timeout_seconds
+                )
+        elapsed = time.perf_counter() - start
+        return SamplerOutput(
+            sampler_name=self.name,
+            instance_name=formula.name,
+            solutions=solutions,
+            num_requested=num_solutions,
+            elapsed_seconds=elapsed,
+            num_generated=generated,
+            timed_out=timed_out,
+            extra={"num_mutations": len(mutations)},
+        )
+
+    # -- internals ---------------------------------------------------------------------------
+    def _collect_mutations(
+        self,
+        formula: CNF,
+        seed_solution: np.ndarray,
+        rng,
+        start: float,
+        timeout_seconds: Optional[float],
+    ) -> List[np.ndarray]:
+        """Difference patterns obtained by flipping each variable of the seed."""
+        mutations: List[np.ndarray] = []
+        num_variables = formula.num_variables
+        variables = rng.permutation(num_variables)[: self.max_mutations]
+        for variable_index in variables:
+            if timeout_seconds is not None and time.perf_counter() - start > timeout_seconds:
+                break
+            variable = int(variable_index) + 1
+            flipped_value = not seed_solution[variable - 1]
+            assumption = variable if flipped_value else -variable
+            solver = CDCLSolver(
+                formula,
+                seed=int(rng.integers(2**31 - 1)),
+                random_polarity=False,
+                max_conflicts=self.max_conflicts_per_call,
+            )
+            # Bias the search towards the seed so the mutation stays "atomic".
+            for index in range(num_variables):
+                solver._saved_phase[index + 1] = bool(seed_solution[index])
+            result = solver.solve(assumptions=[assumption])
+            if result.satisfiable is not True or result.assignment is None:
+                continue
+            difference = np.logical_xor(result.assignment, seed_solution)
+            if difference.any():
+                mutations.append(difference)
+        return mutations
+
+    def _combine(
+        self, seed_solution: np.ndarray, mutations: List[np.ndarray], rng
+    ) -> np.ndarray:
+        """XOR random subsets of mutation patterns onto the seed solution."""
+        count = self.combinations_per_round
+        candidates = np.tile(seed_solution, (count, 1))
+        for row in range(count):
+            subset_size = int(rng.integers(1, self.max_combination_size + 1))
+            chosen = rng.choice(len(mutations), size=min(subset_size, len(mutations)), replace=False)
+            for mutation_index in chosen:
+                candidates[row] ^= mutations[int(mutation_index)]
+        return candidates

@@ -1,0 +1,99 @@
+"""WalkSAT stochastic local search (Selman et al.).
+
+Referenced by the paper as one of the classic efficient SAT-solving
+techniques; used here both as a standalone solution finder and as the
+diversification engine inside the QuickSampler-style baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cnf.formula import CNF
+from repro.utils.rng import RandomState, new_rng
+
+
+class WalkSATSolver:
+    """WalkSAT with the standard noise parameter and random restarts."""
+
+    def __init__(
+        self,
+        formula: CNF,
+        noise: float = 0.5,
+        max_flips: int = 10000,
+        max_restarts: int = 10,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not 0.0 <= noise <= 1.0:
+            raise ValueError(f"noise must be in [0, 1], got {noise}")
+        self.formula = formula
+        self.noise = noise
+        self.max_flips = max_flips
+        self.max_restarts = max_restarts
+        self._rng: RandomState = new_rng(seed)
+        self.num_variables = formula.num_variables
+        self._clauses: List[List[int]] = [list(c.literals) for c in formula.clauses]
+        # Occurrence lists: variable -> clause indices containing it.
+        self._occurrences: Dict[int, List[int]] = {}
+        for index, clause in enumerate(self._clauses):
+            for literal in clause:
+                self._occurrences.setdefault(abs(literal), []).append(index)
+
+    def solve(self, initial: Optional[np.ndarray] = None) -> Optional[np.ndarray]:
+        """Search for a satisfying assignment; returns it or ``None`` on failure."""
+        for restart in range(self.max_restarts):
+            if initial is not None and restart == 0:
+                assignment = np.asarray(initial, dtype=bool).copy()
+            else:
+                assignment = self._rng.random(self.num_variables) < 0.5
+            result = self._walk(assignment)
+            if result is not None:
+                return result
+        return None
+
+    def _walk(self, assignment: np.ndarray) -> Optional[np.ndarray]:
+        unsatisfied = self._unsatisfied_clauses(assignment)
+        for _ in range(self.max_flips):
+            if not unsatisfied:
+                return assignment
+            clause_index = unsatisfied[int(self._rng.integers(len(unsatisfied)))]
+            clause = self._clauses[clause_index]
+            if self._rng.random() < self.noise:
+                literal = clause[int(self._rng.integers(len(clause)))]
+                flip_variable = abs(literal)
+            else:
+                flip_variable = self._best_flip(clause, assignment)
+            assignment[flip_variable - 1] = not assignment[flip_variable - 1]
+            unsatisfied = self._unsatisfied_clauses(assignment)
+        return None
+
+    def _best_flip(self, clause: List[int], assignment: np.ndarray) -> int:
+        """Pick the variable in ``clause`` whose flip breaks the fewest clauses."""
+        best_variable = abs(clause[0])
+        best_broken = None
+        for literal in clause:
+            variable = abs(literal)
+            assignment[variable - 1] = not assignment[variable - 1]
+            broken = 0
+            for clause_index in self._occurrences.get(variable, []):
+                if not self._clause_satisfied(self._clauses[clause_index], assignment):
+                    broken += 1
+            assignment[variable - 1] = not assignment[variable - 1]
+            if best_broken is None or broken < best_broken:
+                best_broken = broken
+                best_variable = variable
+        return best_variable
+
+    def _clause_satisfied(self, clause: List[int], assignment: np.ndarray) -> bool:
+        return any(
+            assignment[abs(literal) - 1] == (literal > 0) for literal in clause
+        )
+
+    def _unsatisfied_clauses(self, assignment: np.ndarray) -> List[int]:
+        return [
+            index
+            for index, clause in enumerate(self._clauses)
+            if not self._clause_satisfied(clause, assignment)
+        ]

@@ -1,0 +1,76 @@
+"""Self-contained symbolic Boolean algebra.
+
+This package plays the role SymPy's ``logic`` module plays in the paper: the
+transformation algorithm (Algorithm 1) needs to
+
+* build Boolean expressions for candidate output variables from groups of
+  clauses,
+* check that two expressions are complements of each other,
+* simplify the accepted expression before it is adopted into the multi-level,
+  multi-output function.
+
+Everything here is implemented from scratch on top of a small immutable
+expression AST (:mod:`repro.boolalg.expr`), with truth-table and BDD based
+equivalence checking, algebraic simplification rules and Quine--McCluskey
+two-level minimization.
+"""
+
+from repro.boolalg.expr import (
+    Expr,
+    Var,
+    Const,
+    Not,
+    And,
+    Or,
+    Xor,
+    TRUE,
+    FALSE,
+    ite,
+    nand_,
+    nor_,
+    xnor_,
+)
+from repro.boolalg.truth_table import (
+    truth_table,
+    equivalent,
+    is_complement,
+    is_tautology,
+    is_contradiction,
+    satisfying_assignments,
+    count_satisfying,
+)
+from repro.boolalg.simplify import simplify
+from repro.boolalg.quine_mccluskey import minimize_minterms, minimize_expr
+from repro.boolalg.bdd import BDD
+from repro.boolalg.cnf_convert import expr_to_cnf_clauses, tseitin_encode
+from repro.boolalg.parsing import parse_expr
+
+__all__ = [
+    "Expr",
+    "Var",
+    "Const",
+    "Not",
+    "And",
+    "Or",
+    "Xor",
+    "TRUE",
+    "FALSE",
+    "ite",
+    "nand_",
+    "nor_",
+    "xnor_",
+    "truth_table",
+    "equivalent",
+    "is_complement",
+    "is_tautology",
+    "is_contradiction",
+    "satisfying_assignments",
+    "count_satisfying",
+    "simplify",
+    "minimize_minterms",
+    "minimize_expr",
+    "BDD",
+    "expr_to_cnf_clauses",
+    "tseitin_encode",
+    "parse_expr",
+]

@@ -1,0 +1,205 @@
+"""Conversion from Boolean expressions to CNF clause lists.
+
+Two encodings are provided:
+
+* :func:`expr_to_cnf_clauses` — distribution-based conversion producing an
+  *equivalent* CNF over the original variables (used for small expressions
+  and as a test oracle);
+* :func:`tseitin_encode` — the Tseitin transformation producing an
+  *equisatisfiable* CNF with auxiliary variables, which is exactly how the
+  benchmark CNFs the paper samples from were produced in the first place.
+  The instance generators in :mod:`repro.instances` use it to manufacture
+  realistic CNFs from circuits.
+
+Clauses are represented as tuples of signed DIMACS-style integer literals
+(``+v`` for the variable, ``-v`` for its negation); variable numbering is
+managed by the caller through a name-to-index mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.boolalg.expr import And, Const, Expr, Not, Or, Var, Xor
+
+Clause = Tuple[int, ...]
+
+
+def _to_nnf(expr: Expr, negate: bool = False) -> Expr:
+    """Push negations down to literals (negation normal form)."""
+    if isinstance(expr, Const):
+        return Const(expr.value ^ negate)
+    if isinstance(expr, Var):
+        return Not(expr) if negate else expr
+    if isinstance(expr, Not):
+        return _to_nnf(expr.operand, not negate)
+    if isinstance(expr, And):
+        parts = [_to_nnf(op, negate) for op in expr.operands]
+        return Or(*parts) if negate else And(*parts)
+    if isinstance(expr, Or):
+        parts = [_to_nnf(op, negate) for op in expr.operands]
+        return And(*parts) if negate else Or(*parts)
+    if isinstance(expr, Xor):
+        # Expand XOR into AND/OR form before NNF conversion.
+        expanded = _expand_xor(list(expr.operands))
+        return _to_nnf(expanded, negate)
+    raise TypeError(f"unsupported node {type(expr).__name__}")
+
+
+def _expand_xor(operands: List[Expr]) -> Expr:
+    result = operands[0]
+    for operand in operands[1:]:
+        result = Or(And(result, Not(operand)), And(Not(result), operand))
+    return result
+
+
+def expr_to_cnf_clauses(
+    expr: Expr, var_index: Dict[str, int]
+) -> List[Clause]:
+    """Convert an expression to an equivalent CNF over its own variables.
+
+    ``var_index`` maps variable names to positive DIMACS indices.  The
+    conversion distributes OR over AND, so it is only suitable for small
+    expressions; :func:`tseitin_encode` should be used otherwise.
+    """
+    nnf = _to_nnf(expr)
+    clause_sets = _distribute(nnf)
+    clauses: List[Clause] = []
+    for clause_lits in clause_sets:
+        clause: List[int] = []
+        tautological = False
+        for literal in clause_lits:
+            index = _literal_index(literal, var_index)
+            if -index in clause:
+                tautological = True
+                break
+            if index not in clause:
+                clause.append(index)
+        if not tautological:
+            clauses.append(tuple(sorted(clause, key=abs)))
+    return clauses
+
+
+def _literal_index(literal: Expr, var_index: Dict[str, int]) -> int:
+    if isinstance(literal, Var):
+        return var_index[literal.name]
+    if isinstance(literal, Not) and isinstance(literal.operand, Var):
+        return -var_index[literal.operand.name]
+    raise TypeError(f"expected a literal, got {literal}")
+
+
+def _distribute(expr: Expr) -> List[List[Expr]]:
+    """Return CNF as a list of clauses, each a list of literal expressions."""
+    if isinstance(expr, Const):
+        return [] if expr.value else [[]]
+    if isinstance(expr, (Var, Not)):
+        return [[expr]]
+    if isinstance(expr, And):
+        clauses: List[List[Expr]] = []
+        for operand in expr.operands:
+            clauses.extend(_distribute(operand))
+        return clauses
+    if isinstance(expr, Or):
+        sub = [_distribute(op) for op in expr.operands]
+        result: List[List[Expr]] = [[]]
+        for clause_group in sub:
+            result = [
+                existing + addition
+                for existing in result
+                for addition in clause_group
+            ]
+        return result
+    raise TypeError(f"unexpected node in NNF: {type(expr).__name__}")
+
+
+class TseitinEncoder:
+    """Stateful Tseitin encoder allocating auxiliary variables on demand."""
+
+    def __init__(self, var_index: Dict[str, int]) -> None:
+        self._var_index = dict(var_index)
+        self._next_index = max(var_index.values(), default=0) + 1
+        self.clauses: List[Clause] = []
+
+    @property
+    def var_index(self) -> Dict[str, int]:
+        """Mapping of all variable names (original + auxiliary) to indices."""
+        return dict(self._var_index)
+
+    @property
+    def num_variables(self) -> int:
+        """Highest allocated variable index."""
+        return self._next_index - 1
+
+    def fresh_var(self, hint: str = "aux") -> int:
+        """Allocate a fresh auxiliary variable and return its index."""
+        index = self._next_index
+        self._next_index += 1
+        self._var_index[f"__{hint}_{index}"] = index
+        return index
+
+    def encode(self, expr: Expr) -> int:
+        """Encode ``expr``; returns the literal representing its value."""
+        if isinstance(expr, Const):
+            out = self.fresh_var("const")
+            self.clauses.append((out,) if expr.value else (-out,))
+            return out
+        if isinstance(expr, Var):
+            return self._var_index[expr.name]
+        if isinstance(expr, Not):
+            return -self.encode(expr.operand)
+        if isinstance(expr, And):
+            literals = [self.encode(op) for op in expr.operands]
+            return self._encode_and(literals)
+        if isinstance(expr, Or):
+            literals = [self.encode(op) for op in expr.operands]
+            return self._encode_or(literals)
+        if isinstance(expr, Xor):
+            literals = [self.encode(op) for op in expr.operands]
+            return self._encode_xor(literals)
+        raise TypeError(f"unsupported node {type(expr).__name__}")
+
+    def assert_true(self, literal: int) -> None:
+        """Add a unit clause constraining ``literal`` to be true."""
+        self.clauses.append((literal,))
+
+    # -- gate encodings (Eqs. 1-4 of the paper) -----------------------------------
+    def _encode_and(self, literals: Sequence[int]) -> int:
+        out = self.fresh_var("and")
+        self.clauses.append(tuple([out] + [-lit for lit in literals]))
+        for lit in literals:
+            self.clauses.append((-out, lit))
+        return out
+
+    def _encode_or(self, literals: Sequence[int]) -> int:
+        out = self.fresh_var("or")
+        self.clauses.append(tuple([-out] + list(literals)))
+        for lit in literals:
+            self.clauses.append((out, -lit))
+        return out
+
+    def _encode_xor(self, literals: Sequence[int]) -> int:
+        result = literals[0]
+        for lit in literals[1:]:
+            out = self.fresh_var("xor")
+            self.clauses.append((-out, result, lit))
+            self.clauses.append((-out, -result, -lit))
+            self.clauses.append((out, -result, lit))
+            self.clauses.append((out, result, -lit))
+            result = out
+        return result
+
+
+def tseitin_encode(
+    expr: Expr, var_index: Dict[str, int], assert_output: bool = True
+) -> Tuple[List[Clause], int, Dict[str, int]]:
+    """Tseitin-encode ``expr``.
+
+    Returns ``(clauses, output_literal, full_var_index)``.  When
+    ``assert_output`` is true a unit clause forcing the output to 1 is added,
+    making the CNF satisfiable exactly when ``expr`` is.
+    """
+    encoder = TseitinEncoder(var_index)
+    output = encoder.encode(expr)
+    if assert_output:
+        encoder.assert_true(output)
+    return encoder.clauses, output, encoder.var_index

@@ -1,0 +1,395 @@
+"""Immutable Boolean expression AST.
+
+Expressions are hashable, structurally comparable trees built from variables,
+constants and the operators NOT/AND/OR/XOR.  Convenience constructors perform
+cheap local normalisation (flattening nested AND/OR, removing duplicate
+operands, constant folding) so that the rest of the library rarely sees
+degenerate trees.
+
+The node types intentionally mirror the operators whose CNF signatures the
+paper enumerates in Section III-A (Eqs. 1--4): NOT, AND, OR, NAND, NOR, XOR
+and XNOR.  NAND/NOR/XNOR are represented as ``Not`` wrappers around the base
+operator, which keeps the AST minimal without losing the ability to detect
+those gates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Tuple, Union
+
+BoolLike = Union[bool, int]
+
+
+class Expr:
+    """Base class of all Boolean expression nodes.
+
+    Instances are immutable; Python's ``&``, ``|``, ``^`` and ``~`` operators
+    are overloaded to build new expressions.
+    """
+
+    __slots__ = ()
+
+    # -- construction operators -------------------------------------------------
+    def __and__(self, other: "Expr") -> "Expr":
+        return And(self, other)
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return Or(self, other)
+
+    def __xor__(self, other: "Expr") -> "Expr":
+        return Xor(self, other)
+
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+    # -- interface ---------------------------------------------------------------
+    def evaluate(self, assignment: Dict[str, BoolLike]) -> bool:
+        """Evaluate the expression under a ``{variable name: bool}`` assignment."""
+        raise NotImplementedError
+
+    def support(self) -> FrozenSet[str]:
+        """Return the set of variable names the expression depends on syntactically."""
+        raise NotImplementedError
+
+    def substitute(self, mapping: Dict[str, "Expr"]) -> "Expr":
+        """Return a copy with variables replaced by expressions from ``mapping``."""
+        raise NotImplementedError
+
+    def children(self) -> Tuple["Expr", ...]:
+        """Immediate sub-expressions."""
+        return ()
+
+    # -- generic helpers ---------------------------------------------------------
+    def node_count(self) -> int:
+        """Total number of AST nodes (shared structure counted repeatedly)."""
+        return 1 + sum(child.node_count() for child in self.children())
+
+    def depth(self) -> int:
+        """Height of the AST (a leaf has depth 0)."""
+        kids = self.children()
+        if not kids:
+            return 0
+        return 1 + max(child.depth() for child in kids)
+
+    def two_input_gate_count(self) -> int:
+        """Number of 2-input gate equivalents needed to implement the expression.
+
+        An ``n``-ary AND/OR/XOR counts as ``n - 1`` two-input gates; a NOT
+        counts as one gate (an inverter).  This is the metric used by the
+        paper's Fig. 4 (middle) ops-reduction ablation.
+        """
+        if isinstance(self, (Var, Const)):
+            return 0
+        if isinstance(self, Not):
+            return 1 + self.operand.two_input_gate_count()
+        arity_cost = max(len(self.children()) - 1, 0)
+        return arity_cost + sum(c.two_input_gate_count() for c in self.children())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return str(self)
+
+
+class Const(Expr):
+    """A Boolean constant, ``TRUE`` or ``FALSE``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: BoolLike) -> None:
+        object.__setattr__(self, "value", bool(value))
+
+    def __setattr__(self, *args) -> None:
+        raise AttributeError("Const is immutable")
+
+    def evaluate(self, assignment: Dict[str, BoolLike]) -> bool:
+        return self.value
+
+    def support(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def substitute(self, mapping: Dict[str, Expr]) -> Expr:
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Const) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("const", self.value))
+
+    def __str__(self) -> str:
+        return "1" if self.value else "0"
+
+
+TRUE = Const(True)
+FALSE = Const(False)
+
+
+class Var(Expr):
+    """A named Boolean variable."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"variable name must be a non-empty string, got {name!r}")
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, *args) -> None:
+        raise AttributeError("Var is immutable")
+
+    def evaluate(self, assignment: Dict[str, BoolLike]) -> bool:
+        try:
+            return bool(assignment[self.name])
+        except KeyError as exc:
+            raise KeyError(f"assignment is missing variable {self.name!r}") from exc
+
+    def support(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def substitute(self, mapping: Dict[str, Expr]) -> Expr:
+        return mapping.get(self.name, self)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Var) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("var", self.name))
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Not(Expr):
+    """Logical negation.  ``Not(Not(x))`` collapses to ``x`` at construction."""
+
+    __slots__ = ("operand",)
+
+    def __new__(cls, operand: Expr):
+        if isinstance(operand, Const):
+            return FALSE if operand.value else TRUE
+        if isinstance(operand, Not):
+            return operand.operand
+        instance = object.__new__(cls)
+        object.__setattr__(instance, "operand", operand)
+        return instance
+
+    def __setattr__(self, *args) -> None:
+        raise AttributeError("Not is immutable")
+
+    def evaluate(self, assignment: Dict[str, BoolLike]) -> bool:
+        return not self.operand.evaluate(assignment)
+
+    def support(self) -> FrozenSet[str]:
+        return self.operand.support()
+
+    def substitute(self, mapping: Dict[str, Expr]) -> Expr:
+        return Not(self.operand.substitute(mapping))
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.operand,)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Not) and other.operand == self.operand
+
+    def __hash__(self) -> int:
+        return hash(("not", self.operand))
+
+    def __str__(self) -> str:
+        return f"~{_wrap(self.operand)}"
+
+
+class _NaryOp(Expr):
+    """Shared implementation of the flattening n-ary operators AND/OR/XOR."""
+
+    __slots__ = ("operands",)
+
+    _symbol = "?"
+
+    def __setattr__(self, *args) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.operands
+
+    def support(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for operand in self.operands:
+            result |= operand.support()
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self) and other.operands == self.operands
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.operands))
+
+    def __str__(self) -> str:
+        joined = f" {self._symbol} ".join(_wrap(op) for op in self.operands)
+        return f"({joined})"
+
+
+def _flatten(cls, operands: Iterable[Expr]) -> Tuple[Expr, ...]:
+    """Flatten nested applications of the same n-ary operator."""
+    flat = []
+    for operand in operands:
+        if not isinstance(operand, Expr):
+            raise TypeError(f"operands must be Expr, got {type(operand).__name__}")
+        if isinstance(operand, cls):
+            flat.extend(operand.operands)
+        else:
+            flat.append(operand)
+    return tuple(flat)
+
+
+class And(_NaryOp):
+    """N-ary conjunction with local normalisation.
+
+    Construction rules: nested ANDs are flattened, duplicates removed,
+    ``FALSE`` annihilates, ``TRUE`` is dropped, and ``x & ~x`` folds to
+    ``FALSE``.  A single surviving operand is returned unwrapped.
+    """
+
+    _symbol = "&"
+
+    def __new__(cls, *operands: Expr):
+        flat = _flatten(cls, operands)
+        seen = []
+        seen_set = set()
+        for operand in flat:
+            if isinstance(operand, Const):
+                if not operand.value:
+                    return FALSE
+                continue
+            if operand in seen_set:
+                continue
+            seen_set.add(operand)
+            seen.append(operand)
+        for operand in seen:
+            if Not(operand) in seen_set:
+                return FALSE
+        if not seen:
+            return TRUE
+        if len(seen) == 1:
+            return seen[0]
+        instance = object.__new__(cls)
+        object.__setattr__(instance, "operands", tuple(seen))
+        return instance
+
+    def evaluate(self, assignment: Dict[str, BoolLike]) -> bool:
+        return all(op.evaluate(assignment) for op in self.operands)
+
+    def substitute(self, mapping: Dict[str, Expr]) -> Expr:
+        return And(*(op.substitute(mapping) for op in self.operands))
+
+
+class Or(_NaryOp):
+    """N-ary disjunction with local normalisation (dual of :class:`And`)."""
+
+    _symbol = "|"
+
+    def __new__(cls, *operands: Expr):
+        flat = _flatten(cls, operands)
+        seen = []
+        seen_set = set()
+        for operand in flat:
+            if isinstance(operand, Const):
+                if operand.value:
+                    return TRUE
+                continue
+            if operand in seen_set:
+                continue
+            seen_set.add(operand)
+            seen.append(operand)
+        for operand in seen:
+            if Not(operand) in seen_set:
+                return TRUE
+        if not seen:
+            return FALSE
+        if len(seen) == 1:
+            return seen[0]
+        instance = object.__new__(cls)
+        object.__setattr__(instance, "operands", tuple(seen))
+        return instance
+
+    def evaluate(self, assignment: Dict[str, BoolLike]) -> bool:
+        return any(op.evaluate(assignment) for op in self.operands)
+
+    def substitute(self, mapping: Dict[str, Expr]) -> Expr:
+        return Or(*(op.substitute(mapping) for op in self.operands))
+
+
+class Xor(_NaryOp):
+    """N-ary exclusive OR with local normalisation.
+
+    Constants are folded into a parity flag, duplicate operands cancel in
+    pairs, and the parity flag is realised by negating the final expression
+    when needed.
+    """
+
+    _symbol = "^"
+
+    def __new__(cls, *operands: Expr):
+        flat = _flatten(cls, operands)
+        parity = False
+        counts: Dict[Expr, int] = {}
+        order = []
+        for operand in flat:
+            if isinstance(operand, Const):
+                parity ^= operand.value
+                continue
+            if isinstance(operand, Not):
+                # ~x == x ^ 1 inside an XOR chain.
+                parity ^= True
+                operand = operand.operand
+            if operand not in counts:
+                counts[operand] = 0
+                order.append(operand)
+            counts[operand] += 1
+        survivors = [op for op in order if counts[op] % 2 == 1]
+        if not survivors:
+            return TRUE if parity else FALSE
+        if len(survivors) == 1:
+            core: Expr = survivors[0]
+        else:
+            core = object.__new__(cls)
+            object.__setattr__(core, "operands", tuple(survivors))
+        return Not(core) if parity else core
+
+    def evaluate(self, assignment: Dict[str, BoolLike]) -> bool:
+        result = False
+        for operand in self.operands:
+            result ^= operand.evaluate(assignment)
+        return result
+
+    def substitute(self, mapping: Dict[str, Expr]) -> Expr:
+        return Xor(*(op.substitute(mapping) for op in self.operands))
+
+
+# -- derived operators ---------------------------------------------------------
+def nand_(*operands: Expr) -> Expr:
+    """NAND of the operands."""
+    return Not(And(*operands))
+
+
+def nor_(*operands: Expr) -> Expr:
+    """NOR of the operands."""
+    return Not(Or(*operands))
+
+
+def xnor_(*operands: Expr) -> Expr:
+    """XNOR (even parity) of the operands."""
+    return Not(Xor(*operands))
+
+
+def ite(cond: Expr, then: Expr, else_: Expr) -> Expr:
+    """If-then-else: ``(cond & then) | (~cond & else_)``."""
+    return Or(And(cond, then), And(Not(cond), else_))
+
+
+def variables(names: Iterable[str]) -> Tuple[Var, ...]:
+    """Construct a tuple of :class:`Var` from an iterable of names."""
+    return tuple(Var(name) for name in names)
+
+
+def _wrap(expr: Expr) -> str:
+    """Parenthesise composite operands when printing."""
+    return str(expr)

@@ -1,0 +1,115 @@
+"""A small recursive-descent parser for Boolean expression strings.
+
+Grammar (loosest binding first)::
+
+    expr     := xor_term
+    xor_term := or_term ( '^' or_term )*
+    or_term  := and_term ( ('|' | '+') and_term )*
+    and_term := unary ( ('&' | '*') unary )*
+    unary    := ('~' | '!') unary | atom
+    atom     := '0' | '1' | identifier | '(' expr ')'
+
+Identifiers match ``[A-Za-z_][A-Za-z0-9_]*``.  The parser exists so that
+examples, tests and the command-line demos can state constraints readably,
+e.g. ``parse_expr("(a & b) | (~a & c)")``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.boolalg.expr import And, Expr, FALSE, Not, Or, TRUE, Var, Xor
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<ident>[A-Za-z_][A-Za-z0-9_]*)|(?P<const>[01])|(?P<op>[&|^~!*+()]))"
+)
+
+
+class ParseError(ValueError):
+    """Raised when an expression string cannot be parsed."""
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise ParseError(f"unexpected input at position {position}: {remainder!r}")
+        tokens.append(match.group().strip())
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[str]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self) -> str:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else ""
+
+    def _advance(self) -> str:
+        token = self._peek()
+        self._pos += 1
+        return token
+
+    def parse(self) -> Expr:
+        expr = self._xor_term()
+        if self._pos != len(self._tokens):
+            raise ParseError(f"trailing tokens: {self._tokens[self._pos:]}")
+        return expr
+
+    def _xor_term(self) -> Expr:
+        operands = [self._or_term()]
+        while self._peek() == "^":
+            self._advance()
+            operands.append(self._or_term())
+        return operands[0] if len(operands) == 1 else Xor(*operands)
+
+    def _or_term(self) -> Expr:
+        operands = [self._and_term()]
+        while self._peek() in ("|", "+"):
+            self._advance()
+            operands.append(self._and_term())
+        return operands[0] if len(operands) == 1 else Or(*operands)
+
+    def _and_term(self) -> Expr:
+        operands = [self._unary()]
+        while self._peek() in ("&", "*"):
+            self._advance()
+            operands.append(self._unary())
+        return operands[0] if len(operands) == 1 else And(*operands)
+
+    def _unary(self) -> Expr:
+        if self._peek() in ("~", "!"):
+            self._advance()
+            return Not(self._unary())
+        return self._atom()
+
+    def _atom(self) -> Expr:
+        token = self._advance()
+        if token == "(":
+            inner = self._xor_term()
+            if self._advance() != ")":
+                raise ParseError("missing closing parenthesis")
+            return inner
+        if token == "0":
+            return FALSE
+        if token == "1":
+            return TRUE
+        if token and re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", token):
+            return Var(token)
+        raise ParseError(f"unexpected token {token!r}")
+
+
+def parse_expr(text: str) -> Expr:
+    """Parse a Boolean expression string into an :class:`~repro.boolalg.expr.Expr`."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ParseError("empty expression")
+    return _Parser(tokens).parse()

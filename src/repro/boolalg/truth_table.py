@@ -1,0 +1,162 @@
+"""Truth-table based semantic queries on Boolean expressions.
+
+The transformation algorithm needs two semantic checks on the small
+sub-expressions it derives from clause groups:
+
+* *complement checking* — is the expression derived for ``v`` the complement
+  of the expression derived for ``~v``? (Algorithm 1, line 10), and
+* *constant detection* — is the accepted expression a tautology or a
+  contradiction? (the primary-output classification in Algorithm 1, line 12).
+
+Sub-expressions extracted from clause groups have small support (a handful of
+variables), so exhaustive truth-table enumeration is both simple and fast.
+For wider supports callers can use :class:`repro.boolalg.bdd.BDD` instead.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.boolalg.expr import Expr
+
+#: Above this support size exhaustive enumeration is refused by default.
+MAX_ENUMERATION_VARS = 20
+
+
+def _ordered_support(*exprs: Expr, over: Optional[Sequence[str]] = None) -> List[str]:
+    if over is not None:
+        return list(over)
+    names = set()
+    for expr in exprs:
+        names |= expr.support()
+    return sorted(names)
+
+
+def truth_table(
+    expr: Expr, over: Optional[Sequence[str]] = None, max_vars: int = MAX_ENUMERATION_VARS
+) -> np.ndarray:
+    """Return the truth table of ``expr`` as a boolean vector of length ``2**n``.
+
+    Row ``i`` corresponds to the assignment whose bit ``j`` (LSB first, in the
+    order of ``over`` or sorted support) gives the value of variable ``j``.
+    """
+    names = _ordered_support(expr, over=over)
+    n = len(names)
+    if n > max_vars:
+        raise ValueError(
+            f"refusing to enumerate {n} variables (> {max_vars}); use a BDD instead"
+        )
+    table = np.zeros(2**n, dtype=bool)
+    for row, bits in enumerate(product((False, True), repeat=n)):
+        # ``product`` varies the last element fastest; map it so bit j of the
+        # row index corresponds to names[j].
+        assignment = {names[j]: bool((row >> j) & 1) for j in range(n)}
+        table[row] = expr.evaluate(assignment)
+    return table
+
+
+def assignments_iter(names: Sequence[str]) -> Iterator[Dict[str, bool]]:
+    """Iterate over all assignments to ``names`` in truth-table row order."""
+    n = len(names)
+    for row in range(2**n):
+        yield {names[j]: bool((row >> j) & 1) for j in range(n)}
+
+
+def equivalent(
+    a: Expr, b: Expr, max_vars: int = MAX_ENUMERATION_VARS
+) -> bool:
+    """Return ``True`` iff ``a`` and ``b`` compute the same function.
+
+    The comparison is over the union of both supports, so ``x & y`` and
+    ``y & x`` are equivalent while ``x`` and ``x & (y | ~y)`` also are (the
+    latter normalises away its vacuous variable at construction).
+    """
+    names = _ordered_support(a, b)
+    if len(names) > max_vars:
+        from repro.boolalg.bdd import BDD
+
+        manager = BDD(names)
+        return manager.from_expr(a) == manager.from_expr(b)
+    for assignment in assignments_iter(names):
+        if a.evaluate(assignment) != b.evaluate(assignment):
+            return False
+    return True
+
+
+def is_complement(a: Expr, b: Expr, max_vars: int = MAX_ENUMERATION_VARS) -> bool:
+    """Return ``True`` iff ``a == ~b`` as Boolean functions.
+
+    This is the acceptance test of Algorithm 1: the expression derived for a
+    candidate output variable must be the complement of the expression derived
+    for its negation.
+    """
+    names = _ordered_support(a, b)
+    if len(names) > max_vars:
+        from repro.boolalg.bdd import BDD
+
+        manager = BDD(names)
+        return manager.from_expr(a) == manager.negate(manager.from_expr(b))
+    for assignment in assignments_iter(names):
+        if a.evaluate(assignment) == b.evaluate(assignment):
+            return False
+    return True
+
+
+def is_tautology(expr: Expr, max_vars: int = MAX_ENUMERATION_VARS) -> bool:
+    """Return ``True`` iff ``expr`` evaluates to 1 under every assignment."""
+    names = sorted(expr.support())
+    if len(names) > max_vars:
+        from repro.boolalg.bdd import BDD
+
+        manager = BDD(names)
+        return manager.from_expr(expr) == manager.true
+    return all(expr.evaluate(a) for a in assignments_iter(names))
+
+
+def is_contradiction(expr: Expr, max_vars: int = MAX_ENUMERATION_VARS) -> bool:
+    """Return ``True`` iff ``expr`` evaluates to 0 under every assignment."""
+    names = sorted(expr.support())
+    if len(names) > max_vars:
+        from repro.boolalg.bdd import BDD
+
+        manager = BDD(names)
+        return manager.from_expr(expr) == manager.false
+    return not any(expr.evaluate(a) for a in assignments_iter(names))
+
+
+def satisfying_assignments(
+    expr: Expr,
+    over: Optional[Sequence[str]] = None,
+    max_vars: int = MAX_ENUMERATION_VARS,
+) -> List[Dict[str, bool]]:
+    """Enumerate every satisfying assignment of ``expr`` over ``over``/its support."""
+    names = _ordered_support(expr, over=over)
+    if len(names) > max_vars:
+        raise ValueError(
+            f"refusing to enumerate {len(names)} variables (> {max_vars})"
+        )
+    return [a for a in assignments_iter(names) if expr.evaluate(a)]
+
+
+def count_satisfying(
+    expr: Expr,
+    over: Optional[Sequence[str]] = None,
+    max_vars: int = MAX_ENUMERATION_VARS,
+) -> int:
+    """Count the satisfying assignments (model count) of ``expr``."""
+    names = _ordered_support(expr, over=over)
+    if len(names) > max_vars:
+        raise ValueError(
+            f"refusing to enumerate {len(names)} variables (> {max_vars})"
+        )
+    return sum(1 for a in assignments_iter(names) if expr.evaluate(a))
+
+
+def minterms(expr: Expr, over: Optional[Sequence[str]] = None) -> Tuple[List[int], List[str]]:
+    """Return the list of minterm indices of ``expr`` and the variable order used."""
+    names = _ordered_support(expr, over=over)
+    table = truth_table(expr, over=names)
+    return [int(i) for i in np.flatnonzero(table)], names

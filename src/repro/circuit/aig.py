@@ -1,0 +1,184 @@
+"""And-Inverter Graph (AIG) representation.
+
+AIGs are the standard intermediate representation of logic-synthesis tools
+(ABC and friends, cited by the paper as a further-optimization avenue).  The
+conversion here gives downstream users a compact, canonicalised view of the
+recovered circuit and is used by the ablation benchmarks as an alternative
+2-input-gate-equivalent cost model.
+
+Nodes are numbered from 0; literal ``2 * n`` is node ``n`` and ``2 * n + 1``
+is its complement, following the AIGER convention.  Node 0 is constant FALSE
+(literal 0) / TRUE (literal 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+
+#: AIG literal for constant false / true.
+FALSE_LIT = 0
+TRUE_LIT = 1
+
+
+class AIG:
+    """A structurally hashed And-Inverter Graph."""
+
+    def __init__(self) -> None:
+        # AND node storage: node index -> (left literal, right literal).
+        self._ands: List[Tuple[int, int]] = []
+        self._strash: Dict[Tuple[int, int], int] = {}
+        self._inputs: List[int] = []
+        self._input_names: List[str] = []
+        self._outputs: List[Tuple[str, int]] = []
+        self._num_nodes = 1  # node 0 is the constant
+
+    # -- construction -------------------------------------------------------------
+    def add_input(self, name: str) -> int:
+        """Add a primary input; returns its (positive) literal."""
+        node = self._num_nodes
+        self._num_nodes += 1
+        self._inputs.append(node)
+        self._input_names.append(name)
+        return node * 2
+
+    def add_and(self, left: int, right: int) -> int:
+        """Add (or reuse) an AND node over two literals; returns its literal."""
+        if left > right:
+            left, right = right, left
+        # Trivial simplifications.
+        if left == FALSE_LIT or left == _negate(right):
+            return FALSE_LIT
+        if left == TRUE_LIT:
+            return right
+        if left == right:
+            return left
+        key = (left, right)
+        existing = self._strash.get(key)
+        if existing is not None:
+            return existing * 2
+        node = self._num_nodes
+        self._num_nodes += 1
+        self._ands.append((left, right))
+        self._strash[key] = node
+        return node * 2
+
+    def add_or(self, left: int, right: int) -> int:
+        """OR via De Morgan."""
+        return _negate(self.add_and(_negate(left), _negate(right)))
+
+    def add_xor(self, left: int, right: int) -> int:
+        """XOR as three AND nodes."""
+        both = self.add_and(left, right)
+        neither = self.add_and(_negate(left), _negate(right))
+        return self.add_and(_negate(both), _negate(neither))
+
+    def add_output(self, name: str, literal: int) -> None:
+        """Mark a literal as a named primary output."""
+        self._outputs.append((name, literal))
+
+    # -- accessors -----------------------------------------------------------------
+    @property
+    def num_inputs(self) -> int:
+        """Number of primary inputs."""
+        return len(self._inputs)
+
+    @property
+    def num_ands(self) -> int:
+        """Number of AND nodes (the usual AIG size metric)."""
+        return len(self._ands)
+
+    @property
+    def num_outputs(self) -> int:
+        """Number of primary outputs."""
+        return len(self._outputs)
+
+    @property
+    def outputs(self) -> List[Tuple[str, int]]:
+        """Named output literals."""
+        return list(self._outputs)
+
+    @property
+    def input_names(self) -> List[str]:
+        """Primary input names in declaration order."""
+        return list(self._input_names)
+
+    # -- evaluation -------------------------------------------------------------------
+    def evaluate(self, input_values: Dict[str, bool]) -> Dict[str, bool]:
+        """Evaluate all outputs for a single input assignment."""
+        node_values: Dict[int, bool] = {0: False}
+        for node, name in zip(self._inputs, self._input_names):
+            node_values[node] = bool(input_values[name])
+        first_and = 1 + len(self._inputs)
+        for offset, (left, right) in enumerate(self._ands):
+            node = first_and + offset
+            node_values[node] = self._literal_value(left, node_values) and self._literal_value(
+                right, node_values
+            )
+        return {
+            name: self._literal_value(literal, node_values)
+            for name, literal in self._outputs
+        }
+
+    @staticmethod
+    def _literal_value(literal: int, node_values: Dict[int, bool]) -> bool:
+        value = node_values[literal // 2]
+        return not value if literal & 1 else value
+
+
+def _negate(literal: int) -> int:
+    return literal ^ 1
+
+
+def circuit_to_aig(circuit: Circuit) -> AIG:
+    """Convert a circuit into a structurally hashed AIG."""
+    aig = AIG()
+    literals: Dict[str, int] = {}
+
+    # Allocate every primary input first so that AND nodes occupy a contiguous
+    # index range after the inputs (required by AIG.evaluate and the AIGER
+    # numbering convention).
+    for name in circuit.inputs:
+        literals[name] = aig.add_input(name)
+
+    for name in circuit.topological_order():
+        gate = circuit.gate(name)
+        if gate.gate_type == GateType.INPUT:
+            continue
+        if gate.gate_type == GateType.CONST0:
+            literals[name] = FALSE_LIT
+            continue
+        if gate.gate_type == GateType.CONST1:
+            literals[name] = TRUE_LIT
+            continue
+        fanin_lits = [literals[f] for f in gate.fanins]
+        literals[name] = _lower_gate(aig, gate.gate_type, fanin_lits)
+
+    for output in circuit.outputs:
+        aig.add_output(output, literals[output])
+    return aig
+
+
+def _lower_gate(aig: AIG, gate_type: GateType, fanins: List[int]) -> int:
+    if gate_type == GateType.BUF:
+        return fanins[0]
+    if gate_type == GateType.NOT:
+        return _negate(fanins[0])
+    if gate_type in (GateType.AND, GateType.NAND):
+        literal = fanins[0]
+        for other in fanins[1:]:
+            literal = aig.add_and(literal, other)
+        return _negate(literal) if gate_type == GateType.NAND else literal
+    if gate_type in (GateType.OR, GateType.NOR):
+        literal = fanins[0]
+        for other in fanins[1:]:
+            literal = aig.add_or(literal, other)
+        return _negate(literal) if gate_type == GateType.NOR else literal
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        literal = fanins[0]
+        for other in fanins[1:]:
+            literal = aig.add_xor(literal, other)
+        return _negate(literal) if gate_type == GateType.XNOR else literal
+    raise ValueError(f"unsupported gate type {gate_type}")

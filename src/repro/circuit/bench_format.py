@@ -1,0 +1,176 @@
+"""ISCAS-89 ``.bench`` netlist format reader and writer.
+
+The benchmark family the paper samples from (``s15850a_*``) originates from
+ISCAS'89 circuits distributed in the ``.bench`` format; supporting it lets a
+user go straight from a published netlist to the sampler without a separate
+CNF step (the paper's Section IV-C suggests exactly this: "SAT applications in
+high-level logical formats could be directly transformed").
+
+Supported constructs::
+
+    INPUT(a)
+    OUTPUT(f)
+    f = AND(a, b)        # AND, NAND, OR, NOR, XOR, XNOR, NOT, BUFF
+    g = DFF(f)           # flip-flops are cut: the output becomes a pseudo-input
+
+Comments start with ``#``.  Names may contain letters, digits, underscores,
+dots and brackets.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+
+_GATE_NAMES: Dict[str, GateType] = {
+    "AND": GateType.AND,
+    "NAND": GateType.NAND,
+    "OR": GateType.OR,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "NOT": GateType.NOT,
+    "BUFF": GateType.BUF,
+    "BUF": GateType.BUF,
+}
+
+_ASSIGN_RE = re.compile(
+    r"^(?P<target>[\w.\[\]]+)\s*=\s*(?P<op>[A-Za-z]+)\s*\((?P<args>[^)]*)\)\s*$"
+)
+_IO_RE = re.compile(r"^(?P<kind>INPUT|OUTPUT)\s*\(\s*(?P<name>[\w.\[\]]+)\s*\)\s*$")
+
+
+class BenchFormatError(ValueError):
+    """Raised when a .bench document cannot be parsed."""
+
+
+def parse_bench(text: str, name: str = "bench") -> Circuit:
+    """Parse ``.bench`` text into a :class:`~repro.circuit.netlist.Circuit`.
+
+    Flip-flops (``DFF``) are treated as cut points: their outputs become
+    primary inputs of the combinational core, which is the standard
+    transformation applied when ISCAS'89 circuits are converted to CNF.
+    """
+    inputs: List[str] = []
+    outputs: List[str] = []
+    assignments: List[Tuple[str, str, List[str]]] = []
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            (inputs if io_match.group("kind") == "INPUT" else outputs).append(
+                io_match.group("name")
+            )
+            continue
+        assign_match = _ASSIGN_RE.match(line)
+        if assign_match is None:
+            raise BenchFormatError(f"line {line_number}: cannot parse {raw_line!r}")
+        operator = assign_match.group("op").upper()
+        arguments = [
+            token.strip() for token in assign_match.group("args").split(",") if token.strip()
+        ]
+        assignments.append((assign_match.group("target"), operator, arguments))
+
+    circuit = Circuit(name)
+    defined = set()
+    for input_name in inputs:
+        circuit.add_input(input_name)
+        defined.add(input_name)
+
+    # Flip-flop outputs become pseudo primary inputs (cut sequential loops).
+    for target, operator, _ in assignments:
+        if operator == "DFF" and target not in defined:
+            circuit.add_input(target)
+            defined.add(target)
+
+    # Gates may be listed in any order in a .bench file; resolve iteratively.
+    pending = [item for item in assignments if item[1] != "DFF"]
+    progress = True
+    while pending and progress:
+        progress = False
+        remaining = []
+        for target, operator, arguments in pending:
+            if operator not in _GATE_NAMES:
+                raise BenchFormatError(f"unsupported gate type {operator!r} for {target!r}")
+            if all(argument in defined for argument in arguments):
+                circuit.add_gate(target, _GATE_NAMES[operator], arguments)
+                defined.add(target)
+                progress = True
+            else:
+                remaining.append((target, operator, arguments))
+        pending = remaining
+    if pending:
+        unresolved = ", ".join(sorted({target for target, _, _ in pending})[:5])
+        raise BenchFormatError(
+            f"unresolved nets (undriven fanins or combinational loops): {unresolved}"
+        )
+
+    for output_name in outputs:
+        if not circuit.has_net(output_name):
+            raise BenchFormatError(f"OUTPUT({output_name}) is never driven")
+        circuit.set_output(output_name)
+    return circuit
+
+
+def parse_bench_file(path: Union[str, Path]) -> Circuit:
+    """Parse a ``.bench`` file."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=path.stem)
+
+
+def write_bench(circuit: Circuit) -> str:
+    """Serialise a circuit to ``.bench`` text.
+
+    Wide XOR/XNOR gates and constants are not part of the classic format;
+    constants are emitted as ``VDD``/``GND`` nets driven by degenerate gates,
+    which common readers accept.
+    """
+    reverse_names = {
+        GateType.AND: "AND",
+        GateType.NAND: "NAND",
+        GateType.OR: "OR",
+        GateType.NOR: "NOR",
+        GateType.XOR: "XOR",
+        GateType.XNOR: "XNOR",
+        GateType.NOT: "NOT",
+        GateType.BUF: "BUFF",
+    }
+    lines: List[str] = [f"# {circuit.name}"]
+    for name in circuit.inputs:
+        lines.append(f"INPUT({name})")
+    for name in circuit.outputs:
+        lines.append(f"OUTPUT({name})")
+    for net in circuit.topological_order():
+        gate = circuit.gate(net)
+        if gate.gate_type == GateType.INPUT:
+            continue
+        if gate.gate_type in (GateType.CONST0, GateType.CONST1):
+            if circuit.inputs:
+                # Constant nets are expressed as x & ~x (0) or x | ~x (1).
+                anchor = circuit.inputs[0]
+                lines.append(f"{net}__inv = NOT({anchor})")
+                operator = "AND" if gate.gate_type == GateType.CONST0 else "OR"
+                lines.append(f"{net} = {operator}({anchor}, {net}__inv)")
+            else:
+                lines.append(
+                    f"{net} = GND()" if gate.gate_type == GateType.CONST0 else f"{net} = VDD()"
+                )
+            continue
+        operator = reverse_names[gate.gate_type]
+        arguments = ", ".join(gate.fanins)
+        lines.append(f"{net} = {operator}({arguments})")
+    return "\n".join(lines) + "\n"
+
+
+def write_bench_file(circuit: Circuit, path: Union[str, Path]) -> Path:
+    """Write a circuit to a ``.bench`` file and return the path."""
+    path = Path(path)
+    path.write_text(write_bench(circuit))
+    return path

@@ -1,0 +1,225 @@
+"""Structural circuit optimization.
+
+The paper notes the recovered multi-level function "can be further optimized
+by leveraging other techniques ... for reducing the complexity of multi-level
+logic circuits".  This module implements the standard cheap passes:
+
+* constant propagation (gates with constant fanins are folded),
+* structural hashing / common-subexpression elimination (``strash``),
+* buffer collapsing, and
+* dangling-gate sweeping (gates in no output cone are removed).
+
+``optimize_circuit`` composes them to a fixed point.  These passes reduce the
+2-input gate-equivalent count the probabilistic model must evaluate, which is
+precisely what the Fig. 4 (middle) ops-reduction ablation measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.circuit.gates import Gate, GateType
+from repro.circuit.netlist import Circuit
+
+#: (gate type, sorted fanins) key used for structural hashing.
+_StrashKey = Tuple[str, Tuple[str, ...]]
+
+_COMMUTATIVE = {
+    GateType.AND,
+    GateType.OR,
+    GateType.NAND,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+}
+
+
+def _rebuild(
+    circuit: Circuit, replacement: Dict[str, Tuple[GateType, Tuple[str, ...]]]
+) -> Circuit:
+    """Rebuild a circuit applying per-net replacement functions.
+
+    ``replacement`` maps net name to its new ``(type, fanins)``; nets not in
+    the map keep their original definition.  Primary inputs and outputs are
+    preserved.  Fanin references are resolved through the replacement map so
+    that nets rewritten into buffers of other nets are bypassed.
+    """
+    rebuilt = Circuit(circuit.name)
+    alias: Dict[str, str] = {}
+
+    def resolve(name: str) -> str:
+        seen = set()
+        while name in alias and name not in seen:
+            seen.add(name)
+            name = alias[name]
+        return name
+
+    for name in circuit.topological_order():
+        gate = circuit.gate(name)
+        gate_type, fanins = replacement.get(name, (gate.gate_type, gate.fanins))
+        fanins = tuple(resolve(f) for f in fanins)
+        if gate_type == GateType.INPUT:
+            rebuilt.add_input(name)
+            continue
+        if gate_type == GateType.BUF and name not in circuit.outputs:
+            # Collapse pure buffers by aliasing, unless the net is an output
+            # (outputs must keep their name).
+            alias[name] = fanins[0]
+            continue
+        if gate_type.is_source:
+            rebuilt.add_constant(name, gate_type == GateType.CONST1)
+            continue
+        rebuilt.add_gate(name, gate_type, fanins)
+
+    for output in circuit.outputs:
+        rebuilt.set_output(resolve(output))
+        if resolve(output) != output and not rebuilt.has_net(output):
+            # Preserve the output's name with an explicit buffer.
+            rebuilt.add_gate(output, GateType.BUF, [resolve(output)])
+            rebuilt.set_output(output)
+    return rebuilt
+
+
+def constant_propagate(circuit: Circuit) -> Circuit:
+    """Fold gates whose fanins include constants; returns a new circuit."""
+    constant: Dict[str, bool] = {}
+    replacement: Dict[str, Tuple[GateType, Tuple[str, ...]]] = {}
+
+    for name in circuit.topological_order():
+        gate = circuit.gate(name)
+        if gate.gate_type == GateType.CONST0:
+            constant[name] = False
+            continue
+        if gate.gate_type == GateType.CONST1:
+            constant[name] = True
+            continue
+        if gate.gate_type.is_source:
+            continue
+        fanin_consts = [constant.get(f) for f in gate.fanins]
+        new_type, new_fanins, const_value = _fold_gate(gate, fanin_consts)
+        if const_value is not None:
+            constant[name] = const_value
+            replacement[name] = (
+                GateType.CONST1 if const_value else GateType.CONST0,
+                (),
+            )
+        elif (new_type, new_fanins) != (gate.gate_type, gate.fanins):
+            replacement[name] = (new_type, new_fanins)
+    return _rebuild(circuit, replacement)
+
+
+def _fold_gate(
+    gate: Gate, fanin_consts: List
+) -> Tuple[GateType, Tuple[str, ...], object]:
+    """Fold constant fanins of one gate.
+
+    Returns ``(type, fanins, constant)`` where ``constant`` is a bool when the
+    gate's value is fully determined and ``None`` otherwise.
+    """
+    gate_type = gate.gate_type
+    if gate_type == GateType.BUF:
+        value = fanin_consts[0]
+        return gate_type, gate.fanins, value
+    if gate_type == GateType.NOT:
+        value = fanin_consts[0]
+        return gate_type, gate.fanins, (None if value is None else not value)
+
+    variable_fanins = [f for f, c in zip(gate.fanins, fanin_consts) if c is None]
+    constants = [c for c in fanin_consts if c is not None]
+
+    if gate_type in (GateType.AND, GateType.NAND):
+        inverted = gate_type == GateType.NAND
+        if any(c is False for c in constants):
+            return gate_type, gate.fanins, (True if inverted else False)
+        if not variable_fanins:
+            return gate_type, gate.fanins, (not inverted if all(constants) else inverted)
+        if len(variable_fanins) == 1:
+            single_type = GateType.NOT if inverted else GateType.BUF
+            return single_type, (variable_fanins[0],), None
+        if len(variable_fanins) < len(gate.fanins):
+            return gate_type, tuple(variable_fanins), None
+        return gate_type, gate.fanins, None
+
+    if gate_type in (GateType.OR, GateType.NOR):
+        inverted = gate_type == GateType.NOR
+        if any(c is True for c in constants):
+            return gate_type, gate.fanins, (False if inverted else True)
+        if not variable_fanins:
+            value = any(constants)
+            return gate_type, gate.fanins, (value ^ inverted)
+        if len(variable_fanins) == 1:
+            single_type = GateType.NOT if inverted else GateType.BUF
+            return single_type, (variable_fanins[0],), None
+        if len(variable_fanins) < len(gate.fanins):
+            return gate_type, tuple(variable_fanins), None
+        return gate_type, gate.fanins, None
+
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        parity = sum(bool(c) for c in constants) % 2 == 1
+        inverted = (gate_type == GateType.XNOR) ^ parity
+        if not variable_fanins:
+            return gate_type, gate.fanins, inverted
+        if len(variable_fanins) == 1:
+            single_type = GateType.NOT if inverted else GateType.BUF
+            return single_type, (variable_fanins[0],), None
+        new_type = GateType.XNOR if inverted else GateType.XOR
+        if len(variable_fanins) < len(gate.fanins) or new_type != gate_type:
+            return new_type, tuple(variable_fanins), None
+        return gate_type, gate.fanins, None
+
+    return gate_type, gate.fanins, None
+
+
+def strash(circuit: Circuit) -> Circuit:
+    """Structural hashing: merge gates with identical (type, fanins) definitions."""
+    canonical: Dict[_StrashKey, str] = {}
+    replacement: Dict[str, Tuple[GateType, Tuple[str, ...]]] = {}
+
+    for name in circuit.topological_order():
+        gate = circuit.gate(name)
+        if gate.gate_type.is_source:
+            continue
+        fanins = gate.fanins
+        if gate.gate_type in _COMMUTATIVE:
+            fanins = tuple(sorted(fanins))
+        key: _StrashKey = (gate.gate_type.value, fanins)
+        existing = canonical.get(key)
+        if existing is None:
+            canonical[key] = name
+        else:
+            replacement[name] = (GateType.BUF, (existing,))
+    return _rebuild(circuit, replacement)
+
+
+def sweep_dangling(circuit: Circuit) -> Circuit:
+    """Remove gates that feed no primary output (keep all primary inputs)."""
+    keep = circuit.transitive_fanin(circuit.outputs)
+    swept = Circuit(circuit.name)
+    for name in circuit.topological_order():
+        gate = circuit.gate(name)
+        if gate.gate_type == GateType.INPUT:
+            swept.add_input(name)
+            continue
+        if name not in keep:
+            continue
+        if gate.gate_type.is_source:
+            swept.add_constant(name, gate.gate_type == GateType.CONST1)
+        else:
+            swept.add_gate(name, gate.gate_type, gate.fanins)
+    for output in circuit.outputs:
+        swept.set_output(output)
+    return swept
+
+
+def optimize_circuit(circuit: Circuit, max_rounds: int = 4) -> Circuit:
+    """Run constant propagation, structural hashing and sweeping to a fixed point."""
+    current = circuit
+    for _ in range(max_rounds):
+        before = (len(current), current.num_gates)
+        current = constant_propagate(current)
+        current = strash(current)
+        if current.outputs:
+            current = sweep_dangling(current)
+        if (len(current), current.num_gates) == before:
+            break
+    return current

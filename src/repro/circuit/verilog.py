@@ -1,0 +1,91 @@
+"""Structural Verilog export of recovered circuits.
+
+The related-work section of the paper contrasts this sampler with DEMOTIC,
+which operates on circuits "described in hardware description languages such
+as Verilog".  Exporting the recovered multi-level function to structural
+Verilog lets a downstream user feed it into a conventional EDA flow (or into
+DEMOTIC-style tools) and is handy for eyeballing the recovered structure.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+
+_OPERATOR: Dict[GateType, str] = {
+    GateType.AND: " & ",
+    GateType.OR: " | ",
+    GateType.XOR: " ^ ",
+    GateType.NAND: " & ",
+    GateType.NOR: " | ",
+    GateType.XNOR: " ^ ",
+}
+
+_INVERTED = {GateType.NAND, GateType.NOR, GateType.XNOR}
+
+
+def _sanitize(name: str) -> str:
+    """Make a net name a legal Verilog identifier."""
+    cleaned = re.sub(r"[^A-Za-z0-9_$]", "_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = f"n_{cleaned}"
+    return cleaned
+
+
+def to_verilog(circuit: Circuit, module_name: str = "") -> str:
+    """Serialise the circuit as a structural Verilog module using assign statements."""
+    module = _sanitize(module_name or circuit.name or "recovered")
+    names = {net: _sanitize(net) for net in circuit.net_names()}
+    # Resolve any collisions introduced by sanitisation.
+    used = set()
+    for net, sanitized in names.items():
+        candidate = sanitized
+        suffix = 0
+        while candidate in used:
+            suffix += 1
+            candidate = f"{sanitized}_{suffix}"
+        names[net] = candidate
+        used.add(candidate)
+
+    inputs = [names[n] for n in circuit.inputs]
+    outputs = [names[n] for n in circuit.outputs]
+    wires = [
+        names[gate.name]
+        for gate in circuit.gates
+        if gate.gate_type != GateType.INPUT and gate.name not in circuit.outputs
+    ]
+
+    lines: List[str] = []
+    ports = ", ".join(inputs + outputs)
+    lines.append(f"module {module}({ports});")
+    for name in inputs:
+        lines.append(f"  input {name};")
+    for name in outputs:
+        lines.append(f"  output {name};")
+    for name in wires:
+        lines.append(f"  wire {name};")
+    lines.append("")
+
+    for net in circuit.topological_order():
+        gate = circuit.gate(net)
+        if gate.gate_type == GateType.INPUT:
+            continue
+        target = names[net]
+        if gate.gate_type == GateType.CONST0:
+            expression = "1'b0"
+        elif gate.gate_type == GateType.CONST1:
+            expression = "1'b1"
+        elif gate.gate_type == GateType.BUF:
+            expression = names[gate.fanins[0]]
+        elif gate.gate_type == GateType.NOT:
+            expression = f"~{names[gate.fanins[0]]}"
+        else:
+            body = _OPERATOR[gate.gate_type].join(names[f] for f in gate.fanins)
+            expression = f"~({body})" if gate.gate_type in _INVERTED else f"({body})"
+        lines.append(f"  assign {target} = {expression};")
+
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,170 @@
+"""Command-line interface.
+
+Three subcommands cover the common workflows:
+
+``sample``
+    DIMACS CNF in, unique solutions out (with throughput statistics) —
+    the end-to-end pipeline of the paper.
+
+``transform``
+    Run Algorithm 1 only and report the recovered structure; optionally
+    export the recovered circuit as structural Verilog or ``.bench``.
+
+``instances``
+    List the built-in benchmark registry or write one of its instances to a
+    DIMACS file (useful for feeding external samplers).
+
+Entry point: ``python -m repro.cli <subcommand> ...`` or the ``repro-sat``
+console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.circuit.bench_format import write_bench
+from repro.circuit.verilog import to_verilog
+from repro.cnf.dimacs import write_dimacs_file
+from repro.core.config import SamplerConfig
+from repro.core.pipeline import load_formula, sample_cnf
+from repro.core.transform import transform_cnf
+from repro.eval.report import render_rows
+from repro.gpu.device import get_device
+from repro.instances.registry import REGISTRY, get_instance
+from repro.io.solutions_io import write_solutions_file
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sat",
+        description="High-throughput SAT sampling via CNF-to-circuit transformation and gradient descent",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sample = subparsers.add_parser("sample", help="sample solutions of a DIMACS CNF")
+    sample.add_argument("cnf", help="path to a DIMACS .cnf file")
+    sample.add_argument("-n", "--num-solutions", type=int, default=1000,
+                        help="unique-solution target (default 1000)")
+    sample.add_argument("-b", "--batch-size", type=int, default=2048,
+                        help="GD batch size (default 2048)")
+    sample.add_argument("--iterations", type=int, default=5, help="GD iterations (default 5)")
+    sample.add_argument("--learning-rate", type=float, default=10.0,
+                        help="GD learning rate (default 10, as in the paper)")
+    sample.add_argument("--seed", type=int, default=0, help="random seed")
+    sample.add_argument("--timeout", type=float, default=None, help="wall-clock budget in seconds")
+    sample.add_argument("--device", default="gpu-sim", choices=["gpu-sim", "cpu"],
+                        help="execution style (vectorised batch vs per-sample loop)")
+    sample.add_argument("-o", "--output", default=None,
+                        help="write solutions (signed-literal lines) to this file")
+
+    transform = subparsers.add_parser(
+        "transform", help="recover the multi-level function from a DIMACS CNF"
+    )
+    transform.add_argument("cnf", help="path to a DIMACS .cnf file")
+    transform.add_argument("--verilog", default=None, help="write the recovered circuit as Verilog")
+    transform.add_argument("--bench", default=None, help="write the recovered circuit as .bench")
+    transform.add_argument("--no-simplify", action="store_true",
+                           help="skip expression simplification before adoption")
+
+    instances = subparsers.add_parser("instances", help="inspect the built-in benchmark registry")
+    instances.add_argument("--family", default=None, help="filter by family (or/q/iscas/prod)")
+    instances.add_argument("--write", default=None, metavar="NAME",
+                           help="generate the named instance and write it as DIMACS")
+    instances.add_argument("--output-dir", default=".", help="directory for --write (default .)")
+    return parser
+
+
+def _command_sample(arguments: argparse.Namespace) -> int:
+    formula = load_formula(Path(arguments.cnf))
+    config = SamplerConfig(
+        batch_size=arguments.batch_size,
+        iterations=arguments.iterations,
+        learning_rate=arguments.learning_rate,
+        seed=arguments.seed,
+        timeout_seconds=arguments.timeout,
+        device=get_device(arguments.device),
+    )
+    result = sample_cnf(formula, num_solutions=arguments.num_solutions, config=config)
+    sample = result.sample
+    print(f"instance           : {formula.name or arguments.cnf}")
+    print(f"variables / clauses: {formula.num_variables} / {formula.num_clauses}")
+    print(f"ops reduction      : {result.transform.stats.operations_reduction:.2f}x")
+    print(f"transform time     : {result.transform_seconds:.3f} s")
+    print(f"unique solutions   : {sample.num_unique}")
+    print(f"validity rate      : {sample.validity_rate:.1%}")
+    print(f"sampling time      : {result.sample_seconds:.3f} s")
+    print(f"throughput         : {sample.throughput:,.1f} unique solutions / s")
+    if arguments.output:
+        path = write_solutions_file(sample.solutions, arguments.output)
+        print(f"solutions written  : {path}")
+    return 0 if sample.num_unique > 0 else 1
+
+
+def _command_transform(arguments: argparse.Namespace) -> int:
+    formula = load_formula(Path(arguments.cnf))
+    result = transform_cnf(formula, simplify_expressions=not arguments.no_simplify)
+    stats = result.stats
+    print(f"instance              : {formula.name or arguments.cnf}")
+    print(f"clauses               : {stats.num_clauses}")
+    print(f"primary inputs        : {len(result.primary_inputs)}")
+    print(f"intermediate variables: {len(result.intermediate_variables)}")
+    print(f"constant outputs      : {len(result.primary_outputs)}")
+    print(f"constraint outputs    : {len(result.constraints)}")
+    print(f"constrained inputs    : {len(result.constrained_inputs())}")
+    print(f"signature matches     : {stats.signature_matches}")
+    print(f"generic extractions   : {stats.generic_matches}")
+    print(f"fallback groups       : {stats.fallback_groups}")
+    print(f"CNF operations        : {stats.cnf_operations}")
+    print(f"circuit operations    : {stats.circuit_operations}")
+    print(f"ops reduction         : {stats.operations_reduction:.2f}x")
+    print(f"transform time        : {stats.seconds:.3f} s")
+    if arguments.verilog:
+        Path(arguments.verilog).write_text(to_verilog(result.circuit))
+        print(f"verilog written       : {arguments.verilog}")
+    if arguments.bench:
+        Path(arguments.bench).write_text(write_bench(result.circuit))
+        print(f".bench written        : {arguments.bench}")
+    return 0
+
+
+def _command_instances(arguments: argparse.Namespace) -> int:
+    if arguments.write:
+        entry = get_instance(arguments.write)
+        formula = entry.build_cnf()
+        path = Path(arguments.output_dir) / f"{entry.name}.cnf"
+        write_dimacs_file(formula, path)
+        print(f"wrote {path} ({formula.num_variables} variables, {formula.num_clauses} clauses)")
+        return 0
+    rows = []
+    for entry in REGISTRY:
+        if arguments.family and entry.family != arguments.family:
+            continue
+        rows.append(
+            {
+                "name": entry.name,
+                "family": entry.family,
+                "table2": "yes" if "table2" in entry.tags else "",
+                "description": entry.description,
+            }
+        )
+    print(render_rows(rows, title=f"{len(rows)} registered instances"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    arguments = _build_parser().parse_args(argv)
+    if arguments.command == "sample":
+        return _command_sample(arguments)
+    if arguments.command == "transform":
+        return _command_transform(arguments)
+    if arguments.command == "instances":
+        return _command_instances(arguments)
+    raise AssertionError(f"unhandled command {arguments.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

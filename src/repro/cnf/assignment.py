@@ -1,0 +1,107 @@
+"""Assignments of truth values to CNF variables."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+import numpy as np
+
+
+class Assignment:
+    """A (possibly partial) mapping from variable indices to boolean values."""
+
+    def __init__(self, values: Optional[Mapping[int, bool]] = None) -> None:
+        self._values: Dict[int, bool] = {}
+        if values:
+            for variable, value in values.items():
+                self.set(variable, value)
+
+    # -- construction ---------------------------------------------------------------
+    @classmethod
+    def from_vector(cls, vector: Iterable[bool], start_variable: int = 1) -> "Assignment":
+        """Build a complete assignment from a 0/1 vector (variable ``start_variable`` first)."""
+        assignment = cls()
+        for offset, value in enumerate(vector):
+            assignment.set(start_variable + offset, bool(value))
+        return assignment
+
+    @classmethod
+    def from_literals(cls, literals: Iterable[int]) -> "Assignment":
+        """Build an assignment from signed literals (``v`` -> True, ``-v`` -> False)."""
+        assignment = cls()
+        for literal in literals:
+            if literal == 0:
+                raise ValueError("0 is not a valid literal")
+            assignment.set(abs(literal), literal > 0)
+        return assignment
+
+    # -- mutation --------------------------------------------------------------------
+    def set(self, variable: int, value: bool) -> None:
+        """Assign ``value`` to ``variable`` (index must be positive)."""
+        if variable <= 0:
+            raise ValueError(f"variable index must be positive, got {variable}")
+        self._values[variable] = bool(value)
+
+    def unset(self, variable: int) -> None:
+        """Remove ``variable`` from the assignment if present."""
+        self._values.pop(variable, None)
+
+    # -- queries ------------------------------------------------------------------------
+    def get(self, variable: int, default: Optional[bool] = None) -> Optional[bool]:
+        """Return the value of ``variable`` or ``default`` when unassigned."""
+        return self._values.get(variable, default)
+
+    def __getitem__(self, variable: int) -> bool:
+        return self._values[variable]
+
+    def __contains__(self, variable: int) -> bool:
+        return variable in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._values)
+
+    def items(self) -> Iterable[Tuple[int, bool]]:
+        """Iterate over ``(variable, value)`` pairs."""
+        return self._values.items()
+
+    def satisfies_literal(self, literal: int) -> Optional[bool]:
+        """Whether the assignment satisfies ``literal`` (``None`` if unassigned)."""
+        value = self._values.get(abs(literal))
+        if value is None:
+            return None
+        return value == (literal > 0)
+
+    def is_complete(self, num_variables: int) -> bool:
+        """Whether every variable in ``1..num_variables`` is assigned."""
+        return all(v in self._values for v in range(1, num_variables + 1))
+
+    # -- conversion -------------------------------------------------------------------------
+    def to_dict(self) -> Dict[int, bool]:
+        """Return a plain ``{variable: bool}`` dictionary."""
+        return dict(self._values)
+
+    def to_vector(self, num_variables: int, default: bool = False) -> np.ndarray:
+        """Return a boolean vector of length ``num_variables`` (variable 1 first)."""
+        vector = np.full(num_variables, default, dtype=bool)
+        for variable, value in self._values.items():
+            if variable <= num_variables:
+                vector[variable - 1] = value
+        return vector
+
+    def to_literals(self) -> Tuple[int, ...]:
+        """Return the assignment as a tuple of signed literals, sorted by variable."""
+        return tuple(
+            variable if value else -variable
+            for variable, value in sorted(self._values.items())
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Assignment):
+            return NotImplemented
+        return self._values == other._values
+
+    def __repr__(self) -> str:
+        return f"Assignment({len(self._values)} vars)"

@@ -1,0 +1,141 @@
+"""Clauses and literal helpers.
+
+Literals follow the DIMACS convention: a positive integer ``v`` denotes the
+variable ``v`` and ``-v`` denotes its negation.  Variable indices start at 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Tuple
+
+
+def literal_variable(literal: int) -> int:
+    """Return the (positive) variable index of a literal."""
+    if literal == 0:
+        raise ValueError("0 is not a valid literal")
+    return abs(literal)
+
+
+def literal_is_positive(literal: int) -> bool:
+    """Whether the literal is the positive phase of its variable."""
+    if literal == 0:
+        raise ValueError("0 is not a valid literal")
+    return literal > 0
+
+
+def negate_literal(literal: int) -> int:
+    """Return the complementary literal."""
+    if literal == 0:
+        raise ValueError("0 is not a valid literal")
+    return -literal
+
+
+class Clause:
+    """An immutable disjunction of literals.
+
+    Duplicate literals are removed at construction; a clause containing both a
+    literal and its negation is tautological (see :attr:`is_tautology`) and
+    always satisfied.
+    """
+
+    __slots__ = ("_literals",)
+
+    def __init__(self, literals: Iterable[int]) -> None:
+        seen = []
+        seen_set = set()
+        for literal in literals:
+            literal = int(literal)
+            if literal == 0:
+                raise ValueError("0 is not a valid literal (it terminates DIMACS lines)")
+            if literal not in seen_set:
+                seen_set.add(literal)
+                seen.append(literal)
+        object.__setattr__(self, "_literals", tuple(seen))
+
+    def __setattr__(self, *args) -> None:
+        raise AttributeError("Clause is immutable")
+
+    @property
+    def literals(self) -> Tuple[int, ...]:
+        """The literals of the clause, in first-seen order."""
+        return self._literals
+
+    @property
+    def variables(self) -> Tuple[int, ...]:
+        """The distinct variable indices referenced by the clause."""
+        return tuple(sorted({abs(lit) for lit in self._literals}))
+
+    @property
+    def is_empty(self) -> bool:
+        """An empty clause is unsatisfiable."""
+        return not self._literals
+
+    @property
+    def is_unit(self) -> bool:
+        """Whether the clause contains exactly one literal."""
+        return len(self._literals) == 1
+
+    @property
+    def is_tautology(self) -> bool:
+        """Whether the clause contains a literal and its negation."""
+        literal_set = set(self._literals)
+        return any(-lit in literal_set for lit in literal_set)
+
+    def contains(self, literal: int) -> bool:
+        """Whether ``literal`` occurs in the clause."""
+        return literal in self._literals
+
+    def evaluate(self, assignment: Dict[int, bool]) -> bool:
+        """Evaluate under a complete assignment ``{variable: bool}``."""
+        for literal in self._literals:
+            value = assignment[abs(literal)]
+            if value == (literal > 0):
+                return True
+        return False
+
+    def evaluate_partial(self, assignment: Dict[int, bool]) -> str:
+        """Evaluate under a partial assignment.
+
+        Returns ``"sat"`` if some literal is satisfied, ``"unsat"`` if every
+        literal is falsified, and ``"undetermined"`` otherwise.
+        """
+        undetermined = False
+        for literal in self._literals:
+            variable = abs(literal)
+            if variable not in assignment:
+                undetermined = True
+                continue
+            if assignment[variable] == (literal > 0):
+                return "sat"
+        return "undetermined" if undetermined else "unsat"
+
+    def without_literal(self, literal: int) -> "Clause":
+        """Return a copy with every occurrence of ``literal`` removed."""
+        return Clause(lit for lit in self._literals if lit != literal)
+
+    def remap(self, mapping: Dict[int, int]) -> "Clause":
+        """Rename variables according to ``mapping`` (old index -> new index)."""
+        remapped = []
+        for literal in self._literals:
+            variable = abs(literal)
+            new_variable = mapping.get(variable, variable)
+            remapped.append(new_variable if literal > 0 else -new_variable)
+        return Clause(remapped)
+
+    def __len__(self) -> int:
+        return len(self._literals)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._literals)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Clause):
+            return NotImplemented
+        return frozenset(self._literals) == frozenset(other._literals)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._literals))
+
+    def __repr__(self) -> str:
+        body = " ".join(str(lit) for lit in self._literals)
+        return f"Clause({body})"

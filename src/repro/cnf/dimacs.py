@@ -1,0 +1,106 @@
+"""DIMACS CNF reader and writer.
+
+The reader is tolerant of the common irregularities found in public benchmark
+suites: comment lines anywhere, clauses spanning multiple physical lines,
+missing or under-counted ``p cnf`` headers, and ``%`` / ``0`` trailer lines
+produced by some generators.  Comments are preserved because the paper's
+Fig. 1 example annotates each clause group with the gate it encodes.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import List, Union
+
+from repro.cnf.formula import CNF
+
+
+class DimacsError(ValueError):
+    """Raised when a DIMACS document is malformed beyond recovery."""
+
+
+def parse_dimacs(text: str, name: str = "") -> CNF:
+    """Parse DIMACS CNF text into a :class:`~repro.cnf.formula.CNF`.
+
+    Stray ``0`` tokens with no pending literals (trailer lines emitted by some
+    generators) are ignored rather than being interpreted as empty clauses.
+    """
+    declared_vars = 0
+    declared_clauses = -1
+    comments: List[str] = []
+    clauses: List[List[int]] = []
+    pending: List[int] = []
+
+    for line_number, raw_line in enumerate(io.StringIO(text), start=1):
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("c"):
+            comments.append(line[1:].strip())
+            continue
+        if line.startswith("%"):
+            break
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) < 4 or parts[1] != "cnf":
+                raise DimacsError(f"line {line_number}: malformed header {line!r}")
+            try:
+                declared_vars = int(parts[2])
+                declared_clauses = int(parts[3])
+            except ValueError as exc:
+                raise DimacsError(f"line {line_number}: non-integer header fields") from exc
+            continue
+        for token in line.split():
+            try:
+                literal = int(token)
+            except ValueError as exc:
+                raise DimacsError(
+                    f"line {line_number}: expected integer literal, got {token!r}"
+                ) from exc
+            if literal == 0:
+                if pending:
+                    clauses.append(pending)
+                    pending = []
+            else:
+                pending.append(literal)
+    if pending:
+        clauses.append(pending)
+
+    formula = CNF(num_variables=declared_vars, comments=comments, name=name)
+    for clause in clauses:
+        formula.add_clause(clause)
+    if declared_clauses >= 0 and formula.num_clauses != declared_clauses:
+        # Header mismatches are common in the wild; record rather than fail.
+        formula.comments.append(
+            f"header declared {declared_clauses} clauses but {formula.num_clauses} were read"
+        )
+    return formula
+
+
+def parse_dimacs_file(path: Union[str, Path]) -> CNF:
+    """Parse a DIMACS CNF file."""
+    path = Path(path)
+    return parse_dimacs(path.read_text(), name=path.stem)
+
+
+def write_dimacs(formula: CNF, include_comments: bool = True) -> str:
+    """Serialise a formula to DIMACS CNF text."""
+    lines: List[str] = []
+    if include_comments:
+        for comment in formula.comments:
+            lines.append(f"c {comment}")
+    lines.append(f"p cnf {formula.num_variables} {formula.num_clauses}")
+    for clause in formula.clauses:
+        body = " ".join(str(literal) for literal in clause)
+        lines.append(f"{body} 0".strip())
+    return "\n".join(lines) + "\n"
+
+
+def write_dimacs_file(
+    formula: CNF, path: Union[str, Path], include_comments: bool = True
+) -> Path:
+    """Write a formula to a DIMACS CNF file and return the path."""
+    path = Path(path)
+    path.write_text(write_dimacs(formula, include_comments=include_comments))
+    return path

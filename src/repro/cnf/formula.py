@@ -1,0 +1,167 @@
+"""The CNF formula container used throughout the library."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cnf.clause import Clause
+
+
+class CNF:
+    """A conjunction of clauses over variables ``1..num_variables``.
+
+    The container is mutable only through :meth:`add_clause`; everything else
+    returns new objects.  ``num_variables`` may exceed the largest referenced
+    variable (DIMACS headers frequently over-declare), but never undercounts.
+    """
+
+    def __init__(
+        self,
+        clauses: Optional[Iterable[Sequence[int]]] = None,
+        num_variables: int = 0,
+        comments: Optional[List[str]] = None,
+        name: str = "",
+    ) -> None:
+        self._clauses: List[Clause] = []
+        self._num_variables = int(num_variables)
+        self.comments: List[str] = list(comments or [])
+        self.name = name
+        for clause in clauses or []:
+            self.add_clause(clause)
+
+    # -- construction --------------------------------------------------------------
+    def add_clause(self, clause: Sequence[int]) -> Clause:
+        """Append a clause (sequence of literals or :class:`Clause`) and return it."""
+        if not isinstance(clause, Clause):
+            clause = Clause(clause)
+        self._clauses.append(clause)
+        for literal in clause:
+            self._num_variables = max(self._num_variables, abs(literal))
+        return clause
+
+    def add_clauses(self, clauses: Iterable[Sequence[int]]) -> None:
+        """Append several clauses."""
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def copy(self) -> "CNF":
+        """Return a deep copy."""
+        duplicate = CNF(num_variables=self._num_variables, comments=list(self.comments), name=self.name)
+        duplicate._clauses = list(self._clauses)
+        return duplicate
+
+    # -- basic accessors -------------------------------------------------------------
+    @property
+    def clauses(self) -> Tuple[Clause, ...]:
+        """The clauses, in insertion order."""
+        return tuple(self._clauses)
+
+    @property
+    def num_variables(self) -> int:
+        """Number of declared variables (at least the largest referenced index)."""
+        return self._num_variables
+
+    @num_variables.setter
+    def num_variables(self, value: int) -> None:
+        largest = max((max(abs(l) for l in c) for c in self._clauses if len(c)), default=0)
+        if value < largest:
+            raise ValueError(
+                f"num_variables={value} is smaller than the largest referenced variable {largest}"
+            )
+        self._num_variables = int(value)
+
+    @property
+    def num_clauses(self) -> int:
+        """Number of clauses."""
+        return len(self._clauses)
+
+    def variables(self) -> List[int]:
+        """Sorted list of variables actually referenced by some clause."""
+        seen = set()
+        for clause in self._clauses:
+            seen.update(abs(lit) for lit in clause)
+        return sorted(seen)
+
+    def literal_count(self) -> int:
+        """Total number of literal occurrences (the CNF 'size')."""
+        return sum(len(clause) for clause in self._clauses)
+
+    def two_input_operation_count(self) -> int:
+        """Number of 2-input gate equivalents to evaluate the CNF directly.
+
+        Each clause of width ``w`` needs ``w - 1`` two-input ORs plus the
+        inverters for negated literals; the conjunction of ``m`` clauses needs
+        ``m - 1`` two-input ANDs.  This is the "operations in the CNF" numerator
+        of the Fig. 4 (middle) ops-reduction metric.
+        """
+        total = 0
+        for clause in self._clauses:
+            width = len(clause)
+            total += max(width - 1, 0)
+            total += sum(1 for literal in clause if literal < 0)
+        total += max(self.num_clauses - 1, 0)
+        return total
+
+    # -- evaluation --------------------------------------------------------------------
+    def evaluate(self, assignment: Dict[int, bool]) -> bool:
+        """Evaluate the formula under a complete assignment ``{variable: bool}``."""
+        return all(clause.evaluate(assignment) for clause in self._clauses)
+
+    def evaluate_batch(self, assignments: np.ndarray) -> np.ndarray:
+        """Vectorised evaluation of a ``(batch, num_variables)`` boolean matrix.
+
+        Column ``j`` of ``assignments`` holds the value of variable ``j + 1``.
+        Returns a boolean vector of length ``batch`` that is ``True`` where all
+        clauses are satisfied.
+        """
+        assignments = np.asarray(assignments, dtype=bool)
+        if assignments.ndim != 2:
+            raise ValueError(f"expected a 2-D matrix, got shape {assignments.shape}")
+        if assignments.shape[1] < self._num_variables:
+            raise ValueError(
+                f"assignment matrix has {assignments.shape[1]} columns, "
+                f"but the formula has {self._num_variables} variables"
+            )
+        satisfied = np.ones(assignments.shape[0], dtype=bool)
+        for clause in self._clauses:
+            clause_value = np.zeros(assignments.shape[0], dtype=bool)
+            for literal in clause:
+                column = assignments[:, abs(literal) - 1]
+                clause_value |= column if literal > 0 else ~column
+            satisfied &= clause_value
+            if not satisfied.any():
+                break
+        return satisfied
+
+    def unsatisfied_clause_counts(self, assignments: np.ndarray) -> np.ndarray:
+        """Per-row count of clauses falsified by each assignment in a batch."""
+        assignments = np.asarray(assignments, dtype=bool)
+        counts = np.zeros(assignments.shape[0], dtype=np.int64)
+        for clause in self._clauses:
+            clause_value = np.zeros(assignments.shape[0], dtype=bool)
+            for literal in clause:
+                column = assignments[:, abs(literal) - 1]
+                clause_value |= column if literal > 0 else ~column
+            counts += ~clause_value
+        return counts
+
+    # -- protocol -----------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self._clauses)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CNF):
+            return NotImplemented
+        return (
+            self._num_variables == other._num_variables
+            and list(self._clauses) == list(other._clauses)
+        )
+
+    def __repr__(self) -> str:
+        label = f" name={self.name!r}" if self.name else ""
+        return f"CNF(vars={self._num_variables}, clauses={self.num_clauses}{label})"

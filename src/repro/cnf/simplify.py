@@ -1,0 +1,169 @@
+"""CNF preprocessing: unit propagation and pure-literal elimination.
+
+These are the standard presolving steps every CNF-level sampler/solver in
+:mod:`repro.baselines` applies before search; they are also useful as a
+sanity pass before the transformation algorithm, since unit clauses directly
+pin primary-output values (the ``x10 = 1`` constraint of Fig. 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cnf.clause import Clause
+from repro.cnf.formula import CNF
+
+
+@dataclass
+class SimplifyResult:
+    """Outcome of a presolve pass.
+
+    ``formula`` is the residual formula over the original variable numbering,
+    ``forced`` records the variables fixed by the pass, and ``conflict`` is
+    true when the pass proved the formula unsatisfiable.
+    """
+
+    formula: CNF
+    forced: Dict[int, bool] = field(default_factory=dict)
+    conflict: bool = False
+
+
+def unit_propagate(formula: CNF) -> SimplifyResult:
+    """Exhaustively propagate unit clauses.
+
+    Returns the residual formula with satisfied clauses removed and falsified
+    literals deleted from the remaining clauses.
+    """
+    forced: Dict[int, bool] = {}
+    clauses: List[Tuple[int, ...]] = [clause.literals for clause in formula.clauses]
+
+    changed = True
+    while changed:
+        changed = False
+        units: List[int] = []
+        for literals in clauses:
+            if len(literals) == 1:
+                units.append(literals[0])
+        for unit in units:
+            variable, value = abs(unit), unit > 0
+            if variable in forced and forced[variable] != value:
+                return SimplifyResult(CNF(num_variables=formula.num_variables), forced, True)
+            if variable not in forced:
+                forced[variable] = value
+                changed = True
+        if not changed:
+            break
+        reduced: List[Tuple[int, ...]] = []
+        for literals in clauses:
+            satisfied = False
+            remaining: List[int] = []
+            for literal in literals:
+                variable = abs(literal)
+                if variable in forced:
+                    if forced[variable] == (literal > 0):
+                        satisfied = True
+                        break
+                else:
+                    remaining.append(literal)
+            if satisfied:
+                continue
+            if not remaining:
+                return SimplifyResult(CNF(num_variables=formula.num_variables), forced, True)
+            reduced.append(tuple(remaining))
+        clauses = reduced
+
+    residual = CNF(num_variables=formula.num_variables, name=formula.name)
+    for literals in clauses:
+        residual.add_clause(literals)
+    return SimplifyResult(residual, forced, False)
+
+
+def pure_literal_eliminate(formula: CNF) -> SimplifyResult:
+    """Fix every variable that appears in only one phase to that phase."""
+    positive = set()
+    negative = set()
+    for clause in formula.clauses:
+        for literal in clause:
+            (positive if literal > 0 else negative).add(abs(literal))
+    pure: Dict[int, bool] = {}
+    for variable in positive - negative:
+        pure[variable] = True
+    for variable in negative - positive:
+        pure[variable] = False
+
+    residual = CNF(num_variables=formula.num_variables, name=formula.name)
+    for clause in formula.clauses:
+        if any(
+            abs(literal) in pure and pure[abs(literal)] == (literal > 0)
+            for literal in clause
+        ):
+            continue
+        residual.add_clause(clause)
+    return SimplifyResult(residual, pure, False)
+
+
+def simplify_formula(formula: CNF, max_rounds: int = 10) -> SimplifyResult:
+    """Alternate unit propagation and pure-literal elimination to a fixed point."""
+    forced: Dict[int, bool] = {}
+    current = formula
+    for _ in range(max_rounds):
+        before = current.num_clauses
+        up = unit_propagate(current)
+        forced.update(up.forced)
+        if up.conflict:
+            return SimplifyResult(up.formula, forced, True)
+        ple = pure_literal_eliminate(up.formula)
+        forced.update(ple.forced)
+        current = ple.formula
+        if current.num_clauses == before and not up.forced and not ple.forced:
+            break
+    return SimplifyResult(current, forced, False)
+
+
+def remove_tautologies(formula: CNF) -> CNF:
+    """Return a copy of ``formula`` with tautological clauses dropped."""
+    cleaned = CNF(num_variables=formula.num_variables, name=formula.name, comments=list(formula.comments))
+    for clause in formula.clauses:
+        if not clause.is_tautology:
+            cleaned.add_clause(clause)
+    return cleaned
+
+
+def deduplicate_clauses(formula: CNF) -> CNF:
+    """Return a copy of ``formula`` with duplicate clauses removed (order kept)."""
+    seen = set()
+    cleaned = CNF(num_variables=formula.num_variables, name=formula.name, comments=list(formula.comments))
+    for clause in formula.clauses:
+        key = frozenset(clause.literals)
+        if key in seen:
+            continue
+        seen.add(key)
+        cleaned.add_clause(clause)
+    return cleaned
+
+
+def restrict(formula: CNF, partial: Dict[int, bool]) -> Optional[CNF]:
+    """Restrict the formula under a partial assignment.
+
+    Returns the residual formula, or ``None`` when the restriction falsifies a
+    clause outright.
+    """
+    residual = CNF(num_variables=formula.num_variables, name=formula.name)
+    for clause in formula.clauses:
+        remaining: List[int] = []
+        satisfied = False
+        for literal in clause:
+            variable = abs(literal)
+            if variable in partial:
+                if partial[variable] == (literal > 0):
+                    satisfied = True
+                    break
+            else:
+                remaining.append(literal)
+        if satisfied:
+            continue
+        if not remaining:
+            return None
+        residual.add_clause(remaining)
+    return residual

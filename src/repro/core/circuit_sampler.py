@@ -1,0 +1,212 @@
+"""Direct circuit sampling (no CNF round-trip).
+
+Section IV-C of the paper suggests that "SAT applications in high-level
+logical formats could be directly transformed into a multi-level,
+multi-output Boolean function" — i.e. when the constraints are already a
+circuit (Verilog, ``.bench``, a :class:`~repro.circuit.netlist.Circuit` built
+with the builder API), the CNF encode/recover round-trip can be skipped
+entirely.  :class:`CircuitSampler` does exactly that: it applies the same
+probabilistic relaxation and batched gradient-descent loop straight to the
+circuit, with per-output 0/1 targets (the constrained-random-verification
+use case of pinning response bits).
+
+Solutions are reported over the circuit's primary inputs and validated by
+bit-exact circuit simulation, so there is no CNF anywhere in the loop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.simulate import simulate
+from repro.core.config import SamplerConfig
+from repro.core.loss import regression_loss, target_matrix
+from repro.core.model import ProbabilisticCircuitModel
+from repro.core.solutions import SolutionSet
+from repro.tensor.optim import SGD, Adam
+from repro.tensor.tensor import Tensor
+from repro.tensor.functional import sigmoid
+from repro.utils.rng import new_rng
+
+
+@dataclass
+class CircuitSampleResult:
+    """Outcome of a direct circuit-sampling run (inputs-space solutions)."""
+
+    solutions: SolutionSet
+    input_order: List[str]
+    num_generated: int
+    num_valid: int
+    elapsed_seconds: float
+    rounds: int
+    loss_history: List[float] = field(default_factory=list)
+
+    @property
+    def num_unique(self) -> int:
+        """Number of unique valid input vectors found."""
+        return len(self.solutions)
+
+    @property
+    def throughput(self) -> float:
+        """Unique valid input vectors per second."""
+        if self.elapsed_seconds <= 0.0:
+            return float("inf") if self.num_unique else 0.0
+        return self.num_unique / self.elapsed_seconds
+
+    @property
+    def validity_rate(self) -> float:
+        """Fraction of generated candidates that met every output target."""
+        if self.num_generated == 0:
+            return 0.0
+        return self.num_valid / self.num_generated
+
+    def input_matrix(self, limit: Optional[int] = None) -> np.ndarray:
+        """Unique input vectors as a boolean matrix ordered like ``input_order``."""
+        return self.solutions.to_matrix(limit)
+
+    def as_assignments(self, limit: Optional[int] = None) -> List[Dict[str, bool]]:
+        """Unique input vectors as ``{input name: value}`` dictionaries."""
+        matrix = self.input_matrix(limit)
+        return [dict(zip(self.input_order, row.tolist())) for row in matrix]
+
+
+class CircuitSampler:
+    """Gradient-descent sampling of input vectors satisfying circuit output targets."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        output_targets: Optional[Dict[str, bool]] = None,
+        config: Optional[SamplerConfig] = None,
+    ) -> None:
+        if not circuit.outputs and not output_targets:
+            raise ValueError("the circuit has no outputs and no output_targets were given")
+        self.circuit = circuit
+        self.config = config or SamplerConfig()
+        if output_targets is None:
+            output_targets = {name: True for name in circuit.outputs}
+        for net in output_targets:
+            if not circuit.has_net(net):
+                raise ValueError(f"output target references unknown net {net!r}")
+        self.output_targets: Dict[str, bool] = dict(output_targets)
+        self._rng = new_rng(self.config.seed)
+
+        self.model = ProbabilisticCircuitModel(
+            circuit, output_nets=list(self.output_targets)
+        )
+        self._constrained_inputs = list(self.model.input_order)
+        constrained = set(self._constrained_inputs)
+        self._unconstrained_inputs = [
+            name for name in circuit.inputs if name not in constrained
+        ]
+        self.input_order: List[str] = list(circuit.inputs)
+
+    # -- public API ------------------------------------------------------------------
+    def sample(self, num_solutions: int = 1000) -> CircuitSampleResult:
+        """Generate at least ``num_solutions`` unique valid input vectors (best effort)."""
+        if num_solutions <= 0:
+            raise ValueError(f"num_solutions must be positive, got {num_solutions}")
+        start = time.perf_counter()
+        solutions = SolutionSet(len(self.input_order))
+        loss_history: List[float] = []
+        num_generated = 0
+        num_valid = 0
+        rounds = 0
+        stalled = 0
+
+        while rounds < self.config.max_rounds and len(solutions) < num_solutions:
+            if (
+                self.config.timeout_seconds is not None
+                and time.perf_counter() - start >= self.config.timeout_seconds
+            ):
+                break
+            if (
+                self.config.stall_rounds is not None
+                and stalled >= self.config.stall_rounds
+            ):
+                break
+            rounds += 1
+            inputs, losses = self._one_round(self.config.batch_size)
+            loss_history.extend(losses)
+            valid = self._validate(inputs)
+            num_generated += inputs.shape[0]
+            num_valid += int(valid.sum())
+            added = solutions.add_batch(inputs, valid)
+            stalled = stalled + 1 if added == 0 else 0
+
+        return CircuitSampleResult(
+            solutions=solutions,
+            input_order=self.input_order,
+            num_generated=num_generated,
+            num_valid=num_valid,
+            elapsed_seconds=time.perf_counter() - start,
+            rounds=rounds,
+            loss_history=loss_history,
+        )
+
+    # -- internals --------------------------------------------------------------------
+    def _one_round(self, batch_size: int) -> Tuple[np.ndarray, List[float]]:
+        """Learn one batch of constrained inputs and assemble full input vectors."""
+        losses: List[float] = []
+        constrained_bits = np.zeros(
+            (batch_size, len(self._constrained_inputs)), dtype=bool
+        )
+        targets = target_matrix(batch_size, self.model.output_nets, self.output_targets)
+        for start, stop in self.config.device.chunks(batch_size):
+            chunk = stop - start
+            soft = Tensor(
+                self._rng.normal(0.0, self.config.init_scale, size=(chunk, self.model.num_inputs)),
+                requires_grad=True,
+            )
+            if self.config.optimizer == "adam":
+                optimizer = Adam([soft], lr=self.config.learning_rate)
+            else:
+                optimizer = SGD([soft], lr=self.config.learning_rate)
+            for _ in range(self.config.iterations):
+                optimizer.zero_grad()
+                outputs = self.model.forward(sigmoid(soft))
+                loss = regression_loss(outputs, targets[start:stop])
+                loss.backward()
+                optimizer.step()
+                if start == 0:
+                    losses.append(loss.item())
+            constrained_bits[start:stop] = soft.data > 0.0
+
+        inputs = np.zeros((batch_size, len(self.input_order)), dtype=bool)
+        column_of = {name: i for i, name in enumerate(self.input_order)}
+        for source, name in enumerate(self._constrained_inputs):
+            inputs[:, column_of[name]] = constrained_bits[:, source]
+        if self._unconstrained_inputs:
+            random_bits = self._rng.random(
+                (batch_size, len(self._unconstrained_inputs))
+            ) < 0.5
+            for source, name in enumerate(self._unconstrained_inputs):
+                inputs[:, column_of[name]] = random_bits[:, source]
+        return inputs, losses
+
+    def _validate(self, inputs: np.ndarray) -> np.ndarray:
+        """Check each input vector against every output target by simulation."""
+        values = simulate(
+            self.circuit, inputs, input_order=self.input_order,
+            nets=list(self.output_targets),
+        )
+        valid = np.ones(inputs.shape[0], dtype=bool)
+        for net, target in self.output_targets.items():
+            valid &= values[net] == target
+        return valid
+
+
+def sample_circuit(
+    circuit: Circuit,
+    output_targets: Optional[Dict[str, bool]] = None,
+    num_solutions: int = 1000,
+    config: Optional[SamplerConfig] = None,
+) -> CircuitSampleResult:
+    """One-call direct circuit sampling (see :class:`CircuitSampler`)."""
+    sampler = CircuitSampler(circuit, output_targets=output_targets, config=config)
+    return sampler.sample(num_solutions=num_solutions)

@@ -1,0 +1,69 @@
+"""Configuration of the gradient-descent sampler.
+
+Defaults follow Section IV of the paper: plain gradient descent with learning
+rate 10, 5 iterations, and a batch size chosen per instance (the paper sweeps
+100 to 1,000,000; the default here is sized for CPU-hosted NumPy execution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.gpu.device import Device, DeviceKind
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class SamplerConfig:
+    """Hyper-parameters of :class:`repro.core.sampler.GradientSATSampler`."""
+
+    #: Number of candidate solutions learned in parallel per round (paper: 100..1e6).
+    batch_size: int = 2048
+    #: Gradient-descent iterations per round (paper: 5).
+    iterations: int = 5
+    #: Learning rate of Eq. 10 (paper: 10).
+    learning_rate: float = 10.0
+    #: Optimizer: "sgd" (the paper's choice) or "adam" (ablation only).
+    optimizer: str = "sgd"
+    #: Standard deviation of the Gaussian initialisation of the soft inputs V.
+    init_scale: float = 1.0
+    #: Random seed for initialisation and unconstrained-input sampling.
+    seed: Optional[int] = 0
+    #: Execution device (vectorised "gpu-sim" or per-sample "cpu" loop).
+    device: Device = field(default_factory=lambda: Device(DeviceKind.GPU_SIM))
+    #: Maximum number of sampling rounds when a target solution count is requested.
+    max_rounds: int = 64
+    #: Stop early after this many consecutive rounds that add no new unique solution
+    #: (the solution space is likely exhausted).  None disables the check.
+    stall_rounds: Optional[int] = 4
+    #: Wall-clock budget in seconds (None = unlimited); checked between rounds.
+    timeout_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        check_positive("batch_size", self.batch_size)
+        check_positive("iterations", self.iterations)
+        check_positive("learning_rate", self.learning_rate)
+        check_positive("max_rounds", self.max_rounds)
+        check_positive("init_scale", self.init_scale)
+        if self.optimizer not in ("sgd", "adam"):
+            raise ValueError(f"optimizer must be 'sgd' or 'adam', got {self.optimizer!r}")
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValueError("timeout_seconds must be positive or None")
+        if self.stall_rounds is not None and self.stall_rounds <= 0:
+            raise ValueError("stall_rounds must be positive or None")
+
+    def with_(self, **overrides) -> "SamplerConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+    @classmethod
+    def paper_defaults(cls, batch_size: int = 2048, **overrides) -> "SamplerConfig":
+        """The hyper-parameters reported in the paper (lr=10, 5 iterations, SGD)."""
+        return cls(
+            batch_size=batch_size,
+            iterations=5,
+            learning_rate=10.0,
+            optimizer="sgd",
+            **overrides,
+        )

@@ -1,0 +1,130 @@
+"""Boolean-expression extraction from clause groups.
+
+This implements the ``FindBooleanExpression`` routine of Algorithm 1.  Given a
+candidate output variable ``v`` and the group of clauses read so far, the
+expression that must hold when ``v = 1`` is obtained from the clauses that
+contain ``v`` in *negated* form: setting ``v = 1`` falsifies the ``~v``
+literal, so the remainder of each such clause must be satisfied, and the
+clauses that contain ``v`` positively are already satisfied and contribute
+nothing (Section III-A of the paper walks through the ``x5`` example from the
+``75-10-1-q`` instance).  Dually, the expression for ``~v`` comes from the
+clauses containing ``v`` positively.
+
+If the two extracted expressions are complements of each other, the group is
+exactly equivalent to the definition ``v <-> f`` and the transformation can
+adopt it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.boolalg.expr import And, Expr, FALSE, Not, Or, TRUE, Var
+from repro.boolalg.truth_table import is_complement
+from repro.cnf.clause import Clause
+
+#: Default variable-name prefix used when mapping DIMACS indices to expression names.
+VAR_PREFIX = "x"
+
+
+def variable_name(index: int, prefix: str = VAR_PREFIX) -> str:
+    """Name of DIMACS variable ``index`` in the expression domain (``x<k>``)."""
+    if index <= 0:
+        raise ValueError(f"variable index must be positive, got {index}")
+    return f"{prefix}{index}"
+
+
+def literal_to_expr(literal: int, prefix: str = VAR_PREFIX) -> Expr:
+    """Convert a signed DIMACS literal into a variable or negated variable."""
+    variable = Var(variable_name(abs(literal), prefix))
+    return variable if literal > 0 else Not(variable)
+
+
+def clause_to_expr(clause: Clause, prefix: str = VAR_PREFIX) -> Expr:
+    """Convert a clause into the disjunction of its literals (an empty clause is FALSE)."""
+    if clause.is_empty:
+        return FALSE
+    return Or(*(literal_to_expr(literal, prefix) for literal in clause))
+
+
+def expression_for_literal(
+    literal: int, clauses: Sequence[Clause], prefix: str = VAR_PREFIX
+) -> Expr:
+    """Expression that must hold when ``literal`` is true, from ``clauses``.
+
+    Only the clauses containing the *complement* of ``literal`` contribute:
+    in those clauses the complemented literal is falsified, so the disjunction
+    of the remaining literals must hold.  Clauses that do not mention the
+    variable at all are ignored (the caller is responsible for ensuring the
+    group only contains clauses over the candidate variable).
+    """
+    complement = -literal
+    conjuncts = []
+    for clause in clauses:
+        if clause.contains(complement):
+            remaining = [lit for lit in clause if lit != complement]
+            if not remaining:
+                conjuncts.append(FALSE)
+            else:
+                conjuncts.append(Or(*(literal_to_expr(lit, prefix) for lit in remaining)))
+    if not conjuncts:
+        return TRUE
+    return And(*conjuncts)
+
+
+def find_boolean_expression(
+    variable: int,
+    clauses: Sequence[Clause],
+    prefix: str = VAR_PREFIX,
+    max_vars: int = 16,
+) -> Optional[Expr]:
+    """Attempt to extract the defining expression of ``variable`` from a clause group.
+
+    Returns the (unsimplified) expression ``f`` with ``variable <-> f`` exactly
+    equivalent to the conjunction of ``clauses`` when the extraction succeeds,
+    and ``None`` when:
+
+    * some clause in the group does not mention ``variable`` (the definition
+      would silently drop that constraint),
+    * the combined support is wider than ``max_vars`` (complement checking is
+      refused for cost reasons; the caller falls back to other candidates or
+      to the under-specified path), or
+    * the expressions extracted for ``variable`` and its negation are not
+      complements (the group does not define ``variable``).
+    """
+    if not clauses:
+        return None
+    for clause in clauses:
+        if not clause.contains(variable) and not clause.contains(-variable):
+            return None
+    positive_expr = expression_for_literal(variable, clauses, prefix)
+    negative_expr = expression_for_literal(-variable, clauses, prefix)
+    support = positive_expr.support() | negative_expr.support()
+    if len(support) > max_vars:
+        return None
+    if not is_complement(positive_expr, negative_expr):
+        return None
+    return positive_expr
+
+
+def group_to_constraint_expr(
+    clauses: Iterable[Clause], prefix: str = VAR_PREFIX
+) -> Expr:
+    """Conjunction of a clause group, used by the under-specified fallback path.
+
+    The resulting expression is attached to an auxiliary output constrained to
+    1, preserving the group's constraints verbatim.
+    """
+    return And(*(clause_to_expr(clause, prefix) for clause in clauses))
+
+
+def index_of_variable(name: str, prefix: str = VAR_PREFIX) -> int:
+    """Inverse of :func:`variable_name` (``"x42"`` -> 42)."""
+    if not name.startswith(prefix):
+        raise ValueError(f"variable name {name!r} does not start with prefix {prefix!r}")
+    return int(name[len(prefix):])
+
+
+def support_indices(expr: Expr, prefix: str = VAR_PREFIX) -> Dict[str, int]:
+    """Map each support variable name of ``expr`` to its DIMACS index."""
+    return {name: index_of_variable(name, prefix) for name in expr.support()}

@@ -1,0 +1,295 @@
+"""The gradient-descent SAT sampler (Section III of the paper).
+
+The sampler learns a batch of candidate solutions in parallel:
+
+1. the trainable matrix ``V`` in ``R^{b x n}`` holds one soft assignment per
+   batch element over the constrained primary inputs;
+2. the sigmoid embedding ``P = sigma(V)`` (Eq. 6) maps it to probabilities;
+3. the probabilistic circuit model computes output probabilities
+   ``Y = F(P)`` (Eq. 7);
+4. the L2 loss against the all-ones target (Eq. 8) is minimised by plain
+   gradient descent (Eq. 10) for a handful of iterations;
+5. the learned soft inputs are thresholded to hard bits, the unconstrained
+   primary inputs and free variables are drawn uniformly at random, the
+   intermediate variables are computed by simulating the recovered circuit,
+   and the resulting full assignments are validated against the *original*
+   CNF; unique valid assignments are retained.
+
+Each batch element is learned independently, so the whole loop vectorises
+across the batch — the property the paper exploits for GPU acceleration and
+that the ``gpu-sim`` device reproduces with full-batch NumPy execution.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cnf.formula import CNF
+from repro.core.config import SamplerConfig
+from repro.core.loss import regression_loss, target_matrix
+from repro.core.model import ProbabilisticCircuitModel
+from repro.core.solutions import SolutionSet
+from repro.core.transform import TransformResult, transform_cnf
+from repro.tensor.optim import SGD, Adam
+from repro.tensor.tensor import Tensor
+from repro.tensor.functional import sigmoid
+from repro.utils.rng import new_rng
+
+
+@dataclass
+class RoundRecord:
+    """Statistics of one sampling round (one batch of candidates)."""
+
+    round_index: int
+    num_candidates: int
+    num_valid: int
+    num_new_unique: int
+    loss_history: List[float] = field(default_factory=list)
+    seconds: float = 0.0
+
+
+@dataclass
+class SampleResult:
+    """Outcome of a sampling run."""
+
+    solutions: SolutionSet
+    num_requested: int
+    num_generated: int
+    num_valid: int
+    rounds: List[RoundRecord]
+    elapsed_seconds: float
+    timed_out: bool = False
+
+    @property
+    def num_unique(self) -> int:
+        """Number of unique valid solutions found."""
+        return len(self.solutions)
+
+    @property
+    def throughput(self) -> float:
+        """Unique valid solutions per second (the Table II metric)."""
+        if self.elapsed_seconds <= 0.0:
+            return float("inf") if self.num_unique else 0.0
+        return self.num_unique / self.elapsed_seconds
+
+    @property
+    def validity_rate(self) -> float:
+        """Fraction of generated candidates that satisfied the original CNF."""
+        if self.num_generated == 0:
+            return 0.0
+        return self.num_valid / self.num_generated
+
+    def solution_matrix(self, limit: Optional[int] = None) -> np.ndarray:
+        """Unique solutions as a boolean matrix over the original variables."""
+        return self.solutions.to_matrix(limit)
+
+    def summary(self) -> Dict[str, object]:
+        """Compact dictionary used by the evaluation reports."""
+        return {
+            "unique_solutions": self.num_unique,
+            "generated": self.num_generated,
+            "valid": self.num_valid,
+            "validity_rate": self.validity_rate,
+            "seconds": self.elapsed_seconds,
+            "throughput": self.throughput,
+            "rounds": len(self.rounds),
+            "timed_out": self.timed_out,
+        }
+
+
+class GradientSATSampler:
+    """Batched gradient-descent sampler over a transformed CNF instance."""
+
+    def __init__(
+        self,
+        formula: CNF,
+        transform: Optional[TransformResult] = None,
+        config: Optional[SamplerConfig] = None,
+    ) -> None:
+        self.formula = formula
+        self.config = config or SamplerConfig()
+        self.transform = transform if transform is not None else transform_cnf(formula)
+        self._rng = new_rng(self.config.seed)
+        self._constrained_inputs = self.transform.constrained_inputs()
+        self._unconstrained_inputs = self.transform.unconstrained_inputs()
+        if self.transform.constraints:
+            self.model: Optional[ProbabilisticCircuitModel] = (
+                ProbabilisticCircuitModel.from_transform(self.transform)
+            )
+        else:
+            self.model = None
+
+    # -- public API ---------------------------------------------------------------------
+    def sample(self, num_solutions: int = 1000) -> SampleResult:
+        """Generate at least ``num_solutions`` unique valid solutions (best effort).
+
+        Sampling stops when the target count is reached, the configured round
+        limit is exhausted, or the wall-clock timeout expires.
+        """
+        if num_solutions <= 0:
+            raise ValueError(f"num_solutions must be positive, got {num_solutions}")
+        start = time.perf_counter()
+        solutions = SolutionSet(self.formula.num_variables)
+        rounds: List[RoundRecord] = []
+        num_generated = 0
+        num_valid = 0
+        timed_out = False
+        stalled_rounds = 0
+
+        for round_index in range(self.config.max_rounds):
+            if len(solutions) >= num_solutions:
+                break
+            if self._timeout_expired(start):
+                timed_out = True
+                break
+            if (
+                self.config.stall_rounds is not None
+                and stalled_rounds >= self.config.stall_rounds
+            ):
+                # Several consecutive rounds added nothing: the reachable
+                # solution space is very likely exhausted for this batch size.
+                break
+            round_start = time.perf_counter()
+            assignments, valid_mask, loss_history = self._run_round(self.config.batch_size)
+            new_unique = solutions.add_batch(assignments, valid_mask)
+            num_generated += assignments.shape[0]
+            num_valid += int(valid_mask.sum())
+            stalled_rounds = stalled_rounds + 1 if new_unique == 0 else 0
+            rounds.append(
+                RoundRecord(
+                    round_index=round_index,
+                    num_candidates=assignments.shape[0],
+                    num_valid=int(valid_mask.sum()),
+                    num_new_unique=new_unique,
+                    loss_history=loss_history,
+                    seconds=time.perf_counter() - round_start,
+                )
+            )
+        elapsed = time.perf_counter() - start
+        return SampleResult(
+            solutions=solutions,
+            num_requested=num_solutions,
+            num_generated=num_generated,
+            num_valid=num_valid,
+            rounds=rounds,
+            elapsed_seconds=elapsed,
+            timed_out=timed_out,
+        )
+
+    def learning_curve(
+        self, max_iterations: int = 10, batch_size: Optional[int] = None
+    ) -> List[int]:
+        """Unique valid solutions after each GD iteration (Fig. 3, left).
+
+        Runs a single batch and revalidates the hard assignments after every
+        iteration, returning the cumulative unique-solution count per
+        iteration (index 0 is the random initialisation before any update).
+        """
+        batch = batch_size or self.config.batch_size
+        solutions = SolutionSet(self.formula.num_variables)
+        curve: List[int] = []
+
+        if self.model is None:
+            # No constrained paths: every iteration adds fresh random samples.
+            for _ in range(max_iterations + 1):
+                assignments, valid_mask, _ = self._random_round(batch)
+                solutions.add_batch(assignments, valid_mask)
+                curve.append(len(solutions))
+            return curve
+
+        soft_inputs, optimizer, targets = self._init_parameters(batch)
+        for iteration in range(max_iterations + 1):
+            if iteration > 0:
+                optimizer.zero_grad()
+                outputs = self.model.forward(sigmoid(soft_inputs))
+                loss = regression_loss(outputs, targets)
+                loss.backward()
+                optimizer.step()
+            hard_inputs = soft_inputs.data > 0.0
+            assignments, valid_mask = self._assemble(hard_inputs)
+            solutions.add_batch(assignments, valid_mask)
+            curve.append(len(solutions))
+        return curve
+
+    # -- internals ------------------------------------------------------------------------
+    def _timeout_expired(self, start: float) -> bool:
+        timeout = self.config.timeout_seconds
+        return timeout is not None and (time.perf_counter() - start) >= timeout
+
+    def _init_parameters(self, batch_size: int) -> Tuple[Tensor, object, np.ndarray]:
+        """Initialise the trainable soft inputs, the optimizer and the target matrix."""
+        assert self.model is not None
+        initial = self._rng.normal(
+            0.0, self.config.init_scale, size=(batch_size, self.model.num_inputs)
+        )
+        soft_inputs = Tensor(initial, requires_grad=True)
+        if self.config.optimizer == "adam":
+            optimizer = Adam([soft_inputs], lr=self.config.learning_rate)
+        else:
+            optimizer = SGD([soft_inputs], lr=self.config.learning_rate)
+        targets = target_matrix(batch_size, self.model.output_nets)
+        return soft_inputs, optimizer, targets
+
+    def _learn_chunk(self, chunk_size: int) -> Tuple[np.ndarray, List[float]]:
+        """Learn one chunk of constrained-input assignments; returns hard bits."""
+        assert self.model is not None
+        soft_inputs, optimizer, targets = self._init_parameters(chunk_size)
+        loss_history: List[float] = []
+        for _ in range(self.config.iterations):
+            optimizer.zero_grad()
+            outputs = self.model.forward(sigmoid(soft_inputs))
+            loss = regression_loss(outputs, targets)
+            loss.backward()
+            optimizer.step()
+            loss_history.append(loss.item())
+        return soft_inputs.data > 0.0, loss_history
+
+    def _learn_constrained_inputs(self, batch_size: int) -> Tuple[np.ndarray, List[float]]:
+        """Learn constrained inputs for a full batch, honouring the device's chunking."""
+        assert self.model is not None
+        hard = np.zeros((batch_size, self.model.num_inputs), dtype=bool)
+        loss_history: List[float] = []
+        for start, stop in self.config.device.chunks(batch_size):
+            chunk_hard, chunk_losses = self._learn_chunk(stop - start)
+            hard[start:stop] = chunk_hard
+            if not loss_history:
+                loss_history = chunk_losses
+        return hard, loss_history
+
+    def _assemble(self, constrained_bits: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Build full CNF assignments from constrained-input bits and validate them."""
+        batch_size = constrained_bits.shape[0]
+        input_matrix = np.zeros((batch_size, len(self.transform.primary_inputs)), dtype=bool)
+        column_of = {name: i for i, name in enumerate(self.transform.primary_inputs)}
+        for source_column, name in enumerate(self._constrained_inputs):
+            input_matrix[:, column_of[name]] = constrained_bits[:, source_column]
+        if self._unconstrained_inputs:
+            random_bits = self._rng.random((batch_size, len(self._unconstrained_inputs))) < 0.5
+            for source_column, name in enumerate(self._unconstrained_inputs):
+                input_matrix[:, column_of[name]] = random_bits[:, source_column]
+        free_values = None
+        if self.transform.free_variables:
+            free_values = self._rng.random(
+                (batch_size, len(self.transform.free_variables))
+            ) < 0.5
+        assignments = self.transform.complete_assignments(input_matrix, free_values)
+        valid_mask = self.formula.evaluate_batch(assignments)
+        return assignments, valid_mask
+
+    def _run_round(self, batch_size: int) -> Tuple[np.ndarray, np.ndarray, List[float]]:
+        """One sampling round: learn (if needed), assemble and validate a batch."""
+        if self.model is None:
+            return self._random_round(batch_size)
+        constrained_bits, loss_history = self._learn_constrained_inputs(batch_size)
+        assignments, valid_mask = self._assemble(constrained_bits)
+        return assignments, valid_mask, loss_history
+
+    def _random_round(self, batch_size: int) -> Tuple[np.ndarray, np.ndarray, List[float]]:
+        """Round for instances without constrained paths: pure random assignment."""
+        constrained_bits = np.zeros((batch_size, 0), dtype=bool)
+        assignments, valid_mask = self._assemble(constrained_bits)
+        return assignments, valid_mask, []

@@ -1,0 +1,160 @@
+"""CNF signatures of primary logic gates (Eqs. 1--4 of the paper).
+
+The Tseitin transformation encodes each gate of the original circuit as a
+fixed clause pattern — its *CNF signature*.  This module provides
+
+* :func:`gate_signature_clauses` — emit the signature for a gate (used by the
+  instance generators and tests), and
+* :func:`match_gate_signature` — the pattern-matching fast path of the
+  transformation: recognise a signature group and return the gate it encodes
+  without running the generic extraction + complement check.
+
+The paper stresses that pattern matching alone is insufficient ("it is
+impractical to store all possible Boolean patterns"); the generic extraction
+in :mod:`repro.core.extraction` covers the rest, but matching the common
+signatures first keeps the transformation fast on gate-encoded CNFs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cnf.clause import Clause
+from repro.circuit.gates import GateType
+
+
+@dataclass(frozen=True)
+class GateMatch:
+    """A recognised gate: ``output`` is a DIMACS variable, fanins are signed literals."""
+
+    gate_type: GateType
+    output: int
+    fanin_literals: Tuple[int, ...]
+
+
+def gate_signature_clauses(
+    gate_type: GateType, output: int, fanin_literals: Sequence[int]
+) -> List[List[int]]:
+    """Return the CNF signature clauses of ``output = gate(fanins)``.
+
+    ``fanin_literals`` are signed literals, so an inverted input is expressed
+    by passing a negative literal.  XOR/XNOR support exactly two fanins (wider
+    parities are chained by the caller).
+    """
+    fanins = list(fanin_literals)
+    if gate_type == GateType.NOT:
+        (a,) = fanins
+        return [[output, a], [-output, -a]]
+    if gate_type == GateType.BUF:
+        (a,) = fanins
+        return [[output, -a], [-output, a]]
+    if gate_type == GateType.AND:
+        return [[output] + [-lit for lit in fanins]] + [[-output, lit] for lit in fanins]
+    if gate_type == GateType.NAND:
+        return [[-output] + [-lit for lit in fanins]] + [[output, lit] for lit in fanins]
+    if gate_type == GateType.OR:
+        return [[-output] + list(fanins)] + [[output, -lit] for lit in fanins]
+    if gate_type == GateType.NOR:
+        return [[output] + list(fanins)] + [[-output, -lit] for lit in fanins]
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        if len(fanins) != 2:
+            raise ValueError("XOR/XNOR signatures support exactly 2 fanins")
+        a, b = fanins
+        out = output if gate_type == GateType.XOR else -output
+        return [[-out, a, b], [-out, -a, -b], [out, a, -b], [out, -a, b]]
+    raise ValueError(f"no CNF signature for gate type {gate_type}")
+
+
+def match_gate_signature(
+    candidate_output: int, clauses: Sequence[Clause]
+) -> Optional[GateMatch]:
+    """Recognise whether ``clauses`` form a gate signature with the given output.
+
+    Returns a :class:`GateMatch` when the clause group is exactly the
+    signature of a NOT/BUF, AND/NAND, OR/NOR, XOR/XNOR gate whose output is
+    ``candidate_output``; returns ``None`` otherwise.  The match is exact —
+    no missing or extra clauses are tolerated — so a successful match lets
+    the transformation adopt the definition without a complement check.
+    """
+    if not clauses:
+        return None
+    for matcher in (_match_inverter, _match_and_or, _match_xor):
+        result = matcher(candidate_output, clauses)
+        if result is not None:
+            return result
+    return None
+
+
+def _clause_sets(clauses: Sequence[Clause]) -> List[frozenset]:
+    return [frozenset(clause.literals) for clause in clauses]
+
+
+def _match_inverter(output: int, clauses: Sequence[Clause]) -> Optional[GateMatch]:
+    if len(clauses) != 2:
+        return None
+    groups = _clause_sets(clauses)
+    if any(len(group) != 2 for group in groups):
+        return None
+    variables = set()
+    for group in groups:
+        variables.update(abs(lit) for lit in group)
+    variables.discard(abs(output))
+    if len(variables) != 1:
+        return None
+    other = variables.pop()
+    # NOT: (f | a) & (~f | ~a);   BUF: (f | ~a) & (~f | a)
+    not_signature = [frozenset({output, other}), frozenset({-output, -other})]
+    buf_signature = [frozenset({output, -other}), frozenset({-output, other})]
+    if sorted(groups, key=sorted) == sorted(not_signature, key=sorted):
+        return GateMatch(GateType.NOT, abs(output), (other,))
+    if sorted(groups, key=sorted) == sorted(buf_signature, key=sorted):
+        return GateMatch(GateType.BUF, abs(output), (other,))
+    return None
+
+
+def _match_and_or(output: int, clauses: Sequence[Clause]) -> Optional[GateMatch]:
+    if len(clauses) < 3:
+        return None
+    groups = _clause_sets(clauses)
+    wide = [group for group in groups if len(group) == len(clauses)]
+    binary = [group for group in groups if len(group) == 2]
+    if len(wide) != 1 or len(binary) != len(clauses) - 1:
+        return None
+    wide_clause = wide[0]
+    # OR:  (~f | x1 | ... | xn) plus (f | ~xi) for each i.
+    if -output in wide_clause:
+        fanins = tuple(sorted(wide_clause - {-output}, key=abs))
+        expected = {frozenset({output, -lit}) for lit in fanins}
+        if set(binary) == expected and len(fanins) == len(binary):
+            return GateMatch(GateType.OR, abs(output), fanins)
+    # AND: (f | ~x1 | ... | ~xn) plus (~f | xi) for each i.
+    if output in wide_clause:
+        fanins = tuple(sorted((-lit for lit in wide_clause - {output}), key=abs))
+        expected = {frozenset({-output, lit}) for lit in fanins}
+        if set(binary) == expected and len(fanins) == len(binary):
+            return GateMatch(GateType.AND, abs(output), fanins)
+    return None
+
+
+def _match_xor(output: int, clauses: Sequence[Clause]) -> Optional[GateMatch]:
+    if len(clauses) != 4:
+        return None
+    groups = _clause_sets(clauses)
+    if any(len(group) != 3 for group in groups):
+        return None
+    variables = set()
+    for group in groups:
+        variables.update(abs(lit) for lit in group)
+    variables.discard(abs(output))
+    if len(variables) != 2:
+        return None
+    a, b = sorted(variables)
+    for gate_type in (GateType.XOR, GateType.XNOR):
+        expected = {
+            frozenset(clause)
+            for clause in gate_signature_clauses(gate_type, abs(output), (a, b))
+        }
+        if set(groups) == expected:
+            return GateMatch(gate_type, abs(output), (a, b))
+    return None

@@ -1,0 +1,97 @@
+"""Unique-solution bookkeeping.
+
+Throughput in Table II is defined as *unique, valid* solutions per second, so
+the sampler needs a cheap way to deduplicate millions of candidate
+assignments.  :class:`SolutionSet` keys each full assignment by its packed
+byte representation and keeps insertion order, so the first ``k`` solutions
+can be exported deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+
+class SolutionSet:
+    """An ordered set of unique boolean assignment vectors."""
+
+    def __init__(self, num_variables: int) -> None:
+        if num_variables < 0:
+            raise ValueError(f"num_variables must be non-negative, got {num_variables}")
+        self.num_variables = num_variables
+        self._keys: set = set()
+        self._rows: List[np.ndarray] = []
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self._rows)
+
+    def add(self, assignment: np.ndarray) -> bool:
+        """Add one assignment; returns ``True`` when it was new."""
+        row = np.asarray(assignment, dtype=bool)
+        if row.shape != (self.num_variables,):
+            raise ValueError(
+                f"expected assignment of shape ({self.num_variables},), got {row.shape}"
+            )
+        key = np.packbits(row).tobytes()
+        if key in self._keys:
+            return False
+        self._keys.add(key)
+        self._rows.append(row.copy())
+        return True
+
+    def add_batch(
+        self, assignments: np.ndarray, mask: Optional[np.ndarray] = None
+    ) -> int:
+        """Add every (optionally masked) row of a ``(batch, num_variables)`` matrix.
+
+        Returns the number of rows that were new.
+        """
+        assignments = np.asarray(assignments, dtype=bool)
+        if assignments.ndim != 2 or assignments.shape[1] != self.num_variables:
+            raise ValueError(
+                f"expected (batch, {self.num_variables}) matrix, got {assignments.shape}"
+            )
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            if mask.shape != (assignments.shape[0],):
+                raise ValueError("mask length must equal the batch size")
+            assignments = assignments[mask]
+        if assignments.shape[0] == 0:
+            return 0
+        packed = np.packbits(assignments, axis=1)
+        added = 0
+        for row_index in range(assignments.shape[0]):
+            key = packed[row_index].tobytes()
+            if key in self._keys:
+                continue
+            self._keys.add(key)
+            self._rows.append(assignments[row_index].copy())
+            added += 1
+        return added
+
+    def contains(self, assignment: np.ndarray) -> bool:
+        """Whether the assignment is already present."""
+        row = np.asarray(assignment, dtype=bool)
+        return np.packbits(row).tobytes() in self._keys
+
+    def to_matrix(self, limit: Optional[int] = None) -> np.ndarray:
+        """Return the unique solutions as a ``(count, num_variables)`` matrix."""
+        rows = self._rows if limit is None else self._rows[:limit]
+        if not rows:
+            return np.zeros((0, self.num_variables), dtype=bool)
+        return np.stack(rows, axis=0)
+
+    def to_literal_lists(self, limit: Optional[int] = None) -> List[List[int]]:
+        """Export solutions as signed DIMACS literal lists (variable order 1..n)."""
+        matrix = self.to_matrix(limit)
+        result: List[List[int]] = []
+        for row in matrix:
+            result.append(
+                [index + 1 if value else -(index + 1) for index, value in enumerate(row)]
+            )
+        return result

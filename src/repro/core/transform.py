@@ -1,0 +1,447 @@
+"""Algorithm 1: transforming a CNF into a multi-level, multi-output function.
+
+The transformation streams over the clause list, maintaining a buffer ``SC``
+of not-yet-consumed clauses.  After each clause is appended it tries to
+identify a variable ``v`` such that the buffered group is exactly equivalent
+to a definition ``v <-> f(other variables)``:
+
+1. a *signature fast path* first checks whether the group is the CNF
+   signature of a primary gate (Eqs. 1--4, :mod:`repro.core.signatures`);
+2. otherwise the *generic extraction* derives the expression for ``v`` from
+   the clauses containing ``~v`` and the expression for ``~v`` from the
+   clauses containing ``v`` and accepts when the two are complements
+   (:mod:`repro.core.extraction`), exactly as the ``x5`` walk-through in
+   Section III-A.
+
+Accepted definitions turn ``v`` into an *intermediate variable*; variables
+feeding the definition that are not themselves defined become *primary
+inputs* and can never be re-defined later (the circuit must stay acyclic).
+A definition that simplifies to a constant marks ``v`` as a *primary output*
+pinned to that constant (the paper's Fig. 1 ``x10 = 1`` case arises this way
+when the unit clause is adjacent; when it is not, the constraint falls out of
+the under-specified path below).
+
+Groups that cannot be interpreted as a definition — the paper's
+*under-specified* sub-clauses — are flushed verbatim: their conjunction
+becomes an auxiliary output constrained to 1.  Flushing happens when the
+buffered group shares no variable with the next clause, when the buffer
+exceeds ``max_group_size``, or at the end of the clause stream.  This keeps
+the transformation *exactly equivalence-preserving over the original
+variables*: every original clause is represented either inside a definition
+or inside a constrained auxiliary output.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.boolalg.expr import Const, Expr, Not, Var
+from repro.boolalg.simplify import simplify
+from repro.circuit.builder import circuit_from_expressions
+from repro.circuit.netlist import Circuit
+from repro.circuit.optimize import optimize_circuit
+from repro.circuit.simulate import simulate
+from repro.circuit.stats import two_input_gate_equivalents
+from repro.cnf.clause import Clause
+from repro.cnf.formula import CNF
+from repro.core.extraction import (
+    VAR_PREFIX,
+    find_boolean_expression,
+    group_to_constraint_expr,
+    literal_to_expr,
+    variable_name,
+)
+from repro.core.signatures import GateMatch, match_gate_signature
+from repro.circuit.gates import GateType
+
+
+@dataclass
+class TransformStats:
+    """Bookkeeping counters recorded while transforming a CNF."""
+
+    seconds: float = 0.0
+    num_clauses: int = 0
+    num_definitions: int = 0
+    signature_matches: int = 0
+    generic_matches: int = 0
+    fallback_groups: int = 0
+    constant_definitions: int = 0
+    cnf_operations: int = 0
+    circuit_operations: int = 0
+
+    @property
+    def operations_reduction(self) -> float:
+        """CNF ops / circuit ops in 2-input gate equivalents (Fig. 4 middle)."""
+        if self.circuit_operations == 0:
+            return float("inf")
+        return self.cnf_operations / self.circuit_operations
+
+
+@dataclass
+class TransformResult:
+    """The recovered multi-level, multi-output Boolean function.
+
+    Attributes
+    ----------
+    definitions:
+        Ordered ``(variable name, expression)`` pairs; each expression only
+        references primary inputs or earlier definitions.
+    primary_inputs:
+        Names of the primary-input variables (original CNF variables that are
+        never defined by an expression).
+    intermediate_variables:
+        Names of the defined (non-constant) variables.
+    primary_outputs:
+        Variables whose definition collapsed to a constant, mapped to that
+        constant (the paper's primary-output classification).
+    constraints:
+        ``(auxiliary output name, expression)`` pairs; every expression must
+        evaluate to 1 in a satisfying assignment.  These are the heads of the
+        paper's *constrained paths*.
+    circuit:
+        The lowered :class:`~repro.circuit.netlist.Circuit`; its primary
+        outputs are the constraint nets.
+    free_variables:
+        Original variables that occur in no clause at all (any value works).
+    """
+
+    source_name: str
+    num_variables: int
+    definitions: List[Tuple[str, Expr]]
+    primary_inputs: List[str]
+    intermediate_variables: List[str]
+    primary_outputs: Dict[str, bool]
+    constraints: List[Tuple[str, Expr]]
+    circuit: Circuit
+    free_variables: List[str] = field(default_factory=list)
+    stats: TransformStats = field(default_factory=TransformStats)
+
+    # -- path analysis -------------------------------------------------------------
+    def constraint_nets(self) -> List[str]:
+        """Names of the constrained output nets in the circuit."""
+        return [name for name, _ in self.constraints]
+
+    def constrained_inputs(self) -> List[str]:
+        """Primary inputs on constrained paths (those the GD sampler must learn)."""
+        if not self.constraints:
+            return []
+        cone = self.circuit.transitive_fanin(self.constraint_nets())
+        return [name for name in self.primary_inputs if name in cone]
+
+    def unconstrained_inputs(self) -> List[str]:
+        """Primary inputs only on unconstrained paths (any random value works)."""
+        constrained = set(self.constrained_inputs())
+        return [name for name in self.primary_inputs if name not in constrained]
+
+    # -- reconstruction of full CNF assignments ------------------------------------------
+    def input_variable_indices(self) -> Dict[str, int]:
+        """Map primary-input net names to their original DIMACS indices."""
+        return {name: int(name[len(VAR_PREFIX):]) for name in self.primary_inputs}
+
+    def defined_variable_indices(self) -> Dict[str, int]:
+        """Map defined net names (intermediate + constant) to DIMACS indices."""
+        result = {}
+        for name, _ in self.definitions:
+            result[name] = int(name[len(VAR_PREFIX):])
+        return result
+
+    def complete_assignments(
+        self,
+        input_matrix: np.ndarray,
+        free_values: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Expand primary-input assignments to full original-variable assignments.
+
+        ``input_matrix`` is ``(batch, len(primary_inputs))`` boolean, ordered
+        like :attr:`primary_inputs`.  Defined variables are computed by
+        simulating the recovered circuit; free variables receive
+        ``free_values`` (``(batch, len(free_variables))``) or 0.  Returns a
+        ``(batch, num_variables)`` boolean matrix, column ``j`` holding
+        variable ``j + 1``.
+        """
+        input_matrix = np.asarray(input_matrix, dtype=bool)
+        batch = input_matrix.shape[0]
+        if input_matrix.shape[1] != len(self.primary_inputs):
+            raise ValueError(
+                f"expected {len(self.primary_inputs)} input columns, "
+                f"got {input_matrix.shape[1]}"
+            )
+        full = np.zeros((batch, self.num_variables), dtype=bool)
+        for column, name in enumerate(self.primary_inputs):
+            index = int(name[len(VAR_PREFIX):])
+            full[:, index - 1] = input_matrix[:, column]
+
+        defined_names = [name for name, _ in self.definitions]
+        if defined_names:
+            values = simulate(
+                self.circuit,
+                input_matrix,
+                input_order=self.primary_inputs,
+                nets=defined_names,
+            )
+            for name in defined_names:
+                index = int(name[len(VAR_PREFIX):])
+                full[:, index - 1] = values[name]
+
+        if self.free_variables:
+            if free_values is None:
+                free_values = np.zeros((batch, len(self.free_variables)), dtype=bool)
+            free_values = np.asarray(free_values, dtype=bool)
+            for column, name in enumerate(self.free_variables):
+                index = int(name[len(VAR_PREFIX):])
+                full[:, index - 1] = free_values[:, column]
+        return full
+
+    def summary(self) -> Dict[str, object]:
+        """Compact description used by the evaluation reports."""
+        return {
+            "instance": self.source_name,
+            "primary_inputs": len(self.primary_inputs),
+            "primary_outputs": len(self.primary_outputs) + len(self.constraints),
+            "intermediate_variables": len(self.intermediate_variables),
+            "constraints": len(self.constraints),
+            "circuit_gates": self.circuit.num_gates,
+            "ops_reduction": self.stats.operations_reduction,
+            "transform_seconds": self.stats.seconds,
+        }
+
+
+def _expr_from_gate_match(match: GateMatch) -> Expr:
+    """Build the defining expression encoded by a recognised gate signature."""
+    fanin_exprs = [literal_to_expr(lit) for lit in match.fanin_literals]
+    if match.gate_type == GateType.NOT:
+        return Not(fanin_exprs[0])
+    if match.gate_type == GateType.BUF:
+        return fanin_exprs[0]
+    if match.gate_type == GateType.AND:
+        from repro.boolalg.expr import And
+
+        return And(*fanin_exprs)
+    if match.gate_type == GateType.NAND:
+        from repro.boolalg.expr import And
+
+        return Not(And(*fanin_exprs))
+    if match.gate_type == GateType.OR:
+        from repro.boolalg.expr import Or
+
+        return Or(*fanin_exprs)
+    if match.gate_type == GateType.NOR:
+        from repro.boolalg.expr import Or
+
+        return Not(Or(*fanin_exprs))
+    if match.gate_type == GateType.XOR:
+        from repro.boolalg.expr import Xor
+
+        return Xor(*fanin_exprs)
+    if match.gate_type == GateType.XNOR:
+        from repro.boolalg.expr import Xor
+
+        return Not(Xor(*fanin_exprs))
+    raise ValueError(f"unsupported gate match {match.gate_type}")
+
+
+def transform_cnf(
+    formula: CNF,
+    simplify_expressions: bool = True,
+    use_signature_fast_path: bool = True,
+    optimize: bool = True,
+    max_group_size: int = 64,
+    max_candidate_vars: int = 12,
+) -> TransformResult:
+    """Run the transformation algorithm on ``formula``.
+
+    Parameters
+    ----------
+    simplify_expressions:
+        Simplify each accepted expression before adoption (the paper always
+        does; the ablation benchmark turns it off to measure its effect).
+    use_signature_fast_path:
+        Try gate-signature pattern matching before the generic extraction.
+    optimize:
+        Run structural optimization (constant propagation, strashing,
+        dangling-gate sweep) on the lowered circuit.
+    max_group_size:
+        Force-flush the clause buffer past this many clauses.
+    max_candidate_vars:
+        Skip complement checks whose support exceeds this width.
+    """
+    start = time.perf_counter()
+    clauses = list(formula.clauses)
+    stats = TransformStats(num_clauses=len(clauses))
+    stats.cnf_operations = formula.two_input_operation_count()
+
+    definitions: List[Tuple[str, Expr]] = []
+    defined: Set[str] = set()
+    primary_inputs: List[str] = []
+    primary_input_set: Set[str] = set()
+    primary_outputs: Dict[str, bool] = {}
+    constraints: List[Tuple[str, Expr]] = []
+    buffer: List[Clause] = []
+
+    def mark_input(name: str) -> None:
+        if name not in primary_input_set and name not in defined:
+            primary_input_set.add(name)
+            primary_inputs.append(name)
+
+    def accept_definition(variable: int, expr: Expr) -> None:
+        name = variable_name(variable)
+        if simplify_expressions:
+            expr = simplify(expr)
+        for support_name in sorted(expr.support()):
+            mark_input(support_name)
+        definitions.append((name, expr))
+        defined.add(name)
+        if isinstance(expr, Const):
+            primary_outputs[name] = expr.value
+            stats.constant_definitions += 1
+
+    def flush_buffer() -> None:
+        if not buffer:
+            return
+        expr = group_to_constraint_expr(buffer)
+        if simplify_expressions:
+            expr = simplify(expr) if len(expr.support()) <= 12 else expr
+        for support_name in sorted(expr.support()):
+            mark_input(support_name)
+        # Variables simplified away from the constraint expression still need a
+        # value during completion; classify them as primary inputs as well.
+        for clause in buffer:
+            for literal in clause:
+                mark_input(variable_name(abs(literal)))
+        constraint_name = f"__constraint_{len(constraints)}"
+        constraints.append((constraint_name, expr))
+        stats.fallback_groups += 1
+        buffer.clear()
+
+    def try_accept() -> bool:
+        """Try to turn part of the buffer into a definition.
+
+        For each candidate variable the *sub-group* of buffered clauses that
+        mention it is considered; on acceptance only those clauses are
+        consumed, so stale clauses (duplicates, clauses already implied by
+        earlier definitions) can never block the recovery of later gates.
+        """
+        candidate_order: List[int] = []
+        seen: Set[int] = set()
+        for clause in buffer:
+            for literal in clause:
+                variable = abs(literal)
+                if variable not in seen:
+                    seen.add(variable)
+                    candidate_order.append(variable)
+        for variable in candidate_order:
+            name = variable_name(variable)
+            if name in defined or name in primary_input_set:
+                continue
+            subgroup = [
+                clause
+                for clause in buffer
+                if clause.contains(variable) or clause.contains(-variable)
+            ]
+            expr: Optional[Expr] = None
+            if use_signature_fast_path:
+                match = match_gate_signature(variable, subgroup)
+                if match is not None and name not in {
+                    variable_name(abs(lit)) for lit in match.fanin_literals
+                }:
+                    expr = _expr_from_gate_match(match)
+                    stats.signature_matches += 1
+            if expr is None:
+                expr = find_boolean_expression(
+                    variable, subgroup, max_vars=max_candidate_vars
+                )
+                if expr is not None:
+                    stats.generic_matches += 1
+            if expr is not None:
+                accept_definition(variable, expr)
+                # Algorithm 1 (lines 17-21): every other variable of the consumed
+                # group that is not already defined becomes a primary input, even
+                # if simplification dropped it from the adopted expression —
+                # otherwise it would never receive a value during completion.
+                for clause in subgroup:
+                    for literal in clause:
+                        other = variable_name(abs(literal))
+                        if other != name:
+                            mark_input(other)
+                consumed = {id(clause) for clause in subgroup}
+                buffer[:] = [clause for clause in buffer if id(clause) not in consumed]
+                return True
+        return False
+
+    seen_clauses: Set[frozenset] = set()
+    for position, clause in enumerate(clauses):
+        if clause.is_tautology:
+            continue
+        clause_key = frozenset(clause.literals)
+        if clause_key in seen_clauses:
+            # Duplicate clauses are redundant in a conjunction; dropping them
+            # keeps them from lingering in the group buffer.
+            continue
+        seen_clauses.add(clause_key)
+        buffer.append(clause)
+        while try_accept():
+            # Keep accepting: consuming one sub-group may unblock another
+            # candidate that was waiting on the same buffer.
+            pass
+        if not buffer:
+            continue
+        if len(buffer) >= max_group_size:
+            flush_buffer()
+            continue
+        next_clause = clauses[position + 1] if position + 1 < len(clauses) else None
+        if next_clause is not None:
+            buffer_variables = {abs(lit) for cl in buffer for lit in cl}
+            next_variables = {abs(lit) for lit in next_clause}
+            if buffer_variables.isdisjoint(next_variables):
+                flush_buffer()
+    flush_buffer()
+
+    # Original variables never mentioned by any clause are free.
+    mentioned: Set[int] = set()
+    for clause in clauses:
+        mentioned.update(abs(lit) for lit in clause)
+    free_variables = [
+        variable_name(index)
+        for index in range(1, formula.num_variables + 1)
+        if index not in mentioned
+    ]
+
+    all_definitions = definitions + constraints
+    circuit = circuit_from_expressions(
+        all_definitions,
+        outputs=[name for name, _ in constraints],
+        inputs=primary_inputs,
+        name=formula.name or "recovered",
+    )
+    if optimize and constraints:
+        # Keep the defined nets alive during optimization by temporarily
+        # marking them as outputs, so complete_assignments can still read them.
+        preserved = circuit.copy()
+        for name, _ in definitions:
+            preserved.set_output(name)
+        preserved = optimize_circuit(preserved)
+        circuit = preserved
+
+    stats.circuit_operations = two_input_gate_equivalents(circuit)
+    stats.num_definitions = len(definitions)
+    stats.seconds = time.perf_counter() - start
+
+    intermediate_variables = [
+        name for name, _ in definitions if name not in primary_outputs
+    ]
+    return TransformResult(
+        source_name=formula.name,
+        num_variables=formula.num_variables,
+        definitions=definitions,
+        primary_inputs=primary_inputs,
+        intermediate_variables=intermediate_variables,
+        primary_outputs=primary_outputs,
+        constraints=constraints,
+        circuit=circuit,
+        free_variables=free_variables,
+        stats=stats,
+    )

@@ -1,0 +1,39 @@
+"""Evaluation harness: throughput runner, Table II builder and figure builders.
+
+Each public function regenerates the data behind one table or figure of the
+paper's evaluation section (see DESIGN.md's per-experiment index); the
+benchmarks in ``benchmarks/`` are thin wrappers that call these functions and
+print the resulting rows/series.
+"""
+
+from repro.eval.runner import RunRecord, ThisWorkSampler, run_sampler_on_instance, default_samplers
+from repro.eval.tables import Table2Row, build_table2, render_table2
+from repro.eval.figures import (
+    fig2_latency_vs_solutions,
+    fig3_learning_curve,
+    fig3_memory_vs_batch,
+    fig4_gpu_speedup,
+    fig4_ops_reduction,
+    fig4_transform_time,
+)
+from repro.eval.report import render_rows
+from repro.eval.uniformity_study import UniformityRow, uniformity_study
+
+__all__ = [
+    "RunRecord",
+    "ThisWorkSampler",
+    "run_sampler_on_instance",
+    "default_samplers",
+    "Table2Row",
+    "build_table2",
+    "render_table2",
+    "fig2_latency_vs_solutions",
+    "fig3_learning_curve",
+    "fig3_memory_vs_batch",
+    "fig4_gpu_speedup",
+    "fig4_ops_reduction",
+    "fig4_transform_time",
+    "render_rows",
+    "UniformityRow",
+    "uniformity_study",
+]

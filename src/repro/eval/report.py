@@ -1,0 +1,64 @@
+"""Plain-text report rendering shared by the tables, figures and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_number(value, precision: int = 1) -> str:
+    """Human-friendly numeric formatting (thousands separators, TO for None)."""
+    if value is None:
+        return "TO"
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1000:
+            return f"{value:,.{precision}f}"
+        return f"{value:.{precision}f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_rows(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)\n" if title else "(no rows)\n"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[format_number(row.get(column)) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(cells[i]) for cells in rendered))
+        for i, column in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for cells in rendered:
+        lines.append("  ".join(cells[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines) + "\n"
+
+
+def render_series(
+    series: Dict[str, Sequence[float]],
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+) -> str:
+    """Render named (x -> y) series as aligned columns (one block per series)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for name, values in series.items():
+        lines.append(f"[{name}]")
+        lines.append(f"  {x_label:>12}  {y_label:>16}")
+        for x, y in values:
+            lines.append(f"  {format_number(x):>12}  {format_number(y, 3):>16}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,135 @@
+"""Uniformity study: how close is each sampler to the uniform distribution?
+
+UniGen3 comes with approximate-uniformity guarantees; CMSGen, QuickSampler and
+the paper's gradient sampler do not.  The paper does not quantify uniformity
+(its metric is throughput), but any downstream CRV user will ask the question,
+so this extension experiment measures it directly on instances small enough to
+enumerate exactly:
+
+1. enumerate the full model set with the DPLL oracle,
+2. draw a fixed budget of samples from each sampler (with replacement across
+   repeated calls, so repeat frequencies are observable),
+3. compare the empirical distribution against uniform with a chi-square
+   statistic, a p-value and the KL divergence, and record the model coverage.
+
+The companion benchmark (``benchmarks/bench_extension_uniformity.py``) prints
+one row per (sampler, instance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import BaselineSampler
+from repro.baselines.dpll import DPLLSolver
+from repro.cnf.formula import CNF
+from repro.core.config import SamplerConfig
+from repro.eval.runner import default_samplers
+from repro.metrics.uniformity import chi_square_uniformity, kl_divergence_from_uniform
+
+
+@dataclass
+class UniformityRow:
+    """Uniformity measurements for one (sampler, instance) pair."""
+
+    sampler_name: str
+    instance_name: str
+    num_models: int
+    models_covered: int
+    draws: int
+    chi_square: float
+    p_value: float
+    kl_divergence: float
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the model space that was sampled at least once."""
+        if self.num_models == 0:
+            return 0.0
+        return self.models_covered / self.num_models
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten for text rendering."""
+        return {
+            "sampler": self.sampler_name,
+            "instance": self.instance_name,
+            "models": self.num_models,
+            "covered": self.models_covered,
+            "coverage": self.coverage,
+            "chi2": self.chi_square,
+            "p_value": self.p_value,
+            "kl": self.kl_divergence,
+        }
+
+
+def _draw_with_repeats(
+    sampler: BaselineSampler,
+    formula: CNF,
+    total_draws: int,
+    per_call: int,
+    timeout_seconds: float,
+) -> Dict[bytes, int]:
+    """Accumulate draw counts over repeated sampler calls.
+
+    Each call returns *unique* solutions; calling repeatedly (the way a CRV
+    testbench would request batch after batch) exposes each sampler's bias
+    through which solutions keep reappearing across calls.
+    """
+    counts: Dict[bytes, int] = {}
+    drawn = 0
+    calls = 0
+    max_calls = max(4, (total_draws // max(per_call, 1)) * 4)
+    while drawn < total_draws and calls < max_calls:
+        calls += 1
+        output = sampler.sample(formula, num_solutions=per_call, timeout_seconds=timeout_seconds)
+        if output.num_unique == 0:
+            break
+        for row in output.solutions:
+            key = np.packbits(np.asarray(row, dtype=bool)).tobytes()
+            counts[key] = counts.get(key, 0) + 1
+            drawn += 1
+            if drawn >= total_draws:
+                break
+    return counts
+
+
+def uniformity_study(
+    formulas: Sequence[CNF],
+    samplers: Optional[Sequence[BaselineSampler]] = None,
+    draws_per_instance: int = 400,
+    per_call: int = 50,
+    timeout_seconds: float = 20.0,
+    config: Optional[SamplerConfig] = None,
+    max_models: int = 4096,
+) -> List[UniformityRow]:
+    """Run the uniformity study over small formulas with exactly countable models."""
+    line_up = list(samplers) if samplers is not None else default_samplers(config=config)
+    rows: List[UniformityRow] = []
+    for formula in formulas:
+        num_models = DPLLSolver(formula).count_models(limit=max_models + 1)
+        if num_models == 0 or num_models > max_models:
+            raise ValueError(
+                f"instance {formula.name!r} has {num_models} models; the uniformity "
+                f"study needs a non-empty model set of at most {max_models}"
+            )
+        for sampler in line_up:
+            counts = _draw_with_repeats(
+                sampler, formula, draws_per_instance, per_call, timeout_seconds
+            )
+            statistic, p_value = chi_square_uniformity(counts, num_models)
+            rows.append(
+                UniformityRow(
+                    sampler_name=sampler.name,
+                    instance_name=formula.name,
+                    num_models=num_models,
+                    models_covered=len(counts),
+                    draws=sum(counts.values()),
+                    chi_square=statistic,
+                    p_value=p_value,
+                    kl_divergence=kl_divergence_from_uniform(counts, num_models),
+                )
+            )
+    return rows

@@ -1,0 +1,19 @@
+"""Execution-device abstraction and GPU-memory model.
+
+The paper's headline numbers come from a V100 GPU; this environment has none,
+so (per DESIGN.md) the "GPU" is modelled by the batch-vectorised execution
+path of the NumPy autodiff engine and the "CPU" by a per-sample scalar loop
+over the identical computation.  The memory model reproduces the Fig. 3
+(right) measurement analytically from tensor shapes.
+"""
+
+from repro.gpu.device import Device, DeviceKind, get_device
+from repro.gpu.memory import MemoryModel, estimate_training_memory
+
+__all__ = [
+    "Device",
+    "DeviceKind",
+    "get_device",
+    "MemoryModel",
+    "estimate_training_memory",
+]

@@ -1,0 +1,86 @@
+"""Execution devices: batch-vectorised ("gpu-sim") vs per-sample scalar ("cpu").
+
+The sampler's learning problem is embarrassingly parallel across the batch —
+each candidate solution is learned independently (Section III of the paper).
+A GPU exploits that by executing each gate's elementwise operation across the
+whole batch at once; a CPU executes sample after sample.  The two
+:class:`Device` kinds reproduce exactly that distinction on top of the same
+NumPy ops, which is what the Fig. 4 (left) GPU-vs-CPU ablation measures:
+
+* ``gpu-sim`` — one vectorised call per gate over the full ``(batch, n)``
+  tensor (the data-parallel execution model of a GPU tensor runtime);
+* ``cpu`` — the identical computation performed in per-sample chunks with a
+  Python-level loop, modelling sequential per-solution execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator, Tuple
+
+import numpy as np
+
+
+class DeviceKind(str, Enum):
+    """Available execution styles."""
+
+    GPU_SIM = "gpu-sim"
+    CPU = "cpu"
+
+
+@dataclass(frozen=True)
+class Device:
+    """An execution device: a kind plus the chunk size used for batching.
+
+    ``chunk_size`` is the number of batch elements processed per kernel
+    invocation: the full batch for ``gpu-sim`` (a single launch) and 1 for
+    ``cpu`` (a per-sample loop).  Intermediate values model multi-core CPUs or
+    small GPUs and are used by the scaling ablations.
+    """
+
+    kind: DeviceKind = DeviceKind.GPU_SIM
+    chunk_size: int = 0  # 0 means "whole batch at once"
+
+    @property
+    def is_parallel(self) -> bool:
+        """Whether the device executes the full batch per launch."""
+        return self.kind == DeviceKind.GPU_SIM and self.chunk_size == 0
+
+    def chunks(self, batch_size: int) -> Iterator[Tuple[int, int]]:
+        """Yield ``(start, stop)`` index ranges covering ``batch_size`` samples."""
+        if batch_size <= 0:
+            return
+        size = batch_size if self.chunk_size == 0 else max(1, self.chunk_size)
+        if self.kind == DeviceKind.CPU and self.chunk_size == 0:
+            size = 1
+        start = 0
+        while start < batch_size:
+            stop = min(start + size, batch_size)
+            yield start, stop
+            start = stop
+
+    def describe(self) -> str:
+        """Human-readable device description used in reports."""
+        if self.is_parallel:
+            return "gpu-sim (full-batch vectorised execution)"
+        if self.kind == DeviceKind.GPU_SIM:
+            return f"gpu-sim (chunked, {self.chunk_size} samples per launch)"
+        per_launch = 1 if self.chunk_size == 0 else self.chunk_size
+        return f"cpu (scalar loop, {per_launch} sample(s) per step)"
+
+
+def get_device(name: str = "gpu-sim", chunk_size: int = 0) -> Device:
+    """Build a device from a name (``"gpu-sim"`` / ``"gpu"`` / ``"cpu"``)."""
+    normalized = name.lower().strip()
+    if normalized in ("gpu", "gpu-sim", "cuda", "vectorized"):
+        return Device(DeviceKind.GPU_SIM, chunk_size)
+    if normalized in ("cpu", "scalar", "loop"):
+        return Device(DeviceKind.CPU, chunk_size)
+    raise ValueError(f"unknown device name {name!r}")
+
+
+def split_batch(matrix: np.ndarray, device: Device) -> Iterator[np.ndarray]:
+    """Yield the row chunks of ``matrix`` the device would process per launch."""
+    for start, stop in device.chunks(matrix.shape[0]):
+        yield matrix[start:stop]

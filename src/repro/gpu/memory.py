@@ -1,0 +1,78 @@
+"""Analytic GPU-memory model (Fig. 3, right).
+
+The paper measures GPU memory with ``nvidia-smi`` across batch sizes; without
+a GPU we model the same quantity from first principles.  During one training
+iteration the probabilistic circuit model materialises, per batch element:
+
+* the embedded input probabilities (``n_inputs`` floats),
+* one activation per logic gate in the constrained cone (forward pass),
+* one gradient per stored activation (reverse pass), and
+* the parameter tensor ``V`` plus its gradient.
+
+With ``float32`` tensors (4 bytes, matching the PyTorch default the paper
+uses), total bytes therefore scale as
+``batch * (2 * n_inputs + 2 * n_gates) * 4`` plus a fixed framework overhead.
+Fig. 3 (right) shows exactly this linear-in-batch, linear-in-circuit-size
+behaviour on a log-log scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.stats import two_input_gate_equivalents
+
+#: Bytes per tensor element (float32, the paper's PyTorch default).
+BYTES_PER_ELEMENT = 4
+
+#: Fixed framework overhead in MB (CUDA context + allocator pools on a V100).
+FRAMEWORK_OVERHEAD_MB = 450.0
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Memory estimate for one training configuration."""
+
+    batch_size: int
+    num_inputs: int
+    num_gate_activations: int
+    bytes_per_element: int = BYTES_PER_ELEMENT
+    framework_overhead_mb: float = FRAMEWORK_OVERHEAD_MB
+
+    @property
+    def activation_bytes(self) -> int:
+        """Forward-pass activations (inputs + per-gate outputs)."""
+        per_sample = self.num_inputs + self.num_gate_activations
+        return self.batch_size * per_sample * self.bytes_per_element
+
+    @property
+    def gradient_bytes(self) -> int:
+        """Reverse-pass gradients mirror the stored activations."""
+        return self.activation_bytes
+
+    @property
+    def parameter_bytes(self) -> int:
+        """The trainable input matrix ``V`` and its gradient."""
+        return 2 * self.batch_size * self.num_inputs * self.bytes_per_element
+
+    @property
+    def total_bytes(self) -> int:
+        """Total modelled allocation in bytes (excluding framework overhead)."""
+        return self.activation_bytes + self.gradient_bytes + self.parameter_bytes
+
+    @property
+    def total_mb(self) -> float:
+        """Total modelled usage in MB, including the fixed framework overhead."""
+        return self.total_bytes / (1024.0 * 1024.0) + self.framework_overhead_mb
+
+
+def estimate_training_memory(circuit: Circuit, batch_size: int) -> MemoryModel:
+    """Estimate training memory for sampling ``circuit`` at ``batch_size``."""
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    return MemoryModel(
+        batch_size=batch_size,
+        num_inputs=max(circuit.num_inputs, 1),
+        num_gate_activations=max(two_input_gate_equivalents(circuit), 1),
+    )

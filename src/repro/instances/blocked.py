@@ -1,0 +1,91 @@
+"""The ``*-q`` family: multiplexer/if-then-else chains with a single constrained output.
+
+Instances such as ``75-10-1-q`` contain the mux-style clause groups the paper
+uses as its running example (Eq. 5: ``x5 = (x107 & x4) | (x108 & ~x4)``),
+interleaved with buffer and inverter chains, and a single output constrained
+to 1.  The generator rebuilds exactly that texture:
+
+* ``num_select_chains`` chains of buffers/inverters compute select signals
+  from primary inputs;
+* a cascade of 2:1 multiplexers (the Eq. 5 pattern) mixes fresh data inputs
+  under those selects;
+* the final mux output is the instance's single constrained output;
+* additional mux cascades are left unconstrained so the instance keeps the
+  high ratio of auxiliary variables to primary inputs seen in the suite.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.netlist import Circuit
+from repro.circuit.tseitin import circuit_to_cnf
+from repro.cnf.formula import CNF
+from repro.utils.rng import new_rng
+
+
+def _buffer_chain(builder: CircuitBuilder, net: str, length: int, rng) -> str:
+    """A chain of buffers and inverters of the given length."""
+    current = net
+    for _ in range(length):
+        if rng.random() < 0.4:
+            current = builder.not_(current)
+        else:
+            current = builder.buf(current)
+    return current
+
+
+def _mux_cascade(
+    builder: CircuitBuilder, selects: List[str], data: List[str], rng
+) -> str:
+    """A cascade of 2:1 muxes driven by the select signals."""
+    current = data[0]
+    data_position = 1
+    for select in selects:
+        other = data[data_position % len(data)]
+        data_position += 1
+        current = builder.mux(select, current, other)
+    return current
+
+
+def generate_q_instance(
+    num_inputs: int = 60,
+    num_select_chains: int = 6,
+    chain_length: int = 8,
+    num_unconstrained_cascades: int = 2,
+    seed: Optional[int] = 0,
+    name: str = "",
+) -> Tuple[CNF, Circuit]:
+    """Generate one ``*-q``-family instance; returns ``(cnf, circuit)``."""
+    if num_inputs < num_select_chains + 2:
+        raise ValueError("num_inputs must exceed num_select_chains + 2")
+    rng = new_rng(seed)
+    builder = CircuitBuilder(name or f"{num_inputs}-q")
+    inputs = builder.inputs(num_inputs, prefix="pi")
+
+    # Select signals: long buffer/inverter chains from dedicated inputs,
+    # mirroring the x1 -> x2 -> x3 -> x4 chain of the paper's Fig. 1.
+    selects = [
+        _buffer_chain(builder, inputs[i], chain_length, rng)
+        for i in range(num_select_chains)
+    ]
+    data_pool = inputs[num_select_chains:]
+
+    constrained = _mux_cascade(builder, selects, list(data_pool), rng)
+    builder.output(constrained)
+
+    for cascade_index in range(num_unconstrained_cascades):
+        offset = (cascade_index + 1) * 3
+        rotated = list(data_pool[offset:]) + list(data_pool[:offset])
+        other_selects = [
+            _buffer_chain(builder, inputs[(i + cascade_index + 1) % num_select_chains],
+                          max(2, chain_length // 2), rng)
+            for i in range(max(1, num_select_chains // 2))
+        ]
+        _mux_cascade(builder, other_selects, rotated, rng)
+
+    circuit = builder.circuit
+    formula, _ = circuit_to_cnf(circuit, output_constraints={constrained: True})
+    formula.name = circuit.name
+    return formula, circuit

@@ -1,0 +1,107 @@
+"""The ``s15850a_*`` family: ISCAS'89-style random-logic netlist CNFs.
+
+The suite's ``s15850a_k_m`` instances are CNFs derived from the combinational
+core of the ISCAS'89 ``s15850`` benchmark with ``k`` outputs constrained.
+Without the original netlist we generate a structurally similar circuit: a
+levelised random netlist of 2-input gates (the gate-type mix roughly follows
+published ISCAS statistics — mostly AND/NAND/OR/NOR with some inverters and a
+sprinkle of XOR), many primary inputs, and a configurable number of outputs
+constrained to fixed values.  Tseitin encoding then yields a CNF whose size
+tracks the gate count, exactly like the originals (roughly 2.3 clauses per
+gate-equivalent).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.circuit.tseitin import circuit_to_cnf
+from repro.cnf.formula import CNF
+from repro.utils.rng import new_rng
+
+#: Gate-type mix (probabilities) for the random netlist.
+_GATE_MIX = (
+    (GateType.AND, 0.28),
+    (GateType.NAND, 0.22),
+    (GateType.OR, 0.18),
+    (GateType.NOR, 0.12),
+    (GateType.NOT, 0.12),
+    (GateType.XOR, 0.08),
+)
+
+
+def generate_iscas_like_instance(
+    num_inputs: int = 120,
+    num_gates: int = 1200,
+    num_constrained_outputs: int = 3,
+    num_levels: int = 12,
+    seed: Optional[int] = 0,
+    name: str = "",
+) -> Tuple[CNF, Circuit]:
+    """Generate one ISCAS-like instance; returns ``(cnf, circuit)``."""
+    if num_inputs < 4:
+        raise ValueError("num_inputs must be at least 4")
+    if num_constrained_outputs < 1:
+        raise ValueError("num_constrained_outputs must be at least 1")
+    rng = new_rng(seed)
+    builder = CircuitBuilder(name or f"iscas-{num_inputs}-{num_gates}")
+    inputs = builder.inputs(num_inputs, prefix="pi")
+
+    # Build the netlist level by level: each gate draws fanins from earlier
+    # levels (biased towards recent ones, as in real technology-mapped logic).
+    levels: List[List[str]] = [list(inputs)]
+    gates_per_level = max(1, num_gates // num_levels)
+    gate_types = [gt for gt, _ in _GATE_MIX]
+    gate_weights = [w for _, w in _GATE_MIX]
+    total_weight = sum(gate_weights)
+    gate_probabilities = [w / total_weight for w in gate_weights]
+    built = 0
+
+    for level_index in range(1, num_levels + 1):
+        current_level: List[str] = []
+        remaining = num_gates - built
+        if remaining <= 0:
+            break
+        count = gates_per_level if level_index < num_levels else remaining
+        count = min(count, remaining)
+        # Candidate fanins: previous two levels plus a sample of older nets.
+        pool = list(levels[-1])
+        if len(levels) > 1:
+            pool += list(levels[-2])
+        if len(pool) < 2:
+            pool = list(inputs)
+        for _ in range(count):
+            gate_type = gate_types[int(rng.choice(len(gate_types), p=gate_probabilities))]
+            if gate_type == GateType.NOT:
+                fanin = pool[int(rng.integers(len(pool)))]
+                net = builder.not_(fanin)
+            else:
+                first = pool[int(rng.integers(len(pool)))]
+                second = pool[int(rng.integers(len(pool)))]
+                while second == first and len(pool) > 1:
+                    second = pool[int(rng.integers(len(pool)))]
+                net = builder.gate(gate_type, [first, second])
+            current_level.append(net)
+            built += 1
+        levels.append(current_level)
+
+    # Constrained outputs come from the last level (deep cones); the constraint
+    # value is whatever the circuit produces under a random reference input, so
+    # the instance is guaranteed satisfiable.
+    last_level = levels[-1] if levels[-1] else levels[-2]
+    chosen = rng.choice(len(last_level), size=min(num_constrained_outputs, len(last_level)), replace=False)
+    output_nets = [last_level[int(i)] for i in chosen]
+    for net in output_nets:
+        builder.output(net)
+    circuit = builder.circuit
+
+    reference_inputs = {net: bool(rng.random() < 0.5) for net in circuit.inputs}
+    reference_values = circuit.evaluate(reference_inputs)
+    constraints = {net: bool(reference_values[net]) for net in output_nets}
+
+    formula, _ = circuit_to_cnf(circuit, output_constraints=constraints)
+    formula.name = circuit.name
+    return formula, circuit

@@ -1,0 +1,87 @@
+"""The ``or-*`` family: loosely constrained OR/AND networks.
+
+Instances such as ``or-50-10-7-UC-10`` in the benchmark suite have many
+primary inputs, a handful of outputs, and a very large solution count — the
+paper reports millions of unique solutions per second on them because most
+paths are unconstrained.  The generator reproduces that shape:
+
+* ``num_inputs`` primary inputs;
+* several small AND/OR cones built over random input subsets;
+* a few cone outputs are constrained to 1 (each an OR over a wide support, so
+  the constraint removes only a small fraction of the space);
+* the remaining cones are left unconstrained, becoming the blue
+  "unconstrained paths" of the paper's Fig. 1.
+
+The CNF is produced by Tseitin-encoding the circuit, so its clause groups are
+exactly the gate signatures Algorithm 1 recovers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.netlist import Circuit
+from repro.circuit.tseitin import circuit_to_cnf
+from repro.cnf.formula import CNF
+from repro.utils.rng import new_rng
+
+
+def generate_or_instance(
+    num_inputs: int = 50,
+    num_constrained_outputs: int = 4,
+    num_unconstrained_cones: int = 6,
+    cone_width: int = 8,
+    seed: Optional[int] = 0,
+    name: str = "",
+) -> Tuple[CNF, Circuit]:
+    """Generate one ``or-*``-family instance; returns ``(cnf, circuit)``."""
+    if num_inputs < 2:
+        raise ValueError("num_inputs must be at least 2")
+    rng = new_rng(seed)
+    builder = CircuitBuilder(name or f"or-{num_inputs}-{num_constrained_outputs}")
+    inputs = builder.inputs(num_inputs, prefix="pi")
+
+    def random_subset(size: int) -> list:
+        size = max(2, min(size, num_inputs))
+        chosen = rng.choice(num_inputs, size=size, replace=False)
+        return [inputs[int(i)] for i in chosen]
+
+    constrained_outputs = []
+    for _ in range(num_constrained_outputs):
+        # A wide OR of small ANDs: easy to satisfy, hard to falsify.
+        terms = []
+        for _ in range(max(2, cone_width // 2)):
+            pair = random_subset(2)
+            if rng.random() < 0.3:
+                pair[0] = builder.not_(pair[0])
+            terms.append(builder.and_(*pair))
+        wide = random_subset(cone_width)
+        output = builder.or_(*(terms + wide))
+        constrained_outputs.append(output)
+        builder.output(output)
+
+    for _ in range(num_unconstrained_cones):
+        # Unconstrained cones: mixed AND/OR trees whose outputs carry no
+        # constraint, so any input assignment satisfies their clause groups.
+        leaves = random_subset(cone_width)
+        level = leaves
+        while len(level) > 1:
+            next_level = []
+            for position in range(0, len(level) - 1, 2):
+                a, b = level[position], level[position + 1]
+                if rng.random() < 0.5:
+                    next_level.append(builder.and_(a, b))
+                else:
+                    next_level.append(builder.or_(a, b))
+            if len(level) % 2 == 1:
+                next_level.append(level[-1])
+            level = next_level
+        # The cone output is deliberately *not* marked as a circuit output.
+
+    circuit = builder.circuit
+    formula, _ = circuit_to_cnf(
+        circuit, output_constraints={net: True for net in constrained_outputs}
+    )
+    formula.name = circuit.name
+    return formula, circuit

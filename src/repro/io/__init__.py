@@ -1,0 +1,18 @@
+"""Input/output helpers for solution sets and experiment results."""
+
+from repro.io.solutions_io import (
+    solutions_to_text,
+    parse_solutions_text,
+    write_solutions_file,
+    read_solutions_file,
+)
+from repro.io.results_io import run_records_to_json, run_records_to_csv
+
+__all__ = [
+    "solutions_to_text",
+    "parse_solutions_text",
+    "write_solutions_file",
+    "read_solutions_file",
+    "run_records_to_json",
+    "run_records_to_csv",
+]

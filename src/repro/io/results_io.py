@@ -1,0 +1,62 @@
+"""Exporting evaluation results (RunRecords) to JSON and CSV.
+
+The benchmark harness prints text tables; these helpers let scripts persist
+the same measurements for later analysis or plotting without re-running the
+experiments.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterable, List
+
+from repro.eval.runner import RunRecord
+
+_FIELDS = [
+    "sampler_name",
+    "instance_name",
+    "num_unique",
+    "elapsed_seconds",
+    "throughput",
+    "num_requested",
+    "timed_out",
+    "transform_seconds",
+]
+
+
+def _record_row(record: RunRecord) -> dict:
+    return {
+        "sampler_name": record.sampler_name,
+        "instance_name": record.instance_name,
+        "num_unique": record.num_unique,
+        "elapsed_seconds": record.elapsed_seconds,
+        "throughput": record.throughput,
+        "num_requested": record.num_requested,
+        "timed_out": record.timed_out,
+        "transform_seconds": record.transform_seconds,
+    }
+
+
+def run_records_to_json(records: Iterable[RunRecord], indent: int = 2) -> str:
+    """Serialise run records to a JSON array (stable field order)."""
+    return json.dumps([_record_row(record) for record in records], indent=indent)
+
+
+def run_records_to_csv(records: Iterable[RunRecord]) -> str:
+    """Serialise run records to CSV text with a header row."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_FIELDS)
+    writer.writeheader()
+    for record in records:
+        writer.writerow(_record_row(record))
+    return buffer.getvalue()
+
+
+def load_run_records_json(text: str) -> List[dict]:
+    """Load previously exported JSON back into plain dictionaries."""
+    data = json.loads(text)
+    if not isinstance(data, list):
+        raise ValueError("expected a JSON array of run records")
+    return data

@@ -1,0 +1,70 @@
+"""Reading and writing solution files.
+
+The de-facto interchange format used by sampler-testing tools (Barbarik,
+the UniGen tool chain) is one solution per line as signed DIMACS literals,
+optionally terminated by ``0``.  These helpers convert between that format
+and the :class:`~repro.core.solutions.SolutionSet` used throughout the
+library, so sampled solutions can be fed to external checkers (or external
+samples loaded for the uniformity metrics).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.solutions import SolutionSet
+
+
+def solutions_to_text(
+    solutions: SolutionSet, limit: Optional[int] = None, terminate_with_zero: bool = True
+) -> str:
+    """Serialise solutions as one line of signed literals per solution."""
+    lines = []
+    for literals in solutions.to_literal_lists(limit):
+        body = " ".join(str(literal) for literal in literals)
+        lines.append(f"{body} 0" if terminate_with_zero else body)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_solutions_text(text: str, num_variables: int) -> SolutionSet:
+    """Parse a solutions file back into a :class:`SolutionSet`.
+
+    Lines may or may not end with ``0``; unmentioned variables default to
+    false; comment lines starting with ``c`` or ``#`` are skipped.
+    """
+    solutions = SolutionSet(num_variables)
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith(("c", "#")):
+            continue
+        vector = np.zeros(num_variables, dtype=bool)
+        for token in line.split():
+            literal = int(token)
+            if literal == 0:
+                break
+            variable = abs(literal)
+            if variable > num_variables:
+                raise ValueError(
+                    f"literal {literal} exceeds declared variable count {num_variables}"
+                )
+            vector[variable - 1] = literal > 0
+        solutions.add(vector)
+    return solutions
+
+
+def write_solutions_file(
+    solutions: SolutionSet, path: Union[str, Path], limit: Optional[int] = None
+) -> Path:
+    """Write solutions to a file and return the path."""
+    path = Path(path)
+    path.write_text(solutions_to_text(solutions, limit=limit))
+    return path
+
+
+def read_solutions_file(path: Union[str, Path], num_variables: int) -> SolutionSet:
+    """Read a solutions file written by :func:`write_solutions_file` (or compatible tools)."""
+    path = Path(path)
+    return parse_solutions_text(path.read_text(), num_variables)

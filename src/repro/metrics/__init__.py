@@ -1,0 +1,23 @@
+"""Solution-quality metrics: uniqueness, validity, diversity and uniformity."""
+
+from repro.metrics.quality import (
+    validity_rate,
+    uniqueness_rate,
+    hamming_diversity,
+    pairwise_hamming_histogram,
+)
+from repro.metrics.uniformity import (
+    chi_square_uniformity,
+    empirical_distribution,
+    kl_divergence_from_uniform,
+)
+
+__all__ = [
+    "validity_rate",
+    "uniqueness_rate",
+    "hamming_diversity",
+    "pairwise_hamming_histogram",
+    "chi_square_uniformity",
+    "empirical_distribution",
+    "kl_divergence_from_uniform",
+]

@@ -1,0 +1,83 @@
+"""Uniformity testing of samplers over the full solution space.
+
+UniGen3 provides approximate-uniformity *guarantees*; the paper's sampler
+does not, and neither do CMSGen or QuickSampler.  For small instances the
+entire solution space can be enumerated (with the DPLL oracle), so the
+empirical distribution of a sampler's draws can be tested against uniform
+with a chi-square statistic — this is how the extended benchmarks
+characterise each sampler's bias.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+
+def empirical_distribution(
+    draws: Iterable[np.ndarray],
+) -> Dict[bytes, int]:
+    """Count how often each distinct assignment appears in ``draws``."""
+    counts: Dict[bytes, int] = {}
+    for draw in draws:
+        key = np.packbits(np.asarray(draw, dtype=bool)).tobytes()
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def chi_square_uniformity(
+    draw_counts: Dict[bytes, int], num_models: int
+) -> Tuple[float, float]:
+    """Chi-square statistic (and p-value) of draws against the uniform distribution.
+
+    ``num_models`` is the true model count; models never drawn contribute
+    their full expected count to the statistic.  The p-value uses the
+    chi-square survival function from SciPy when available and a normal
+    approximation otherwise.
+    """
+    if num_models <= 0:
+        raise ValueError("num_models must be positive")
+    total_draws = sum(draw_counts.values())
+    if total_draws == 0:
+        return 0.0, 1.0
+    expected = total_draws / num_models
+    observed = list(draw_counts.values())
+    missing_models = num_models - len(observed)
+    statistic = sum((count - expected) ** 2 / expected for count in observed)
+    statistic += missing_models * expected  # (0 - expected)^2 / expected per missing model
+    degrees = num_models - 1
+    p_value = _chi2_survival(statistic, degrees)
+    return float(statistic), float(p_value)
+
+
+def kl_divergence_from_uniform(
+    draw_counts: Dict[bytes, int], num_models: int
+) -> float:
+    """KL divergence (nats) of the empirical draw distribution from uniform."""
+    total_draws = sum(draw_counts.values())
+    if total_draws == 0 or num_models <= 0:
+        return 0.0
+    uniform = 1.0 / num_models
+    divergence = 0.0
+    for count in draw_counts.values():
+        probability = count / total_draws
+        divergence += probability * np.log(probability / uniform)
+    return float(divergence)
+
+
+def _chi2_survival(statistic: float, degrees: int) -> float:
+    """Chi-square survival function with a SciPy-free fallback."""
+    try:
+        from scipy.stats import chi2
+
+        return float(chi2.sf(statistic, degrees))
+    except ImportError:  # pragma: no cover - scipy is installed in this environment
+        if degrees <= 0:
+            return 1.0
+        # Wilson-Hilferty normal approximation.
+        scaled = (statistic / degrees) ** (1.0 / 3.0)
+        mean = 1.0 - 2.0 / (9.0 * degrees)
+        std = np.sqrt(2.0 / (9.0 * degrees))
+        z = (scaled - mean) / std
+        return float(0.5 * (1.0 - np.math.erf(z / np.sqrt(2.0))))

@@ -1,0 +1,50 @@
+"""A minimal reverse-mode automatic-differentiation engine over NumPy.
+
+The paper implements its sampler in PyTorch and runs it on a V100 GPU.  This
+package is the substitution documented in DESIGN.md: a small tensor type with
+reverse-mode autodiff, the handful of elementwise operations the probabilistic
+circuit model needs (Table I gate relaxations, sigmoid embedding, L2 loss) and
+plain gradient-descent/Adam optimizers.
+
+The execution model matches the paper's: every tensor carries a leading batch
+axis and all operations are independent per batch element, so a single
+vectorised NumPy call plays the role of one GPU kernel launch across the
+batch.  The ``scalar`` backend in :mod:`repro.gpu.device` reuses exactly the
+same ops but loops over the batch one element at a time, which is how the
+Fig. 4 GPU-vs-CPU ablation is reproduced.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad
+from repro.tensor.functional import (
+    sigmoid,
+    prob_not,
+    prob_and,
+    prob_or,
+    prob_xor,
+    prob_xnor,
+    prob_nand,
+    prob_nor,
+    prob_buf,
+    square,
+    l2_loss,
+)
+from repro.tensor.optim import SGD, Adam, Optimizer
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "sigmoid",
+    "prob_not",
+    "prob_and",
+    "prob_or",
+    "prob_xor",
+    "prob_xnor",
+    "prob_nand",
+    "prob_nor",
+    "prob_buf",
+    "square",
+    "l2_loss",
+    "SGD",
+    "Adam",
+    "Optimizer",
+]

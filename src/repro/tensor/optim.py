@@ -1,0 +1,107 @@
+"""Gradient-based optimizers.
+
+The paper trains with plain gradient descent (``lr = 10``, 5 iterations);
+:class:`SGD` reproduces Eq. 10 (``x <- x - lr * dL/dx``).  :class:`Adam` is
+provided because the ablation benchmarks explore optimizer sensitivity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+class Optimizer:
+    """Base class: holds parameter tensors and clears their gradients."""
+
+    def __init__(self, parameters: Iterable[Tensor]) -> None:
+        self.parameters: List[Tensor] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer needs at least one parameter tensor")
+        for parameter in self.parameters:
+            if not parameter.requires_grad:
+                raise ValueError("all optimizer parameters must require gradients")
+
+    def zero_grad(self) -> None:
+        """Clear every parameter gradient."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the currently accumulated gradients."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain gradient descent, optionally with momentum (Eq. 10 when momentum=0)."""
+
+    def __init__(
+        self, parameters: Iterable[Tensor], lr: float = 10.0, momentum: float = 0.0
+    ) -> None:
+        super().__init__(parameters)
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for parameter in self.parameters:
+            if parameter.grad is None:
+                continue
+            update = parameter.grad
+            if self.momentum > 0.0:
+                velocity = self._velocity.get(id(parameter))
+                if velocity is None:
+                    velocity = np.zeros_like(parameter.data)
+                velocity = self.momentum * velocity + update
+                self._velocity[id(parameter)] = velocity
+                update = velocity
+            parameter.data = parameter.data - self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba) over the same parameter interface."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 0.1,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(parameters)
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._step_count = 0
+        self._first_moment: Dict[int, np.ndarray] = {}
+        self._second_moment: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        self._step_count += 1
+        for parameter in self.parameters:
+            if parameter.grad is None:
+                continue
+            key = id(parameter)
+            first = self._first_moment.get(key)
+            second = self._second_moment.get(key)
+            if first is None:
+                first = np.zeros_like(parameter.data)
+                second = np.zeros_like(parameter.data)
+            first = self.beta1 * first + (1.0 - self.beta1) * parameter.grad
+            second = self.beta2 * second + (1.0 - self.beta2) * parameter.grad**2
+            self._first_moment[key] = first
+            self._second_moment[key] = second
+            first_hat = first / (1.0 - self.beta1**self._step_count)
+            second_hat = second / (1.0 - self.beta2**self._step_count)
+            parameter.data = parameter.data - self.lr * first_hat / (
+                np.sqrt(second_hat) + self.eps
+            )

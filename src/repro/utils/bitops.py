@@ -1,0 +1,93 @@
+"""Bit-level helpers for compact solution storage and bit-parallel simulation.
+
+Solutions are boolean vectors over the primary-input variables; storing them
+packed into ``uint64`` words keeps the unique-solution bookkeeping cheap even
+for millions of samples, and the circuit simulator uses the same packing for
+64-way bit-parallel evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+
+def pack_bool_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Pack a ``(rows, cols)`` boolean matrix into ``(rows, ceil(cols/64))`` uint64.
+
+    Bit ``j`` of word ``w`` in a row corresponds to column ``64 * w + j``.
+    """
+    matrix = np.asarray(matrix, dtype=bool)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    rows, cols = matrix.shape
+    words = (cols + 63) // 64
+    padded = np.zeros((rows, words * 64), dtype=bool)
+    padded[:, :cols] = matrix
+    bits = padded.reshape(rows, words, 64).astype(np.uint64)
+    shifts = np.arange(64, dtype=np.uint64)
+    return (bits << shifts).sum(axis=2, dtype=np.uint64)
+
+
+def unpack_bool_matrix(packed: np.ndarray, cols: int) -> np.ndarray:
+    """Inverse of :func:`pack_bool_matrix`; returns a boolean ``(rows, cols)`` matrix."""
+    packed = np.asarray(packed, dtype=np.uint64)
+    if packed.ndim != 2:
+        raise ValueError(f"expected a 2-D packed matrix, got shape {packed.shape}")
+    rows, words = packed.shape
+    if cols > words * 64:
+        raise ValueError(f"cols={cols} exceeds packed capacity {words * 64}")
+    shifts = np.arange(64, dtype=np.uint64)
+    bits = (packed[:, :, None] >> shifts) & np.uint64(1)
+    return bits.reshape(rows, words * 64)[:, :cols].astype(bool)
+
+
+def popcount64(words: np.ndarray) -> np.ndarray:
+    """Per-element population count of a uint64 array."""
+    words = np.asarray(words, dtype=np.uint64)
+    count = np.zeros(words.shape, dtype=np.int64)
+    remaining = words.copy()
+    for _ in range(64):
+        count += (remaining & np.uint64(1)).astype(np.int64)
+        remaining >>= np.uint64(1)
+        if not remaining.any():
+            break
+    return count
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> int:
+    """Hamming distance between two boolean vectors of equal length."""
+    a = np.asarray(a, dtype=bool)
+    b = np.asarray(b, dtype=bool)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return int(np.count_nonzero(a ^ b))
+
+
+def bools_to_int(bits: Iterable[bool]) -> int:
+    """Interpret an iterable of booleans as an unsigned integer (LSB first)."""
+    value = 0
+    for position, bit in enumerate(bits):
+        if bit:
+            value |= 1 << position
+    return value
+
+
+def int_to_bools(value: int, width: int) -> Tuple[bool, ...]:
+    """Expand an unsigned integer into ``width`` booleans (LSB first)."""
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    return tuple(bool((value >> i) & 1) for i in range(width))
+
+
+def rows_as_bytes(matrix: np.ndarray) -> list:
+    """Return a hashable ``bytes`` key per row of a boolean matrix.
+
+    Used to deduplicate sampled solutions without converting rows to tuples,
+    which would be an order of magnitude slower for large batches.
+    """
+    matrix = np.ascontiguousarray(np.asarray(matrix, dtype=np.uint8))
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    return [row.tobytes() for row in matrix]

@@ -1,0 +1,122 @@
+"""Timing primitives used by the evaluation harness.
+
+The throughput numbers reported in Table II of the paper are
+``unique solutions / wall-clock second``; :class:`Stopwatch` provides the
+wall-clock measurements and :class:`Timer` provides a context-manager
+convenience wrapper used throughout the benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class Stopwatch:
+    """A resumable stopwatch measuring wall-clock seconds."""
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._elapsed: float = 0.0
+
+    def start(self) -> "Stopwatch":
+        """Start (or resume) the stopwatch."""
+        if self._start is None:
+            self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return total elapsed seconds."""
+        if self._start is not None:
+            self._elapsed += time.perf_counter() - self._start
+            self._start = None
+        return self._elapsed
+
+    def reset(self) -> None:
+        """Reset accumulated time and stop."""
+        self._start = None
+        self._elapsed = 0.0
+
+    @property
+    def running(self) -> bool:
+        """Whether the stopwatch is currently running."""
+        return self._start is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds, including the in-progress interval if running."""
+        if self._start is None:
+            return self._elapsed
+        return self._elapsed + (time.perf_counter() - self._start)
+
+
+class Timer:
+    """Context manager measuring the wall-clock duration of a block.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.seconds >= 0.0
+    True
+    """
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self.seconds: float = 0.0
+        self._start: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+    @property
+    def milliseconds(self) -> float:
+        """Duration in milliseconds."""
+        return self.seconds * 1e3
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates named phase durations (transform, sample, validate, ...)."""
+
+    phases: Dict[str, float] = field(default_factory=dict)
+    order: List[str] = field(default_factory=list)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Add ``seconds`` to the accumulated duration of phase ``name``."""
+        if name not in self.phases:
+            self.phases[name] = 0.0
+            self.order.append(name)
+        self.phases[name] += seconds
+
+    def measure(self, name: str) -> "_PhaseContext":
+        """Return a context manager that records its duration under ``name``."""
+        return _PhaseContext(self, name)
+
+    @property
+    def total(self) -> float:
+        """Sum of all phase durations."""
+        return sum(self.phases.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return phase durations in insertion order."""
+        return {name: self.phases[name] for name in self.order}
+
+
+class _PhaseContext:
+    def __init__(self, parent: PhaseTimer, name: str) -> None:
+        self._parent = parent
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_PhaseContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._parent.add(self._name, time.perf_counter() - self._start)

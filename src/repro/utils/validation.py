@@ -1,0 +1,35 @@
+"""Small argument-validation helpers shared across the library."""
+
+from __future__ import annotations
+
+from typing import Union
+
+Number = Union[int, float]
+
+
+def check_positive(name: str, value: Number) -> Number:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_non_negative(name: str, value: Number) -> Number:
+    """Raise ``ValueError`` unless ``value`` is non-negative."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` lies in the closed interval [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_in_range(name: str, value: Number, low: Number, high: Number) -> Number:
+    """Raise ``ValueError`` unless ``low <= value <= high``."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    return value

@@ -1,0 +1,48 @@
+"""Tests for WalkSAT (repro.baselines.walksat)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.walksat import WalkSATSolver
+from repro.cnf.formula import CNF
+from repro.cnf.generators import planted_ksat, planted_solution
+
+
+class TestWalkSAT:
+    def test_solves_planted_instances(self):
+        for seed in range(3):
+            formula = planted_ksat(25, 80, seed=seed)
+            model = WalkSATSolver(formula, seed=seed).solve()
+            assert model is not None
+            assert formula.evaluate_batch(model[None, :])[0]
+
+    def test_solves_fig1(self, fig1_formula):
+        model = WalkSATSolver(fig1_formula, seed=0).solve()
+        assert model is not None
+        assert fig1_formula.evaluate_batch(model[None, :])[0]
+
+    def test_initial_assignment_used(self):
+        formula = planted_ksat(20, 60, seed=4)
+        witness = planted_solution(formula)
+        model = WalkSATSolver(formula, seed=0, max_flips=1).solve(initial=witness)
+        assert model is not None
+        assert np.array_equal(model, witness)
+
+    def test_failure_returns_none(self, tiny_unsat_formula):
+        assert WalkSATSolver(tiny_unsat_formula, seed=0, max_flips=50, max_restarts=2).solve() is None
+
+    def test_invalid_noise_rejected(self, tiny_sat_formula):
+        with pytest.raises(ValueError):
+            WalkSATSolver(tiny_sat_formula, noise=1.5)
+
+    def test_zero_noise_greedy_walk(self):
+        formula = planted_ksat(15, 40, seed=7)
+        model = WalkSATSolver(formula, seed=7, noise=0.0).solve()
+        assert model is not None
+        assert formula.evaluate_batch(model[None, :])[0]
+
+    def test_deterministic_given_seed(self):
+        formula = planted_ksat(15, 45, seed=9)
+        first = WalkSATSolver(formula, seed=1).solve()
+        second = WalkSATSolver(formula, seed=1).solve()
+        assert np.array_equal(first, second)

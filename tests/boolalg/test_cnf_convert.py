@@ -1,0 +1,98 @@
+"""Tests for expression-to-CNF conversion (repro.boolalg.cnf_convert)."""
+
+import itertools
+
+import pytest
+
+from repro.boolalg.cnf_convert import TseitinEncoder, expr_to_cnf_clauses, tseitin_encode
+from repro.boolalg.expr import And, Not, Or, Var, Xor
+from repro.cnf.formula import CNF
+
+
+def _clauses_satisfied(clauses, assignment):
+    return all(
+        any(assignment[abs(lit)] == (lit > 0) for lit in clause) for clause in clauses
+    )
+
+
+class TestEquivalentConversion:
+    def test_matches_expression_semantics(self):
+        a, b, c = Var("a"), Var("b"), Var("c")
+        index = {"a": 1, "b": 2, "c": 3}
+        expressions = [
+            And(a, b),
+            Or(a, Not(b)),
+            Or(And(a, b), c),
+            Xor(a, b),
+            And(Or(a, b), Or(Not(a), c)),
+        ]
+        for expr in expressions:
+            clauses = expr_to_cnf_clauses(expr, index)
+            for bits in itertools.product([False, True], repeat=3):
+                assignment = {1: bits[0], 2: bits[1], 3: bits[2]}
+                named = {"a": bits[0], "b": bits[1], "c": bits[2]}
+                assert _clauses_satisfied(clauses, assignment) == expr.evaluate(named)
+
+    def test_tautological_clauses_dropped(self):
+        a = Var("a")
+        clauses = expr_to_cnf_clauses(Or(a, Not(a)), {"a": 1})
+        assert clauses == []
+
+
+class TestTseitinEncoder:
+    def test_fresh_variables_are_allocated_after_existing(self):
+        encoder = TseitinEncoder({"a": 1, "b": 2})
+        aux = encoder.fresh_var()
+        assert aux == 3
+        assert encoder.num_variables == 3
+
+    def test_and_gate_signature(self):
+        encoder = TseitinEncoder({"a": 1, "b": 2})
+        output = encoder.encode(And(Var("a"), Var("b")))
+        clause_sets = {frozenset(clause) for clause in encoder.clauses}
+        assert frozenset({output, -1, -2}) in clause_sets
+        assert frozenset({-output, 1}) in clause_sets
+        assert frozenset({-output, 2}) in clause_sets
+
+    def test_not_is_literal_negation(self):
+        encoder = TseitinEncoder({"a": 1})
+        assert encoder.encode(Not(Var("a"))) == -1
+        assert encoder.clauses == []
+
+
+class TestTseitinEquisatisfiability:
+    @pytest.mark.parametrize(
+        "expr, satisfiable",
+        [
+            (And(Var("a"), Not(Var("a"))), False),
+            (Or(Var("a"), Var("b")), True),
+            (Xor(Var("a"), Var("b"), Var("c")), True),
+            (And(Or(Var("a"), Var("b")), Not(Var("a")), Not(Var("b"))), False),
+        ],
+    )
+    def test_satisfiability_preserved(self, expr, satisfiable):
+        names = sorted(expr.support())
+        index = {name: i + 1 for i, name in enumerate(names)}
+        clauses, _, full_index = tseitin_encode(expr, index)
+        formula = CNF(clauses, num_variables=max(full_index.values()))
+        from repro.baselines.dpll import DPLLSolver
+
+        assert (DPLLSolver(formula).solve() is not None) == satisfiable
+
+    def test_projected_models_match_expression(self):
+        a, b, c = Var("a"), Var("b"), Var("c")
+        expr = Or(And(a, b), c)
+        index = {"a": 1, "b": 2, "c": 3}
+        clauses, _, full_index = tseitin_encode(expr, index)
+        formula = CNF(clauses, num_variables=max(full_index.values()))
+        from repro.baselines.dpll import DPLLSolver
+
+        projected = set()
+        for model in DPLLSolver(formula).enumerate_models():
+            projected.add(tuple(bool(model[i]) for i in range(3)))
+        expected = {
+            bits
+            for bits in itertools.product([False, True], repeat=3)
+            if expr.evaluate({"a": bits[0], "b": bits[1], "c": bits[2]})
+        }
+        assert projected == expected

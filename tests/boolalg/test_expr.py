@@ -1,0 +1,193 @@
+"""Tests for the Boolean expression AST (repro.boolalg.expr)."""
+
+import pytest
+
+from repro.boolalg.expr import (
+    And,
+    Const,
+    FALSE,
+    Not,
+    Or,
+    TRUE,
+    Var,
+    Xor,
+    ite,
+    nand_,
+    nor_,
+    variables,
+    xnor_,
+)
+
+
+class TestConstAndVar:
+    def test_constants_are_singleton_like(self):
+        assert TRUE == Const(True)
+        assert FALSE == Const(False)
+        assert TRUE != FALSE
+
+    def test_const_evaluate(self):
+        assert TRUE.evaluate({}) is True
+        assert FALSE.evaluate({}) is False
+
+    def test_var_evaluate(self):
+        assert Var("a").evaluate({"a": 1}) is True
+        assert Var("a").evaluate({"a": 0}) is False
+
+    def test_var_missing_assignment_raises(self):
+        with pytest.raises(KeyError):
+            Var("a").evaluate({"b": True})
+
+    def test_var_requires_name(self):
+        with pytest.raises(ValueError):
+            Var("")
+
+    def test_support(self):
+        assert Var("a").support() == {"a"}
+        assert TRUE.support() == frozenset()
+
+    def test_immutability(self):
+        with pytest.raises(AttributeError):
+            Var("a").name = "b"
+        with pytest.raises(AttributeError):
+            TRUE.value = False
+
+    def test_variables_helper(self):
+        a, b = variables(["a", "b"])
+        assert a == Var("a") and b == Var("b")
+
+
+class TestNot:
+    def test_double_negation_collapses(self):
+        a = Var("a")
+        assert Not(Not(a)) == a
+
+    def test_constant_folding(self):
+        assert Not(TRUE) == FALSE
+        assert Not(FALSE) == TRUE
+
+    def test_evaluate(self):
+        assert Not(Var("a")).evaluate({"a": False}) is True
+
+    def test_operator_overload(self):
+        assert (~Var("a")) == Not(Var("a"))
+
+
+class TestAnd:
+    def test_flattening(self):
+        a, b, c = variables("abc")
+        assert And(And(a, b), c) == And(a, b, c)
+
+    def test_identity_and_annihilator(self):
+        a = Var("a")
+        assert And(a, TRUE) == a
+        assert And(a, FALSE) == FALSE
+        assert And() == TRUE
+
+    def test_duplicate_removal(self):
+        a, b = Var("a"), Var("b")
+        assert And(a, a, b) == And(a, b)
+
+    def test_complement_folds_to_false(self):
+        a = Var("a")
+        assert And(a, Not(a)) == FALSE
+
+    def test_evaluate(self, expr_abc):
+        a, b, c = expr_abc
+        expr = And(a, b, c)
+        assert expr.evaluate({"a": 1, "b": 1, "c": 1}) is True
+        assert expr.evaluate({"a": 1, "b": 0, "c": 1}) is False
+
+    def test_operator_overload(self):
+        a, b = Var("a"), Var("b")
+        assert (a & b) == And(a, b)
+
+    def test_substitute(self):
+        a, b = Var("a"), Var("b")
+        assert And(a, b).substitute({"a": TRUE}) == b
+
+
+class TestOr:
+    def test_identity_and_annihilator(self):
+        a = Var("a")
+        assert Or(a, FALSE) == a
+        assert Or(a, TRUE) == TRUE
+        assert Or() == FALSE
+
+    def test_complement_folds_to_true(self):
+        a = Var("a")
+        assert Or(a, Not(a)) == TRUE
+
+    def test_evaluate(self, expr_abc):
+        a, b, c = expr_abc
+        assert Or(a, b, c).evaluate({"a": 0, "b": 0, "c": 1}) is True
+        assert Or(a, b, c).evaluate({"a": 0, "b": 0, "c": 0}) is False
+
+    def test_operator_overload(self):
+        a, b = Var("a"), Var("b")
+        assert (a | b) == Or(a, b)
+
+
+class TestXor:
+    def test_constant_folding(self):
+        a = Var("a")
+        assert Xor(a, FALSE) == a
+        assert Xor(a, TRUE) == Not(a)
+        assert Xor(TRUE, TRUE) == FALSE
+
+    def test_duplicate_cancellation(self):
+        a, b = Var("a"), Var("b")
+        assert Xor(a, a) == FALSE
+        assert Xor(a, a, b) == b
+
+    def test_negated_operand_becomes_parity(self):
+        a, b = Var("a"), Var("b")
+        assert Xor(Not(a), b) == Not(Xor(a, b))
+
+    def test_evaluate_parity(self, expr_abc):
+        a, b, c = expr_abc
+        expr = Xor(a, b, c)
+        assert expr.evaluate({"a": 1, "b": 1, "c": 1}) is True
+        assert expr.evaluate({"a": 1, "b": 1, "c": 0}) is False
+
+    def test_operator_overload(self):
+        a, b = Var("a"), Var("b")
+        assert (a ^ b) == Xor(a, b)
+
+
+class TestDerivedOperators:
+    def test_nand_nor_xnor(self):
+        a, b = Var("a"), Var("b")
+        assert nand_(a, b).evaluate({"a": 1, "b": 1}) is False
+        assert nor_(a, b).evaluate({"a": 0, "b": 0}) is True
+        assert xnor_(a, b).evaluate({"a": 1, "b": 1}) is True
+
+    def test_ite(self):
+        c, t, e = Var("c"), Var("t"), Var("e")
+        expr = ite(c, t, e)
+        assert expr.evaluate({"c": 1, "t": 1, "e": 0}) is True
+        assert expr.evaluate({"c": 0, "t": 1, "e": 0}) is False
+
+
+class TestStructuralMetrics:
+    def test_node_count_and_depth(self):
+        a, b = Var("a"), Var("b")
+        expr = Or(And(a, b), Not(a))
+        assert expr.node_count() == 6
+        assert expr.depth() == 2
+        assert a.depth() == 0
+
+    def test_two_input_gate_count(self):
+        a, b, c = variables("abc")
+        assert Var("a").two_input_gate_count() == 0
+        assert And(a, b, c).two_input_gate_count() == 2
+        assert Not(And(a, b)).two_input_gate_count() == 2
+        assert Or(And(a, b), c).two_input_gate_count() == 2
+
+    def test_hash_consistency(self):
+        assert hash(And(Var("a"), Var("b"))) == hash(And(Var("a"), Var("b")))
+        assert And(Var("a"), Var("b")) in {And(Var("a"), Var("b"))}
+
+    def test_str_rendering(self):
+        expr = Or(And(Var("a"), Var("b")), Not(Var("c")))
+        text = str(expr)
+        assert "a" in text and "b" in text and "~" in text

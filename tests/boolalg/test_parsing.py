@@ -1,0 +1,76 @@
+"""Tests for the Boolean expression parser (repro.boolalg.parsing)."""
+
+import pytest
+
+from repro.boolalg.expr import And, FALSE, Not, Or, TRUE, Var, Xor
+from repro.boolalg.parsing import ParseError, parse_expr
+from repro.boolalg.truth_table import equivalent
+
+
+class TestAtoms:
+    def test_variable(self):
+        assert parse_expr("abc_1") == Var("abc_1")
+
+    def test_constants(self):
+        assert parse_expr("1") == TRUE
+        assert parse_expr("0") == FALSE
+
+    def test_parentheses(self):
+        assert parse_expr("(a)") == Var("a")
+
+
+class TestOperators:
+    def test_and(self):
+        assert parse_expr("a & b") == And(Var("a"), Var("b"))
+        assert parse_expr("a * b") == And(Var("a"), Var("b"))
+
+    def test_or(self):
+        assert parse_expr("a | b") == Or(Var("a"), Var("b"))
+        assert parse_expr("a + b") == Or(Var("a"), Var("b"))
+
+    def test_xor(self):
+        assert parse_expr("a ^ b") == Xor(Var("a"), Var("b"))
+
+    def test_not(self):
+        assert parse_expr("~a") == Not(Var("a"))
+        assert parse_expr("!a") == Not(Var("a"))
+        assert parse_expr("~~a") == Var("a")
+
+
+class TestPrecedence:
+    def test_and_binds_tighter_than_or(self):
+        assert parse_expr("a | b & c") == Or(Var("a"), And(Var("b"), Var("c")))
+
+    def test_or_binds_tighter_than_xor(self):
+        assert parse_expr("a ^ b | c") == Xor(Var("a"), Or(Var("b"), Var("c")))
+
+    def test_not_binds_tightest(self):
+        assert parse_expr("~a & b") == And(Not(Var("a")), Var("b"))
+
+    def test_parentheses_override(self):
+        assert parse_expr("(a | b) & c") == And(Or(Var("a"), Var("b")), Var("c"))
+
+    def test_paper_mux_expression(self):
+        expr = parse_expr("(x107 & x4) | (x108 & ~x4)")
+        reference = Or(
+            And(Var("x107"), Var("x4")), And(Var("x108"), Not(Var("x4")))
+        )
+        assert equivalent(expr, reference)
+
+
+class TestErrors:
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse_expr("")
+
+    def test_unbalanced_parenthesis(self):
+        with pytest.raises(ParseError):
+            parse_expr("(a & b")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(ParseError):
+            parse_expr("a b")
+
+    def test_invalid_character(self):
+        with pytest.raises(ParseError):
+            parse_expr("a @ b")

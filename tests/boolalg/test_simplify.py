@@ -1,0 +1,78 @@
+"""Tests for expression simplification (repro.boolalg.simplify)."""
+
+from repro.boolalg.expr import And, Not, Or, TRUE, Var, Xor
+from repro.boolalg.simplify import simplify, simplify_algebraic, simplify_exact
+from repro.boolalg.truth_table import equivalent
+
+
+class TestSimplifyExact:
+    def test_absorption(self):
+        a, b = Var("a"), Var("b")
+        assert simplify_exact(Or(a, And(a, b))) == a
+
+    def test_consensus_removed(self):
+        """The redundant consensus term of the paper's Eq. 5 expression is dropped."""
+        x4, x107, x108 = Var("x4"), Var("x107"), Var("x108")
+        with_consensus = Or(And(x107, x4), And(x108, Not(x4)), And(x107, x108))
+        simplified = simplify_exact(with_consensus)
+        assert equivalent(simplified, with_consensus)
+        assert simplified.two_input_gate_count() <= Or(
+            And(x107, x4), And(x108, Not(x4))
+        ).two_input_gate_count() + 1
+
+    def test_xor_detection(self):
+        a, b = Var("a"), Var("b")
+        sum_of_products = Or(And(a, Not(b)), And(Not(a), b))
+        simplified = simplify_exact(sum_of_products)
+        assert equivalent(simplified, Xor(a, b))
+        assert simplified.two_input_gate_count() <= sum_of_products.two_input_gate_count()
+
+    def test_tautology_becomes_constant(self):
+        a = Var("a")
+        assert simplify_exact(Or(a, Not(a))) == TRUE
+
+    def test_never_increases_cost(self):
+        a, b, c = Var("a"), Var("b"), Var("c")
+        expr = Or(And(a, b), And(a, b, c), And(a, Not(c), b))
+        assert simplify_exact(expr).two_input_gate_count() <= expr.two_input_gate_count()
+
+
+class TestSimplifyAlgebraic:
+    def test_or_absorption(self):
+        a, b = Var("a"), Var("b")
+        assert simplify_algebraic(Or(a, And(a, b))) == a
+
+    def test_and_absorption(self):
+        a, b = Var("a"), Var("b")
+        assert simplify_algebraic(And(a, Or(a, b))) == a
+
+    def test_preserves_semantics_on_nested(self):
+        a, b, c = Var("a"), Var("b"), Var("c")
+        expr = Or(And(a, b), And(a, Or(b, c)), c)
+        assert equivalent(simplify_algebraic(expr), expr)
+
+    def test_leaves_vars_alone(self):
+        assert simplify_algebraic(Var("a")) == Var("a")
+
+
+class TestSimplifyDispatch:
+    def test_small_support_uses_exact(self):
+        a, b = Var("a"), Var("b")
+        assert simplify(Or(And(a, b), And(a, Not(b)))) == a
+
+    def test_wide_support_falls_back_to_algebraic(self):
+        names = [Var(f"v{i}") for i in range(15)]
+        expr = Or(names[0], And(names[0], *names[1:]))
+        simplified = simplify(expr)
+        assert simplified == names[0]
+
+    def test_equivalence_always_preserved(self):
+        a, b, c, d = (Var(n) for n in "abcd")
+        expressions = [
+            Or(And(a, b), And(Not(a), c), And(b, c)),
+            Xor(a, b, c),
+            And(Or(a, b), Or(c, d), Or(a, d)),
+            Not(Or(And(a, b), c)),
+        ]
+        for expr in expressions:
+            assert equivalent(simplify(expr), expr)

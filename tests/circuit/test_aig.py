@@ -1,0 +1,87 @@
+"""Tests for the And-Inverter Graph (repro.circuit.aig)."""
+
+import itertools
+
+from repro.circuit.aig import AIG, FALSE_LIT, TRUE_LIT, circuit_to_aig
+from repro.circuit.builder import CircuitBuilder
+
+
+class TestAIGPrimitives:
+    def test_constant_simplifications(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        assert aig.add_and(a, FALSE_LIT) == FALSE_LIT
+        assert aig.add_and(a, TRUE_LIT) == a
+        assert aig.add_and(a, a) == a
+        assert aig.add_and(a, a ^ 1) == FALSE_LIT
+
+    def test_structural_hashing(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        assert aig.add_and(a, b) == aig.add_and(b, a)
+        assert aig.num_ands == 1
+
+    def test_or_and_xor_semantics(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        aig.add_output("or", aig.add_or(a, b))
+        aig.add_output("xor", aig.add_xor(a, b))
+        for value_a, value_b in itertools.product([False, True], repeat=2):
+            outputs = aig.evaluate({"a": value_a, "b": value_b})
+            assert outputs["or"] == (value_a or value_b)
+            assert outputs["xor"] == (value_a ^ value_b)
+
+    def test_counts(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        aig.add_output("f", aig.add_and(a, b))
+        assert aig.num_inputs == 2
+        assert aig.num_outputs == 1
+        assert aig.num_ands == 1
+
+
+class TestCircuitConversion:
+    def test_small_circuit_equivalence(self, small_circuit):
+        aig = circuit_to_aig(small_circuit)
+        for bits in itertools.product([False, True], repeat=3):
+            assignment = dict(zip(small_circuit.inputs, bits))
+            reference = small_circuit.evaluate_outputs(assignment)
+            converted = aig.evaluate(assignment)
+            for name in small_circuit.outputs:
+                assert converted[name] == reference[name]
+
+    def test_all_gate_types_convert(self):
+        builder = CircuitBuilder()
+        a, b = builder.inputs(2)
+        nets = [
+            builder.and_(a, b), builder.or_(a, b), builder.nand_(a, b),
+            builder.nor_(a, b), builder.xor_(a, b), builder.xnor_(a, b),
+            builder.not_(a), builder.buf(b),
+        ]
+        for net in nets:
+            builder.output(net)
+        circuit = builder.circuit
+        aig = circuit_to_aig(circuit)
+        for bits in itertools.product([False, True], repeat=2):
+            assignment = dict(zip(circuit.inputs, bits))
+            reference = circuit.evaluate_outputs(assignment)
+            converted = aig.evaluate(assignment)
+            for name in circuit.outputs:
+                assert converted[name] == reference[name]
+
+    def test_constants_convert(self):
+        builder = CircuitBuilder()
+        a = builder.input("a")
+        one = builder.constant(True)
+        builder.output(builder.and_(a, one, name="out"))
+        aig = circuit_to_aig(builder.circuit)
+        assert aig.evaluate({"a": True})["out"] is True
+        assert aig.evaluate({"a": False})["out"] is False
+
+    def test_aig_size_is_reasonable(self, small_circuit):
+        aig = circuit_to_aig(small_circuit)
+        # (a & b) | c needs 2 ANDs; a ^ c needs 3.
+        assert aig.num_ands <= 6

@@ -1,0 +1,135 @@
+"""Tests for the circuit netlist (repro.circuit.netlist)."""
+
+import pytest
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit, CircuitError
+
+
+def _build_chain() -> Circuit:
+    circuit = Circuit("chain")
+    circuit.add_input("a")
+    circuit.add_gate("n1", GateType.NOT, ["a"])
+    circuit.add_gate("n2", GateType.BUF, ["n1"])
+    circuit.set_output("n2")
+    return circuit
+
+
+class TestConstruction:
+    def test_counts(self, small_circuit):
+        assert small_circuit.num_inputs == 3
+        assert small_circuit.num_outputs == 2
+        assert small_circuit.num_gates >= 3
+
+    def test_duplicate_net_rejected(self):
+        circuit = Circuit()
+        circuit.add_input("a")
+        with pytest.raises(CircuitError):
+            circuit.add_input("a")
+
+    def test_unknown_fanin_rejected(self):
+        circuit = Circuit()
+        with pytest.raises(CircuitError):
+            circuit.add_gate("g", GateType.NOT, ["missing"])
+
+    def test_unknown_output_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit().set_output("missing")
+
+    def test_input_via_add_gate_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit().add_gate("a", GateType.INPUT, [])
+
+    def test_constants(self):
+        circuit = Circuit()
+        circuit.add_constant("one", True)
+        circuit.add_constant("zero", False)
+        assert circuit.gate("one").gate_type == GateType.CONST1
+        assert circuit.gate("zero").gate_type == GateType.CONST0
+
+    def test_output_marked_once(self):
+        circuit = _build_chain()
+        circuit.set_output("n2")
+        assert circuit.outputs == ("n2",)
+
+
+class TestStructure:
+    def test_topological_order_respects_fanins(self, small_circuit):
+        order = small_circuit.topological_order()
+        position = {name: i for i, name in enumerate(order)}
+        for gate in small_circuit.gates:
+            for fanin in gate.fanins:
+                assert position[fanin] < position[gate.name]
+
+    def test_cycle_detection(self):
+        circuit = Circuit()
+        circuit.add_input("a")
+        circuit.add_gate("g1", GateType.BUF, ["a"])
+        # Force a cycle through the low-level replace API.
+        circuit.replace_gate("g1", GateType.AND, ["a", "g2"]) if circuit.has_net("g2") else None
+        circuit.add_gate("g2", GateType.BUF, ["g1"])
+        circuit.replace_gate("g1", GateType.BUF, ["g2"])
+        with pytest.raises(CircuitError):
+            circuit.topological_order()
+
+    def test_transitive_fanin(self, small_circuit):
+        cone = small_circuit.transitive_fanin(["f"])
+        assert "a" in cone and "b" in cone and "c" in cone and "f" in cone
+        assert "g" not in cone
+
+    def test_depth(self):
+        circuit = _build_chain()
+        assert circuit.depth() == 1  # buffer does not add depth
+
+    def test_fanouts(self, small_circuit):
+        fanouts = small_circuit.fanouts()
+        assert any("f" in consumers or len(consumers) > 0 for consumers in fanouts.values())
+
+    def test_replace_gate_invalidates_topo_cache(self):
+        circuit = _build_chain()
+        circuit.topological_order()
+        circuit.replace_gate("n2", GateType.NOT, ["n1"])
+        assert circuit.gate("n2").gate_type == GateType.NOT
+
+    def test_replace_primary_input_rejected(self):
+        circuit = _build_chain()
+        with pytest.raises(CircuitError):
+            circuit.replace_gate("a", GateType.NOT, ["n1"])
+
+
+class TestEvaluation:
+    def test_all_gate_types(self):
+        circuit = Circuit()
+        circuit.add_input("a")
+        circuit.add_input("b")
+        circuit.add_gate("and", GateType.AND, ["a", "b"])
+        circuit.add_gate("or", GateType.OR, ["a", "b"])
+        circuit.add_gate("nand", GateType.NAND, ["a", "b"])
+        circuit.add_gate("nor", GateType.NOR, ["a", "b"])
+        circuit.add_gate("xor", GateType.XOR, ["a", "b"])
+        circuit.add_gate("xnor", GateType.XNOR, ["a", "b"])
+        circuit.add_gate("not", GateType.NOT, ["a"])
+        circuit.add_gate("buf", GateType.BUF, ["a"])
+        values = circuit.evaluate({"a": True, "b": False})
+        assert values["and"] is False
+        assert values["or"] is True
+        assert values["nand"] is True
+        assert values["nor"] is False
+        assert values["xor"] is True
+        assert values["xnor"] is False
+        assert values["not"] is False
+        assert values["buf"] is True
+
+    def test_small_circuit_truth(self, small_circuit):
+        outputs = small_circuit.evaluate_outputs({"a": True, "b": True, "c": False})
+        assert outputs["f"] is True   # (a & b) | c
+        assert outputs["g"] is True   # a ^ c
+
+    def test_missing_input_raises(self, small_circuit):
+        with pytest.raises(CircuitError):
+            small_circuit.evaluate({"a": True})
+
+    def test_copy_is_independent(self, small_circuit):
+        duplicate = small_circuit.copy()
+        duplicate.add_input("z")
+        assert not small_circuit.has_net("z")

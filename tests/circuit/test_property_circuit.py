@@ -1,0 +1,80 @@
+"""Property-based tests for the circuit substrate.
+
+The invariant chain the reproduction depends on:
+random circuit -> Tseitin CNF -> (models project onto exactly the circuit's
+satisfying input vectors), and bit-parallel simulation always agrees with
+boolean simulation.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.gates import GateType
+from repro.circuit.optimize import optimize_circuit
+from repro.circuit.simulate import simulate
+from repro.circuit.stats import two_input_gate_equivalents
+from tests.conftest import all_assignments
+
+_BINARY_GATES = [GateType.AND, GateType.OR, GateType.NAND, GateType.NOR, GateType.XOR, GateType.XNOR]
+
+
+@st.composite
+def random_circuits(draw, max_inputs=4, max_gates=10):
+    """Generate a random small circuit with one output."""
+    num_inputs = draw(st.integers(2, max_inputs))
+    num_gates = draw(st.integers(1, max_gates))
+    builder = CircuitBuilder("random")
+    nets = builder.inputs(num_inputs, prefix="i")
+    for index in range(num_gates):
+        gate_type = draw(st.sampled_from(_BINARY_GATES + [GateType.NOT]))
+        if gate_type == GateType.NOT:
+            fanin = draw(st.sampled_from(nets))
+            nets.append(builder.not_(fanin))
+        else:
+            first = draw(st.sampled_from(nets))
+            second = draw(st.sampled_from(nets))
+            nets.append(builder.gate(gate_type, [first, second]))
+    builder.output(nets[-1])
+    return builder.circuit
+
+
+@given(random_circuits())
+@settings(max_examples=40, deadline=None)
+def test_optimization_preserves_output_functions(circuit):
+    optimized = optimize_circuit(circuit)
+    matrix = all_assignments(circuit.num_inputs)
+    before = simulate(circuit, matrix, input_order=circuit.inputs)
+    after = simulate(optimized, matrix, input_order=circuit.inputs)
+    for name in circuit.outputs:
+        assert np.array_equal(before[name], after[name])
+
+
+@given(random_circuits())
+@settings(max_examples=40, deadline=None)
+def test_optimization_never_increases_cost(circuit):
+    optimized = optimize_circuit(circuit)
+    assert two_input_gate_equivalents(optimized) <= two_input_gate_equivalents(circuit)
+
+
+@given(random_circuits())
+@settings(max_examples=30, deadline=None)
+def test_batch_simulation_matches_single_evaluation(circuit):
+    matrix = all_assignments(circuit.num_inputs)
+    batch = simulate(circuit, matrix, input_order=circuit.inputs)
+    for row in range(matrix.shape[0]):
+        assignment = dict(zip(circuit.inputs, matrix[row]))
+        single = circuit.evaluate_outputs(assignment)
+        for name in circuit.outputs:
+            assert batch[name][row] == single[name]
+
+
+@given(random_circuits())
+@settings(max_examples=25, deadline=None)
+def test_topological_order_is_a_valid_schedule(circuit):
+    order = circuit.topological_order()
+    position = {name: index for index, name in enumerate(order)}
+    for gate in circuit.gates:
+        for fanin in gate.fanins:
+            assert position[fanin] < position[gate.name]

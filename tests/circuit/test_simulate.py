@@ -1,0 +1,87 @@
+"""Tests for circuit simulation (repro.circuit.simulate)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.simulate import simulate, simulate_packed
+from tests.conftest import all_assignments
+
+
+class TestSimulate:
+    def test_matches_single_evaluation(self, small_circuit):
+        matrix = all_assignments(3)
+        results = simulate(small_circuit, matrix)
+        for row in range(matrix.shape[0]):
+            assignment = dict(zip(small_circuit.inputs, matrix[row]))
+            single = small_circuit.evaluate_outputs(assignment)
+            for name in small_circuit.outputs:
+                assert results[name][row] == single[name]
+
+    def test_requested_internal_nets(self, small_circuit):
+        matrix = all_assignments(3)
+        internal = [n for n in small_circuit.net_names() if n not in small_circuit.inputs]
+        results = simulate(small_circuit, matrix, nets=internal[:1])
+        assert set(results) == set(internal[:1])
+
+    def test_custom_input_order(self, small_circuit):
+        matrix = all_assignments(3)
+        reordered = list(reversed(small_circuit.inputs))
+        results = simulate(small_circuit, matrix[:, ::-1], input_order=reordered)
+        baseline = simulate(small_circuit, matrix)
+        for name in small_circuit.outputs:
+            assert np.array_equal(results[name], baseline[name])
+
+    def test_wrong_column_count_rejected(self, small_circuit):
+        with pytest.raises(ValueError):
+            simulate(small_circuit, np.zeros((4, 2), dtype=bool))
+
+    def test_1d_matrix_rejected(self, small_circuit):
+        with pytest.raises(ValueError):
+            simulate(small_circuit, np.zeros(3, dtype=bool))
+
+    def test_constants_in_circuit(self):
+        builder = CircuitBuilder()
+        a = builder.input("a")
+        one = builder.constant(True)
+        out = builder.and_(a, one, name="out")
+        builder.output(out)
+        results = simulate(builder.circuit, np.array([[True], [False]]))
+        assert results["out"].tolist() == [True, False]
+
+
+class TestSimulatePacked:
+    def test_matches_boolean_simulation(self, small_circuit):
+        rng = np.random.default_rng(0)
+        matrix = rng.random((64, 3)) < 0.5
+        packed_inputs = {}
+        for column, name in enumerate(small_circuit.inputs):
+            bits = np.uint64(0)
+            for row in range(64):
+                if matrix[row, column]:
+                    bits |= np.uint64(1) << np.uint64(row)
+            packed_inputs[name] = np.array([bits], dtype=np.uint64)
+        packed_results = simulate_packed(small_circuit, packed_inputs)
+        bool_results = simulate(small_circuit, matrix)
+        for name in small_circuit.outputs:
+            for row in range(64):
+                packed_bit = bool((int(packed_results[name][0]) >> row) & 1)
+                assert packed_bit == bool(bool_results[name][row])
+
+    def test_shape_mismatch_rejected(self, small_circuit):
+        packed_inputs = {
+            "a": np.zeros(1, dtype=np.uint64),
+            "b": np.zeros(2, dtype=np.uint64),
+            "c": np.zeros(1, dtype=np.uint64),
+        }
+        with pytest.raises(ValueError):
+            simulate_packed(small_circuit, packed_inputs)
+
+    def test_constant_nets(self):
+        builder = CircuitBuilder()
+        a = builder.input("a")
+        zero = builder.constant(False)
+        out = builder.or_(a, zero, name="out")
+        builder.output(out)
+        packed = simulate_packed(builder.circuit, {"a": np.array([np.uint64(0b1010)])})
+        assert int(packed["out"][0]) == 0b1010

@@ -1,0 +1,66 @@
+"""Tests for circuit statistics (repro.circuit.stats)."""
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.stats import (
+    circuit_stats,
+    gate_type_histogram,
+    operations_reduction,
+    two_input_gate_equivalents,
+)
+
+
+def _reference_circuit():
+    builder = CircuitBuilder("stats")
+    a, b, c = builder.inputs(3)
+    t = builder.and_(a, b)
+    out = builder.or_(t, c, name="out")
+    builder.output(out)
+    return builder.circuit
+
+
+class TestTwoInputEquivalents:
+    def test_simple_count(self):
+        assert two_input_gate_equivalents(_reference_circuit()) == 2
+
+    def test_wide_gates(self):
+        builder = CircuitBuilder()
+        nets = builder.inputs(4)
+        builder.output(builder.and_(*nets))
+        assert two_input_gate_equivalents(builder.circuit) == 3
+
+    def test_inverting_gates_cost_extra(self):
+        builder = CircuitBuilder()
+        a, b = builder.inputs(2)
+        builder.output(builder.nand_(a, b))
+        assert two_input_gate_equivalents(builder.circuit) == 2
+
+
+class TestCircuitStats:
+    def test_fields(self):
+        stats = circuit_stats(_reference_circuit())
+        assert stats.num_inputs == 3
+        assert stats.num_outputs == 1
+        assert stats.num_gates == 2
+        assert stats.depth == 2
+        assert stats.two_input_equivalents == 2
+        assert stats.gate_type_counts == {"and": 1, "or": 1}
+
+    def test_as_dict(self):
+        record = circuit_stats(_reference_circuit()).as_dict()
+        assert record["name"] == "stats"
+        assert record["two_input_equivalents"] == 2
+
+    def test_histogram_excludes_inputs(self):
+        histogram = gate_type_histogram(_reference_circuit())
+        assert "input" not in histogram
+
+
+class TestOperationsReduction:
+    def test_ratio(self):
+        circuit = _reference_circuit()
+        assert operations_reduction(20, circuit) == 10.0
+
+    def test_empty_circuit_gives_infinity(self):
+        builder = CircuitBuilder()
+        builder.input("a")
+        assert operations_reduction(5, builder.circuit) == float("inf")

@@ -1,0 +1,112 @@
+"""Tests for circuit-to-CNF Tseitin encoding (repro.circuit.tseitin)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dpll import DPLLSolver
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.gates import GateType
+from repro.circuit.tseitin import circuit_to_cnf
+from tests.conftest import all_assignments
+
+
+class TestEncoding:
+    def test_variable_map_covers_non_buffer_nets(self, small_circuit):
+        formula, var_map = circuit_to_cnf(small_circuit)
+        for gate in small_circuit.gates:
+            if gate.gate_type != GateType.BUF:
+                assert gate.name in var_map
+
+    def test_comments_annotate_gates(self, small_circuit):
+        formula, _ = circuit_to_cnf(small_circuit, annotate=True)
+        assert any("and(" in comment or "or(" in comment for comment in formula.comments)
+
+    def test_no_comments_when_disabled(self, small_circuit):
+        formula, _ = circuit_to_cnf(small_circuit, annotate=False)
+        assert formula.comments == []
+
+    def test_wide_xor_rejected(self):
+        builder = CircuitBuilder()
+        a, b, c = builder.inputs(3)
+        wide = builder.xor_(a, b, c)
+        builder.output(wide)
+        with pytest.raises(ValueError):
+            circuit_to_cnf(builder.circuit)
+
+
+class TestSemantics:
+    def test_models_project_to_circuit_solutions(self, small_circuit):
+        """Every CNF model's inputs must make the constrained outputs true, and
+        every input vector achieving the constraint must extend to a model."""
+        formula, var_map = circuit_to_cnf(small_circuit, output_constraints={"f": True})
+        matrix = all_assignments(3)
+        outputs = {
+            tuple(row): value
+            for row, value in zip(
+                matrix.tolist(),
+                (small_circuit.evaluate({"a": r[0], "b": r[1], "c": r[2]})["f"] for r in matrix),
+            )
+        }
+        solver = DPLLSolver(formula)
+        input_columns = [var_map[name] - 1 for name in small_circuit.inputs]
+        projected = set()
+        for model in solver.enumerate_models():
+            projected.add(tuple(bool(model[c]) for c in input_columns))
+        expected = {row for row, value in outputs.items() if value}
+        assert projected == expected
+
+    def test_unsatisfiable_constraint(self):
+        builder = CircuitBuilder()
+        a = builder.input("a")
+        out = builder.and_(a, builder.not_(a), name="out")
+        builder.output(out)
+        formula, _ = circuit_to_cnf(builder.circuit, output_constraints={"out": True})
+        assert DPLLSolver(formula).solve() is None
+
+    def test_constraint_to_zero(self):
+        builder = CircuitBuilder()
+        a, b = builder.inputs(2)
+        out = builder.or_(a, b, name="out")
+        builder.output(out)
+        formula, var_map = circuit_to_cnf(builder.circuit, output_constraints={"out": False})
+        model = DPLLSolver(formula).solve()
+        assert model is not None
+        assert not model[var_map[a] - 1] and not model[var_map[b] - 1]
+
+    def test_every_gate_type_roundtrips(self):
+        builder = CircuitBuilder()
+        a, b = builder.inputs(2)
+        nets = {
+            "and": builder.and_(a, b),
+            "or": builder.or_(a, b),
+            "nand": builder.nand_(a, b),
+            "nor": builder.nor_(a, b),
+            "xor": builder.xor_(a, b),
+            "xnor": builder.xnor_(a, b),
+            "not": builder.not_(a),
+        }
+        for net in nets.values():
+            builder.output(net)
+        circuit = builder.circuit
+        formula, var_map = circuit_to_cnf(circuit, output_constraints={})
+        solver = DPLLSolver(formula)
+        input_columns = {name: var_map[name] - 1 for name in circuit.inputs}
+        gate_columns = {label: var_map[net] - 1 for label, net in nets.items()}
+        seen_inputs = set()
+        for model in solver.enumerate_models():
+            inputs = {name: bool(model[col]) for name, col in input_columns.items()}
+            seen_inputs.add((inputs[a], inputs[b]))
+            reference = circuit.evaluate(inputs)
+            for label, net in nets.items():
+                assert bool(model[gate_columns[label]]) == reference[net]
+        # With no output constraints every input combination must appear.
+        assert len(seen_inputs) == 4
+
+    def test_buffer_nets_share_variables(self):
+        builder = CircuitBuilder()
+        a = builder.input("a")
+        buffered = builder.buf(a)
+        out = builder.not_(buffered, name="out")
+        builder.output(out)
+        formula, var_map = circuit_to_cnf(builder.circuit)
+        assert buffered not in var_map  # buffers are collapsed onto their driver

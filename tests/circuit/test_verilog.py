@@ -1,0 +1,49 @@
+"""Tests for structural Verilog export (repro.circuit.verilog)."""
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.verilog import to_verilog
+
+
+class TestVerilogExport:
+    def test_module_structure(self, small_circuit):
+        text = to_verilog(small_circuit, module_name="small")
+        assert text.startswith("module small(")
+        assert text.rstrip().endswith("endmodule")
+        for name in small_circuit.inputs:
+            assert f"input {name};" in text
+        for name in small_circuit.outputs:
+            assert f"output {name};" in text
+
+    def test_assign_statements_present(self, small_circuit):
+        text = to_verilog(small_circuit)
+        assert text.count("assign") == small_circuit.num_gates
+
+    def test_inverting_gates_wrapped(self):
+        builder = CircuitBuilder()
+        a, b = builder.inputs(2)
+        builder.output(builder.nand_(a, b, name="f"))
+        text = to_verilog(builder.circuit)
+        assert "~(" in text
+
+    def test_constants_rendered(self):
+        builder = CircuitBuilder()
+        builder.output(builder.constant(True, name="one"))
+        builder.output(builder.constant(False, name="zero"))
+        text = to_verilog(builder.circuit)
+        assert "1'b1" in text and "1'b0" in text
+
+    def test_names_sanitised(self):
+        builder = CircuitBuilder()
+        a = builder.input("in.0")
+        builder.output(builder.not_(a, name="out-net"))
+        text = to_verilog(builder.circuit, module_name="weird names")
+        assert "in.0" not in text
+        assert "out-net" not in text
+        assert "module weird_names(" in text
+
+    def test_numeric_leading_names_prefixed(self):
+        builder = CircuitBuilder()
+        a = builder.input("1a")
+        builder.output(builder.buf(a, name="2b"))
+        text = to_verilog(builder.circuit)
+        assert " 1a;" not in text

@@ -1,0 +1,83 @@
+"""Tests for repro.cnf.assignment."""
+
+import numpy as np
+import pytest
+
+from repro.cnf.assignment import Assignment
+
+
+class TestConstruction:
+    def test_from_dict(self):
+        assignment = Assignment({1: True, 2: False})
+        assert assignment[1] is True
+        assert assignment[2] is False
+
+    def test_from_vector(self):
+        assignment = Assignment.from_vector([True, False, True])
+        assert assignment.to_literals() == (1, -2, 3)
+
+    def test_from_literals(self):
+        assignment = Assignment.from_literals([3, -1])
+        assert assignment[3] is True
+        assert assignment[1] is False
+
+    def test_from_literals_zero_rejected(self):
+        with pytest.raises(ValueError):
+            Assignment.from_literals([0])
+
+    def test_invalid_variable_index(self):
+        with pytest.raises(ValueError):
+            Assignment({0: True})
+
+
+class TestMutation:
+    def test_set_and_unset(self):
+        assignment = Assignment()
+        assignment.set(4, True)
+        assert 4 in assignment
+        assignment.unset(4)
+        assert 4 not in assignment
+
+    def test_len_and_iter(self):
+        assignment = Assignment({1: True, 3: False})
+        assert len(assignment) == 2
+        assert sorted(assignment) == [1, 3]
+
+
+class TestQueries:
+    def test_get_with_default(self):
+        assignment = Assignment({1: True})
+        assert assignment.get(1) is True
+        assert assignment.get(2) is None
+        assert assignment.get(2, False) is False
+
+    def test_satisfies_literal(self):
+        assignment = Assignment({1: True, 2: False})
+        assert assignment.satisfies_literal(1) is True
+        assert assignment.satisfies_literal(-1) is False
+        assert assignment.satisfies_literal(-2) is True
+        assert assignment.satisfies_literal(3) is None
+
+    def test_is_complete(self):
+        assignment = Assignment({1: True, 2: False})
+        assert assignment.is_complete(2)
+        assert not assignment.is_complete(3)
+
+
+class TestConversion:
+    def test_to_vector(self):
+        assignment = Assignment({1: True, 3: True})
+        vector = assignment.to_vector(4)
+        assert np.array_equal(vector, [True, False, True, False])
+
+    def test_to_vector_ignores_out_of_range(self):
+        assignment = Assignment({5: True})
+        assert not assignment.to_vector(3).any()
+
+    def test_to_dict_roundtrip(self):
+        values = {1: True, 2: False, 7: True}
+        assert Assignment(values).to_dict() == values
+
+    def test_equality(self):
+        assert Assignment({1: True}) == Assignment({1: True})
+        assert Assignment({1: True}) != Assignment({1: False})

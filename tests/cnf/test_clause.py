@@ -1,0 +1,90 @@
+"""Tests for repro.cnf.clause."""
+
+import pytest
+
+from repro.cnf.clause import Clause, literal_is_positive, literal_variable, negate_literal
+
+
+class TestLiteralHelpers:
+    def test_literal_variable(self):
+        assert literal_variable(5) == 5
+        assert literal_variable(-7) == 7
+
+    def test_literal_is_positive(self):
+        assert literal_is_positive(3)
+        assert not literal_is_positive(-3)
+
+    def test_negate_literal(self):
+        assert negate_literal(4) == -4
+        assert negate_literal(-4) == 4
+
+    def test_zero_rejected(self):
+        for helper in (literal_variable, literal_is_positive, negate_literal):
+            with pytest.raises(ValueError):
+                helper(0)
+
+
+class TestClauseConstruction:
+    def test_duplicates_removed(self):
+        assert Clause([1, 1, -2]).literals == (1, -2)
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(ValueError):
+            Clause([1, 0, 2])
+
+    def test_empty_clause(self):
+        clause = Clause([])
+        assert clause.is_empty
+        assert len(clause) == 0
+
+    def test_immutability(self):
+        clause = Clause([1])
+        with pytest.raises(AttributeError):
+            clause._literals = (2,)
+
+    def test_variables_sorted(self):
+        assert Clause([-5, 2, -3]).variables == (2, 3, 5)
+
+
+class TestClauseProperties:
+    def test_is_unit(self):
+        assert Clause([7]).is_unit
+        assert not Clause([7, 8]).is_unit
+
+    def test_is_tautology(self):
+        assert Clause([1, -1, 2]).is_tautology
+        assert not Clause([1, 2]).is_tautology
+
+    def test_contains(self):
+        clause = Clause([1, -2])
+        assert clause.contains(1)
+        assert clause.contains(-2)
+        assert not clause.contains(2)
+
+
+class TestClauseEvaluation:
+    def test_evaluate_complete(self):
+        clause = Clause([1, -2])
+        assert clause.evaluate({1: True, 2: True})
+        assert clause.evaluate({1: False, 2: False})
+        assert not clause.evaluate({1: False, 2: True})
+
+    def test_evaluate_partial(self):
+        clause = Clause([1, -2])
+        assert clause.evaluate_partial({1: True}) == "sat"
+        assert clause.evaluate_partial({1: False}) == "undetermined"
+        assert clause.evaluate_partial({1: False, 2: True}) == "unsat"
+
+
+class TestClauseTransforms:
+    def test_without_literal(self):
+        assert Clause([1, -2, 3]).without_literal(-2) == Clause([1, 3])
+
+    def test_remap(self):
+        clause = Clause([1, -2])
+        assert clause.remap({1: 10, 2: 20}) == Clause([10, -20])
+
+    def test_equality_and_hash_ignore_order(self):
+        assert Clause([1, 2]) == Clause([2, 1])
+        assert hash(Clause([1, 2])) == hash(Clause([2, 1]))
+        assert Clause([1, 2]) != Clause([1, -2])

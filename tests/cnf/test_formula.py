@@ -1,0 +1,104 @@
+"""Tests for repro.cnf.formula."""
+
+import numpy as np
+import pytest
+
+from repro.cnf.clause import Clause
+from repro.cnf.formula import CNF
+from tests.conftest import all_assignments
+
+
+class TestConstruction:
+    def test_from_literal_lists(self):
+        formula = CNF([[1, -2], [2, 3]])
+        assert formula.num_clauses == 2
+        assert formula.num_variables == 3
+
+    def test_add_clause_updates_variable_count(self):
+        formula = CNF()
+        formula.add_clause([5, -9])
+        assert formula.num_variables == 9
+
+    def test_declared_variables_can_exceed_used(self):
+        formula = CNF([[1]], num_variables=10)
+        assert formula.num_variables == 10
+
+    def test_num_variables_cannot_undercount(self):
+        formula = CNF([[1, -4]])
+        with pytest.raises(ValueError):
+            formula.num_variables = 2
+
+    def test_copy_is_independent(self):
+        formula = CNF([[1, 2]], name="orig")
+        duplicate = formula.copy()
+        duplicate.add_clause([3])
+        assert formula.num_clauses == 1
+        assert duplicate.num_clauses == 2
+        assert duplicate.name == "orig"
+
+    def test_accepts_clause_objects(self):
+        clause = Clause([1, -2])
+        formula = CNF()
+        assert formula.add_clause(clause) is clause
+
+
+class TestAccessors:
+    def test_variables_lists_referenced_only(self):
+        formula = CNF([[1, -5]], num_variables=9)
+        assert formula.variables() == [1, 5]
+
+    def test_literal_count(self):
+        assert CNF([[1, 2], [3]]).literal_count() == 3
+
+    def test_two_input_operation_count(self):
+        # (a | ~b) & (c): one OR (1 op) + one inverter + conjunction of 2 clauses (1 op).
+        formula = CNF([[1, -2], [3]])
+        assert formula.two_input_operation_count() == 1 + 1 + 1
+
+    def test_iteration_and_len(self):
+        formula = CNF([[1], [2]])
+        assert len(formula) == 2
+        assert [clause.literals for clause in formula] == [(1,), (2,)]
+
+
+class TestEvaluation:
+    def test_evaluate_single(self, tiny_sat_formula):
+        assert tiny_sat_formula.evaluate({1: False, 2: True, 3: False})
+        assert not tiny_sat_formula.evaluate({1: True, 2: False, 3: False})
+
+    def test_evaluate_batch_matches_single(self, tiny_sat_formula):
+        matrix = all_assignments(3)
+        batch = tiny_sat_formula.evaluate_batch(matrix)
+        for row in range(matrix.shape[0]):
+            assignment = {i + 1: bool(matrix[row, i]) for i in range(3)}
+            assert batch[row] == tiny_sat_formula.evaluate(assignment)
+
+    def test_known_model_count(self, tiny_sat_formula):
+        matrix = all_assignments(3)
+        assert int(tiny_sat_formula.evaluate_batch(matrix).sum()) == 4
+
+    def test_evaluate_batch_rejects_narrow_matrix(self, tiny_sat_formula):
+        with pytest.raises(ValueError):
+            tiny_sat_formula.evaluate_batch(np.zeros((2, 2), dtype=bool))
+
+    def test_unsatisfied_clause_counts(self, tiny_sat_formula):
+        matrix = all_assignments(3)
+        counts = tiny_sat_formula.unsatisfied_clause_counts(matrix)
+        satisfied = tiny_sat_formula.evaluate_batch(matrix)
+        assert np.array_equal(counts == 0, satisfied)
+
+    def test_unsat_formula_has_no_models(self, tiny_unsat_formula):
+        matrix = all_assignments(1)
+        assert not tiny_unsat_formula.evaluate_batch(matrix).any()
+
+
+class TestEquality:
+    def test_equal_formulas(self):
+        assert CNF([[1, 2]]) == CNF([[1, 2]])
+
+    def test_different_clauses(self):
+        assert CNF([[1, 2]]) != CNF([[1, -2]])
+
+    def test_repr_contains_counts(self):
+        text = repr(CNF([[1, 2]], name="x"))
+        assert "vars=2" in text and "clauses=1" in text

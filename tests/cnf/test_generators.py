@@ -1,0 +1,61 @@
+"""Tests for the random CNF generators (repro.cnf.generators)."""
+
+import numpy as np
+import pytest
+
+from repro.cnf.generators import planted_ksat, planted_solution, random_horn, random_ksat
+
+
+class TestRandomKSat:
+    def test_shape(self):
+        formula = random_ksat(20, 50, k=3, seed=0)
+        assert formula.num_variables == 20
+        assert formula.num_clauses == 50
+        assert all(len(clause) <= 3 for clause in formula)
+
+    def test_determinism(self):
+        a = random_ksat(10, 20, seed=5)
+        b = random_ksat(10, 20, seed=5)
+        assert [c.literals for c in a] == [c.literals for c in b]
+
+    def test_distinct_variables_per_clause(self):
+        formula = random_ksat(10, 40, k=3, seed=1)
+        for clause in formula:
+            assert len(clause.variables) == len(clause)
+
+    def test_k_larger_than_variables_rejected(self):
+        with pytest.raises(ValueError):
+            random_ksat(2, 5, k=3)
+
+
+class TestPlantedKSat:
+    def test_planted_solution_satisfies(self):
+        formula = planted_ksat(25, 100, seed=3)
+        witness = planted_solution(formula)
+        assert witness is not None
+        assert formula.evaluate_batch(witness[None, :])[0]
+
+    def test_planted_comment_present(self):
+        formula = planted_ksat(10, 20, seed=0)
+        assert any(comment.startswith("planted") for comment in formula.comments)
+
+    def test_no_planted_comment_returns_none(self):
+        formula = random_ksat(10, 20, seed=0)
+        assert planted_solution(formula) is None
+
+    def test_determinism(self):
+        a = planted_ksat(12, 30, seed=9)
+        b = planted_ksat(12, 30, seed=9)
+        assert [c.literals for c in a] == [c.literals for c in b]
+        assert np.array_equal(planted_solution(a), planted_solution(b))
+
+
+class TestRandomHorn:
+    def test_horn_property(self):
+        formula = random_horn(15, 60, seed=2)
+        for clause in formula:
+            positives = [literal for literal in clause if literal > 0]
+            assert len(positives) <= 1
+
+    def test_clause_count(self):
+        assert random_horn(10, 25, seed=1).num_clauses == 25

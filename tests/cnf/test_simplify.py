@@ -1,0 +1,94 @@
+"""Tests for CNF preprocessing (repro.cnf.simplify)."""
+
+from repro.cnf.formula import CNF
+from repro.cnf.simplify import (
+    deduplicate_clauses,
+    pure_literal_eliminate,
+    remove_tautologies,
+    restrict,
+    simplify_formula,
+    unit_propagate,
+)
+
+
+class TestUnitPropagation:
+    def test_simple_chain(self):
+        formula = CNF([[1], [-1, 2], [-2, 3]])
+        result = unit_propagate(formula)
+        assert not result.conflict
+        assert result.forced == {1: True, 2: True, 3: True}
+        assert result.formula.num_clauses == 0
+
+    def test_conflict_detected(self):
+        formula = CNF([[1], [-1]])
+        assert unit_propagate(formula).conflict
+
+    def test_clause_reduction(self):
+        formula = CNF([[1], [-1, 2, 3]])
+        result = unit_propagate(formula)
+        assert result.forced == {1: True}
+        # The second clause loses nothing (it is satisfied? no: -1 falsified, 2/3 stay).
+        assert result.formula.num_clauses == 1
+        assert result.formula.clauses[0].literals == (2, 3)
+
+    def test_no_units_is_identity(self):
+        formula = CNF([[1, 2], [-1, 3]])
+        result = unit_propagate(formula)
+        assert result.forced == {}
+        assert result.formula.num_clauses == 2
+
+
+class TestPureLiteralElimination:
+    def test_pure_positive(self):
+        formula = CNF([[1, 2], [1, -3], [3, -2]])
+        result = pure_literal_eliminate(formula)
+        assert result.forced[1] is True
+        assert result.formula.num_clauses == 1
+
+    def test_pure_negative(self):
+        formula = CNF([[-4, 1], [-4, -1]])
+        result = pure_literal_eliminate(formula)
+        assert result.forced[4] is False
+        assert result.formula.num_clauses == 0
+
+    def test_mixed_variable_untouched(self):
+        formula = CNF([[1, 2], [-1, 2]])
+        result = pure_literal_eliminate(formula)
+        assert 1 not in result.forced
+        assert result.forced[2] is True
+
+
+class TestSimplifyFormula:
+    def test_fixed_point(self, fig1_formula):
+        result = simplify_formula(fig1_formula)
+        assert not result.conflict
+        # The unit clause x10 and the pure literals make the residual small.
+        assert result.formula.num_clauses < fig1_formula.num_clauses
+
+    def test_conflict_propagates(self):
+        formula = CNF([[1], [-1, 2], [-2], [1, 2]])
+        assert simplify_formula(formula).conflict
+
+    def test_forced_assignments_are_consistent(self, fig1_formula):
+        result = simplify_formula(fig1_formula)
+        assert result.forced.get(10) is True
+
+
+class TestHelpers:
+    def test_remove_tautologies(self):
+        formula = CNF([[1, -1, 2], [2, 3]])
+        assert remove_tautologies(formula).num_clauses == 1
+
+    def test_deduplicate_clauses(self):
+        formula = CNF([[1, 2], [2, 1], [3]])
+        assert deduplicate_clauses(formula).num_clauses == 2
+
+    def test_restrict_satisfied_clause_removed(self):
+        formula = CNF([[1, 2], [-1, 3]])
+        residual = restrict(formula, {1: True})
+        assert residual is not None
+        assert [c.literals for c in residual] == [(3,)]
+
+    def test_restrict_conflict_returns_none(self):
+        formula = CNF([[1], [2]])
+        assert restrict(formula, {1: False}) is None

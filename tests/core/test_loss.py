@@ -1,0 +1,53 @@
+"""Tests for loss construction (repro.core.loss)."""
+
+import numpy as np
+import pytest
+
+from repro.core.loss import per_sample_residual, regression_loss, target_matrix
+from repro.tensor.tensor import Tensor
+
+
+class TestTargetMatrix:
+    def test_defaults_to_ones(self):
+        targets = target_matrix(3, ["o1", "o2"])
+        assert targets.shape == (3, 2)
+        assert targets.all()
+
+    def test_explicit_zero_targets(self):
+        targets = target_matrix(2, ["o1", "o2"], targets={"o2": False})
+        assert targets[:, 0].all()
+        assert not targets[:, 1].any()
+
+    def test_true_targets_stay_one(self):
+        targets = target_matrix(2, ["o1"], targets={"o1": True})
+        assert targets.all()
+
+
+class TestRegressionLoss:
+    def test_zero_when_outputs_match(self):
+        outputs = Tensor(np.ones((4, 2)))
+        assert regression_loss(outputs, np.ones((4, 2))).item() == 0.0
+
+    def test_counts_every_mismatch(self):
+        outputs = Tensor(np.zeros((2, 3)))
+        assert regression_loss(outputs, np.ones((2, 3))).item() == 6.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            regression_loss(Tensor(np.zeros((2, 2))), np.ones((2, 3)))
+
+    def test_gradient_is_two_times_residual(self):
+        outputs = Tensor(np.full((1, 2), 0.25), requires_grad=True)
+        regression_loss(outputs, np.ones((1, 2))).backward()
+        assert np.allclose(outputs.grad, 2 * (0.25 - 1.0) * np.ones((1, 2)))
+
+
+class TestPerSampleResidual:
+    def test_2d(self):
+        outputs = np.array([[1.0, 0.0], [0.5, 0.5]])
+        targets = np.ones((2, 2))
+        residuals = per_sample_residual(outputs, targets)
+        assert np.allclose(residuals, [1.0, 0.5])
+
+    def test_1d(self):
+        assert np.allclose(per_sample_residual(np.array([0.5]), np.array([1.0])), [0.25])

@@ -1,0 +1,89 @@
+"""Tests for unique-solution bookkeeping (repro.core.solutions)."""
+
+import numpy as np
+import pytest
+
+from repro.core.solutions import SolutionSet
+
+
+class TestAdd:
+    def test_add_and_deduplicate(self):
+        solutions = SolutionSet(3)
+        assert solutions.add(np.array([True, False, True]))
+        assert not solutions.add(np.array([True, False, True]))
+        assert len(solutions) == 1
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            SolutionSet(3).add(np.array([True, False]))
+
+    def test_contains(self):
+        solutions = SolutionSet(2)
+        solutions.add(np.array([True, False]))
+        assert solutions.contains(np.array([True, False]))
+        assert not solutions.contains(np.array([False, False]))
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            SolutionSet(-1)
+
+
+class TestAddBatch:
+    def test_masked_addition(self):
+        solutions = SolutionSet(2)
+        matrix = np.array([[True, True], [False, False], [True, True]])
+        added = solutions.add_batch(matrix, mask=np.array([True, False, True]))
+        assert added == 1  # third row duplicates the first
+        assert len(solutions) == 1
+
+    def test_unmasked_addition(self):
+        solutions = SolutionSet(2)
+        added = solutions.add_batch(np.array([[True, False], [False, True]]))
+        assert added == 2
+
+    def test_incremental_dedup_across_batches(self):
+        solutions = SolutionSet(2)
+        solutions.add_batch(np.array([[True, False]]))
+        added = solutions.add_batch(np.array([[True, False], [False, False]]))
+        assert added == 1
+        assert len(solutions) == 2
+
+    def test_mask_length_checked(self):
+        with pytest.raises(ValueError):
+            SolutionSet(2).add_batch(np.zeros((2, 2), dtype=bool), mask=np.array([True]))
+
+    def test_shape_checked(self):
+        with pytest.raises(ValueError):
+            SolutionSet(2).add_batch(np.zeros((2, 3), dtype=bool))
+
+    def test_empty_batch(self):
+        assert SolutionSet(2).add_batch(np.zeros((0, 2), dtype=bool)) == 0
+
+
+class TestExport:
+    def test_to_matrix_preserves_insertion_order(self):
+        solutions = SolutionSet(2)
+        solutions.add(np.array([True, False]))
+        solutions.add(np.array([False, True]))
+        matrix = solutions.to_matrix()
+        assert matrix.shape == (2, 2)
+        assert matrix[0].tolist() == [True, False]
+
+    def test_to_matrix_limit(self):
+        solutions = SolutionSet(1)
+        for value in (True, False):
+            solutions.add(np.array([value]))
+        assert solutions.to_matrix(limit=1).shape == (1, 1)
+
+    def test_empty_matrix(self):
+        assert SolutionSet(4).to_matrix().shape == (0, 4)
+
+    def test_to_literal_lists(self):
+        solutions = SolutionSet(3)
+        solutions.add(np.array([True, False, True]))
+        assert solutions.to_literal_lists() == [[1, -2, 3]]
+
+    def test_iteration(self):
+        solutions = SolutionSet(1)
+        solutions.add(np.array([True]))
+        assert [row.tolist() for row in solutions] == [[True]]

@@ -1,0 +1,50 @@
+"""Tests for report rendering (repro.eval.report)."""
+
+from repro.eval.report import format_number, render_rows, render_series
+
+
+class TestFormatNumber:
+    def test_none_is_timeout(self):
+        assert format_number(None) == "TO"
+
+    def test_large_numbers_have_separators(self):
+        assert format_number(1234567.8) == "1,234,567.8"
+
+    def test_small_float_precision(self):
+        assert format_number(3.14159, precision=2) == "3.14"
+
+    def test_integers(self):
+        assert format_number(12345) == "12,345"
+
+    def test_infinity(self):
+        assert format_number(float("inf")) == "inf"
+
+    def test_strings_pass_through(self):
+        assert format_number("abc") == "abc"
+
+
+class TestRenderRows:
+    def test_alignment_and_title(self):
+        rows = [{"name": "a", "value": 1.0}, {"name": "bb", "value": 22.5}]
+        text = render_rows(rows, title="My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_empty_rows(self):
+        assert "(no rows)" in render_rows([])
+
+    def test_explicit_columns_subset(self):
+        rows = [{"a": 1, "b": 2}]
+        text = render_rows(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+
+class TestRenderSeries:
+    def test_series_blocks(self):
+        series = {"sampler-a": [(1, 0.5), (2, 0.25)], "sampler-b": [(1, 3.0)]}
+        text = render_series(series, x_label="n", y_label="ms", title="Fig")
+        assert "[sampler-a]" in text
+        assert "[sampler-b]" in text
+        assert text.startswith("Fig")

@@ -1,0 +1,73 @@
+"""Tests for the uniformity study (repro.eval.uniformity_study)."""
+
+import pytest
+
+from repro.baselines.cmsgen_like import CMSGenStyleSampler
+from repro.cnf.formula import CNF
+from repro.core.config import SamplerConfig
+from repro.eval.runner import ThisWorkSampler
+from repro.eval.uniformity_study import uniformity_study
+
+
+@pytest.fixture(scope="module")
+def tiny_formulas():
+    return [
+        CNF([[1, 2], [-1, 3]], num_variables=3, name="tiny-a"),
+        CNF([[1, 2, 3], [-2, -3]], num_variables=3, name="tiny-b"),
+    ]
+
+
+@pytest.fixture(scope="module")
+def study_rows(tiny_formulas):
+    samplers = [
+        ThisWorkSampler(config=SamplerConfig(batch_size=32, seed=0, max_rounds=4)),
+        CMSGenStyleSampler(seed=0),
+    ]
+    return uniformity_study(
+        tiny_formulas,
+        samplers=samplers,
+        draws_per_instance=120,
+        per_call=20,
+        timeout_seconds=10,
+    )
+
+
+class TestUniformityStudy:
+    def test_one_row_per_sampler_and_instance(self, study_rows, tiny_formulas):
+        assert len(study_rows) == 2 * len(tiny_formulas)
+        assert {row.instance_name for row in study_rows} == {"tiny-a", "tiny-b"}
+
+    def test_model_counts_are_exact(self, study_rows):
+        for row in study_rows:
+            if row.instance_name == "tiny-a":
+                assert row.num_models == 4
+            else:
+                assert row.num_models == 5
+
+    def test_coverage_and_draws_bounded(self, study_rows):
+        for row in study_rows:
+            assert 0 < row.models_covered <= row.num_models
+            assert row.draws > 0
+            assert 0.0 <= row.coverage <= 1.0
+
+    def test_statistics_are_finite(self, study_rows):
+        for row in study_rows:
+            assert row.chi_square >= 0.0
+            assert 0.0 <= row.p_value <= 1.0
+            assert row.kl_divergence >= 0.0
+
+    def test_as_dict_fields(self, study_rows):
+        record = study_rows[0].as_dict()
+        assert {"sampler", "instance", "models", "covered", "chi2", "kl"} <= set(record)
+
+    def test_rejects_unsat_instance(self):
+        unsat = CNF([[1], [-1]], num_variables=1, name="unsat")
+        with pytest.raises(ValueError):
+            uniformity_study([unsat], samplers=[CMSGenStyleSampler(seed=0)])
+
+    def test_rejects_huge_model_spaces(self):
+        wide_open = CNF([[1, 2]], num_variables=30, name="huge")
+        with pytest.raises(ValueError):
+            uniformity_study(
+                [wide_open], samplers=[CMSGenStyleSampler(seed=0)], max_models=64
+            )

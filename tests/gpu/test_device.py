@@ -1,0 +1,62 @@
+"""Tests for the execution-device abstraction (repro.gpu.device)."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import Device, DeviceKind, get_device, split_batch
+
+
+class TestDevice:
+    def test_default_is_full_batch_gpu(self):
+        device = Device()
+        assert device.kind == DeviceKind.GPU_SIM
+        assert device.is_parallel
+
+    def test_cpu_chunks_one_sample_at_a_time(self):
+        device = Device(DeviceKind.CPU)
+        assert list(device.chunks(3)) == [(0, 1), (1, 2), (2, 3)]
+        assert not device.is_parallel
+
+    def test_gpu_single_chunk(self):
+        assert list(Device().chunks(100)) == [(0, 100)]
+
+    def test_explicit_chunk_size(self):
+        device = Device(DeviceKind.GPU_SIM, chunk_size=40)
+        assert list(device.chunks(100)) == [(0, 40), (40, 80), (80, 100)]
+        assert not device.is_parallel
+
+    def test_empty_batch(self):
+        assert list(Device().chunks(0)) == []
+
+    def test_describe(self):
+        assert "vectorised" in Device().describe()
+        assert "scalar" in Device(DeviceKind.CPU).describe()
+        assert "chunked" in Device(DeviceKind.GPU_SIM, chunk_size=8).describe()
+
+
+class TestGetDevice:
+    @pytest.mark.parametrize("name", ["gpu", "gpu-sim", "cuda", "vectorized"])
+    def test_gpu_aliases(self, name):
+        assert get_device(name).kind == DeviceKind.GPU_SIM
+
+    @pytest.mark.parametrize("name", ["cpu", "scalar", "loop"])
+    def test_cpu_aliases(self, name):
+        assert get_device(name).kind == DeviceKind.CPU
+
+    def test_unknown_device(self):
+        with pytest.raises(ValueError):
+            get_device("tpu")
+
+
+class TestSplitBatch:
+    def test_covers_all_rows(self):
+        matrix = np.arange(10).reshape(5, 2)
+        chunks = list(split_batch(matrix, Device(DeviceKind.CPU)))
+        assert len(chunks) == 5
+        assert np.array_equal(np.vstack(chunks), matrix)
+
+    def test_gpu_single_chunk(self):
+        matrix = np.zeros((7, 3))
+        chunks = list(split_batch(matrix, Device()))
+        assert len(chunks) == 1
+        assert chunks[0].shape == (7, 3)

@@ -1,0 +1,56 @@
+"""Tests for the analytic GPU-memory model (repro.gpu.memory)."""
+
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.gpu.memory import MemoryModel, estimate_training_memory
+
+
+def _circuit(num_gates: int):
+    builder = CircuitBuilder("mem")
+    a, b = builder.inputs(2)
+    net = builder.and_(a, b)
+    for _ in range(num_gates - 1):
+        net = builder.or_(net, a)
+    builder.output(net)
+    return builder.circuit
+
+
+class TestMemoryModel:
+    def test_components_add_up(self):
+        model = MemoryModel(batch_size=10, num_inputs=4, num_gate_activations=6)
+        assert model.total_bytes == model.activation_bytes + model.gradient_bytes + model.parameter_bytes
+
+    def test_linear_in_batch_size(self):
+        small = MemoryModel(batch_size=100, num_inputs=8, num_gate_activations=20)
+        large = MemoryModel(batch_size=1000, num_inputs=8, num_gate_activations=20)
+        assert large.total_bytes == 10 * small.total_bytes
+
+    def test_grows_with_circuit_size(self):
+        small = MemoryModel(batch_size=100, num_inputs=8, num_gate_activations=10)
+        large = MemoryModel(batch_size=100, num_inputs=8, num_gate_activations=1000)
+        assert large.total_mb > small.total_mb
+
+    def test_total_mb_includes_overhead(self):
+        model = MemoryModel(batch_size=1, num_inputs=1, num_gate_activations=1)
+        assert model.total_mb > model.framework_overhead_mb
+
+
+class TestEstimateTrainingMemory:
+    def test_uses_circuit_statistics(self):
+        small = estimate_training_memory(_circuit(5), batch_size=64)
+        large = estimate_training_memory(_circuit(50), batch_size=64)
+        assert large.num_gate_activations > small.num_gate_activations
+        assert large.total_mb > small.total_mb
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            estimate_training_memory(_circuit(3), batch_size=0)
+
+    def test_fig3_shape_monotone_in_batch(self):
+        circuit = _circuit(20)
+        estimates = [
+            estimate_training_memory(circuit, batch).total_mb
+            for batch in (100, 1000, 10_000, 100_000)
+        ]
+        assert all(later > earlier for earlier, later in zip(estimates, estimates[1:]))

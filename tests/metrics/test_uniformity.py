@@ -1,0 +1,68 @@
+"""Tests for uniformity metrics (repro.metrics.uniformity)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.uniformity import (
+    chi_square_uniformity,
+    empirical_distribution,
+    kl_divergence_from_uniform,
+)
+
+
+def _draws_from_counts(counts):
+    """Expand a {vector: count} spec into a list of draws."""
+    draws = []
+    for vector, count in counts:
+        draws.extend([np.array(vector, dtype=bool)] * count)
+    return draws
+
+
+class TestEmpiricalDistribution:
+    def test_counts(self):
+        draws = _draws_from_counts([([True, False], 3), ([False, True], 1)])
+        distribution = empirical_distribution(draws)
+        assert sorted(distribution.values()) == [1, 3]
+
+    def test_empty(self):
+        assert empirical_distribution([]) == {}
+
+
+class TestChiSquare:
+    def test_perfectly_uniform_draws_have_small_statistic(self):
+        draws = _draws_from_counts([([True], 50), ([False], 50)])
+        statistic, p_value = chi_square_uniformity(empirical_distribution(draws), num_models=2)
+        assert statistic == 0.0
+        assert p_value > 0.9
+
+    def test_biased_draws_have_large_statistic(self):
+        draws = _draws_from_counts([([True], 99), ([False], 1)])
+        statistic, p_value = chi_square_uniformity(empirical_distribution(draws), num_models=2)
+        assert statistic > 50
+        assert p_value < 0.01
+
+    def test_missing_models_penalised(self):
+        draws = _draws_from_counts([([True, True], 100)])
+        statistic, _ = chi_square_uniformity(empirical_distribution(draws), num_models=4)
+        assert statistic > 100
+
+    def test_no_draws(self):
+        assert chi_square_uniformity({}, num_models=4) == (0.0, 1.0)
+
+    def test_invalid_model_count(self):
+        with pytest.raises(ValueError):
+            chi_square_uniformity({}, num_models=0)
+
+
+class TestKLDivergence:
+    def test_uniform_is_zero(self):
+        draws = _draws_from_counts([([True], 10), ([False], 10)])
+        assert kl_divergence_from_uniform(empirical_distribution(draws), 2) == pytest.approx(0.0)
+
+    def test_concentrated_is_log_n(self):
+        draws = _draws_from_counts([([True, True], 100)])
+        divergence = kl_divergence_from_uniform(empirical_distribution(draws), 4)
+        assert divergence == pytest.approx(np.log(4))
+
+    def test_empty_draws(self):
+        assert kl_divergence_from_uniform({}, 4) == 0.0

@@ -1,0 +1,98 @@
+"""Tests for the optimizers (repro.tensor.optim)."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.functional import square
+from repro.tensor.optim import SGD, Adam, Optimizer
+from repro.tensor.tensor import Tensor
+
+
+class TestOptimizerBase:
+    def test_requires_parameters(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=1.0)
+
+    def test_rejects_non_grad_parameters(self):
+        with pytest.raises(ValueError):
+            SGD([Tensor([1.0])], lr=1.0)
+
+    def test_zero_grad(self):
+        parameter = Tensor([1.0], requires_grad=True)
+        optimizer = SGD([parameter], lr=0.1)
+        square(parameter).sum().backward()
+        optimizer.zero_grad()
+        assert parameter.grad is None
+
+    def test_step_is_abstract(self):
+        parameter = Tensor([1.0], requires_grad=True)
+        with pytest.raises(NotImplementedError):
+            Optimizer([parameter]).step()
+
+
+class TestSGD:
+    def test_eq10_update_rule(self):
+        """x <- x - lr * dL/dx with L = x^2, x=3, lr=0.1 gives 3 - 0.1*6 = 2.4."""
+        parameter = Tensor([3.0], requires_grad=True)
+        optimizer = SGD([parameter], lr=0.1)
+        square(parameter).sum().backward()
+        optimizer.step()
+        assert np.allclose(parameter.numpy(), [2.4])
+
+    def test_converges_on_quadratic(self):
+        parameter = Tensor([5.0], requires_grad=True)
+        optimizer = SGD([parameter], lr=0.2)
+        for _ in range(50):
+            optimizer.zero_grad()
+            square(parameter).sum().backward()
+            optimizer.step()
+        assert abs(parameter.item()) < 1e-3
+
+    def test_momentum_accumulates_velocity(self):
+        """After the second step the momentum update exceeds the plain SGD update."""
+        plain = Tensor([5.0], requires_grad=True)
+        heavy = Tensor([5.0], requires_grad=True)
+        sgd = SGD([plain], lr=0.05)
+        momentum = SGD([heavy], lr=0.05, momentum=0.9)
+        for _ in range(3):
+            for parameter, optimizer in ((plain, sgd), (heavy, momentum)):
+                optimizer.zero_grad()
+                square(parameter).sum().backward()
+                optimizer.step()
+        assert (5.0 - heavy.item()) > (5.0 - plain.item())
+
+    def test_invalid_hyperparameters(self):
+        parameter = Tensor([1.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            SGD([parameter], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([parameter], lr=1.0, momentum=1.0)
+
+    def test_skips_parameters_without_grad(self):
+        parameter = Tensor([1.0], requires_grad=True)
+        optimizer = SGD([parameter], lr=0.5)
+        optimizer.step()  # no backward yet; must not crash
+        assert np.allclose(parameter.numpy(), [1.0])
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        parameter = Tensor([4.0], requires_grad=True)
+        optimizer = Adam([parameter], lr=0.3)
+        for _ in range(200):
+            optimizer.zero_grad()
+            square(parameter).sum().backward()
+            optimizer.step()
+        assert abs(parameter.item()) < 1e-2
+
+    def test_invalid_learning_rate(self):
+        parameter = Tensor([1.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            Adam([parameter], lr=-0.1)
+
+    def test_first_step_magnitude_close_to_lr(self):
+        parameter = Tensor([10.0], requires_grad=True)
+        optimizer = Adam([parameter], lr=0.5)
+        square(parameter).sum().backward()
+        optimizer.step()
+        assert np.isclose(abs(10.0 - parameter.item()), 0.5, atol=0.05)

@@ -1,0 +1,100 @@
+"""Tests for repro.utils.bitops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.utils.bitops import (
+    bools_to_int,
+    hamming_distance,
+    int_to_bools,
+    pack_bool_matrix,
+    popcount64,
+    rows_as_bytes,
+    unpack_bool_matrix,
+)
+
+
+class TestPacking:
+    def test_roundtrip_small(self):
+        matrix = np.array([[True, False, True], [False, False, True]])
+        packed = pack_bool_matrix(matrix)
+        assert packed.shape == (2, 1)
+        assert np.array_equal(unpack_bool_matrix(packed, 3), matrix)
+
+    def test_roundtrip_multiword(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.random((5, 130)) < 0.5
+        packed = pack_bool_matrix(matrix)
+        assert packed.shape == (5, 3)
+        assert np.array_equal(unpack_bool_matrix(packed, 130), matrix)
+
+    def test_pack_rejects_1d(self):
+        with pytest.raises(ValueError):
+            pack_bool_matrix(np.array([True, False]))
+
+    def test_unpack_rejects_too_many_columns(self):
+        packed = pack_bool_matrix(np.zeros((1, 4), dtype=bool))
+        with pytest.raises(ValueError):
+            unpack_bool_matrix(packed, 65)
+
+    @given(arrays(bool, st.tuples(st.integers(1, 8), st.integers(1, 100))))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, matrix):
+        packed = pack_bool_matrix(matrix)
+        assert np.array_equal(unpack_bool_matrix(packed, matrix.shape[1]), matrix)
+
+
+class TestPopcountAndHamming:
+    def test_popcount_known_values(self):
+        words = np.array([[0, 1, 3, 0xFFFFFFFFFFFFFFFF]], dtype=np.uint64)
+        assert popcount64(words).tolist() == [[0, 1, 2, 64]]
+
+    def test_popcount_matches_unpack(self):
+        rng = np.random.default_rng(1)
+        matrix = rng.random((3, 70)) < 0.5
+        packed = pack_bool_matrix(matrix)
+        assert popcount64(packed).sum() == matrix.sum()
+
+    def test_hamming_distance_basics(self):
+        a = np.array([True, False, True])
+        b = np.array([True, True, False])
+        assert hamming_distance(a, b) == 2
+        assert hamming_distance(a, a) == 0
+
+    def test_hamming_distance_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            hamming_distance(np.zeros(3, dtype=bool), np.zeros(4, dtype=bool))
+
+
+class TestIntConversions:
+    def test_bools_to_int_lsb_first(self):
+        assert bools_to_int([True, False, True]) == 0b101
+
+    def test_int_to_bools_roundtrip(self):
+        for value in (0, 1, 5, 255, 1023):
+            width = 12
+            assert bools_to_int(int_to_bools(value, width)) == value
+
+    def test_int_to_bools_negative_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bools(-1, 4)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, value):
+        assert bools_to_int(int_to_bools(value, 32)) == value
+
+
+class TestRowsAsBytes:
+    def test_distinct_rows_have_distinct_keys(self):
+        matrix = np.array([[True, False], [False, True], [True, False]])
+        keys = rows_as_bytes(matrix)
+        assert keys[0] == keys[2]
+        assert keys[0] != keys[1]
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            rows_as_bytes(np.array([1, 0], dtype=np.uint8))

@@ -1,0 +1,77 @@
+"""Tests for repro.utils.timing."""
+
+import time
+
+from repro.utils.timing import PhaseTimer, Stopwatch, Timer
+
+
+class TestStopwatch:
+    def test_initially_stopped_and_zero(self):
+        watch = Stopwatch()
+        assert not watch.running
+        assert watch.elapsed == 0.0
+
+    def test_start_stop_accumulates(self):
+        watch = Stopwatch()
+        watch.start()
+        time.sleep(0.01)
+        first = watch.stop()
+        watch.start()
+        time.sleep(0.01)
+        second = watch.stop()
+        assert second > first > 0.0
+
+    def test_reset(self):
+        watch = Stopwatch()
+        watch.start()
+        watch.stop()
+        watch.reset()
+        assert watch.elapsed == 0.0
+        assert not watch.running
+
+    def test_elapsed_while_running(self):
+        watch = Stopwatch().start()
+        time.sleep(0.005)
+        assert watch.elapsed > 0.0
+        assert watch.running
+
+    def test_double_start_is_idempotent(self):
+        watch = Stopwatch()
+        watch.start()
+        watch.start()
+        assert watch.running
+
+
+class TestTimer:
+    def test_measures_block(self):
+        with Timer("block") as timer:
+            time.sleep(0.01)
+        assert timer.seconds >= 0.009
+        assert timer.milliseconds == timer.seconds * 1e3
+        assert timer.label == "block"
+
+    def test_zero_before_use(self):
+        timer = Timer()
+        assert timer.seconds == 0.0
+
+
+class TestPhaseTimer:
+    def test_add_and_total(self):
+        phases = PhaseTimer()
+        phases.add("transform", 1.0)
+        phases.add("sample", 2.0)
+        phases.add("transform", 0.5)
+        assert phases.total == 3.5
+        assert phases.as_dict() == {"transform": 1.5, "sample": 2.0}
+
+    def test_measure_context(self):
+        phases = PhaseTimer()
+        with phases.measure("work"):
+            time.sleep(0.005)
+        assert phases.phases["work"] > 0.0
+
+    def test_order_preserved(self):
+        phases = PhaseTimer()
+        phases.add("b", 1.0)
+        phases.add("a", 1.0)
+        assert list(phases.as_dict()) == ["b", "a"]

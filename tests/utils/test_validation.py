@@ -1,0 +1,52 @@
+"""Tests for repro.utils.validation."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 3) == 3
+        assert check_positive("x", 0.5) == 0.5
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive("x", 0)
+        with pytest.raises(ValueError):
+            check_positive("x", -1)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("n", 0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="n must be non-negative"):
+            check_non_negative("n", -0.1)
+
+
+class TestCheckProbability:
+    def test_accepts_bounds(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 1.0) == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_probability("p", 1.01)
+        with pytest.raises(ValueError):
+            check_probability("p", -0.01)
+
+
+class TestCheckInRange:
+    def test_accepts_inside(self):
+        assert check_in_range("v", 5, 1, 10) == 5
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError, match="v must be in"):
+            check_in_range("v", 11, 1, 10)
