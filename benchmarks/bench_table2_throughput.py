@@ -9,10 +9,28 @@ for side-by-side comparison); EXPERIMENTS.md records a full run.
 
 from __future__ import annotations
 
+import json
+import time
+from pathlib import Path
+
+import numpy as np
 import pytest
 
-from benchmarks.conftest import bench_solutions, bench_timeout
+from benchmarks.conftest import (
+    bench_solutions,
+    bench_timeout,
+    engine_bench_batch,
+    engine_min_speedup,
+)
+from repro.core.model import ProbabilisticCircuitModel
+from repro.core.transform import transform_cnf
+from repro.engine.executor import backward as engine_backward
+from repro.engine.executor import forward as engine_forward
 from repro.eval.tables import build_table2, render_table2
+from repro.tensor.tensor import Tensor
+
+#: Where the engine-vs-interpreter comparison records its trajectory.
+BENCH_ENGINE_JSON = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
 @pytest.mark.benchmark(group="table2")
@@ -50,3 +68,92 @@ def test_table2_throughput(benchmark, table2_instances, sampler_config):
         assert row.throughputs["this-work"] > best_baseline, (
             f"this-work lost to a baseline on {row.instance}"
         )
+
+
+def _time_passes(step, repeats: int, passes: int) -> float:
+    """Best-of-``repeats`` seconds for ``passes`` forward+backward passes.
+
+    Garbage from one contender (the interpreter's tape allocates thousands of
+    nodes per pass) must not be collected on the other's clock, so each
+    measurement starts from a collected heap.
+    """
+    import gc
+
+    best = float("inf")
+    for _ in range(repeats):
+        gc.collect()
+        start = time.perf_counter()
+        for _ in range(passes):
+            step()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.benchmark(group="engine")
+def test_engine_vs_interpreter_throughput(benchmark, largest_instance):
+    """Compiled-engine vs legacy-interpreter forward+backward on the largest instance.
+
+    Measures full training passes (forward + backward over the constrained
+    cone) at the benchmark batch size, reports both throughputs side by side
+    and rewrites ``BENCH_engine.json`` with the latest record — committing
+    the file each PR is what accumulates the engine's perf trajectory in
+    version history.
+    """
+    entry, formula = largest_instance
+    transform = transform_cnf(formula)
+    engine_model = ProbabilisticCircuitModel.from_transform(transform, backend="engine")
+    interp_model = ProbabilisticCircuitModel.from_transform(
+        transform, backend="interpreter"
+    )
+    batch = engine_bench_batch()
+    probabilities = np.random.default_rng(0).random((batch, engine_model.num_inputs))
+    seed_grad = np.ones((batch, engine_model.num_outputs))
+    program = engine_model.program  # compile outside the timed region
+
+    # Keep the previous pass's cache alive across the reallocation, like the
+    # real training loop does — dropping it first would make glibc hand the
+    # multi-MB value buffers back to the OS and page-fault them in again on
+    # every pass, which measures the allocator rather than the engine.
+    state = {}
+
+    def engine_step():
+        outputs, state["cache"] = engine_forward(program, probabilities)
+        engine_backward(program, state["cache"], seed_grad)
+
+    def interpreter_step():
+        tensor = Tensor(probabilities, requires_grad=True)
+        interp_model.forward(tensor).backward(seed_grad)
+
+    passes, repeats = 5, 3
+    interpreter_seconds = _time_passes(interpreter_step, repeats, passes)
+    engine_seconds = benchmark.pedantic(
+        lambda: _time_passes(engine_step, repeats, passes), rounds=1, iterations=1
+    )
+    speedup = interpreter_seconds / engine_seconds
+    record = {
+        "instance": entry.name,
+        "variables": formula.num_variables,
+        "clauses": formula.num_clauses,
+        "batch_size": batch,
+        "passes_timed": passes,
+        "compiled_ops": program.num_ops,
+        "compiled_levels": program.num_levels,
+        "interpreter_seconds": interpreter_seconds,
+        "engine_seconds": engine_seconds,
+        "interpreter_passes_per_second": passes / interpreter_seconds,
+        "engine_passes_per_second": passes / engine_seconds,
+        "speedup": speedup,
+    }
+    benchmark.extra_info.update(record)
+    BENCH_ENGINE_JSON.write_text(json.dumps(record, indent=2) + "\n")
+    print()
+    print(
+        f"{entry.name}: engine {record['engine_passes_per_second']:.1f} "
+        f"passes/s vs interpreter {record['interpreter_passes_per_second']:.1f} "
+        f"passes/s ({speedup:.1f}x, batch {batch})"
+    )
+    minimum = engine_min_speedup()
+    assert speedup >= minimum, (
+        f"compiled engine must be at least {minimum}x faster than the "
+        f"interpreter, got {speedup:.2f}x"
+    )

@@ -12,6 +12,8 @@ Scale knobs (environment variables):
   and the full figure-instance list instead of the fast defaults.
 * ``REPRO_BENCH_TIMEOUT`` — per-sampler timeout in seconds (default 10).
 * ``REPRO_BENCH_SOLUTIONS`` — unique-solution target per run (default 50).
+* ``REPRO_BENCH_ENGINE_BATCH`` — batch size of the engine-vs-interpreter
+  comparison (default 256).
 """
 
 from __future__ import annotations
@@ -54,6 +56,16 @@ def bench_solutions() -> int:
     return int(os.environ.get("REPRO_BENCH_SOLUTIONS", "50"))
 
 
+def engine_bench_batch() -> int:
+    """Batch size used for the interpreter-vs-engine throughput comparison."""
+    return int(os.environ.get("REPRO_BENCH_ENGINE_BATCH", "256"))
+
+
+def engine_min_speedup() -> float:
+    """Required engine-over-interpreter speedup (lower it on noisy shared CI)."""
+    return float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "3.0"))
+
+
 @pytest.fixture(scope="session")
 def table2_instances():
     """Instance list for the Table II benchmark."""
@@ -68,6 +80,22 @@ def table2_instances():
 def figure_instances():
     """Instance list for the Fig. 2/3/4 benchmarks."""
     return list(FIGURE_INSTANCES)
+
+
+@pytest.fixture(scope="session")
+def largest_instance():
+    """``(entry, formula)`` of the largest Table II instance as *generated*.
+
+    The paper-reported sizes on the registry rows rank the original suite,
+    not this reproduction's scaled-down generators, so every table2 entry is
+    generated once (a few seconds, session-scoped) and the largest formula by
+    actual variable count is kept along with its entry.
+    """
+    from repro.instances.registry import REGISTRY
+
+    entries = [entry for entry in REGISTRY if "table2" in entry.tags] or list(REGISTRY)
+    built = ((entry, entry.build_cnf()) for entry in entries)
+    return max(built, key=lambda pair: pair[1].num_variables)
 
 
 @pytest.fixture(scope="session")

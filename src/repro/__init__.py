@@ -6,6 +6,8 @@ Public API surface: the most common entry points are re-exported here.
 * :func:`repro.transform_cnf` — Algorithm 1 only (CNF -> multi-level function)
 * :class:`repro.GradientSATSampler` — the paper's sampler
 * :class:`repro.SamplerConfig` — hyper-parameters (lr=10, 5 iterations, ...)
+* :mod:`repro.engine` — the compiled levelized execution engine behind the
+  differentiable circuit core (``SamplerConfig(backend=...)`` selects it)
 * :mod:`repro.baselines` — UniGen/CMSGen/QuickSampler/DiffSampler-style baselines
 * :mod:`repro.instances` — synthetic benchmark-instance generators (Table II families)
 * :mod:`repro.eval` — throughput harness and table/figure builders

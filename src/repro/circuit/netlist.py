@@ -28,6 +28,7 @@ class Circuit:
         self._outputs: List[str] = []
         self._order: List[str] = []          # insertion order of gate definitions
         self._topo_cache: Optional[List[str]] = None
+        self._engine_cache: Dict[object, object] = {}
 
     # -- construction ----------------------------------------------------------------
     def add_input(self, name: str) -> str:
@@ -66,6 +67,16 @@ class Circuit:
         self._gates[gate.name] = gate
         self._order.append(gate.name)
         self._topo_cache = None
+        self._engine_cache.clear()
+
+    def engine_cache(self) -> Dict[object, object]:
+        """Per-netlist memo for compiled engine programs.
+
+        Owned by :func:`repro.engine.compiler.compiled_program_for`; cleared
+        automatically whenever the netlist is mutated so cached programs can
+        never go stale.
+        """
+        return self._engine_cache
 
     # -- accessors ---------------------------------------------------------------------
     @property
@@ -196,7 +207,7 @@ class Circuit:
         duplicate._inputs = list(self._inputs)
         duplicate._outputs = list(self._outputs)
         duplicate._order = list(self._order)
-        return duplicate
+        return duplicate  # fresh engine cache: the copy may be mutated freely
 
     def replace_gate(self, name: str, gate_type: GateType, fanins: Sequence[str]) -> None:
         """Redefine the function driving an existing net (used by the optimizer)."""
@@ -206,6 +217,7 @@ class Circuit:
             raise CircuitError(f"cannot redefine primary input {name!r}")
         self._gates[name] = Gate(name, gate_type, tuple(fanins))
         self._topo_cache = None
+        self._engine_cache.clear()
 
     # -- protocol -----------------------------------------------------------------------------
     def __len__(self) -> int:

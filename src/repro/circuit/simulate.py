@@ -1,14 +1,17 @@
 """Circuit simulation over batches of input vectors.
 
-Two code paths are provided:
+Both entry points are execution modes of the compiled levelized engine
+(:mod:`repro.engine`): the requested nets' cone is compiled once per netlist
+state into an index-based program (memoized on the circuit) and executed with
+fused NumPy ops — boolean arrays for :func:`simulate`, 64-samples-per-word
+``uint64`` lanes for :func:`simulate_packed`.  The same compiled program also
+backs the probabilistic forward/backward passes of the sampler model, so all
+evaluation styles share one substrate.
 
-* :func:`simulate` — boolean NumPy arrays, one column per sample; simple and
-  used for validating sampled solutions against the recovered circuit;
+* :func:`simulate` — boolean NumPy arrays, one column per input; used for
+  validating sampled solutions against the recovered circuit;
 * :func:`simulate_packed` — 64 samples per ``uint64`` word, the classic
-  bit-parallel simulation used by logic-simulation and ATPG tools.  It backs
-  the "unconstrained path" evaluation in the sampler (random assignments on
-  unconstrained inputs are always valid, so they only need forward
-  simulation) and the ops-reduction measurements.
+  bit-parallel simulation used by logic-simulation and ATPG tools.
 """
 
 from __future__ import annotations
@@ -17,8 +20,9 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.circuit.gates import GateType
 from repro.circuit.netlist import Circuit
+from repro.engine.compiler import compiled_program_for
+from repro.engine.executor import execute_bool, execute_packed
 
 
 def simulate(
@@ -41,25 +45,15 @@ def simulate(
         raise ValueError(
             f"input matrix has {input_matrix.shape[1]} columns but {len(order)} inputs given"
         )
-    batch = input_matrix.shape[0]
-    values: Dict[str, np.ndarray] = {}
-    column = {name: i for i, name in enumerate(order)}
-
-    for name in circuit.topological_order():
-        gate = circuit.gate(name)
-        if gate.gate_type == GateType.INPUT:
-            if name not in column:
-                raise ValueError(f"no column provided for primary input {name!r}")
-            values[name] = input_matrix[:, column[name]]
-        elif gate.gate_type == GateType.CONST0:
-            values[name] = np.zeros(batch, dtype=bool)
-        elif gate.gate_type == GateType.CONST1:
-            values[name] = np.ones(batch, dtype=bool)
-        else:
-            fanin_values = [values[f] for f in gate.fanins]
-            values[name] = _apply_gate_bool(gate.gate_type, fanin_values)
-
+    provided = set(order)
+    for name in circuit.inputs:
+        if name not in provided:
+            raise ValueError(f"no column provided for primary input {name!r}")
     wanted = list(nets) if nets is not None else list(circuit.outputs)
+    if not wanted:
+        return {}
+    program = compiled_program_for(circuit, wanted, order)
+    values = execute_bool(program, input_matrix)
     return {name: values[name] for name in wanted}
 
 
@@ -76,72 +70,12 @@ def simulate_packed(
     shapes = {name: np.asarray(arr).shape for name, arr in packed_inputs.items()}
     if len(set(shapes.values())) > 1:
         raise ValueError(f"packed input arrays must share a shape, got {shapes}")
-    values: Dict[str, np.ndarray] = {}
-    template: Optional[np.ndarray] = None
-    for name, arr in packed_inputs.items():
-        values[name] = np.asarray(arr, dtype=np.uint64)
-        template = values[name]
-
-    ones = np.uint64(0xFFFFFFFFFFFFFFFF)
-    for name in circuit.topological_order():
-        gate = circuit.gate(name)
-        if gate.gate_type == GateType.INPUT:
-            if name not in values:
-                raise ValueError(f"no packed vector provided for primary input {name!r}")
-            continue
-        if gate.gate_type == GateType.CONST0:
-            values[name] = np.zeros_like(template) if template is not None else np.zeros(1, dtype=np.uint64)
-            continue
-        if gate.gate_type == GateType.CONST1:
-            base = np.zeros_like(template) if template is not None else np.zeros(1, dtype=np.uint64)
-            values[name] = base | ones
-            continue
-        fanin_values = [values[f] for f in gate.fanins]
-        values[name] = _apply_gate_packed(gate.gate_type, fanin_values, ones)
-
+    for name in circuit.inputs:
+        if name not in packed_inputs:
+            raise ValueError(f"no packed vector provided for primary input {name!r}")
     wanted = list(nets) if nets is not None else list(circuit.outputs)
+    if not wanted:
+        return {}
+    program = compiled_program_for(circuit, wanted, None)
+    values = execute_packed(program, packed_inputs)
     return {name: values[name] for name in wanted}
-
-
-def _apply_gate_bool(gate_type: GateType, fanins: Sequence[np.ndarray]) -> np.ndarray:
-    if gate_type == GateType.BUF:
-        return fanins[0].copy()
-    if gate_type == GateType.NOT:
-        return ~fanins[0]
-    result = fanins[0].copy()
-    if gate_type in (GateType.AND, GateType.NAND):
-        for value in fanins[1:]:
-            result &= value
-        return ~result if gate_type == GateType.NAND else result
-    if gate_type in (GateType.OR, GateType.NOR):
-        for value in fanins[1:]:
-            result |= value
-        return ~result if gate_type == GateType.NOR else result
-    if gate_type in (GateType.XOR, GateType.XNOR):
-        for value in fanins[1:]:
-            result ^= value
-        return ~result if gate_type == GateType.XNOR else result
-    raise ValueError(f"unsupported gate type {gate_type}")
-
-
-def _apply_gate_packed(
-    gate_type: GateType, fanins: Sequence[np.ndarray], ones: np.uint64
-) -> np.ndarray:
-    if gate_type == GateType.BUF:
-        return fanins[0].copy()
-    if gate_type == GateType.NOT:
-        return fanins[0] ^ ones
-    result = fanins[0].copy()
-    if gate_type in (GateType.AND, GateType.NAND):
-        for value in fanins[1:]:
-            result = result & value
-        return result ^ ones if gate_type == GateType.NAND else result
-    if gate_type in (GateType.OR, GateType.NOR):
-        for value in fanins[1:]:
-            result = result | value
-        return result ^ ones if gate_type == GateType.NOR else result
-    if gate_type in (GateType.XOR, GateType.XNOR):
-        for value in fanins[1:]:
-            result = result ^ value
-        return result ^ ones if gate_type == GateType.XNOR else result
-    raise ValueError(f"unsupported gate type {gate_type}")

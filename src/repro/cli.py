@@ -57,6 +57,9 @@ def _build_parser() -> argparse.ArgumentParser:
     sample.add_argument("--timeout", type=float, default=None, help="wall-clock budget in seconds")
     sample.add_argument("--device", default="gpu-sim", choices=["gpu-sim", "cpu"],
                         help="execution style (vectorised batch vs per-sample loop)")
+    sample.add_argument("--backend", default="engine", choices=["engine", "interpreter"],
+                        help="evaluation backend: compiled levelized engine (default) "
+                             "or the legacy per-gate autodiff interpreter")
     sample.add_argument("-o", "--output", default=None,
                         help="write solutions (signed-literal lines) to this file")
 
@@ -86,6 +89,7 @@ def _command_sample(arguments: argparse.Namespace) -> int:
         seed=arguments.seed,
         timeout_seconds=arguments.timeout,
         device=get_device(arguments.device),
+        backend=arguments.backend,
     )
     result = sample_cnf(formula, num_solutions=arguments.num_solutions, config=config)
     sample = result.sample

@@ -28,7 +28,8 @@ from repro.core.config import SamplerConfig
 from repro.core.loss import regression_loss, target_matrix
 from repro.core.model import ProbabilisticCircuitModel
 from repro.core.solutions import SolutionSet
-from repro.tensor.optim import SGD, Adam
+from repro.engine.train import learn_batch as engine_learn_batch
+from repro.tensor.optim import make_optimizer
 from repro.tensor.tensor import Tensor
 from repro.tensor.functional import sigmoid
 from repro.utils.rng import new_rng
@@ -97,7 +98,7 @@ class CircuitSampler:
         self._rng = new_rng(self.config.seed)
 
         self.model = ProbabilisticCircuitModel(
-            circuit, output_nets=list(self.output_targets)
+            circuit, output_nets=list(self.output_targets), backend=self.config.backend
         )
         self._constrained_inputs = list(self.model.input_order)
         constrained = set(self._constrained_inputs)
@@ -157,16 +158,27 @@ class CircuitSampler:
             (batch_size, len(self._constrained_inputs)), dtype=bool
         )
         targets = target_matrix(batch_size, self.model.output_nets, self.output_targets)
+        if self.config.backend == "engine":
+            # Fused compiled training loop; chunking happens at the program level.
+            constrained_bits, losses = engine_learn_batch(
+                self.model.program,
+                batch_size,
+                targets,
+                self.config,
+                lambda chunk: self._rng.normal(
+                    0.0, self.config.init_scale, size=(chunk, self.model.num_inputs)
+                ),
+            )
+            return self._assemble_inputs(constrained_bits, batch_size), losses
         for start, stop in self.config.device.chunks(batch_size):
             chunk = stop - start
             soft = Tensor(
                 self._rng.normal(0.0, self.config.init_scale, size=(chunk, self.model.num_inputs)),
                 requires_grad=True,
             )
-            if self.config.optimizer == "adam":
-                optimizer = Adam([soft], lr=self.config.learning_rate)
-            else:
-                optimizer = SGD([soft], lr=self.config.learning_rate)
+            optimizer = make_optimizer(
+                [soft], self.config.optimizer, self.config.learning_rate
+            )
             for _ in range(self.config.iterations):
                 optimizer.zero_grad()
                 outputs = self.model.forward(sigmoid(soft))
@@ -176,7 +188,12 @@ class CircuitSampler:
                 if start == 0:
                     losses.append(loss.item())
             constrained_bits[start:stop] = soft.data > 0.0
+        return self._assemble_inputs(constrained_bits, batch_size), losses
 
+    def _assemble_inputs(
+        self, constrained_bits: np.ndarray, batch_size: int
+    ) -> np.ndarray:
+        """Scatter learned bits and random unconstrained bits into input vectors."""
         inputs = np.zeros((batch_size, len(self.input_order)), dtype=bool)
         column_of = {name: i for i, name in enumerate(self.input_order)}
         for source, name in enumerate(self._constrained_inputs):
@@ -187,7 +204,7 @@ class CircuitSampler:
             ) < 0.5
             for source, name in enumerate(self._unconstrained_inputs):
                 inputs[:, column_of[name]] = random_bits[:, source]
-        return inputs, losses
+        return inputs
 
     def _validate(self, inputs: np.ndarray) -> np.ndarray:
         """Check each input vector against every output target by simulation."""

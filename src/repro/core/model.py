@@ -1,16 +1,30 @@
 """The probabilistic (differentiable) circuit model.
 
 Mirrors the PyTorch module the paper's parser emits (Fig. 1(c)): the recovered
-multi-level, multi-output Boolean function is walked in topological order and
-every gate is replaced by its probabilistic counterpart from Table I, so the
-model maps input probabilities ``P`` in ``[0, 1]^{b x n}`` to output
-probabilities ``Y = F(P)`` in ``[0, 1]^{b x m}`` (Eq. 7) while remaining
-differentiable end to end.
+multi-level, multi-output Boolean function maps input probabilities ``P`` in
+``[0, 1]^{b x n}`` to output probabilities ``Y = F(P)`` (Eq. 7) while staying
+differentiable end to end, with every gate relaxed per Table I.
 
 Only the *constrained cone* — the gates in the transitive fanin of a
 constrained output — is evaluated: the unconstrained paths need no learning
 (their inputs can be drawn at random) and excluding them is part of the
 operation-count reduction the paper credits for its speedups.
+
+The model is a thin façade over two backends:
+
+* ``"engine"`` (default) — the cone is compiled once by
+  :mod:`repro.engine.compiler` into a levelized index-based program and
+  executed with fused NumPy ops and a hand-written backward pass.  A forward
+  call records a *single* autodiff tape node whose backward delegates to the
+  compiled reverse pass, so gradient-based callers see the usual
+  :class:`~repro.tensor.tensor.Tensor` interface at a fraction of the cost.
+* ``"interpreter"`` — the legacy reference: the cone is walked gate by gate
+  in topological order, allocating one tape node per gate.  Kept for
+  equivalence testing and as executable documentation of Table I.
+
+Both backends are bitwise-identical (the compiler mirrors the interpreter's
+exact operation chains); select one via ``SamplerConfig(backend=...)`` or the
+``backend`` constructor argument.
 """
 
 from __future__ import annotations
@@ -22,7 +36,11 @@ import numpy as np
 from repro.circuit.gates import GateType
 from repro.circuit.netlist import Circuit
 from repro.core.transform import TransformResult
-from repro.tensor.tensor import Tensor, full_like_batch, stack_columns, take_column
+from repro.engine.compiler import compiled_program_for
+from repro.engine.executor import backward as engine_backward
+from repro.engine.executor import forward as engine_forward
+from repro.engine.program import CompiledProgram
+from repro.tensor.tensor import Tensor, _make, full_like_batch, stack_columns, take_column
 from repro.tensor.functional import (
     prob_and,
     prob_nand,
@@ -42,6 +60,9 @@ _GATE_FUNCTIONS = {
     GateType.XNOR: prob_xnor,
 }
 
+#: Recognised evaluation backends.
+BACKENDS = ("engine", "interpreter")
+
 
 class ProbabilisticCircuitModel:
     """Differentiable relaxation of a circuit restricted to its constrained cone."""
@@ -51,10 +72,14 @@ class ProbabilisticCircuitModel:
         circuit: Circuit,
         output_nets: Sequence[str],
         input_order: Optional[Sequence[str]] = None,
+        backend: str = "engine",
     ) -> None:
         if not output_nets:
             raise ValueError("the model needs at least one constrained output net")
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
         self.circuit = circuit
+        self.backend = backend
         self.output_nets: List[str] = list(output_nets)
         cone = circuit.transitive_fanin(self.output_nets)
         self._schedule: List[str] = [
@@ -89,6 +114,16 @@ class ProbabilisticCircuitModel:
         """Number of constrained outputs."""
         return len(self.output_nets)
 
+    @property
+    def program(self) -> CompiledProgram:
+        """The compiled levelized program for this cone.
+
+        Resolved through the circuit-level memo on every access (an O(1)
+        dict hit) rather than cached on the model, so netlist mutations can
+        never leave the engine executing a stale program.
+        """
+        return compiled_program_for(self.circuit, self.output_nets, self.input_order)
+
     def num_operations(self) -> int:
         """Number of probabilistic gate evaluations per forward pass (cone only)."""
         count = 0
@@ -111,6 +146,25 @@ class ProbabilisticCircuitModel:
                 f"expected probabilities of shape (batch, {self.num_inputs}), "
                 f"got {probabilities.shape}"
             )
+        if self.backend == "engine":
+            return self._forward_engine(probabilities)
+        return self._forward_interpreter(probabilities)
+
+    __call__ = forward
+
+    def _forward_engine(self, probabilities: Tensor) -> Tensor:
+        """Compiled forward: one tape node wrapping the program's reverse pass."""
+        program = self.program
+        outputs, cache = engine_forward(program, probabilities.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if probabilities.requires_grad:
+                probabilities._accumulate_grad(engine_backward(program, cache, grad))
+
+        return _make(outputs, (probabilities,), backward, "compiled_circuit")
+
+    def _forward_interpreter(self, probabilities: Tensor) -> Tensor:
+        """Legacy reference: walk the cone gate by gate on the autodiff tape."""
         batch_size = probabilities.shape[0]
         values: Dict[str, Tensor] = {}
         for name in self._schedule:
@@ -130,11 +184,11 @@ class ProbabilisticCircuitModel:
                 values[name] = _GATE_FUNCTIONS[gate.gate_type](fanin_values)
         return stack_columns([values[name] for name in self.output_nets])
 
-    __call__ = forward
-
     # -- construction helpers ----------------------------------------------------------
     @classmethod
-    def from_transform(cls, result: TransformResult) -> "ProbabilisticCircuitModel":
+    def from_transform(
+        cls, result: TransformResult, backend: str = "engine"
+    ) -> "ProbabilisticCircuitModel":
         """Build the model for the constrained paths of a transformation result.
 
         The model's input order is exactly ``result.constrained_inputs()``;
@@ -150,13 +204,19 @@ class ProbabilisticCircuitModel:
             result.circuit,
             output_nets=constraint_nets,
             input_order=result.constrained_inputs(),
+            backend=backend,
         )
 
     def describe(self) -> Dict[str, int]:
         """Size summary used in reports and memory estimation."""
-        return {
+        info = {
             "inputs": self.num_inputs,
             "outputs": self.num_outputs,
             "scheduled_nets": len(self._schedule),
             "operations": self.num_operations(),
         }
+        if self.backend == "engine":
+            program = self.program
+            info["compiled_ops"] = program.num_ops
+            info["compiled_levels"] = program.num_levels
+        return info

@@ -1,0 +1,38 @@
+"""The compiled levelized execution engine.
+
+This package is the single evaluation substrate behind the differentiable
+circuit core: :mod:`repro.engine.compiler` lowers a circuit cone once into a
+:class:`~repro.engine.program.CompiledProgram` — contiguous int arrays of
+opcodes, fanin slots and output slots, levelized so every level executes as a
+handful of fused NumPy calls — and :mod:`repro.engine.executor` runs that
+program in three modes (probabilistic forward/backward, boolean, bit-packed)
+while :mod:`repro.engine.train` supplies the fused gradient-descent loop the
+samplers call.
+
+The legacy per-gate autodiff interpreter remains available as a reference
+backend (``SamplerConfig(backend="interpreter")``); the engine is
+bitwise-identical to it and is the default.
+"""
+
+from repro.engine.compiler import CompileError, compile_circuit, compiled_program_for
+from repro.engine.executor import backward, execute_bool, execute_packed, forward
+from repro.engine.program import OP_ADD, OP_MUL, OP_NOT, CompiledProgram, OpBlock
+from repro.engine.train import learn_batch, learn_chunk, sigmoid_embedding
+
+__all__ = [
+    "CompileError",
+    "compile_circuit",
+    "compiled_program_for",
+    "forward",
+    "backward",
+    "execute_bool",
+    "execute_packed",
+    "CompiledProgram",
+    "OpBlock",
+    "OP_MUL",
+    "OP_ADD",
+    "OP_NOT",
+    "learn_batch",
+    "learn_chunk",
+    "sigmoid_embedding",
+]

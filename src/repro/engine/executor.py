@@ -1,0 +1,219 @@
+"""Execute a :class:`CompiledProgram`: fused forward, backward, bool, packed.
+
+The value state of one execution is a dense ``(num_slots, batch)`` matrix —
+slot-major so that every fused block writes a *contiguous* row range with one
+NumPy statement.  Three execution modes share the one program:
+
+* :func:`forward` / :func:`backward` — the probabilistic (float64) relaxation
+  with a hand-written reverse pass.  The closed-form adjoints of the three
+  primitive ops are all the engine needs (Table I's derivatives compose out
+  of them): ``MUL`` routes ``g*b`` / ``g*a``, ``ADD`` routes ``g`` twice and
+  ``NOT`` routes ``-g``.  No autodiff tape, no per-gate Python objects.
+* :func:`execute_bool` — the same program over boolean arrays
+  (``MUL = &``, ``ADD = |``, ``NOT = ~``); backs circuit simulation.
+* :func:`execute_packed` — 64 samples per ``uint64`` word, the classic
+  bit-parallel simulation mode.
+
+``ADD`` appearing only in XOR chains (disjoint operands) is what makes the
+``|`` / bitwise interpretations exact — see :mod:`repro.engine.program`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.program import OP_ADD, OP_MUL, OP_NOT, CompiledProgram
+
+#: All-ones uint64 word used by the packed mode.
+PACKED_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+class ForwardCache:
+    """Forward-pass state kept alive for the reverse pass.
+
+    Holds the full slot matrix plus the per-block operand gathers the forward
+    pass materialised anyway — the backward pass reuses them instead of
+    re-gathering, which removes two fancy-index copies per ``MUL`` block.
+    """
+
+    __slots__ = ("values", "operands")
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        operands: List[Optional[Tuple[np.ndarray, np.ndarray]]],
+    ) -> None:
+        self.values = values
+        self.operands = operands
+
+
+def _base_values(
+    program: CompiledProgram, batch: int, dtype, zero, one
+) -> np.ndarray:
+    """Allocate the slot matrix and fill the base (input/constant) rows."""
+    values = np.empty((program.num_slots, batch), dtype=dtype)
+    if program.const0_slot >= 0:
+        values[program.const0_slot] = zero
+    if program.const1_slot >= 0:
+        values[program.const1_slot] = one
+    return values
+
+
+def forward(
+    program: CompiledProgram, probabilities: np.ndarray
+) -> Tuple[np.ndarray, ForwardCache]:
+    """Run the probabilistic forward pass on a ``(batch, input_width)`` matrix.
+
+    Returns ``(outputs, cache)`` where ``outputs`` is the ``(batch, m)``
+    output-probability matrix and ``cache`` the forward state the caller
+    keeps alive if it intends to run :func:`backward`.
+    """
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    if probabilities.ndim != 2 or probabilities.shape[1] != program.input_width:
+        raise ValueError(
+            f"expected probabilities of shape (batch, {program.input_width}), "
+            f"got {probabilities.shape}"
+        )
+    batch = probabilities.shape[0]
+    values = _base_values(program, batch, np.float64, 0.0, 1.0)
+    if program.num_inputs:
+        values[: program.num_inputs] = probabilities.T[program.input_columns]
+    operands: List[Optional[Tuple[np.ndarray, np.ndarray]]] = []
+    for block in program.blocks:
+        out = values[block.out_start : block.out_stop]
+        a = values[block.a_slots]
+        if block.opcode == OP_MUL:
+            b = values[block.b_slots]
+            np.multiply(a, b, out=out)
+            operands.append((a, b))  # reused by the MUL adjoint
+        elif block.opcode == OP_ADD:
+            np.add(a, values[block.b_slots], out=out)
+            operands.append(None)
+        else:  # OP_NOT
+            np.subtract(1.0, a, out=out)
+            operands.append(None)
+    outputs = values[program.output_slots].T.copy()
+    return outputs, ForwardCache(values, operands)
+
+
+
+
+def backward(
+    program: CompiledProgram,
+    cache: ForwardCache,
+    output_grads: np.ndarray,
+) -> np.ndarray:
+    """Reverse pass: map ``dL/dY`` to ``dL/dP`` using the forward cache.
+
+    ``output_grads`` is ``(batch, m)`` like the forward outputs; the result
+    has the caller's input-matrix shape ``(batch, input_width)`` with zeros in
+    columns outside the cone (matching the interpreter's scatter semantics).
+    """
+    output_grads = np.asarray(output_grads, dtype=np.float64)
+    values = cache.values
+    batch = values.shape[1]
+    if output_grads.shape != (batch, len(program.output_nets)):
+        raise ValueError(
+            f"expected output grads of shape ({batch}, {len(program.output_nets)}), "
+            f"got {output_grads.shape}"
+        )
+    grads = np.zeros_like(values)
+    program.output_plan.scatter(grads, output_grads.T)
+    for index in range(len(program.blocks) - 1, -1, -1):
+        block = program.blocks[index]
+        g = grads[block.out_start : block.out_stop]
+        if block.opcode == OP_MUL:
+            a_vals, b_vals = cache.operands[index]
+            block.a_plan.scatter(grads, g * b_vals)
+            block.b_plan.scatter(grads, g * a_vals)
+        elif block.opcode == OP_ADD:
+            block.a_plan.scatter(grads, g)
+            block.b_plan.scatter(grads, g)
+        else:  # OP_NOT
+            block.a_plan.scatter(grads, -g)
+    input_grads = np.zeros((batch, program.input_width), dtype=np.float64)
+    if program.num_inputs:
+        input_grads[:, program.input_columns] = grads[: program.num_inputs].T
+    return input_grads
+
+
+def execute_bool(
+    program: CompiledProgram, input_matrix: np.ndarray
+) -> Dict[str, np.ndarray]:
+    """Boolean execution mode: ``(batch, input_width)`` bools to net vectors.
+
+    Returns a map from every compiled net name to its boolean value vector
+    (callers select the nets they asked the compiler for).
+    """
+    input_matrix = np.asarray(input_matrix, dtype=bool)
+    if input_matrix.ndim != 2 or input_matrix.shape[1] != program.input_width:
+        raise ValueError(
+            f"expected input matrix of shape (batch, {program.input_width}), "
+            f"got {input_matrix.shape}"
+        )
+    batch = input_matrix.shape[0]
+    values = _base_values(program, batch, bool, False, True)
+    if program.num_inputs:
+        values[: program.num_inputs] = input_matrix.T[program.input_columns]
+    for block in program.blocks:
+        out = values[block.out_start : block.out_stop]
+        a = values[block.a_slots]
+        if block.opcode == OP_MUL:
+            np.logical_and(a, values[block.b_slots], out=out)
+        elif block.opcode == OP_ADD:
+            # ADD only encodes XOR-chain sums of disjoint events: OR is exact.
+            np.logical_or(a, values[block.b_slots], out=out)
+        else:  # OP_NOT
+            np.logical_not(a, out=out)
+    return {name: values[slot] for name, slot in program.net_slot.items()}
+
+
+def execute_packed(
+    program: CompiledProgram, packed_inputs: Dict[str, np.ndarray]
+) -> Dict[str, np.ndarray]:
+    """Bit-parallel execution mode: 64 samples per ``uint64`` lane.
+
+    ``packed_inputs`` maps every cone primary input to an identically shaped
+    ``uint64`` array; returns a map from every compiled net to its packed
+    vector of the same shape.
+    """
+    template: Optional[np.ndarray] = None
+    columns = []
+    for name in program.cone_inputs:
+        if name not in packed_inputs:
+            raise ValueError(f"no packed vector provided for primary input {name!r}")
+        array = np.asarray(packed_inputs[name], dtype=np.uint64)
+        if template is not None and array.shape != template.shape:
+            raise ValueError(
+                f"packed input arrays must share a shape; {name!r} has "
+                f"{array.shape}, expected {template.shape}"
+            )
+        template = array
+        columns.append(array.reshape(-1))
+    if template is None and packed_inputs:
+        # Cone has no primary inputs (constant-driven outputs): the callers'
+        # packed arrays still dictate the lane count and output shape.
+        template = np.asarray(next(iter(packed_inputs.values())), dtype=np.uint64)
+    lanes = int(template.size) if template is not None else 1
+    shape = template.shape if template is not None else (1,)
+    values = np.empty((program.num_slots, lanes), dtype=np.uint64)
+    if program.const0_slot >= 0:
+        values[program.const0_slot] = np.uint64(0)
+    if program.const1_slot >= 0:
+        values[program.const1_slot] = PACKED_ONES
+    for slot, column in enumerate(columns):
+        values[slot] = column
+    for block in program.blocks:
+        out = values[block.out_start : block.out_stop]
+        a = values[block.a_slots]
+        if block.opcode == OP_MUL:
+            np.bitwise_and(a, values[block.b_slots], out=out)
+        elif block.opcode == OP_ADD:
+            np.bitwise_or(a, values[block.b_slots], out=out)
+        else:  # OP_NOT
+            np.bitwise_xor(a, PACKED_ONES, out=out)
+    return {
+        name: values[slot].reshape(shape) for name, slot in program.net_slot.items()
+    }

@@ -11,6 +11,12 @@ NumPy ops, which is what the Fig. 4 (left) GPU-vs-CPU ablation measures:
   tensor (the data-parallel execution model of a GPU tensor runtime);
 * ``cpu`` — the identical computation performed in per-sample chunks with a
   Python-level loop, modelling sequential per-solution execution.
+
+Under the compiled engine backend (:mod:`repro.engine`), the device's
+``chunks`` spans drive *program-level* chunking: each span is one complete
+run of the compiled levelized program's training loop
+(:func:`repro.engine.train.learn_batch`) rather than a Python slice of a
+per-gate interpreter walk, so a "launch" now amortizes the whole cone.
 """
 
 from __future__ import annotations

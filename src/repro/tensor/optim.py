@@ -65,6 +65,20 @@ class SGD(Optimizer):
             parameter.data = parameter.data - self.lr * update
 
 
+def make_optimizer(parameters: Iterable[Tensor], name: str, lr: float) -> "Optimizer":
+    """Build the optimizer a sampler config names (single dispatch point).
+
+    Both evaluation backends (compiled engine and legacy interpreter) and the
+    direct circuit sampler resolve their optimizer here, so the choice can
+    never silently diverge between them.
+    """
+    if name == "adam":
+        return Adam(parameters, lr=lr)
+    if name == "sgd":
+        return SGD(parameters, lr=lr)
+    raise ValueError(f"unknown optimizer {name!r}")
+
+
 class Adam(Optimizer):
     """Adam optimizer (Kingma & Ba) over the same parameter interface."""
 

@@ -6,6 +6,11 @@ tape.  Only the operations required by the probabilistic circuit model are
 implemented (elementwise arithmetic, sigmoid, powers, reductions), which keeps
 the engine small enough to read in one sitting while still expressing the
 paper's Eq. 6--10 training loop exactly.
+
+Since the compiled levelized engine (:mod:`repro.engine`) took over the hot
+path, the tape serves two roles: the reference ``"interpreter"`` backend for
+equivalence testing, and the glue layer for code that wants autodiff around a
+compiled program (the engine registers a single tape node per forward call).
 """
 
 from __future__ import annotations

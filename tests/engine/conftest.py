@@ -1,0 +1,51 @@
+"""Shared helpers for the engine tests: randomized circuit generation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+
+_LOGIC_TYPES = [
+    GateType.NOT,
+    GateType.BUF,
+    GateType.AND,
+    GateType.OR,
+    GateType.NAND,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+]
+
+
+def random_circuit(
+    rng: np.random.Generator,
+    num_inputs: int = 5,
+    num_gates: int = 25,
+    num_outputs: int = 3,
+    with_constants: bool = True,
+) -> Circuit:
+    """Build a random DAG over all gate types (duplicate fanins allowed).
+
+    Fanins are drawn from *all* earlier nets, so the circuit mixes wide
+    reconvergent fanout, buffers, constants and duplicated operands — the
+    shapes that stress the compiler's aliasing and gradient accumulation.
+    """
+    circuit = Circuit("random")
+    nets = [circuit.add_input(f"x{i}") for i in range(num_inputs)]
+    if with_constants:
+        nets.append(circuit.add_constant("const_zero", False))
+        nets.append(circuit.add_constant("const_one", True))
+    for index in range(num_gates):
+        gate_type = _LOGIC_TYPES[rng.integers(0, len(_LOGIC_TYPES))]
+        if gate_type.is_unary:
+            fanins = [nets[rng.integers(0, len(nets))]]
+        else:
+            arity = int(rng.integers(2, 5))
+            fanins = [nets[rng.integers(0, len(nets))] for _ in range(arity)]
+        nets.append(circuit.add_gate(f"g{index}", gate_type, fanins))
+    # The last nets depend on the most structure; constrain a few of them.
+    for name in nets[-num_outputs:]:
+        circuit.set_output(name)
+    return circuit

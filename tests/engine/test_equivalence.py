@@ -1,0 +1,155 @@
+"""Engine-vs-interpreter equivalence: forward, backward, and sampled solutions.
+
+The compiled engine is specified to be *bitwise identical* to the legacy
+per-gate autodiff interpreter on the forward pass and to match its input
+gradients to 1e-10 (they are bitwise-equal in practice too; the looser bound
+guards against platform-dependent reduction orders).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SamplerConfig
+from repro.core.circuit_sampler import CircuitSampler
+from repro.core.model import ProbabilisticCircuitModel
+from repro.core.sampler import GradientSATSampler
+from repro.core.transform import transform_cnf
+from repro.gpu.device import Device, DeviceKind
+from repro.tensor.tensor import Tensor
+from tests.engine.conftest import random_circuit
+
+GRAD_TOLERANCE = 1e-10
+
+
+def _models(circuit, outputs):
+    engine = ProbabilisticCircuitModel(circuit, output_nets=outputs, backend="engine")
+    interpreter = ProbabilisticCircuitModel(
+        circuit, output_nets=outputs, backend="interpreter"
+    )
+    return engine, interpreter
+
+
+def _compare_forward_backward(circuit, outputs, rng, batch=8):
+    engine, interpreter = _models(circuit, outputs)
+    probabilities = rng.random((batch, engine.num_inputs))
+    tensor_e = Tensor(probabilities.copy(), requires_grad=True)
+    tensor_i = Tensor(probabilities.copy(), requires_grad=True)
+    out_e = engine.forward(tensor_e)
+    out_i = interpreter.forward(tensor_i)
+    assert np.array_equal(out_e.data, out_i.data), "forward passes diverged"
+    seed_grad = rng.random(out_e.shape)
+    out_e.backward(seed_grad)
+    out_i.backward(seed_grad)
+    assert tensor_i.grad is not None and tensor_e.grad is not None
+    np.testing.assert_allclose(
+        tensor_e.grad, tensor_i.grad, rtol=0.0, atol=GRAD_TOLERANCE
+    )
+
+
+class TestForwardBackwardEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_circuits(self, seed):
+        rng = np.random.default_rng(1000 + seed)
+        circuit = random_circuit(rng, num_inputs=5, num_gates=35, num_outputs=3)
+        _compare_forward_backward(circuit, list(circuit.outputs), rng)
+
+    def test_fig1_cone(self, fig1_formula, rng):
+        transform = transform_cnf(fig1_formula)
+        engine = ProbabilisticCircuitModel.from_transform(transform, backend="engine")
+        interpreter = ProbabilisticCircuitModel.from_transform(
+            transform, backend="interpreter"
+        )
+        probabilities = rng.random((16, engine.num_inputs))
+        tensor_e = Tensor(probabilities.copy(), requires_grad=True)
+        tensor_i = Tensor(probabilities.copy(), requires_grad=True)
+        out_e, out_i = engine.forward(tensor_e), interpreter.forward(tensor_i)
+        assert np.array_equal(out_e.data, out_i.data)
+        out_e.sum().backward()
+        out_i.sum().backward()
+        np.testing.assert_allclose(
+            tensor_e.grad, tensor_i.grad, rtol=0.0, atol=GRAD_TOLERANCE
+        )
+
+    def test_gradients_match_finite_differences(self, rng):
+        circuit = random_circuit(rng, num_inputs=4, num_gates=12, num_outputs=2)
+        engine, _ = _models(circuit, list(circuit.outputs))
+        base = rng.random((1, engine.num_inputs)) * 0.8 + 0.1
+        tensor = Tensor(base.copy(), requires_grad=True)
+        engine.forward(tensor).sum().backward()
+        step = 1e-6
+        for column in range(engine.num_inputs):
+            bumped = base.copy()
+            bumped[0, column] += step
+            with_bump = engine.forward(Tensor(bumped)).data.sum()
+            without = engine.forward(Tensor(base)).data.sum()
+            numeric = (with_bump - without) / step
+            assert tensor.grad[0, column] == pytest.approx(numeric, abs=1e-4)
+
+
+class TestSamplerEquivalence:
+    def _solution_bytes(self, formula, config):
+        result = GradientSATSampler(formula, config=config).sample(num_solutions=30)
+        return result.solution_matrix().tobytes(), result.num_unique
+
+    @pytest.mark.parametrize(
+        "device",
+        [
+            Device(DeviceKind.GPU_SIM),
+            Device(DeviceKind.GPU_SIM, chunk_size=17),
+            Device(DeviceKind.CPU, chunk_size=8),
+        ],
+    )
+    def test_bitwise_identical_solutions(self, fig1_formula, device):
+        base = SamplerConfig(batch_size=48, max_rounds=3, seed=1234, device=device)
+        engine_bytes, engine_count = self._solution_bytes(
+            fig1_formula, base.with_(backend="engine")
+        )
+        interp_bytes, interp_count = self._solution_bytes(
+            fig1_formula, base.with_(backend="interpreter")
+        )
+        assert engine_count == interp_count
+        assert engine_bytes == interp_bytes
+
+    def test_bitwise_identical_solutions_xor(self, xor_chain_formula):
+        base = SamplerConfig(batch_size=32, max_rounds=2, seed=7)
+        engine_bytes, _ = self._solution_bytes(
+            xor_chain_formula, base.with_(backend="engine")
+        )
+        interp_bytes, _ = self._solution_bytes(
+            xor_chain_formula, base.with_(backend="interpreter")
+        )
+        assert engine_bytes == interp_bytes
+
+    def test_adam_optimizer_equivalence(self, fig1_formula):
+        base = SamplerConfig(
+            batch_size=32, max_rounds=2, seed=99, optimizer="adam", learning_rate=0.5
+        )
+        engine_bytes, _ = self._solution_bytes(
+            fig1_formula, base.with_(backend="engine")
+        )
+        interp_bytes, _ = self._solution_bytes(
+            fig1_formula, base.with_(backend="interpreter")
+        )
+        assert engine_bytes == interp_bytes
+
+    def test_learning_curves_identical(self, fig1_formula):
+        curves = []
+        for backend in ("engine", "interpreter"):
+            config = SamplerConfig(batch_size=32, seed=5, backend=backend)
+            sampler = GradientSATSampler(fig1_formula, config=config)
+            curves.append(sampler.learning_curve(max_iterations=4))
+        assert curves[0] == curves[1]
+
+
+class TestCircuitSamplerEquivalence:
+    def test_direct_circuit_sampling_identical(self, small_circuit):
+        matrices = []
+        for backend in ("engine", "interpreter"):
+            config = SamplerConfig(
+                batch_size=32, max_rounds=2, seed=11, backend=backend
+            )
+            result = CircuitSampler(small_circuit, config=config).sample(
+                num_solutions=10
+            )
+            matrices.append(result.input_matrix())
+        assert np.array_equal(matrices[0], matrices[1])
