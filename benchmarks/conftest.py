@@ -66,6 +66,16 @@ def engine_min_speedup() -> float:
     return float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "3.0"))
 
 
+def cnf_bench_batch() -> int:
+    """Batch size used for the CNF kernel-vs-clause-loop comparison."""
+    return int(os.environ.get("REPRO_BENCH_CNF_BATCH", "256"))
+
+
+def cnf_eval_min_speedup() -> float:
+    """Required kernel-over-clause-loop speedup (lower it on noisy shared CI)."""
+    return float(os.environ.get("REPRO_BENCH_CNF_MIN_SPEEDUP", "5.0"))
+
+
 @pytest.fixture(scope="session")
 def table2_instances():
     """Instance list for the Table II benchmark."""

@@ -35,6 +35,7 @@ class WalkSATSolver:
         self._rng: RandomState = new_rng(seed)
         self.num_variables = formula.num_variables
         self._clauses: List[List[int]] = [list(c.literals) for c in formula.clauses]
+        self._plan = formula.evaluation_plan()
         # Occurrence lists: variable -> clause indices containing it.
         self._occurrences: Dict[int, List[int]] = {}
         for index, clause in enumerate(self._clauses):
@@ -92,8 +93,5 @@ class WalkSATSolver:
         )
 
     def _unsatisfied_clauses(self, assignment: np.ndarray) -> List[int]:
-        return [
-            index
-            for index, clause in enumerate(self._clauses)
-            if not self._clause_satisfied(clause, assignment)
-        ]
+        satisfied = self._plan.clause_satisfaction(assignment[None, :])[0]
+        return np.flatnonzero(~satisfied).tolist()

@@ -8,6 +8,12 @@ CNF — never against the transformed circuit — exactly as the paper does.
 
 from repro.cnf.clause import Clause, literal_variable, literal_is_positive, negate_literal
 from repro.cnf.formula import CNF
+from repro.cnf.kernel import (
+    CNFEvalPlan,
+    compile_evaluation_plan,
+    default_backend,
+    set_default_backend,
+)
 from repro.cnf.assignment import Assignment
 from repro.cnf.dimacs import parse_dimacs, parse_dimacs_file, write_dimacs, write_dimacs_file
 from repro.cnf.simplify import unit_propagate, pure_literal_eliminate, simplify_formula
@@ -16,6 +22,10 @@ from repro.cnf.generators import random_ksat, random_horn, planted_ksat
 __all__ = [
     "Clause",
     "CNF",
+    "CNFEvalPlan",
+    "compile_evaluation_plan",
+    "default_backend",
+    "set_default_backend",
     "Assignment",
     "literal_variable",
     "literal_is_positive",

@@ -7,6 +7,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.cnf.clause import Clause
+from repro.cnf.kernel import CNFEvalPlan, compile_evaluation_plan, resolve_backend
 
 
 class CNF:
@@ -26,6 +27,7 @@ class CNF:
     ) -> None:
         self._clauses: List[Clause] = []
         self._num_variables = int(num_variables)
+        self._plan: Optional[CNFEvalPlan] = None
         self.comments: List[str] = list(comments or [])
         self.name = name
         for clause in clauses or []:
@@ -37,6 +39,7 @@ class CNF:
         if not isinstance(clause, Clause):
             clause = Clause(clause)
         self._clauses.append(clause)
+        self._plan = None
         for literal in clause:
             self._num_variables = max(self._num_variables, abs(literal))
         return clause
@@ -50,6 +53,7 @@ class CNF:
         """Return a deep copy."""
         duplicate = CNF(num_variables=self._num_variables, comments=list(self.comments), name=self.name)
         duplicate._clauses = list(self._clauses)
+        duplicate._plan = self._plan  # immutable plan, same clauses: safe to share
         return duplicate
 
     # -- basic accessors -------------------------------------------------------------
@@ -71,6 +75,7 @@ class CNF:
                 f"num_variables={value} is smaller than the largest referenced variable {largest}"
             )
         self._num_variables = int(value)
+        self._plan = None
 
     @property
     def num_clauses(self) -> int:
@@ -105,25 +110,73 @@ class CNF:
         return total
 
     # -- evaluation --------------------------------------------------------------------
+    def evaluation_plan(self) -> CNFEvalPlan:
+        """The memoised compiled evaluation plan (rebuilt after any mutation)."""
+        if self._plan is None:
+            self._plan = compile_evaluation_plan(self)
+        return self._plan
+
+    def _check_assignment_matrix(self, assignments: np.ndarray) -> np.ndarray:
+        """Validate and coerce a ``(batch, num_variables)`` boolean matrix.
+
+        Shared by every batch-evaluation entry point: the matrix must be 2-D
+        and exactly ``num_variables`` wide — a wider matrix almost always
+        means the caller's column convention is off by one, so it is rejected
+        rather than silently truncated.
+        """
+        matrix = np.asarray(assignments, dtype=bool)
+        if matrix.ndim != 2:
+            raise ValueError(
+                f"expected a 2-D assignment matrix, got shape {matrix.shape}"
+            )
+        if matrix.shape[1] != self._num_variables:
+            raise ValueError(
+                f"assignment matrix has {matrix.shape[1]} columns, "
+                f"but the formula has {self._num_variables} variables"
+            )
+        return matrix
+
     def evaluate(self, assignment: Dict[int, bool]) -> bool:
         """Evaluate the formula under a complete assignment ``{variable: bool}``."""
         return all(clause.evaluate(assignment) for clause in self._clauses)
 
-    def evaluate_batch(self, assignments: np.ndarray) -> np.ndarray:
+    def evaluate_batch(
+        self, assignments: np.ndarray, backend: Optional[str] = None
+    ) -> np.ndarray:
         """Vectorised evaluation of a ``(batch, num_variables)`` boolean matrix.
 
         Column ``j`` of ``assignments`` holds the value of variable ``j + 1``.
         Returns a boolean vector of length ``batch`` that is ``True`` where all
-        clauses are satisfied.
+        clauses are satisfied.  ``backend`` selects the implementation
+        (``"compiled"``, ``"packed"`` or the clause-loop ``"reference"``);
+        ``None`` uses :func:`repro.cnf.kernel.default_backend`.  All backends
+        are bitwise-identical.
         """
-        assignments = np.asarray(assignments, dtype=bool)
-        if assignments.ndim != 2:
-            raise ValueError(f"expected a 2-D matrix, got shape {assignments.shape}")
-        if assignments.shape[1] < self._num_variables:
-            raise ValueError(
-                f"assignment matrix has {assignments.shape[1]} columns, "
-                f"but the formula has {self._num_variables} variables"
-            )
+        matrix = self._check_assignment_matrix(assignments)
+        backend = resolve_backend(backend)
+        if backend == "reference":
+            return self._evaluate_batch_reference(matrix)
+        plan = self.evaluation_plan()
+        if backend == "packed":
+            return plan.evaluate_packed(matrix)
+        return plan.evaluate(matrix)
+
+    def unsatisfied_clause_counts(
+        self, assignments: np.ndarray, backend: Optional[str] = None
+    ) -> np.ndarray:
+        """Per-row count of clauses falsified by each assignment in a batch.
+
+        Accepts the same ``(batch, num_variables)`` matrices and ``backend``
+        values as :meth:`evaluate_batch` (the ``"packed"`` kernel has no
+        per-clause counting form, so it falls back to ``"compiled"``).
+        """
+        matrix = self._check_assignment_matrix(assignments)
+        if resolve_backend(backend) == "reference":
+            return self._unsatisfied_clause_counts_reference(matrix)
+        return self.evaluation_plan().unsatisfied_counts(matrix)
+
+    def _evaluate_batch_reference(self, assignments: np.ndarray) -> np.ndarray:
+        """The original clause-by-clause loop, kept as the equivalence reference."""
         satisfied = np.ones(assignments.shape[0], dtype=bool)
         for clause in self._clauses:
             clause_value = np.zeros(assignments.shape[0], dtype=bool)
@@ -135,9 +188,8 @@ class CNF:
                 break
         return satisfied
 
-    def unsatisfied_clause_counts(self, assignments: np.ndarray) -> np.ndarray:
-        """Per-row count of clauses falsified by each assignment in a batch."""
-        assignments = np.asarray(assignments, dtype=bool)
+    def _unsatisfied_clause_counts_reference(self, assignments: np.ndarray) -> np.ndarray:
+        """Clause-loop reference implementation of :meth:`unsatisfied_clause_counts`."""
         counts = np.zeros(assignments.shape[0], dtype=np.int64)
         for clause in self._clauses:
             clause_value = np.zeros(assignments.shape[0], dtype=bool)

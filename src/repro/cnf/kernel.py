@@ -1,0 +1,221 @@
+"""Compiled CNF evaluation kernel.
+
+Batch CNF evaluation used to walk the clause list in Python
+(:meth:`~repro.cnf.formula.CNF.evaluate_batch`'s clause-by-clause,
+literal-by-literal loop).  This module compiles a formula once into a flat
+*evaluation plan* — the CNF analogue of the engine's levelized programs
+(:mod:`repro.engine.program`):
+
+* ``literal_columns`` / ``literal_negated`` — every literal occurrence of
+  every non-empty clause, flattened into one index array and one sign array,
+  so a single fancy-index gather ``assignments.T[columns] ^ negated``
+  produces all literal values of the whole formula at once;
+* ``reduce_offsets`` — clause start boundaries into the flat arrays, in the
+  spirit of ``np.logical_or.reduceat``.  ``reduceat`` itself pays per-segment
+  overhead on thousands of tiny clauses, so the clauses are stored sorted by
+  width and each ``width_groups`` bucket reduces as a fused
+  ``(clauses, width, batch)`` slice-OR instead — same flat layout, no
+  per-clause Python or per-segment ufunc cost.  The boolean reductions run
+  over the transposed ``(variables, batch)`` matrix so every gathered row is
+  contiguous;
+* a bit-packed variant that packs the batch axis 8 rows per byte
+  (``np.packbits``) and reduces the flat layout with
+  ``np.bitwise_or.reduceat`` / ``np.bitwise_and.reduce``, mirroring the
+  engine's packed execution mode.
+
+Empty clauses cannot ride either reduction (a zero-length segment is not an
+identity reduction), so they are counted separately: one empty clause makes
+every assignment unsatisfying.
+
+Plans are memoised per :class:`~repro.cnf.formula.CNF` via
+:meth:`~repro.cnf.formula.CNF.evaluation_plan` and invalidated whenever the
+formula mutates (``add_clause`` or a ``num_variables`` change), mirroring the
+engine's compile-once design.  The clause-loop implementation survives as the
+``"reference"`` backend; :func:`default_backend` (overridable with
+:func:`set_default_backend` or the ``REPRO_CNF_BACKEND`` environment
+variable) selects which implementation :meth:`CNF.evaluate_batch` uses.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # avoid a runtime import cycle with repro.cnf.formula
+    from repro.cnf.formula import CNF
+
+#: Accepted values for the evaluation-backend knob.
+BACKENDS = ("compiled", "packed", "reference")
+
+#: Environment variable consulted for the process-wide default backend.
+BACKEND_ENV_VAR = "REPRO_CNF_BACKEND"
+
+_default_backend: Optional[str] = None
+
+
+def default_backend() -> str:
+    """The process-wide evaluation backend (env override, else ``"compiled"``)."""
+    if _default_backend is not None:
+        return _default_backend
+    return _validate_backend(os.environ.get(BACKEND_ENV_VAR, "compiled"))
+
+
+def set_default_backend(name: Optional[str]) -> None:
+    """Set the process-wide backend; ``None`` restores the environment default."""
+    global _default_backend
+    _default_backend = None if name is None else _validate_backend(name)
+
+
+def resolve_backend(name: Optional[str]) -> str:
+    """Resolve a per-call backend argument (``None`` means the default)."""
+    return default_backend() if name is None else _validate_backend(name)
+
+
+def _validate_backend(name: str) -> str:
+    if name not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {name!r}")
+    return name
+
+
+@dataclass(frozen=True)
+class CNFEvalPlan:
+    """A compiled, formula-specific batch-evaluation plan (immutable)."""
+
+    #: Declared variable width the plan was compiled for.
+    num_variables: int
+    #: Total clause count, including empty clauses.
+    num_clauses: int
+    #: Flat assignment-column index of every literal, clauses sorted by width.
+    literal_columns: np.ndarray
+    #: Sign of each flat literal (``True`` for a negated literal).
+    literal_negated: np.ndarray
+    #: Start offset of each (width-sorted) non-empty clause in the flat arrays.
+    reduce_offsets: np.ndarray
+    #: Original clause index of each width-sorted non-empty clause.
+    nonempty_index: np.ndarray
+    #: ``(clause_start, clause_end, width)`` spans over the width-sorted
+    #: clauses; each bucket reduces as one fused ``(clauses, width, batch)`` OR.
+    width_groups: Tuple[Tuple[int, int, int], ...]
+    #: Number of empty clauses (each one falsifies every assignment).
+    num_empty: int
+
+    @property
+    def num_literals(self) -> int:
+        """Total literal occurrences across the non-empty clauses."""
+        return int(self.literal_columns.shape[0])
+
+    # -- fused evaluation -------------------------------------------------------------
+    def _gather_literal_values(self, assignments: np.ndarray) -> np.ndarray:
+        """``(literals, batch)`` literal values over the transposed matrix."""
+        transposed = np.ascontiguousarray(assignments.T)
+        values = transposed[self.literal_columns]
+        values ^= self.literal_negated[:, None]
+        return values
+
+    def _group_blocks(self, values: np.ndarray, batch: int):
+        """Yield each width bucket as a ``(clauses, width, batch)`` view."""
+        for clause_start, clause_end, width in self.width_groups:
+            flat_start = int(self.reduce_offsets[clause_start])
+            count = clause_end - clause_start
+            block = values[flat_start : flat_start + count * width]
+            yield clause_start, clause_end, block.reshape(count, width, batch)
+
+    @staticmethod
+    def _or_over_width(block: np.ndarray) -> np.ndarray:
+        """OR a ``(clauses, width, batch)`` block down to ``(clauses, batch)``."""
+        satisfied = block[:, 0]
+        for column in range(1, block.shape[1]):
+            satisfied = satisfied | block[:, column]
+        return satisfied
+
+    def evaluate(self, assignments: np.ndarray) -> np.ndarray:
+        """Per-row satisfaction of the whole formula (boolean kernel)."""
+        batch = assignments.shape[0]
+        if self.num_empty:
+            return np.zeros(batch, dtype=bool)
+        if self.reduce_offsets.size == 0:
+            return np.ones(batch, dtype=bool)
+        values = self._gather_literal_values(assignments)
+        satisfied = np.ones(batch, dtype=bool)
+        for _, _, block in self._group_blocks(values, batch):
+            satisfied &= self._or_over_width(block).all(axis=0)
+        return satisfied
+
+    def evaluate_packed(self, assignments: np.ndarray) -> np.ndarray:
+        """Per-row satisfaction via the bit-packed kernel (8 rows per byte).
+
+        The batch axis is packed with ``np.packbits``, the flat clause
+        boundaries then drive one ``np.bitwise_or.reduceat`` over ``uint8``
+        words; results are bitwise-identical to :meth:`evaluate`.
+        """
+        batch = assignments.shape[0]
+        if self.num_empty:
+            return np.zeros(batch, dtype=bool)
+        if self.reduce_offsets.size == 0:
+            return np.ones(batch, dtype=bool)
+        packed_columns = np.packbits(np.ascontiguousarray(assignments.T), axis=1)
+        literal_words = packed_columns[self.literal_columns]
+        literal_words[self.literal_negated] ^= np.uint8(0xFF)
+        clause_words = np.bitwise_or.reduceat(literal_words, self.reduce_offsets, axis=0)
+        formula_words = np.bitwise_and.reduce(clause_words, axis=0)
+        return np.unpackbits(formula_words, count=batch).astype(bool)
+
+    def clause_satisfaction(self, assignments: np.ndarray) -> np.ndarray:
+        """Full ``(batch, num_clauses)`` satisfaction matrix, empty clauses False."""
+        batch = assignments.shape[0]
+        result = np.zeros((batch, self.num_clauses), dtype=bool)
+        if self.reduce_offsets.size:
+            values = self._gather_literal_values(assignments)
+            for clause_start, clause_end, block in self._group_blocks(values, batch):
+                columns = self.nonempty_index[clause_start:clause_end]
+                result[:, columns] = self._or_over_width(block).T
+        return result
+
+    def unsatisfied_counts(self, assignments: np.ndarray) -> np.ndarray:
+        """Per-row count of falsified clauses."""
+        batch = assignments.shape[0]
+        counts = np.full(batch, self.num_empty, dtype=np.int64)
+        if self.reduce_offsets.size:
+            values = self._gather_literal_values(assignments)
+            for _, _, block in self._group_blocks(values, batch):
+                counts += (~self._or_over_width(block)).sum(axis=0)
+        return counts
+
+
+def compile_evaluation_plan(formula: "CNF") -> CNFEvalPlan:
+    """Flatten ``formula`` into a :class:`CNFEvalPlan` (one pass over the clauses)."""
+    indexed = [(index, clause) for index, clause in enumerate(formula.clauses)]
+    nonempty = [(index, clause) for index, clause in indexed if len(clause)]
+    num_empty = len(indexed) - len(nonempty)
+    nonempty.sort(key=lambda pair: len(pair[1]))  # stable: insertion order per width
+    columns = []
+    negated = []
+    offsets = []
+    original_index = []
+    groups = []
+    position = 0
+    for sorted_position, (index, clause) in enumerate(nonempty):
+        width = len(clause)
+        if groups and groups[-1][2] == width:
+            groups[-1][1] = sorted_position + 1
+        else:
+            groups.append([sorted_position, sorted_position + 1, width])
+        offsets.append(position)
+        original_index.append(index)
+        for literal in clause:
+            columns.append(abs(literal) - 1)
+            negated.append(literal < 0)
+            position += 1
+    return CNFEvalPlan(
+        num_variables=formula.num_variables,
+        num_clauses=formula.num_clauses,
+        literal_columns=np.asarray(columns, dtype=np.intp),
+        literal_negated=np.asarray(negated, dtype=bool),
+        reduce_offsets=np.asarray(offsets, dtype=np.intp),
+        nonempty_index=np.asarray(original_index, dtype=np.intp),
+        width_groups=tuple((start, stop, width) for start, stop, width in groups),
+        num_empty=num_empty,
+    )

@@ -46,6 +46,7 @@ class CircuitSampleResult:
     elapsed_seconds: float
     rounds: int
     loss_history: List[float] = field(default_factory=list)
+    timed_out: bool = False
 
     @property
     def num_unique(self) -> int:
@@ -113,18 +114,22 @@ class CircuitSampler:
         if num_solutions <= 0:
             raise ValueError(f"num_solutions must be positive, got {num_solutions}")
         start = time.perf_counter()
+        deadline = (
+            None
+            if self.config.timeout_seconds is None
+            else start + self.config.timeout_seconds
+        )
         solutions = SolutionSet(len(self.input_order))
         loss_history: List[float] = []
         num_generated = 0
         num_valid = 0
         rounds = 0
         stalled = 0
+        timed_out = False
 
         while rounds < self.config.max_rounds and len(solutions) < num_solutions:
-            if (
-                self.config.timeout_seconds is not None
-                and time.perf_counter() - start >= self.config.timeout_seconds
-            ):
+            if deadline is not None and time.perf_counter() >= deadline:
+                timed_out = True
                 break
             if (
                 self.config.stall_rounds is not None
@@ -132,13 +137,18 @@ class CircuitSampler:
             ):
                 break
             rounds += 1
-            inputs, losses = self._one_round(self.config.batch_size)
+            inputs, losses, round_timed_out = self._one_round(
+                self.config.batch_size, deadline
+            )
             loss_history.extend(losses)
             valid = self._validate(inputs)
             num_generated += inputs.shape[0]
             num_valid += int(valid.sum())
             added = solutions.add_batch(inputs, valid)
             stalled = stalled + 1 if added == 0 else 0
+            if round_timed_out:
+                timed_out = True
+                break
 
         return CircuitSampleResult(
             solutions=solutions,
@@ -148,19 +158,24 @@ class CircuitSampler:
             elapsed_seconds=time.perf_counter() - start,
             rounds=rounds,
             loss_history=loss_history,
+            timed_out=timed_out,
         )
 
     # -- internals --------------------------------------------------------------------
-    def _one_round(self, batch_size: int) -> Tuple[np.ndarray, List[float]]:
-        """Learn one batch of constrained inputs and assemble full input vectors."""
+    def _one_round(
+        self, batch_size: int, deadline: Optional[float] = None
+    ) -> Tuple[np.ndarray, List[float], bool]:
+        """Learn one batch of constrained inputs and assemble full input vectors.
+
+        The ``deadline`` (absolute ``time.perf_counter`` instant) is checked
+        between device chunks and GD iterations; on expiry the batch is
+        truncated to the rows actually learned and the timed-out flag is set.
+        """
         losses: List[float] = []
-        constrained_bits = np.zeros(
-            (batch_size, len(self._constrained_inputs)), dtype=bool
-        )
         targets = target_matrix(batch_size, self.model.output_nets, self.output_targets)
         if self.config.backend == "engine":
             # Fused compiled training loop; chunking happens at the program level.
-            constrained_bits, losses = engine_learn_batch(
+            constrained_bits, losses, timed_out = engine_learn_batch(
                 self.model.program,
                 batch_size,
                 targets,
@@ -168,9 +183,18 @@ class CircuitSampler:
                 lambda chunk: self._rng.normal(
                     0.0, self.config.init_scale, size=(chunk, self.model.num_inputs)
                 ),
+                deadline,
             )
-            return self._assemble_inputs(constrained_bits, batch_size), losses
+            return self._assemble_inputs(constrained_bits), losses, timed_out
+        constrained_bits = np.zeros(
+            (batch_size, len(self._constrained_inputs)), dtype=bool
+        )
+        completed = 0
+        timed_out = False
         for start, stop in self.config.device.chunks(batch_size):
+            if deadline is not None and time.perf_counter() >= deadline:
+                timed_out = True
+                break
             chunk = stop - start
             soft = Tensor(
                 self._rng.normal(0.0, self.config.init_scale, size=(chunk, self.model.num_inputs)),
@@ -180,6 +204,9 @@ class CircuitSampler:
                 [soft], self.config.optimizer, self.config.learning_rate
             )
             for _ in range(self.config.iterations):
+                if deadline is not None and time.perf_counter() >= deadline:
+                    timed_out = True
+                    break
                 optimizer.zero_grad()
                 outputs = self.model.forward(sigmoid(soft))
                 loss = regression_loss(outputs, targets[start:stop])
@@ -188,12 +215,14 @@ class CircuitSampler:
                 if start == 0:
                     losses.append(loss.item())
             constrained_bits[start:stop] = soft.data > 0.0
-        return self._assemble_inputs(constrained_bits, batch_size), losses
+            completed = stop
+            if timed_out:
+                break
+        return self._assemble_inputs(constrained_bits[:completed]), losses, timed_out
 
-    def _assemble_inputs(
-        self, constrained_bits: np.ndarray, batch_size: int
-    ) -> np.ndarray:
+    def _assemble_inputs(self, constrained_bits: np.ndarray) -> np.ndarray:
         """Scatter learned bits and random unconstrained bits into input vectors."""
+        batch_size = constrained_bits.shape[0]
         inputs = np.zeros((batch_size, len(self.input_order)), dtype=bool)
         column_of = {name: i for i, name in enumerate(self.input_order)}
         for source, name in enumerate(self._constrained_inputs):

@@ -41,7 +41,11 @@ class SamplerConfig:
     #: Stop early after this many consecutive rounds that add no new unique solution
     #: (the solution space is likely exhausted).  None disables the check.
     stall_rounds: Optional[int] = 4
-    #: Wall-clock budget in seconds (None = unlimited); checked between rounds.
+    #: Wall-clock budget in seconds (None = unlimited); checked between rounds
+    #: and, inside a GD round, between device chunks and iterations, so a
+    #: long round overshoots the budget by at most one iteration (model-less
+    #: instances sample a round as one vectorised step, their overshoot is
+    #: that single step).
     timeout_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:

@@ -142,6 +142,11 @@ class GradientSATSampler:
         if num_solutions <= 0:
             raise ValueError(f"num_solutions must be positive, got {num_solutions}")
         start = time.perf_counter()
+        deadline = (
+            None
+            if self.config.timeout_seconds is None
+            else start + self.config.timeout_seconds
+        )
         solutions = SolutionSet(self.formula.num_variables)
         rounds: List[RoundRecord] = []
         num_generated = 0
@@ -152,7 +157,7 @@ class GradientSATSampler:
         for round_index in range(self.config.max_rounds):
             if len(solutions) >= num_solutions:
                 break
-            if self._timeout_expired(start):
+            if deadline is not None and time.perf_counter() >= deadline:
                 timed_out = True
                 break
             if (
@@ -163,7 +168,9 @@ class GradientSATSampler:
                 # solution space is very likely exhausted for this batch size.
                 break
             round_start = time.perf_counter()
-            assignments, valid_mask, loss_history = self._run_round(self.config.batch_size)
+            assignments, valid_mask, loss_history, round_timed_out = self._run_round(
+                self.config.batch_size, deadline
+            )
             new_unique = solutions.add_batch(assignments, valid_mask)
             num_generated += assignments.shape[0]
             num_valid += int(valid_mask.sum())
@@ -178,6 +185,11 @@ class GradientSATSampler:
                     seconds=time.perf_counter() - round_start,
                 )
             )
+            if round_timed_out:
+                # The deadline expired inside the round's GD loop; the
+                # partial candidates above are kept, but no new round starts.
+                timed_out = True
+                break
         elapsed = time.perf_counter() - start
         return SampleResult(
             solutions=solutions,
@@ -225,10 +237,6 @@ class GradientSATSampler:
         return curve
 
     # -- internals ------------------------------------------------------------------------
-    def _timeout_expired(self, start: float) -> bool:
-        timeout = self.config.timeout_seconds
-        return timeout is not None and (time.perf_counter() - start) >= timeout
-
     def _draw_initial_soft_inputs(self, batch_size: int) -> np.ndarray:
         """Draw the Gaussian initialisation of ``V`` for one chunk (Eq. 6 input)."""
         assert self.model is not None
@@ -246,26 +254,41 @@ class GradientSATSampler:
         targets = target_matrix(batch_size, self.model.output_nets)
         return soft_inputs, optimizer, targets
 
-    def _learn_chunk(self, chunk_size: int) -> Tuple[np.ndarray, List[float]]:
-        """Learn one chunk of constrained-input assignments; returns hard bits."""
+    def _learn_chunk(
+        self, chunk_size: int, deadline: Optional[float] = None
+    ) -> Tuple[np.ndarray, List[float], bool]:
+        """Learn one chunk of constrained-input assignments; returns hard bits.
+
+        Mirrors :func:`repro.engine.train.learn_chunk`: when ``deadline``
+        passes mid-chunk the remaining GD iterations are skipped and the
+        partially-trained bits are returned with the timed-out flag set.
+        """
         assert self.model is not None
         soft_inputs, optimizer, targets = self._init_parameters(chunk_size)
         loss_history: List[float] = []
+        timed_out = False
         for _ in range(self.config.iterations):
+            if deadline is not None and time.perf_counter() >= deadline:
+                timed_out = True
+                break
             optimizer.zero_grad()
             outputs = self.model.forward(sigmoid(soft_inputs))
             loss = regression_loss(outputs, targets)
             loss.backward()
             optimizer.step()
             loss_history.append(loss.item())
-        return soft_inputs.data > 0.0, loss_history
+        return soft_inputs.data > 0.0, loss_history, timed_out
 
-    def _learn_constrained_inputs(self, batch_size: int) -> Tuple[np.ndarray, List[float]]:
+    def _learn_constrained_inputs(
+        self, batch_size: int, deadline: Optional[float] = None
+    ) -> Tuple[np.ndarray, List[float], bool]:
         """Learn constrained inputs for a full batch, honouring the device's chunking.
 
         The engine backend hands the whole batch to the compiled program's
         training loop (chunking happens at the program level); the interpreter
-        backend keeps the legacy Python-sliced chunk loop.
+        backend keeps the legacy Python-sliced chunk loop.  Both check the
+        ``deadline`` between chunks and between GD iterations, truncating the
+        batch to the rows actually learned when it expires.
         """
         assert self.model is not None
         if self.config.backend == "engine":
@@ -276,15 +299,27 @@ class GradientSATSampler:
                 targets,
                 self.config,
                 self._draw_initial_soft_inputs,
+                deadline,
             )
         hard = np.zeros((batch_size, self.model.num_inputs), dtype=bool)
         loss_history: List[float] = []
+        completed = 0
+        timed_out = False
         for start, stop in self.config.device.chunks(batch_size):
-            chunk_hard, chunk_losses = self._learn_chunk(stop - start)
+            if deadline is not None and time.perf_counter() >= deadline:
+                timed_out = True
+                break
+            chunk_hard, chunk_losses, chunk_timed_out = self._learn_chunk(
+                stop - start, deadline
+            )
             hard[start:stop] = chunk_hard
+            completed = stop
             if not loss_history:
                 loss_history = chunk_losses
-        return hard, loss_history
+            if chunk_timed_out:
+                timed_out = True
+                break
+        return hard[:completed], loss_history, timed_out
 
     def _assemble(self, constrained_bits: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Build full CNF assignments from constrained-input bits and validate them."""
@@ -306,13 +341,19 @@ class GradientSATSampler:
         valid_mask = self.formula.evaluate_batch(assignments)
         return assignments, valid_mask
 
-    def _run_round(self, batch_size: int) -> Tuple[np.ndarray, np.ndarray, List[float]]:
+    def _run_round(
+        self, batch_size: int, deadline: Optional[float] = None
+    ) -> Tuple[np.ndarray, np.ndarray, List[float], bool]:
         """One sampling round: learn (if needed), assemble and validate a batch."""
         if self.model is None:
-            return self._random_round(batch_size)
-        constrained_bits, loss_history = self._learn_constrained_inputs(batch_size)
+            assignments, valid_mask, loss_history = self._random_round(batch_size)
+            timed_out = deadline is not None and time.perf_counter() >= deadline
+            return assignments, valid_mask, loss_history, timed_out
+        constrained_bits, loss_history, timed_out = self._learn_constrained_inputs(
+            batch_size, deadline
+        )
         assignments, valid_mask = self._assemble(constrained_bits)
-        return assignments, valid_mask, loss_history
+        return assignments, valid_mask, loss_history, timed_out
 
     def _random_round(self, batch_size: int) -> Tuple[np.ndarray, np.ndarray, List[float]]:
         """Round for instances without constrained paths: pure random assignment."""

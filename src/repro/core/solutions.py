@@ -49,7 +49,10 @@ class SolutionSet:
     ) -> int:
         """Add every (optionally masked) row of a ``(batch, num_variables)`` matrix.
 
-        Returns the number of rows that were new.
+        In-batch duplicates are removed with one packed-row ``np.unique``
+        (first occurrence wins, so insertion order matches row order); only
+        the batch-unique survivors are checked against the already-stored
+        keys.  Returns the number of rows that were new.
         """
         assignments = np.asarray(assignments, dtype=bool)
         if assignments.ndim != 2 or assignments.shape[1] != self.num_variables:
@@ -64,8 +67,18 @@ class SolutionSet:
         if assignments.shape[0] == 0:
             return 0
         packed = np.packbits(assignments, axis=1)
+        if packed.shape[1]:
+            # One np.unique over the packed rows viewed as opaque fixed-width
+            # blobs — much faster than the axis=0 form, which re-sorts
+            # column-wise — keeping the *first* occurrence of each duplicate.
+            rows_as_blobs = np.ascontiguousarray(packed).view(
+                np.dtype((np.void, packed.shape[1]))
+            )
+            _, first_occurrence = np.unique(rows_as_blobs.ravel(), return_index=True)
+        else:  # zero-width rows are all identical
+            first_occurrence = np.zeros(1, dtype=np.intp)
         added = 0
-        for row_index in range(assignments.shape[0]):
+        for row_index in np.sort(first_occurrence):
             key = packed[row_index].tobytes()
             if key in self._keys:
                 continue

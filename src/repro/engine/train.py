@@ -23,7 +23,8 @@ as the legacy Python-sliced path, same RNG consumption order.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, List, Tuple
+import time
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -46,15 +47,25 @@ def learn_chunk(
     initial_soft_inputs: np.ndarray,
     targets: np.ndarray,
     config: "SamplerConfig",
-) -> Tuple[np.ndarray, List[float]]:
+    deadline: Optional[float] = None,
+) -> Tuple[np.ndarray, List[float], bool]:
     """Run the configured GD iterations on one chunk of soft inputs.
 
-    Returns the thresholded hard bits (``V > 0``) and the loss history.
+    ``deadline`` is an absolute ``time.perf_counter`` instant; when it passes
+    mid-chunk the remaining iterations are skipped (the overshoot is bounded
+    by one iteration instead of a whole round) and the partially-trained bits
+    are still returned — downstream validation decides whether they satisfy
+    the formula.  Returns the thresholded hard bits (``V > 0``), the loss
+    history, and whether the deadline cut the chunk short.
     """
     parameter = Tensor(initial_soft_inputs, requires_grad=True)
     optimizer = make_optimizer([parameter], config.optimizer, config.learning_rate)
     loss_history: List[float] = []
+    timed_out = False
     for _ in range(config.iterations):
+        if deadline is not None and time.perf_counter() >= deadline:
+            timed_out = True
+            break
         probabilities = sigmoid_embedding(parameter.data)
         outputs, cache = forward(program, probabilities)
         difference = outputs - targets
@@ -64,7 +75,7 @@ def learn_chunk(
         parameter.grad = input_grads * probabilities * (1.0 - probabilities)
         optimizer.step()
         loss_history.append(loss)
-    return parameter.data > 0.0, loss_history
+    return parameter.data > 0.0, loss_history, timed_out
 
 
 def learn_batch(
@@ -73,21 +84,34 @@ def learn_batch(
     targets: np.ndarray,
     config: "SamplerConfig",
     draw_initial: Callable[[int], np.ndarray],
-) -> Tuple[np.ndarray, List[float]]:
+    deadline: Optional[float] = None,
+) -> Tuple[np.ndarray, List[float], bool]:
     """Learn a full batch of soft assignments with program-level chunking.
 
     ``draw_initial`` draws the ``(chunk, n)`` Gaussian initialisation for each
     device chunk in order, which keeps RNG consumption identical to the legacy
-    interpreter's chunk loop.  Returns the hard ``(batch, n)`` bit matrix and
-    the first chunk's loss history (the round-level convergence signal).
+    interpreter's chunk loop.  When ``deadline`` (absolute
+    ``time.perf_counter`` instant) expires, untrained chunks are dropped and
+    the returned matrix is truncated to the rows actually learned.  Returns
+    the hard bit matrix, the first chunk's loss history (the round-level
+    convergence signal), and whether the deadline expired.
     """
     hard = np.zeros((batch_size, program.input_width), dtype=bool)
     loss_history: List[float] = []
+    completed = 0
+    timed_out = False
     for start, stop in config.device.chunks(batch_size):
-        chunk_hard, chunk_losses = learn_chunk(
-            program, draw_initial(stop - start), targets[start:stop], config
+        if deadline is not None and time.perf_counter() >= deadline:
+            timed_out = True
+            break
+        chunk_hard, chunk_losses, chunk_timed_out = learn_chunk(
+            program, draw_initial(stop - start), targets[start:stop], config, deadline
         )
         hard[start:stop] = chunk_hard
+        completed = stop
         if not loss_history:
             loss_history = chunk_losses
-    return hard, loss_history
+        if chunk_timed_out:
+            timed_out = True
+            break
+    return hard[:completed], loss_history, timed_out

@@ -29,8 +29,8 @@ def uniqueness_rate(assignments: np.ndarray) -> float:
     if assignments.shape[0] == 0:
         return 0.0
     packed = np.packbits(assignments, axis=1)
-    unique = {row.tobytes() for row in packed}
-    return len(unique) / assignments.shape[0]
+    unique = np.unique(packed, axis=0).shape[0]
+    return unique / assignments.shape[0]
 
 
 def hamming_diversity(assignments: np.ndarray, sample_pairs: int = 2000,

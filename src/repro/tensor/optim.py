@@ -48,19 +48,21 @@ class SGD(Optimizer):
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")
         self.lr = lr
         self.momentum = momentum
+        # Keyed by parameter *position* in self.parameters: id() keys can be
+        # recycled after a tensor is freed, silently inheriting stale momentum.
         self._velocity: Dict[int, np.ndarray] = {}
 
     def step(self) -> None:
-        for parameter in self.parameters:
+        for position, parameter in enumerate(self.parameters):
             if parameter.grad is None:
                 continue
             update = parameter.grad
             if self.momentum > 0.0:
-                velocity = self._velocity.get(id(parameter))
+                velocity = self._velocity.get(position)
                 if velocity is None:
                     velocity = np.zeros_like(parameter.data)
                 velocity = self.momentum * velocity + update
-                self._velocity[id(parameter)] = velocity
+                self._velocity[position] = velocity
                 update = velocity
             parameter.data = parameter.data - self.lr * update
 
@@ -96,15 +98,15 @@ class Adam(Optimizer):
         self.beta1, self.beta2 = betas
         self.eps = eps
         self._step_count = 0
+        # Positional keys, like SGD._velocity: id() keys outlive their tensor.
         self._first_moment: Dict[int, np.ndarray] = {}
         self._second_moment: Dict[int, np.ndarray] = {}
 
     def step(self) -> None:
         self._step_count += 1
-        for parameter in self.parameters:
+        for key, parameter in enumerate(self.parameters):
             if parameter.grad is None:
                 continue
-            key = id(parameter)
             first = self._first_moment.get(key)
             second = self._second_moment.get(key)
             if first is None:

@@ -1,5 +1,7 @@
 """Tests for the gradient-descent sampler (repro.core.sampler)."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -76,6 +78,74 @@ class TestSampleResultBookkeeping:
         config = _small_config(max_rounds=10_000, timeout_seconds=0.2, stall_rounds=None)
         result = GradientSATSampler(fig1_formula, config=config).sample(10_000)
         assert result.elapsed_seconds < 5.0
+
+
+class TestTimeoutDeadline:
+    """Regression: the deadline must cut into a round's GD loop, not just
+    be checked between rounds — one long round used to overshoot freely."""
+
+    @staticmethod
+    def _install_fake_clock(monkeypatch, tick=0.01):
+        import repro.core.sampler as sampler_module
+
+        state = {"now": 0.0}
+
+        def fake_perf_counter():
+            state["now"] += tick
+            return state["now"]
+
+        # time is the shared stdlib module, so this also covers the engine's
+        # deadline checks in repro.engine.train; monkeypatch restores it.
+        monkeypatch.setattr(sampler_module.time, "perf_counter", fake_perf_counter)
+        return state
+
+    @pytest.mark.parametrize("backend", ["engine", "interpreter"])
+    def test_long_round_cut_at_deadline(self, fig1_formula, monkeypatch, backend):
+        self._install_fake_clock(monkeypatch)
+        config = _small_config(
+            backend=backend,
+            batch_size=16,
+            max_rounds=10,
+            stall_rounds=None,
+            timeout_seconds=0.5,
+        ).with_(iterations=1000)
+        result = GradientSATSampler(fig1_formula, config=config).sample(10_000)
+        assert result.timed_out
+        assert len(result.rounds) == 1
+        # The deadline struck mid-round: far fewer iterations than requested.
+        assert 0 < len(result.rounds[0].loss_history) < 1000
+
+    def test_partial_chunks_kept_on_timeout(self, fig1_formula, monkeypatch):
+        self._install_fake_clock(monkeypatch)
+        config = _small_config(
+            batch_size=8,
+            max_rounds=10,
+            stall_rounds=None,
+            timeout_seconds=0.3,
+            device=Device(DeviceKind.CPU),  # per-sample chunks
+        ).with_(iterations=5)
+        result = GradientSATSampler(fig1_formula, config=config).sample(10_000)
+        assert result.timed_out
+        assert len(result.rounds) == 1
+        # Only the chunks learned before the deadline produced candidates,
+        # and every candidate that validated is still collected.
+        assert 0 < result.rounds[0].num_candidates < 8
+        assert result.num_generated == result.rounds[0].num_candidates
+        matrix = result.solution_matrix()
+        if matrix.shape[0]:
+            assert fig1_formula.evaluate_batch(matrix).all()
+
+    def test_timeout_overshoot_bounded_wall_clock(self, fig1_formula):
+        # Without the in-round deadline, this round would run 100k GD
+        # iterations (many seconds); with it, the overshoot is one iteration.
+        config = _small_config(
+            batch_size=256, max_rounds=3, stall_rounds=None, timeout_seconds=0.2
+        ).with_(iterations=100_000)
+        start = time.perf_counter()
+        result = GradientSATSampler(fig1_formula, config=config).sample(10**6)
+        elapsed = time.perf_counter() - start
+        assert result.timed_out
+        assert elapsed < 2.0
 
 
 class TestUnsatisfiableAndEdgeCases:

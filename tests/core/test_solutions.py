@@ -59,6 +59,46 @@ class TestAddBatch:
     def test_empty_batch(self):
         assert SolutionSet(2).add_batch(np.zeros((0, 2), dtype=bool)) == 0
 
+    def test_in_batch_duplicates_keep_first_occurrence_order(self):
+        solutions = SolutionSet(2)
+        matrix = np.array(
+            [[True, True], [False, True], [True, True], [False, False], [False, True]]
+        )
+        assert solutions.add_batch(matrix) == 3
+        assert solutions.to_matrix().tolist() == [
+            [True, True],
+            [False, True],
+            [False, False],
+        ]
+
+    def test_batch_rows_do_not_leak_duplicates_into_count(self):
+        solutions = SolutionSet(1)
+        matrix = np.array([[True]] * 10 + [[False]] * 10)
+        assert solutions.add_batch(matrix) == 2
+        assert len(solutions) == 2
+
+    def test_masked_duplicates_preserve_order(self):
+        solutions = SolutionSet(2)
+        matrix = np.array([[True, False], [True, True], [True, False], [False, True]])
+        mask = np.array([True, False, True, True])
+        assert solutions.add_batch(matrix, mask) == 2
+        assert solutions.to_matrix().tolist() == [[True, False], [False, True]]
+
+    def test_zero_width_rows_collapse_to_one(self):
+        solutions = SolutionSet(0)
+        assert solutions.add_batch(np.zeros((5, 0), dtype=bool)) == 1
+        assert solutions.add_batch(np.zeros((3, 0), dtype=bool)) == 0
+
+    def test_large_batch_matches_row_by_row_reference(self):
+        rng = np.random.default_rng(7)
+        matrix = rng.random((500, 6)) < 0.5
+        batch_set = SolutionSet(6)
+        reference_set = SolutionSet(6)
+        batch_added = batch_set.add_batch(matrix)
+        reference_added = sum(reference_set.add(row) for row in matrix)
+        assert batch_added == reference_added
+        assert np.array_equal(batch_set.to_matrix(), reference_set.to_matrix())
+
 
 class TestExport:
     def test_to_matrix_preserves_insertion_order(self):

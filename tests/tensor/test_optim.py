@@ -74,6 +74,30 @@ class TestSGD:
         optimizer.step()  # no backward yet; must not crash
         assert np.allclose(parameter.numpy(), [1.0])
 
+    def test_velocity_keyed_by_position_not_id(self):
+        """Regression: id() keys can be recycled by a freed tensor, silently
+        handing its momentum to an unrelated parameter."""
+        first = Tensor([1.0], requires_grad=True)
+        second = Tensor([2.0], requires_grad=True)
+        optimizer = SGD([first, second], lr=0.1, momentum=0.9)
+        first.grad = np.array([1.0])
+        second.grad = np.array([1.0])
+        optimizer.step()
+        assert set(optimizer._velocity) == {0, 1}
+
+    def test_velocity_stays_per_position(self):
+        """Each slot's momentum must evolve independently of object identity."""
+        first = Tensor([0.0], requires_grad=True)
+        second = Tensor([0.0], requires_grad=True)
+        optimizer = SGD([first, second], lr=1.0, momentum=0.5)
+        first.grad = np.array([1.0])
+        second.grad = np.array([3.0])
+        optimizer.step()
+        optimizer.step()
+        # v1 = g, v2 = 0.5*g + g = 1.5*g; x = -(v1 + v2) = -2.5*g
+        assert np.allclose(first.numpy(), [-2.5])
+        assert np.allclose(second.numpy(), [-7.5])
+
 
 class TestAdam:
     def test_converges_on_quadratic(self):
@@ -96,3 +120,14 @@ class TestAdam:
         square(parameter).sum().backward()
         optimizer.step()
         assert np.isclose(abs(10.0 - parameter.item()), 0.5, atol=0.05)
+
+    def test_moments_keyed_by_position_not_id(self):
+        """Regression: same id()-recycling hazard as SGD._velocity."""
+        first = Tensor([1.0], requires_grad=True)
+        second = Tensor([2.0], requires_grad=True)
+        optimizer = Adam([first, second], lr=0.1)
+        first.grad = np.array([1.0])
+        second.grad = np.array([1.0])
+        optimizer.step()
+        assert set(optimizer._first_moment) == {0, 1}
+        assert set(optimizer._second_moment) == {0, 1}
