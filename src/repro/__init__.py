@@ -8,6 +8,9 @@ Public API surface: the most common entry points are re-exported here.
 * :class:`repro.SamplerConfig` — hyper-parameters (lr=10, 5 iterations, ...)
 * :mod:`repro.engine` — the compiled levelized execution engine behind the
   differentiable circuit core (``SamplerConfig(backend=...)`` selects it)
+* :mod:`repro.xp` — the pluggable array-backend layer (NumPy reference,
+  best-effort CuPy/Torch; ``SamplerConfig(array_backend=...)``,
+  ``REPRO_ARRAY_BACKEND`` or ``--array-backend`` selects it)
 * :mod:`repro.baselines` — UniGen/CMSGen/QuickSampler/DiffSampler-style baselines
 * :mod:`repro.instances` — synthetic benchmark-instance generators (Table II families)
 * :mod:`repro.eval` — throughput harness and table/figure builders
@@ -25,6 +28,14 @@ from repro.core import (
     transform_cnf,
 )
 from repro.gpu import Device, DeviceKind, get_device
+from repro.xp import (
+    ArrayBackend,
+    active_backend,
+    available_backends,
+    clear_caches,
+    get_backend,
+    use_backend,
+)
 
 __version__ = "1.0.0"
 
@@ -44,5 +55,11 @@ __all__ = [
     "Device",
     "DeviceKind",
     "get_device",
+    "ArrayBackend",
+    "active_backend",
+    "available_backends",
+    "clear_caches",
+    "get_backend",
+    "use_backend",
     "__version__",
 ]

@@ -60,6 +60,11 @@ def _build_parser() -> argparse.ArgumentParser:
     sample.add_argument("--backend", default="engine", choices=["engine", "interpreter"],
                         help="evaluation backend: compiled levelized engine (default) "
                              "or the legacy per-gate autodiff interpreter")
+    sample.add_argument("--array-backend", default=None, metavar="SPEC",
+                        help="array backend the hot loops run on: 'numpy' (default), "
+                             "'numpy:float32', 'cupy', 'torch', ... — overrides the "
+                             "REPRO_ARRAY_BACKEND environment variable and the config "
+                             "(precedence: env < config < CLI)")
     sample.add_argument("-o", "--output", default=None,
                         help="write solutions (signed-literal lines) to this file")
 
@@ -90,6 +95,7 @@ def _command_sample(arguments: argparse.Namespace) -> int:
         timeout_seconds=arguments.timeout,
         device=get_device(arguments.device),
         backend=arguments.backend,
+        array_backend=arguments.array_backend,
     )
     result = sample_cnf(formula, num_solutions=arguments.num_solutions, config=config)
     sample = result.sample

@@ -7,7 +7,13 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.cnf.clause import Clause
-from repro.cnf.kernel import CNFEvalPlan, compile_evaluation_plan, resolve_backend
+from repro.cnf.kernel import (
+    CNFEvalPlan,
+    compile_evaluation_plan,
+    register_plan_owner,
+    resolve_backend,
+)
+from repro.xp import backend_for, to_numpy
 
 
 class CNF:
@@ -54,6 +60,8 @@ class CNF:
         duplicate = CNF(num_variables=self._num_variables, comments=list(self.comments), name=self.name)
         duplicate._clauses = list(self._clauses)
         duplicate._plan = self._plan  # immutable plan, same clauses: safe to share
+        if duplicate._plan is not None:
+            register_plan_owner(duplicate)
         return duplicate
 
     # -- basic accessors -------------------------------------------------------------
@@ -114,27 +122,40 @@ class CNF:
         """The memoised compiled evaluation plan (rebuilt after any mutation)."""
         if self._plan is None:
             self._plan = compile_evaluation_plan(self)
+            register_plan_owner(self)
         return self._plan
 
-    def _check_assignment_matrix(self, assignments: np.ndarray) -> np.ndarray:
+    def clear_evaluation_plan(self) -> None:
+        """Drop the memoised plan (and its per-backend device uploads)."""
+        self._plan = None
+
+    def _check_assignment_matrix(self, assignments):
         """Validate and coerce a ``(batch, num_variables)`` boolean matrix.
 
         Shared by every batch-evaluation entry point: the matrix must be 2-D
         and exactly ``num_variables`` wide — a wider matrix almost always
         means the caller's column convention is off by one, so it is rejected
         rather than silently truncated.
+
+        Returns ``(matrix, array_backend)``.  Evaluation follows the
+        *input's* residency (:func:`repro.xp.backend_for`): host inputs stay
+        host-side and get NumPy results regardless of which array backend is
+        active — so metrics, baselines and other un-migrated host consumers
+        are unaffected by ``REPRO_ARRAY_BACKEND`` — while device-resident
+        inputs are evaluated on the active backend without a host round-trip.
         """
-        matrix = np.asarray(assignments, dtype=bool)
+        xpb = backend_for(assignments)
+        matrix = xpb.asarray(assignments, dtype=xpb.bool_dtype)
         if matrix.ndim != 2:
             raise ValueError(
-                f"expected a 2-D assignment matrix, got shape {matrix.shape}"
+                f"expected a 2-D assignment matrix, got shape {tuple(matrix.shape)}"
             )
         if matrix.shape[1] != self._num_variables:
             raise ValueError(
                 f"assignment matrix has {matrix.shape[1]} columns, "
                 f"but the formula has {self._num_variables} variables"
             )
-        return matrix
+        return matrix, xpb
 
     def evaluate(self, assignment: Dict[int, bool]) -> bool:
         """Evaluate the formula under a complete assignment ``{variable: bool}``."""
@@ -152,14 +173,15 @@ class CNF:
         ``None`` uses :func:`repro.cnf.kernel.default_backend`.  All backends
         are bitwise-identical.
         """
-        matrix = self._check_assignment_matrix(assignments)
+        matrix, xpb = self._check_assignment_matrix(assignments)
         backend = resolve_backend(backend)
         if backend == "reference":
-            return self._evaluate_batch_reference(matrix)
+            # The clause loop is a host-side reference implementation.
+            return self._evaluate_batch_reference(np.asarray(to_numpy(matrix)))
         plan = self.evaluation_plan()
         if backend == "packed":
-            return plan.evaluate_packed(matrix)
-        return plan.evaluate(matrix)
+            return plan.evaluate_packed(matrix, xpb)
+        return plan.evaluate(matrix, xpb)
 
     def unsatisfied_clause_counts(
         self, assignments: np.ndarray, backend: Optional[str] = None
@@ -170,10 +192,12 @@ class CNF:
         values as :meth:`evaluate_batch` (the ``"packed"`` kernel has no
         per-clause counting form, so it falls back to ``"compiled"``).
         """
-        matrix = self._check_assignment_matrix(assignments)
+        matrix, xpb = self._check_assignment_matrix(assignments)
         if resolve_backend(backend) == "reference":
-            return self._unsatisfied_clause_counts_reference(matrix)
-        return self.evaluation_plan().unsatisfied_counts(matrix)
+            return self._unsatisfied_clause_counts_reference(
+                np.asarray(to_numpy(matrix))
+            )
+        return self.evaluation_plan().unsatisfied_counts(matrix, xpb)
 
     def _evaluate_batch_reference(self, assignments: np.ndarray) -> np.ndarray:
         """The original clause-by-clause loop, kept as the equivalence reference."""

@@ -30,19 +30,33 @@ every assignment unsatisfying.
 Plans are memoised per :class:`~repro.cnf.formula.CNF` via
 :meth:`~repro.cnf.formula.CNF.evaluation_plan` and invalidated whenever the
 formula mutates (``add_clause`` or a ``num_variables`` change), mirroring the
-engine's compile-once design.  The clause-loop implementation survives as the
-``"reference"`` backend; :func:`default_backend` (overridable with
-:func:`set_default_backend` or the ``REPRO_CNF_BACKEND`` environment
-variable) selects which implementation :meth:`CNF.evaluate_batch` uses.
+engine's compile-once design; :func:`clear_plan_caches` (surfaced as
+:func:`repro.xp.clear_caches`) drops them explicitly.  The clause-loop
+implementation survives as the ``"reference"`` backend;
+:func:`default_backend` (overridable with :func:`set_default_backend` or the
+``REPRO_CNF_BACKEND`` environment variable) selects which implementation
+:meth:`CNF.evaluate_batch` uses.
+
+The fused kernels execute on the active *array backend*
+(:mod:`repro.xp`): plan compilation stays host-side NumPy, while the plan's
+index arrays are uploaded once per backend (memoised on the plan) so the
+evaluation itself runs where the assignments live — NumPy bitwise-identical
+to the seed, CuPy/Torch best-effort.  Note the two "backend" axes are
+orthogonal: this module's ``backend`` strings pick the *kernel
+implementation* ("compiled"/"packed"/"reference"); :mod:`repro.xp` picks the
+*array runtime* it executes on.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 import numpy as np
+
+from repro.utils.weakcache import OwnerRegistry
+from repro.xp import ArrayBackend, backend_for, get_backend
 
 if TYPE_CHECKING:  # avoid a runtime import cycle with repro.cnf.formula
     from repro.cnf.formula import CNF
@@ -101,21 +115,56 @@ class CNFEvalPlan:
     width_groups: Tuple[Tuple[int, int, int], ...]
     #: Number of empty clauses (each one falsifies every assignment).
     num_empty: int
+    #: Per-array-backend uploads of the index arrays (keyed by cache_key).
+    _device_arrays: Dict[str, Tuple] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @property
     def num_literals(self) -> int:
         """Total literal occurrences across the non-empty clauses."""
         return int(self.literal_columns.shape[0])
 
+    @staticmethod
+    def _resolve_xpb(assignments, xpb: Optional[ArrayBackend]) -> ArrayBackend:
+        """Default backend resolution following the *input's* residency.
+
+        Delegates to :func:`repro.xp.backend_for` — the same rule
+        :meth:`CNF._check_assignment_matrix` applies — so direct-plan
+        consumers (WalkSAT's unsat scan, metrics) keep working regardless of
+        ``REPRO_ARRAY_BACKEND``.  Pass ``xpb`` explicitly to override.
+        """
+        return xpb if xpb is not None else backend_for(assignments)
+
+    # -- array-backend residency --------------------------------------------------------
+    def _arrays_for(self, xpb: ArrayBackend) -> Tuple:
+        """``(literal_columns, literal_negated)`` resident on ``xpb``.
+
+        The NumPy reference uses the compiled arrays directly; other
+        backends get a one-time upload memoised per backend (dropped with
+        the plan, e.g. by :func:`clear_plan_caches`).
+        """
+        if xpb.is_numpy:
+            return self.literal_columns, self.literal_negated
+        arrays = self._device_arrays.get(xpb.cache_key)
+        if arrays is None:
+            arrays = (
+                xpb.from_numpy(self.literal_columns),
+                xpb.from_numpy(self.literal_negated),
+            )
+            self._device_arrays[xpb.cache_key] = arrays
+        return arrays
+
     # -- fused evaluation -------------------------------------------------------------
-    def _gather_literal_values(self, assignments: np.ndarray) -> np.ndarray:
+    def _gather_literal_values(self, assignments, xpb: ArrayBackend):
         """``(literals, batch)`` literal values over the transposed matrix."""
-        transposed = np.ascontiguousarray(assignments.T)
-        values = transposed[self.literal_columns]
-        values ^= self.literal_negated[:, None]
+        columns, negated = self._arrays_for(xpb)
+        transposed = xpb.ascontiguousarray(assignments.T)
+        values = transposed[columns]
+        values ^= negated[:, None]
         return values
 
-    def _group_blocks(self, values: np.ndarray, batch: int):
+    def _group_blocks(self, values, batch: int):
         """Yield each width bucket as a ``(clauses, width, batch)`` view."""
         for clause_start, clause_end, width in self.width_groups:
             flat_start = int(self.reduce_offsets[clause_start])
@@ -124,65 +173,103 @@ class CNFEvalPlan:
             yield clause_start, clause_end, block.reshape(count, width, batch)
 
     @staticmethod
-    def _or_over_width(block: np.ndarray) -> np.ndarray:
+    def _or_over_width(block):
         """OR a ``(clauses, width, batch)`` block down to ``(clauses, batch)``."""
         satisfied = block[:, 0]
         for column in range(1, block.shape[1]):
             satisfied = satisfied | block[:, column]
         return satisfied
 
-    def evaluate(self, assignments: np.ndarray) -> np.ndarray:
-        """Per-row satisfaction of the whole formula (boolean kernel)."""
+    def evaluate(self, assignments, xpb: Optional[ArrayBackend] = None):
+        """Per-row satisfaction of the whole formula (boolean kernel).
+
+        Runs on ``xpb`` (default: the active array backend); ``assignments``
+        may be a host or device array of that backend.
+        """
+        xpb = self._resolve_xpb(assignments, xpb)
         batch = assignments.shape[0]
         if self.num_empty:
-            return np.zeros(batch, dtype=bool)
+            return xpb.zeros(batch, dtype=xpb.bool_dtype)
         if self.reduce_offsets.size == 0:
-            return np.ones(batch, dtype=bool)
-        values = self._gather_literal_values(assignments)
-        satisfied = np.ones(batch, dtype=bool)
+            return xpb.ones(batch, dtype=xpb.bool_dtype)
+        values = self._gather_literal_values(assignments, xpb)
+        satisfied = xpb.ones(batch, dtype=xpb.bool_dtype)
         for _, _, block in self._group_blocks(values, batch):
-            satisfied &= self._or_over_width(block).all(axis=0)
+            satisfied &= xpb.all(self._or_over_width(block), axis=0)
         return satisfied
 
-    def evaluate_packed(self, assignments: np.ndarray) -> np.ndarray:
+    def evaluate_packed(self, assignments, xpb: Optional[ArrayBackend] = None):
         """Per-row satisfaction via the bit-packed kernel (8 rows per byte).
 
-        The batch axis is packed with ``np.packbits``, the flat clause
-        boundaries then drive one ``np.bitwise_or.reduceat`` over ``uint8``
-        words; results are bitwise-identical to :meth:`evaluate`.
+        The batch axis is packed with ``packbits``, the flat clause
+        boundaries then drive one ``bitwise_or`` segmented reduction over
+        ``uint8`` words; results are bitwise-identical to :meth:`evaluate`.
+        Backends without native packed support run on the NumPy reference
+        and upload the result.
         """
+        xpb = self._resolve_xpb(assignments, xpb)
+        if not xpb.supports_packed:
+            host = self.evaluate_packed(
+                np.asarray(xpb.asnumpy(assignments), dtype=bool),
+                get_backend("numpy"),
+            )
+            return xpb.from_numpy(host)
         batch = assignments.shape[0]
         if self.num_empty:
-            return np.zeros(batch, dtype=bool)
+            return xpb.zeros(batch, dtype=xpb.bool_dtype)
         if self.reduce_offsets.size == 0:
-            return np.ones(batch, dtype=bool)
-        packed_columns = np.packbits(np.ascontiguousarray(assignments.T), axis=1)
-        literal_words = packed_columns[self.literal_columns]
-        literal_words[self.literal_negated] ^= np.uint8(0xFF)
-        clause_words = np.bitwise_or.reduceat(literal_words, self.reduce_offsets, axis=0)
-        formula_words = np.bitwise_and.reduce(clause_words, axis=0)
-        return np.unpackbits(formula_words, count=batch).astype(bool)
+            return xpb.ones(batch, dtype=xpb.bool_dtype)
+        columns, negated = self._arrays_for(xpb)
+        packed_columns = xpb.packbits(xpb.ascontiguousarray(assignments.T), axis=1)
+        literal_words = packed_columns[columns]
+        literal_words[negated] ^= xpb.packed_ones_u8
+        clause_words = xpb.bitwise_or_reduceat(
+            literal_words, self.reduce_offsets, axis=0
+        )
+        formula_words = xpb.bitwise_and_reduce(clause_words, axis=0)
+        return xpb.astype(xpb.unpackbits(formula_words, count=batch), xpb.bool_dtype)
 
-    def clause_satisfaction(self, assignments: np.ndarray) -> np.ndarray:
+    def clause_satisfaction(self, assignments, xpb: Optional[ArrayBackend] = None):
         """Full ``(batch, num_clauses)`` satisfaction matrix, empty clauses False."""
+        xpb = self._resolve_xpb(assignments, xpb)
         batch = assignments.shape[0]
-        result = np.zeros((batch, self.num_clauses), dtype=bool)
+        result = xpb.zeros((batch, self.num_clauses), dtype=xpb.bool_dtype)
         if self.reduce_offsets.size:
-            values = self._gather_literal_values(assignments)
+            values = self._gather_literal_values(assignments, xpb)
             for clause_start, clause_end, block in self._group_blocks(values, batch):
                 columns = self.nonempty_index[clause_start:clause_end]
                 result[:, columns] = self._or_over_width(block).T
         return result
 
-    def unsatisfied_counts(self, assignments: np.ndarray) -> np.ndarray:
+    def unsatisfied_counts(self, assignments, xpb: Optional[ArrayBackend] = None):
         """Per-row count of falsified clauses."""
+        xpb = self._resolve_xpb(assignments, xpb)
         batch = assignments.shape[0]
-        counts = np.full(batch, self.num_empty, dtype=np.int64)
+        counts = xpb.full(batch, self.num_empty, dtype=xpb.int64_dtype)
         if self.reduce_offsets.size:
-            values = self._gather_literal_values(assignments)
+            values = self._gather_literal_values(assignments, xpb)
             for _, _, block in self._group_blocks(values, batch):
-                counts += (~self._or_over_width(block)).sum(axis=0)
+                counts += xpb.sum(~self._or_over_width(block), axis=0)
         return counts
+
+
+#: Formulas holding a memoised plan.
+_PLAN_OWNERS = OwnerRegistry()
+
+
+def register_plan_owner(formula: "CNF") -> None:
+    """Track a formula that memoised an evaluation plan (for bulk clearing)."""
+    _PLAN_OWNERS.register(formula)
+
+
+def clear_plan_caches() -> None:
+    """Drop every memoised CNF evaluation plan in the process.
+
+    Complements the automatic mutation-driven invalidation and also releases
+    the plans' per-backend device uploads.  Exposed to users as
+    :func:`repro.xp.clear_caches`.
+    """
+    _PLAN_OWNERS.clear(lambda formula: formula.clear_evaluation_plan())
 
 
 def compile_evaluation_plan(formula: "CNF") -> CNFEvalPlan:

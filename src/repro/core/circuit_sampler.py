@@ -32,7 +32,7 @@ from repro.engine.train import learn_batch as engine_learn_batch
 from repro.tensor.optim import make_optimizer
 from repro.tensor.tensor import Tensor
 from repro.tensor.functional import sigmoid
-from repro.utils.rng import new_rng
+from repro.xp import use_backend
 
 
 @dataclass
@@ -96,7 +96,8 @@ class CircuitSampler:
             if not circuit.has_net(net):
                 raise ValueError(f"output target references unknown net {net!r}")
         self.output_targets: Dict[str, bool] = dict(output_targets)
-        self._rng = new_rng(self.config.seed)
+        self._xp = self.config.resolve_array_backend()
+        self._rng = self._xp.rng(self.config.seed)
 
         self.model = ProbabilisticCircuitModel(
             circuit, output_nets=list(self.output_targets), backend=self.config.backend
@@ -109,8 +110,17 @@ class CircuitSampler:
         self.input_order: List[str] = list(circuit.inputs)
 
     # -- public API ------------------------------------------------------------------
+    def reset_rng(self) -> None:
+        """Restart the random stream from the configured seed (see
+        :meth:`GradientSATSampler.reset_rng <repro.core.sampler.GradientSATSampler.reset_rng>`)."""
+        self._rng = self._xp.rng(self.config.seed)
+
     def sample(self, num_solutions: int = 1000) -> CircuitSampleResult:
         """Generate at least ``num_solutions`` unique valid input vectors (best effort)."""
+        with use_backend(self._xp):
+            return self._sample(num_solutions)
+
+    def _sample(self, num_solutions: int) -> CircuitSampleResult:
         if num_solutions <= 0:
             raise ValueError(f"num_solutions must be positive, got {num_solutions}")
         start = time.perf_counter()
@@ -186,8 +196,8 @@ class CircuitSampler:
                 deadline,
             )
             return self._assemble_inputs(constrained_bits), losses, timed_out
-        constrained_bits = np.zeros(
-            (batch_size, len(self._constrained_inputs)), dtype=bool
+        constrained_bits = self._xp.zeros(
+            (batch_size, len(self._constrained_inputs)), dtype=self._xp.bool_dtype
         )
         completed = 0
         timed_out = False
@@ -220,10 +230,12 @@ class CircuitSampler:
                 break
         return self._assemble_inputs(constrained_bits[:completed]), losses, timed_out
 
-    def _assemble_inputs(self, constrained_bits: np.ndarray) -> np.ndarray:
+    def _assemble_inputs(self, constrained_bits):
         """Scatter learned bits and random unconstrained bits into input vectors."""
         batch_size = constrained_bits.shape[0]
-        inputs = np.zeros((batch_size, len(self.input_order)), dtype=bool)
+        inputs = self._xp.zeros(
+            (batch_size, len(self.input_order)), dtype=self._xp.bool_dtype
+        )
         column_of = {name: i for i, name in enumerate(self.input_order)}
         for source, name in enumerate(self._constrained_inputs):
             inputs[:, column_of[name]] = constrained_bits[:, source]
@@ -235,13 +247,13 @@ class CircuitSampler:
                 inputs[:, column_of[name]] = random_bits[:, source]
         return inputs
 
-    def _validate(self, inputs: np.ndarray) -> np.ndarray:
+    def _validate(self, inputs):
         """Check each input vector against every output target by simulation."""
         values = simulate(
             self.circuit, inputs, input_order=self.input_order,
             nets=list(self.output_targets),
         )
-        valid = np.ones(inputs.shape[0], dtype=bool)
+        valid = self._xp.ones(inputs.shape[0], dtype=self._xp.bool_dtype)
         for net, target in self.output_targets.items():
             valid &= values[net] == target
         return valid

@@ -47,6 +47,12 @@ class SamplerConfig:
     #: instances sample a round as one vectorised step, their overshoot is
     #: that single step).
     timeout_seconds: Optional[float] = None
+    #: Array-backend spec ("numpy", "numpy:float32", "cupy", "torch", ...)
+    #: the sampler's hot loops run on.  ``None`` falls back to the device's
+    #: backend, then to the process default (``REPRO_ARRAY_BACKEND`` env or
+    #: NumPy) — precedence: environment < config < CLI (the CLI writes this
+    #: field, so it wins).
+    array_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         check_positive("batch_size", self.batch_size)
@@ -64,6 +70,25 @@ class SamplerConfig:
             raise ValueError("timeout_seconds must be positive or None")
         if self.stall_rounds is not None and self.stall_rounds <= 0:
             raise ValueError("stall_rounds must be positive or None")
+        if self.array_backend is not None:
+            from repro.xp import validate_spec
+
+            # Syntax/registration check only; availability (e.g. CuPy import)
+            # is verified at resolution time with a precise error.
+            validate_spec(self.array_backend)
+
+    def resolve_array_backend(self):
+        """The :class:`~repro.xp.backend.ArrayBackend` this config selects.
+
+        Precedence (weakest first): ``REPRO_ARRAY_BACKEND`` environment
+        default, ``device.array_backend``, ``array_backend`` (which the CLI
+        flag ``--array-backend`` writes, so the CLI wins).
+        """
+        from repro.xp import get_backend
+
+        if self.array_backend:
+            return get_backend(self.array_backend)
+        return self.device.backend()  # device spec, else the active default
 
     def with_(self, **overrides) -> "SamplerConfig":
         """Return a copy with the given fields replaced."""

@@ -24,6 +24,16 @@ levelized engine (:mod:`repro.engine`) directly — fused forward, hand-written
 backward, no per-gate tape; ``backend="interpreter"`` keeps the legacy
 per-gate autodiff path for reference.  Both produce bitwise-identical
 solutions under a fixed seed.
+
+Orthogonally, ``SamplerConfig(array_backend=...)`` (or the
+``REPRO_ARRAY_BACKEND`` environment variable, or the CLI flag) selects the
+*array backend* the whole round executes on: learning, assembly, circuit
+simulation and CNF validation all stay on that backend's device, and the
+batch crosses to the host exactly once per round, inside
+:meth:`SolutionSet.add_batch`.  Candidate streams are reproducible
+per-backend: the seeded RNG handle is threaded through the backend
+(:meth:`~repro.xp.backend.ArrayBackend.rng`), and :meth:`reset_rng` restarts
+it so a re-run reproduces a sampling run exactly.
 """
 
 from __future__ import annotations
@@ -44,7 +54,7 @@ from repro.engine.train import learn_batch as engine_learn_batch
 from repro.tensor.optim import make_optimizer
 from repro.tensor.tensor import Tensor
 from repro.tensor.functional import sigmoid
-from repro.utils.rng import new_rng
+from repro.xp import use_backend
 
 
 @dataclass
@@ -120,7 +130,8 @@ class GradientSATSampler:
         self.formula = formula
         self.config = config or SamplerConfig()
         self.transform = transform if transform is not None else transform_cnf(formula)
-        self._rng = new_rng(self.config.seed)
+        self._xp = self.config.resolve_array_backend()
+        self._rng = self._xp.rng(self.config.seed)
         self._constrained_inputs = self.transform.constrained_inputs()
         self._unconstrained_inputs = self.transform.unconstrained_inputs()
         if self.transform.constraints:
@@ -133,12 +144,26 @@ class GradientSATSampler:
             self.model = None
 
     # -- public API ---------------------------------------------------------------------
+    def reset_rng(self) -> None:
+        """Restart the sampler's random stream from the configured seed.
+
+        After a reset, the next :meth:`sample` call reproduces a fresh
+        sampler's run exactly (per backend — the stream is threaded through
+        the array backend's seeded RNG handle).
+        """
+        self._rng = self._xp.rng(self.config.seed)
+
     def sample(self, num_solutions: int = 1000) -> SampleResult:
         """Generate at least ``num_solutions`` unique valid solutions (best effort).
 
         Sampling stops when the target count is reached, the configured round
-        limit is exhausted, or the wall-clock timeout expires.
+        limit is exhausted, or the wall-clock timeout expires.  The whole run
+        executes on the configured array backend.
         """
+        with use_backend(self._xp):
+            return self._sample(num_solutions)
+
+    def _sample(self, num_solutions: int) -> SampleResult:
         if num_solutions <= 0:
             raise ValueError(f"num_solutions must be positive, got {num_solutions}")
         start = time.perf_counter()
@@ -173,13 +198,16 @@ class GradientSATSampler:
             )
             new_unique = solutions.add_batch(assignments, valid_mask)
             num_generated += assignments.shape[0]
-            num_valid += int(valid_mask.sum())
+            # One reduction per round: under device backends each .sum() is a
+            # blocking device-to-host synchronisation point.
+            round_valid = int(valid_mask.sum())
+            num_valid += round_valid
             stalled_rounds = stalled_rounds + 1 if new_unique == 0 else 0
             rounds.append(
                 RoundRecord(
                     round_index=round_index,
                     num_candidates=assignments.shape[0],
-                    num_valid=int(valid_mask.sum()),
+                    num_valid=round_valid,
                     num_new_unique=new_unique,
                     loss_history=loss_history,
                     seconds=time.perf_counter() - round_start,
@@ -210,6 +238,12 @@ class GradientSATSampler:
         iteration, returning the cumulative unique-solution count per
         iteration (index 0 is the random initialisation before any update).
         """
+        with use_backend(self._xp):
+            return self._learning_curve(max_iterations, batch_size)
+
+    def _learning_curve(
+        self, max_iterations: int, batch_size: Optional[int]
+    ) -> List[int]:
         batch = batch_size or self.config.batch_size
         solutions = SolutionSet(self.formula.num_variables)
         curve: List[int] = []
@@ -237,7 +271,7 @@ class GradientSATSampler:
         return curve
 
     # -- internals ------------------------------------------------------------------------
-    def _draw_initial_soft_inputs(self, batch_size: int) -> np.ndarray:
+    def _draw_initial_soft_inputs(self, batch_size: int):
         """Draw the Gaussian initialisation of ``V`` for one chunk (Eq. 6 input)."""
         assert self.model is not None
         return self._rng.normal(
@@ -301,7 +335,9 @@ class GradientSATSampler:
                 self._draw_initial_soft_inputs,
                 deadline,
             )
-        hard = np.zeros((batch_size, self.model.num_inputs), dtype=bool)
+        hard = self._xp.zeros(
+            (batch_size, self.model.num_inputs), dtype=self._xp.bool_dtype
+        )
         loss_history: List[float] = []
         completed = 0
         timed_out = False
@@ -321,10 +357,18 @@ class GradientSATSampler:
                 break
         return hard[:completed], loss_history, timed_out
 
-    def _assemble(self, constrained_bits: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Build full CNF assignments from constrained-input bits and validate them."""
+    def _assemble(self, constrained_bits) -> Tuple[object, object]:
+        """Build full CNF assignments from constrained-input bits and validate them.
+
+        Assembly, circuit simulation and CNF validation all run on the active
+        array backend; the returned matrices stay device-resident until the
+        dedup step downloads them.
+        """
+        xpb = self._xp
         batch_size = constrained_bits.shape[0]
-        input_matrix = np.zeros((batch_size, len(self.transform.primary_inputs)), dtype=bool)
+        input_matrix = xpb.zeros(
+            (batch_size, len(self.transform.primary_inputs)), dtype=xpb.bool_dtype
+        )
         column_of = {name: i for i, name in enumerate(self.transform.primary_inputs)}
         for source_column, name in enumerate(self._constrained_inputs):
             input_matrix[:, column_of[name]] = constrained_bits[:, source_column]
@@ -355,8 +399,8 @@ class GradientSATSampler:
         assignments, valid_mask = self._assemble(constrained_bits)
         return assignments, valid_mask, loss_history, timed_out
 
-    def _random_round(self, batch_size: int) -> Tuple[np.ndarray, np.ndarray, List[float]]:
+    def _random_round(self, batch_size: int) -> Tuple[object, object, List[float]]:
         """Round for instances without constrained paths: pure random assignment."""
-        constrained_bits = np.zeros((batch_size, 0), dtype=bool)
+        constrained_bits = self._xp.zeros((batch_size, 0), dtype=self._xp.bool_dtype)
         assignments, valid_mask = self._assemble(constrained_bits)
         return assignments, valid_mask, []

@@ -5,6 +5,12 @@ the sampler needs a cheap way to deduplicate millions of candidate
 assignments.  :class:`SolutionSet` keys each full assignment by its packed
 byte representation and keeps insertion order, so the first ``k`` solutions
 can be exported deterministically.
+
+The set is deliberately **host-side**: its keys are Python ``bytes`` in a
+``set``, so :meth:`add_batch` is the sampler's one blessed host-boundary
+crossing per round — candidate batches arrive from whatever array backend
+produced them (:func:`repro.xp.to_numpy` downloads device arrays; NumPy
+arrays pass through as views) and everything after the crossing is NumPy.
 """
 
 from __future__ import annotations
@@ -12,6 +18,8 @@ from __future__ import annotations
 from typing import Iterator, List, Optional
 
 import numpy as np
+
+from repro.xp import to_numpy
 
 
 class SolutionSet:
@@ -30,9 +38,9 @@ class SolutionSet:
     def __iter__(self) -> Iterator[np.ndarray]:
         return iter(self._rows)
 
-    def add(self, assignment: np.ndarray) -> bool:
+    def add(self, assignment) -> bool:
         """Add one assignment; returns ``True`` when it was new."""
-        row = np.asarray(assignment, dtype=bool)
+        row = np.asarray(to_numpy(assignment), dtype=bool)
         if row.shape != (self.num_variables,):
             raise ValueError(
                 f"expected assignment of shape ({self.num_variables},), got {row.shape}"
@@ -44,23 +52,24 @@ class SolutionSet:
         self._rows.append(row.copy())
         return True
 
-    def add_batch(
-        self, assignments: np.ndarray, mask: Optional[np.ndarray] = None
-    ) -> int:
+    def add_batch(self, assignments, mask=None) -> int:
         """Add every (optionally masked) row of a ``(batch, num_variables)`` matrix.
 
-        In-batch duplicates are removed with one packed-row ``np.unique``
-        (first occurrence wins, so insertion order matches row order); only
-        the batch-unique survivors are checked against the already-stored
-        keys.  Returns the number of rows that were new.
+        This is where a sampling round crosses the host boundary (exactly
+        once): ``assignments`` and ``mask`` may live on any array backend and
+        are downloaded here.  In-batch duplicates are removed with one
+        packed-row ``np.unique`` (first occurrence wins, so insertion order
+        matches row order); only the batch-unique survivors are checked
+        against the already-stored keys.  Returns the number of rows that
+        were new.
         """
-        assignments = np.asarray(assignments, dtype=bool)
+        assignments = np.asarray(to_numpy(assignments), dtype=bool)
         if assignments.ndim != 2 or assignments.shape[1] != self.num_variables:
             raise ValueError(
                 f"expected (batch, {self.num_variables}) matrix, got {assignments.shape}"
             )
         if mask is not None:
-            mask = np.asarray(mask, dtype=bool)
+            mask = np.asarray(to_numpy(mask), dtype=bool)
             if mask.shape != (assignments.shape[0],):
                 raise ValueError("mask length must equal the batch size")
             assignments = assignments[mask]
@@ -87,9 +96,9 @@ class SolutionSet:
             added += 1
         return added
 
-    def contains(self, assignment: np.ndarray) -> bool:
+    def contains(self, assignment) -> bool:
         """Whether the assignment is already present."""
-        row = np.asarray(assignment, dtype=bool)
+        row = np.asarray(to_numpy(assignment), dtype=bool)
         return np.packbits(row).tobytes() in self._keys
 
     def to_matrix(self, limit: Optional[int] = None) -> np.ndarray:

@@ -161,16 +161,21 @@ class TransformResult:
         simulating the recovered circuit; free variables receive
         ``free_values`` (``(batch, len(free_variables))``) or 0.  Returns a
         ``(batch, num_variables)`` boolean matrix, column ``j`` holding
-        variable ``j + 1``.
-        """
-        input_matrix = np.asarray(input_matrix, dtype=bool)
+        variable ``j + 1``.  Follows the *input's* residency
+        (:func:`repro.xp.backend_for`): host matrices yield host results;
+        device-resident batches stay on the device.
+"""
+        from repro.xp import backend_for
+
+        xpb = backend_for(input_matrix)
+        input_matrix = xpb.asarray(input_matrix, dtype=xpb.bool_dtype)
         batch = input_matrix.shape[0]
         if input_matrix.shape[1] != len(self.primary_inputs):
             raise ValueError(
                 f"expected {len(self.primary_inputs)} input columns, "
                 f"got {input_matrix.shape[1]}"
             )
-        full = np.zeros((batch, self.num_variables), dtype=bool)
+        full = xpb.zeros((batch, self.num_variables), dtype=xpb.bool_dtype)
         for column, name in enumerate(self.primary_inputs):
             index = int(name[len(VAR_PREFIX):])
             full[:, index - 1] = input_matrix[:, column]
@@ -189,8 +194,10 @@ class TransformResult:
 
         if self.free_variables:
             if free_values is None:
-                free_values = np.zeros((batch, len(self.free_variables)), dtype=bool)
-            free_values = np.asarray(free_values, dtype=bool)
+                free_values = xpb.zeros(
+                    (batch, len(self.free_variables)), dtype=xpb.bool_dtype
+                )
+            free_values = xpb.asarray(free_values, dtype=xpb.bool_dtype)
             for column, name in enumerate(self.free_variables):
                 index = int(name[len(VAR_PREFIX):])
                 full[:, index - 1] = free_values[:, column]

@@ -35,6 +35,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.utils.weakcache import OwnerRegistry
+
 from repro.circuit.gates import GateType
 from repro.circuit.netlist import Circuit
 from repro.engine.program import (
@@ -276,4 +278,20 @@ def compiled_program_for(
     if program is None:
         program = compile_circuit(circuit, output_nets, input_order)
         cache[key] = program
+        _CACHE_OWNERS.register(circuit)
     return program
+
+
+#: Circuits holding at least one memoised program.
+_CACHE_OWNERS = OwnerRegistry()
+
+
+def clear_program_caches() -> None:
+    """Drop every memoised compiled program in the process.
+
+    Complements the automatic mutation-driven invalidation: long-lived
+    processes (servers, notebook sessions) can release compiled state or
+    force a recompile without touching the netlists.  Exposed to users as
+    :func:`repro.xp.clear_caches`.
+    """
+    _CACHE_OWNERS.clear(lambda circuit: circuit.engine_cache().clear())

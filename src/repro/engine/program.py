@@ -80,12 +80,22 @@ class ScatterPlan:
             unique_slots=ordered[starts],
         )
 
-    def scatter(self, grads: np.ndarray, contribution: np.ndarray) -> None:
-        """Accumulate ``contribution`` rows into ``grads`` at ``slots``."""
+    def scatter(self, grads, contribution, xpb=None) -> None:
+        """Accumulate ``contribution`` rows into ``grads`` at ``slots``.
+
+        ``xpb`` is the active :class:`~repro.xp.backend.ArrayBackend`; the
+        plan's index arrays stay host-side (fancy indexing with host index
+        arrays is supported by every backend) while the segmented sum runs
+        through the backend's ``add_reduceat``.
+        """
         if self.unique:
             grads[self.slots] += contribution
         else:
-            sums = np.add.reduceat(contribution[self.perm], self.starts, axis=0)
+            if xpb is None:
+                from repro.xp import active_backend
+
+                xpb = active_backend()
+            sums = xpb.add_reduceat(contribution[self.perm], self.starts, axis=0)
             grads[self.unique_slots] += sums
 
 

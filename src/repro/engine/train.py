@@ -19,6 +19,11 @@ Device chunking happens here at the program level: the batch is split into
 ``config.device.chunks`` spans and each span runs the full compiled loop,
 so ``gpu-sim`` is one launch and ``cpu`` a per-sample loop — same semantics
 as the legacy Python-sliced path, same RNG consumption order.
+
+The array backend the loop runs on is resolved from the config
+(``SamplerConfig.resolve_array_backend``: environment < config < CLI) and
+activated for the duration of the batch, so the tensor-level optimizer state
+and the compiled passes live on the same device.
 """
 
 from __future__ import annotations
@@ -26,29 +31,30 @@ from __future__ import annotations
 import time
 from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
-import numpy as np
-
 from repro.engine.executor import backward, forward
 from repro.engine.program import CompiledProgram
 from repro.tensor.optim import make_optimizer
 from repro.tensor.tensor import Tensor
+from repro.xp import ArrayBackend, active_backend, use_backend
 
 if TYPE_CHECKING:  # imported lazily to keep the engine free of core imports
     from repro.core.config import SamplerConfig
 
 
-def sigmoid_embedding(soft_inputs: np.ndarray) -> np.ndarray:
+def sigmoid_embedding(soft_inputs, xpb: Optional[ArrayBackend] = None):
     """Eq. 6: ``P = sigma(V)`` (bitwise-identical to the tensor op)."""
-    return 1.0 / (1.0 + np.exp(-np.asarray(soft_inputs, dtype=np.float64)))
+    xpb = xpb or active_backend()
+    soft = xpb.asarray(soft_inputs, dtype=xpb.float_dtype)
+    return 1.0 / (1.0 + xpb.exp(-soft))
 
 
 def learn_chunk(
     program: CompiledProgram,
-    initial_soft_inputs: np.ndarray,
-    targets: np.ndarray,
+    initial_soft_inputs,
+    targets,
     config: "SamplerConfig",
     deadline: Optional[float] = None,
-) -> Tuple[np.ndarray, List[float], bool]:
+) -> Tuple[object, List[float], bool]:
     """Run the configured GD iterations on one chunk of soft inputs.
 
     ``deadline`` is an absolute ``time.perf_counter`` instant; when it passes
@@ -58,7 +64,9 @@ def learn_chunk(
     the formula.  Returns the thresholded hard bits (``V > 0``), the loss
     history, and whether the deadline cut the chunk short.
     """
+    xpb = active_backend()
     parameter = Tensor(initial_soft_inputs, requires_grad=True)
+    targets = xpb.asarray(targets, dtype=xpb.float_dtype)
     optimizer = make_optimizer([parameter], config.optimizer, config.learning_rate)
     loss_history: List[float] = []
     timed_out = False
@@ -66,8 +74,8 @@ def learn_chunk(
         if deadline is not None and time.perf_counter() >= deadline:
             timed_out = True
             break
-        probabilities = sigmoid_embedding(parameter.data)
-        outputs, cache = forward(program, probabilities)
+        probabilities = sigmoid_embedding(parameter.data, xpb)
+        outputs, cache = forward(program, probabilities, xpb)
         difference = outputs - targets
         loss = float((difference * difference).sum())
         output_grads = difference + difference
@@ -81,11 +89,11 @@ def learn_chunk(
 def learn_batch(
     program: CompiledProgram,
     batch_size: int,
-    targets: np.ndarray,
+    targets,
     config: "SamplerConfig",
-    draw_initial: Callable[[int], np.ndarray],
+    draw_initial: Callable[[int], object],
     deadline: Optional[float] = None,
-) -> Tuple[np.ndarray, List[float], bool]:
+) -> Tuple[object, List[float], bool]:
     """Learn a full batch of soft assignments with program-level chunking.
 
     ``draw_initial`` draws the ``(chunk, n)`` Gaussian initialisation for each
@@ -93,25 +101,27 @@ def learn_batch(
     interpreter's chunk loop.  When ``deadline`` (absolute
     ``time.perf_counter`` instant) expires, untrained chunks are dropped and
     the returned matrix is truncated to the rows actually learned.  Returns
-    the hard bit matrix, the first chunk's loss history (the round-level
-    convergence signal), and whether the deadline expired.
+    the hard bit matrix (on the configured array backend), the first chunk's
+    loss history (the round-level convergence signal), and whether the
+    deadline expired.
     """
-    hard = np.zeros((batch_size, program.input_width), dtype=bool)
-    loss_history: List[float] = []
-    completed = 0
-    timed_out = False
-    for start, stop in config.device.chunks(batch_size):
-        if deadline is not None and time.perf_counter() >= deadline:
-            timed_out = True
-            break
-        chunk_hard, chunk_losses, chunk_timed_out = learn_chunk(
-            program, draw_initial(stop - start), targets[start:stop], config, deadline
-        )
-        hard[start:stop] = chunk_hard
-        completed = stop
-        if not loss_history:
-            loss_history = chunk_losses
-        if chunk_timed_out:
-            timed_out = True
-            break
-    return hard[:completed], loss_history, timed_out
+    with use_backend(config.resolve_array_backend()) as xpb:
+        hard = xpb.zeros((batch_size, program.input_width), dtype=xpb.bool_dtype)
+        loss_history: List[float] = []
+        completed = 0
+        timed_out = False
+        for start, stop in config.device.chunks(batch_size):
+            if deadline is not None and time.perf_counter() >= deadline:
+                timed_out = True
+                break
+            chunk_hard, chunk_losses, chunk_timed_out = learn_chunk(
+                program, draw_initial(stop - start), targets[start:stop], config, deadline
+            )
+            hard[start:stop] = chunk_hard
+            completed = stop
+            if not loss_history:
+                loss_history = chunk_losses
+            if chunk_timed_out:
+                timed_out = True
+                break
+        return hard[:completed], loss_history, timed_out

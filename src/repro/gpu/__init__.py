@@ -1,19 +1,25 @@
 """Execution-device abstraction and GPU-memory model.
 
-The paper's headline numbers come from a V100 GPU; this environment has none,
-so (per DESIGN.md) the "GPU" is modelled by the batch-vectorised execution
-path of the NumPy autodiff engine and the "CPU" by a per-sample scalar loop
-over the identical computation.  The memory model reproduces the Fig. 3
-(right) measurement analytically from tensor shapes.
+A :class:`Device` is an (array backend, chunk policy) pair built on
+:mod:`repro.xp`: the backend names the substrate the fused kernels execute
+on (NumPy by default; CuPy or Torch where those runtimes exist, selected via
+``Device(array_backend=...)``, ``SamplerConfig(array_backend=...)``, the
+``REPRO_ARRAY_BACKEND`` environment variable or the CLI flag
+``--array-backend``), while the chunk policy decides how the batch splits
+into launches.  ``gpu-sim`` (one full-batch launch) and ``cpu`` (a
+per-sample loop) remain the bitwise-reference execution styles used by the
+Fig. 4 (left) GPU-vs-CPU ablation, on any backend.  The memory model
+reproduces the Fig. 3 (right) measurement analytically from tensor shapes.
 """
 
-from repro.gpu.device import Device, DeviceKind, get_device
+from repro.gpu.device import Device, DeviceKind, get_device, split_batch
 from repro.gpu.memory import MemoryModel, estimate_training_memory
 
 __all__ = [
     "Device",
     "DeviceKind",
     "get_device",
+    "split_batch",
     "MemoryModel",
     "estimate_training_memory",
 ]

@@ -1,31 +1,33 @@
-"""Execution devices: batch-vectorised ("gpu-sim") vs per-sample scalar ("cpu").
+"""Execution devices: an array backend plus a chunk (launch) policy.
 
 The sampler's learning problem is embarrassingly parallel across the batch —
 each candidate solution is learned independently (Section III of the paper).
-A GPU exploits that by executing each gate's elementwise operation across the
-whole batch at once; a CPU executes sample after sample.  The two
-:class:`Device` kinds reproduce exactly that distinction on top of the same
-NumPy ops, which is what the Fig. 4 (left) GPU-vs-CPU ablation measures:
+A :class:`Device` describes how that parallelism is *executed*: which
+:class:`~repro.xp.backend.ArrayBackend` the fused kernels run on (NumPy by
+default; CuPy/Torch for real accelerators) and how the batch is split into
+launches:
 
-* ``gpu-sim`` — one vectorised call per gate over the full ``(batch, n)``
-  tensor (the data-parallel execution model of a GPU tensor runtime);
+* ``gpu-sim`` — one vectorised launch over the full ``(batch, n)`` tensor
+  (the data-parallel execution model of a GPU tensor runtime);
 * ``cpu`` — the identical computation performed in per-sample chunks with a
   Python-level loop, modelling sequential per-solution execution.
+
+The two kinds reproduce the Fig. 4 (left) GPU-vs-CPU ablation on any
+backend, and their chunk spans stay bitwise-identical to the original NumPy
+loop simulator, which keeps ``gpu-sim``/``cpu`` the reference semantics.
 
 Under the compiled engine backend (:mod:`repro.engine`), the device's
 ``chunks`` spans drive *program-level* chunking: each span is one complete
 run of the compiled levelized program's training loop
 (:func:`repro.engine.train.learn_batch`) rather than a Python slice of a
-per-gate interpreter walk, so a "launch" now amortizes the whole cone.
+per-gate interpreter walk, so a "launch" amortizes the whole cone.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Iterator, Tuple
-
-import numpy as np
+from typing import Iterator, Optional, Tuple
 
 
 class DeviceKind(str, Enum):
@@ -37,27 +39,60 @@ class DeviceKind(str, Enum):
 
 @dataclass(frozen=True)
 class Device:
-    """An execution device: a kind plus the chunk size used for batching.
+    """An execution device: (array backend, chunk policy).
 
     ``chunk_size`` is the number of batch elements processed per kernel
     invocation: the full batch for ``gpu-sim`` (a single launch) and 1 for
     ``cpu`` (a per-sample loop).  Intermediate values model multi-core CPUs or
-    small GPUs and are used by the scaling ablations.
+    small GPUs and are used by the scaling ablations.  ``array_backend`` is a
+    backend spec (``"numpy"``, ``"cupy"``, ``"torch:float32"`` …) naming the
+    substrate the launches execute on; ``None`` inherits the process default
+    (``REPRO_ARRAY_BACKEND`` environment variable, else NumPy).
     """
 
     kind: DeviceKind = DeviceKind.GPU_SIM
     chunk_size: int = 0  # 0 means "whole batch at once"
+    array_backend: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.chunk_size < 0:
+            raise ValueError(
+                f"chunk_size must be non-negative (0 = whole batch), "
+                f"got {self.chunk_size}"
+            )
+        if self.array_backend is not None:
+            from repro.xp import validate_spec
+
+            validate_spec(self.array_backend)
 
     @property
     def is_parallel(self) -> bool:
         """Whether the device executes the full batch per launch."""
         return self.kind == DeviceKind.GPU_SIM and self.chunk_size == 0
 
+    def backend(self):
+        """Resolve this device's :class:`~repro.xp.backend.ArrayBackend`.
+
+        Resolution is lazy so a device naming an optional runtime (CuPy,
+        Torch) can be constructed anywhere and only fails — with a precise
+        error — where a launch actually needs the backend.
+        """
+        from repro.xp import active_backend, get_backend
+
+        if self.array_backend is None:
+            return active_backend()
+        return get_backend(self.array_backend)
+
     def chunks(self, batch_size: int) -> Iterator[Tuple[int, int]]:
-        """Yield ``(start, stop)`` index ranges covering ``batch_size`` samples."""
+        """Yield ``(start, stop)`` index ranges covering ``batch_size`` samples.
+
+        Edge cases (regression-tested): a non-positive ``batch_size`` yields
+        nothing, and a ``chunk_size`` larger than the batch yields the single
+        span ``(0, batch_size)`` — a launch never reads past the batch.
+        """
         if batch_size <= 0:
             return
-        size = batch_size if self.chunk_size == 0 else max(1, self.chunk_size)
+        size = batch_size if self.chunk_size == 0 else self.chunk_size
         if self.kind == DeviceKind.CPU and self.chunk_size == 0:
             size = 1
         start = 0
@@ -66,27 +101,34 @@ class Device:
             yield start, stop
             start = stop
 
+    def num_launches(self, batch_size: int) -> int:
+        """Number of kernel launches :meth:`chunks` will produce."""
+        return sum(1 for _ in self.chunks(batch_size))
+
     def describe(self) -> str:
         """Human-readable device description used in reports."""
+        backend = f", backend={self.array_backend}" if self.array_backend else ""
         if self.is_parallel:
-            return "gpu-sim (full-batch vectorised execution)"
+            return f"gpu-sim (full-batch vectorised execution{backend})"
         if self.kind == DeviceKind.GPU_SIM:
-            return f"gpu-sim (chunked, {self.chunk_size} samples per launch)"
+            return f"gpu-sim (chunked, {self.chunk_size} samples per launch{backend})"
         per_launch = 1 if self.chunk_size == 0 else self.chunk_size
-        return f"cpu (scalar loop, {per_launch} sample(s) per step)"
+        return f"cpu (scalar loop, {per_launch} sample(s) per step{backend})"
 
 
-def get_device(name: str = "gpu-sim", chunk_size: int = 0) -> Device:
+def get_device(
+    name: str = "gpu-sim", chunk_size: int = 0, array_backend: Optional[str] = None
+) -> Device:
     """Build a device from a name (``"gpu-sim"`` / ``"gpu"`` / ``"cpu"``)."""
     normalized = name.lower().strip()
     if normalized in ("gpu", "gpu-sim", "cuda", "vectorized"):
-        return Device(DeviceKind.GPU_SIM, chunk_size)
+        return Device(DeviceKind.GPU_SIM, chunk_size, array_backend)
     if normalized in ("cpu", "scalar", "loop"):
-        return Device(DeviceKind.CPU, chunk_size)
+        return Device(DeviceKind.CPU, chunk_size, array_backend)
     raise ValueError(f"unknown device name {name!r}")
 
 
-def split_batch(matrix: np.ndarray, device: Device) -> Iterator[np.ndarray]:
+def split_batch(matrix, device: Device) -> Iterator:
     """Yield the row chunks of ``matrix`` the device would process per launch."""
     for start, stop in device.chunks(matrix.shape[0]):
         yield matrix[start:stop]

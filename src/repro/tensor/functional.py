@@ -22,16 +22,15 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
 from repro.tensor.tensor import Tensor, _make, mul, sub
+from repro.xp import active_backend
 
 
 def sigmoid(x: Tensor) -> Tensor:
     """Logistic sigmoid, the continuous embedding of Eq. 6 (``P = sigma(V)``)."""
-    out_data = 1.0 / (1.0 + np.exp(-x.data))
+    out_data = 1.0 / (1.0 + active_backend().exp(-x.data))
 
-    def backward(grad: np.ndarray) -> None:
+    def backward(grad) -> None:
         if x.requires_grad:
             x._accumulate_grad(grad * out_data * (1.0 - out_data))
 

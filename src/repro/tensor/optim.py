@@ -7,11 +7,10 @@ provided because the ablation benchmarks explore optimizer sensitivity.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
-
-import numpy as np
+from typing import Any, Dict, Iterable, List
 
 from repro.tensor.tensor import Tensor
+from repro.xp import active_backend
 
 
 class Optimizer:
@@ -50,7 +49,7 @@ class SGD(Optimizer):
         self.momentum = momentum
         # Keyed by parameter *position* in self.parameters: id() keys can be
         # recycled after a tensor is freed, silently inheriting stale momentum.
-        self._velocity: Dict[int, np.ndarray] = {}
+        self._velocity: Dict[int, Any] = {}
 
     def step(self) -> None:
         for position, parameter in enumerate(self.parameters):
@@ -60,7 +59,7 @@ class SGD(Optimizer):
             if self.momentum > 0.0:
                 velocity = self._velocity.get(position)
                 if velocity is None:
-                    velocity = np.zeros_like(parameter.data)
+                    velocity = active_backend().zeros_like(parameter.data)
                 velocity = self.momentum * velocity + update
                 self._velocity[position] = velocity
                 update = velocity
@@ -99,19 +98,20 @@ class Adam(Optimizer):
         self.eps = eps
         self._step_count = 0
         # Positional keys, like SGD._velocity: id() keys outlive their tensor.
-        self._first_moment: Dict[int, np.ndarray] = {}
-        self._second_moment: Dict[int, np.ndarray] = {}
+        self._first_moment: Dict[int, Any] = {}
+        self._second_moment: Dict[int, Any] = {}
 
     def step(self) -> None:
         self._step_count += 1
+        xp = active_backend()
         for key, parameter in enumerate(self.parameters):
             if parameter.grad is None:
                 continue
             first = self._first_moment.get(key)
             second = self._second_moment.get(key)
             if first is None:
-                first = np.zeros_like(parameter.data)
-                second = np.zeros_like(parameter.data)
+                first = xp.zeros_like(parameter.data)
+                second = xp.zeros_like(parameter.data)
             first = self.beta1 * first + (1.0 - self.beta1) * parameter.grad
             second = self.beta2 * second + (1.0 - self.beta2) * parameter.grad**2
             self._first_moment[key] = first
@@ -119,5 +119,5 @@ class Adam(Optimizer):
             first_hat = first / (1.0 - self.beta1**self._step_count)
             second_hat = second / (1.0 - self.beta2**self._step_count)
             parameter.data = parameter.data - self.lr * first_hat / (
-                np.sqrt(second_hat) + self.eps
+                xp.sqrt(second_hat) + self.eps
             )

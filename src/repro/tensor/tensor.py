@@ -11,16 +11,26 @@ Since the compiled levelized engine (:mod:`repro.engine`) took over the hot
 path, the tape serves two roles: the reference ``"interpreter"`` backend for
 equivalence testing, and the glue layer for code that wants autodiff around a
 compiled program (the engine registers a single tape node per forward call).
+
+Arrays live on the *active array backend* (:func:`repro.xp.active_backend`):
+tensor data is created with the backend's ``asarray``/``zeros``/``stack`` and
+its float-dtype policy, and all arithmetic uses operators the backend's
+arrays implement natively — so the same tape runs on NumPy (the bitwise
+reference), CuPy or Torch without a code change.  The tape deliberately does
+*not* pin a backend per tensor: a graph must be built **and** backpropagated
+under the backend that created it (the samplers guarantee this by wrapping
+each run in :func:`repro.xp.use_backend`); calling ``backward()`` on a
+device graph after leaving the scope is unsupported.
 """
 
 from __future__ import annotations
 
 import contextlib
-from typing import Callable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
-import numpy as np
+from repro.xp import active_backend, to_numpy
 
-ArrayLike = Union[np.ndarray, float, int, Sequence]
+ArrayLike = Union[Any, float, int, Sequence]
 
 _GRAD_ENABLED = True
 
@@ -43,7 +53,7 @@ def grad_enabled() -> bool:
 
 
 class Tensor:
-    """A NumPy-backed tensor with reverse-mode automatic differentiation."""
+    """A backend-array tensor with reverse-mode automatic differentiation."""
 
     __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "_op")
 
@@ -52,11 +62,12 @@ class Tensor:
         data: ArrayLike,
         requires_grad: bool = False,
         _parents: Tuple["Tensor", ...] = (),
-        _backward_fn: Optional[Callable[[np.ndarray], None]] = None,
+        _backward_fn: Optional[Callable[[Any], None]] = None,
         _op: str = "leaf",
     ) -> None:
-        self.data = np.asarray(data, dtype=np.float64)
-        self.grad: Optional[np.ndarray] = None
+        xp = active_backend()
+        self.data = xp.asarray(data, dtype=xp.float_dtype)
+        self.grad: Optional[Any] = None
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self._parents = _parents if self.requires_grad or _backward_fn else ()
         self._backward_fn = _backward_fn
@@ -78,9 +89,13 @@ class Tensor:
         """Total number of elements."""
         return int(self.data.size)
 
-    def numpy(self) -> np.ndarray:
-        """Return the underlying NumPy array (shared, not copied)."""
-        return self.data
+    def numpy(self):
+        """Return the underlying data as a host NumPy array.
+
+        Shared (not copied) on the NumPy backend; downloaded from the device
+        on accelerator backends.
+        """
+        return to_numpy(self.data)
 
     def item(self) -> float:
         """Return the value of a single-element tensor as a float."""
@@ -95,10 +110,10 @@ class Tensor:
         """Clear the accumulated gradient."""
         self.grad = None
 
-    def _accumulate_grad(self, grad: np.ndarray) -> None:
+    def _accumulate_grad(self, grad) -> None:
         grad = _unbroadcast(grad, self.data.shape)
         if self.grad is None:
-            self.grad = grad.copy()
+            self.grad = active_backend().copy(grad)
         else:
             self.grad = self.grad + grad
 
@@ -109,10 +124,11 @@ class Tensor:
         when the caller genuinely wants the sum of all output sensitivities,
         which is what the L2-loss training loop uses).
         """
+        xp = active_backend()
         if grad is None:
-            grad = np.ones_like(self.data)
+            grad = xp.ones_like(self.data)
         else:
-            grad = np.asarray(grad, dtype=np.float64)
+            grad = xp.asarray(grad, dtype=xp.float_dtype)
         topo = _topological_sort(self)
         self._accumulate_grad(grad)
         for node in reversed(topo):
@@ -162,18 +178,19 @@ def _ensure_tensor(value: Union[Tensor, ArrayLike]) -> Tensor:
     return value if isinstance(value, Tensor) else Tensor(value)
 
 
-def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
-    """Sum ``grad`` down to ``shape`` (inverse of NumPy broadcasting)."""
-    if grad.shape == shape:
+def _unbroadcast(grad, shape: Tuple[int, ...]):
+    """Sum ``grad`` down to ``shape`` (inverse of broadcasting)."""
+    if tuple(grad.shape) == shape:
         return grad
+    xp = active_backend()
     # Remove leading broadcast axes.
     while grad.ndim > len(shape):
-        grad = grad.sum(axis=0)
+        grad = xp.sum(grad, axis=0)
     # Sum along axes that were broadcast from size 1.
     for axis, dim in enumerate(shape):
         if dim == 1 and grad.shape[axis] != 1:
-            grad = grad.sum(axis=axis, keepdims=True)
-    return grad.reshape(shape)
+            grad = xp.sum(grad, axis=axis, keepdims=True)
+    return xp.reshape(grad, shape)
 
 
 def _topological_sort(root: Tensor) -> List[Tensor]:
@@ -196,9 +213,9 @@ def _topological_sort(root: Tensor) -> List[Tensor]:
 
 
 def _make(
-    data: np.ndarray,
+    data: Any,
     parents: Tuple[Tensor, ...],
-    backward_fn: Callable[[np.ndarray], None],
+    backward_fn: Callable[[Any], None],
     op: str,
 ) -> Tensor:
     requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
@@ -214,7 +231,7 @@ def add(a: Tensor, b: Tensor) -> Tensor:
     """Elementwise addition."""
     out_data = a.data + b.data
 
-    def backward(grad: np.ndarray) -> None:
+    def backward(grad) -> None:
         if a.requires_grad:
             a._accumulate_grad(grad)
         if b.requires_grad:
@@ -227,7 +244,7 @@ def sub(a: Tensor, b: Tensor) -> Tensor:
     """Elementwise subtraction."""
     out_data = a.data - b.data
 
-    def backward(grad: np.ndarray) -> None:
+    def backward(grad) -> None:
         if a.requires_grad:
             a._accumulate_grad(grad)
         if b.requires_grad:
@@ -240,7 +257,7 @@ def mul(a: Tensor, b: Tensor) -> Tensor:
     """Elementwise multiplication."""
     out_data = a.data * b.data
 
-    def backward(grad: np.ndarray) -> None:
+    def backward(grad) -> None:
         if a.requires_grad:
             a._accumulate_grad(grad * b.data)
         if b.requires_grad:
@@ -253,7 +270,7 @@ def power(a: Tensor, exponent: float) -> Tensor:
     """Elementwise power with a constant exponent."""
     out_data = a.data**exponent
 
-    def backward(grad: np.ndarray) -> None:
+    def backward(grad) -> None:
         if a.requires_grad:
             a._accumulate_grad(grad * exponent * a.data ** (exponent - 1))
 
@@ -262,25 +279,26 @@ def power(a: Tensor, exponent: float) -> Tensor:
 
 def reduce_sum(a: Tensor, axis: Optional[int] = None) -> Tensor:
     """Sum reduction over an axis (or all elements)."""
-    out_data = a.data.sum(axis=axis)
+    xp = active_backend()
+    out_data = xp.sum(a.data, axis=axis)
 
-    def backward(grad: np.ndarray) -> None:
+    def backward(grad) -> None:
         if not a.requires_grad:
             return
         if axis is None:
-            a._accumulate_grad(np.broadcast_to(grad, a.data.shape).copy())
+            a._accumulate_grad(xp.copy(xp.broadcast_to(grad, a.data.shape)))
         else:
-            expanded = np.expand_dims(grad, axis=axis)
-            a._accumulate_grad(np.broadcast_to(expanded, a.data.shape).copy())
+            expanded = xp.expand_dims(grad, axis=axis)
+            a._accumulate_grad(xp.copy(xp.broadcast_to(expanded, a.data.shape)))
 
-    return _make(np.asarray(out_data), (a,), backward, "sum")
+    return _make(xp.asarray(out_data), (a,), backward, "sum")
 
 
 def exp(a: Tensor) -> Tensor:
     """Elementwise exponential."""
-    out_data = np.exp(a.data)
+    out_data = active_backend().exp(a.data)
 
-    def backward(grad: np.ndarray) -> None:
+    def backward(grad) -> None:
         if a.requires_grad:
             a._accumulate_grad(grad * out_data)
 
@@ -297,9 +315,9 @@ def take_column(a: Tensor, index: int) -> Tensor:
         raise ValueError(f"take_column expects a 2-D tensor, got shape {a.shape}")
     out_data = a.data[:, index]
 
-    def backward(grad: np.ndarray) -> None:
+    def backward(grad) -> None:
         if a.requires_grad:
-            full = np.zeros_like(a.data)
+            full = active_backend().zeros_like(a.data)
             full[:, index] = grad
             a._accumulate_grad(full)
 
@@ -314,9 +332,9 @@ def stack_columns(tensors: Sequence[Tensor]) -> Tensor:
     """
     if not tensors:
         raise ValueError("stack_columns requires at least one tensor")
-    out_data = np.stack([t.data for t in tensors], axis=1)
+    out_data = active_backend().stack([t.data for t in tensors], axis=1)
 
-    def backward(grad: np.ndarray) -> None:
+    def backward(grad) -> None:
         for column, tensor in enumerate(tensors):
             if tensor.requires_grad:
                 tensor._accumulate_grad(grad[:, column])
@@ -326,4 +344,5 @@ def stack_columns(tensors: Sequence[Tensor]) -> Tensor:
 
 def full_like_batch(batch_size: int, value: float) -> Tensor:
     """A constant 1-D tensor of length ``batch_size`` (no gradient)."""
-    return Tensor(np.full(batch_size, value, dtype=np.float64))
+    xp = active_backend()
+    return Tensor(xp.full(batch_size, value, dtype=xp.float_dtype))

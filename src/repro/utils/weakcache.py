@@ -1,0 +1,40 @@
+"""Weak registry of cache-owning objects, for process-wide bulk invalidation.
+
+The engine's compiled-program memo lives on each :class:`Circuit` and the
+CNF evaluation plan on each :class:`CNF`; both are invalidated automatically
+on mutation, but :func:`repro.xp.clear_caches` also needs to drop them
+explicitly across the whole process.  :class:`OwnerRegistry` tracks the
+owners weakly — keyed by ``id`` so hashability (which ``CNF`` does not have:
+it defines ``__eq__`` without ``__hash__``) is never assumed — and dead
+owners unregister themselves via the weakref callback.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Callable, Dict
+
+
+class OwnerRegistry:
+    """Id-keyed weak set of objects that currently hold a memoised cache."""
+
+    def __init__(self) -> None:
+        self._owners: Dict[int, weakref.ref] = {}
+
+    def register(self, owner: object) -> None:
+        """Track ``owner``; a dead owner drops out automatically."""
+        key = id(owner)
+        self._owners[key] = weakref.ref(
+            owner, lambda _ref, key=key: self._owners.pop(key, None)
+        )
+
+    def clear(self, invalidate: Callable[[object], None]) -> None:
+        """Call ``invalidate`` on every live owner, then forget them all."""
+        for reference in list(self._owners.values()):
+            owner = reference()
+            if owner is not None:
+                invalidate(owner)
+        self._owners.clear()
+
+    def __len__(self) -> int:
+        return len(self._owners)

@@ -1,0 +1,214 @@
+"""Best-effort Torch backend (the paper's actual tensor runtime).
+
+Torch's array API diverges from NumPy (``dim`` vs ``axis``, ``clone`` vs
+``copy``, no unsigned 64-bit dtype), so unlike :class:`CupyBackend` this is
+a method-by-method adapter rather than a re-binding.  The packed (uint64 /
+``packbits``) execution modes cannot run natively — Torch has no ``uint64``
+— so :attr:`supports_packed` is ``False`` and callers route those kernels
+through the NumPy reference instead.  Construction raises
+:class:`~repro.xp.backend.BackendUnavailableError` when ``import torch``
+fails; the registry and the test suite skip the backend in that case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.xp.backend import ArrayBackend, BackendUnavailableError
+
+# pragma: no cover - this module's bodies run only where torch is installed
+
+
+class TorchBackend(ArrayBackend):
+    """Torch execution (CUDA when available, else CPU); equivalent to ~1e-10."""
+
+    name = "torch"
+    is_numpy = False
+    supports_packed = False
+
+    def __init__(self, float_dtype=None, device: str = None) -> None:
+        try:
+            import torch
+        except Exception as error:
+            raise BackendUnavailableError(
+                f"Torch backend unavailable: {error}"
+            ) from error
+        super().__init__(float_dtype)
+        self.torch = torch
+        self.device = device or ("cuda" if torch.cuda.is_available() else "cpu")
+        self._float = (
+            torch.float32 if np.dtype(self.float_dtype) == np.float32 else torch.float64
+        )
+        self._dtype_map = {
+            np.dtype(np.float32): torch.float32,
+            np.dtype(np.float64): torch.float64,
+            np.dtype(np.bool_): torch.bool,
+            np.dtype(np.uint8): torch.uint8,
+            np.dtype(np.int64): torch.int64,
+        }
+        # Torch's native dtype objects double as this backend's dtype policy.
+        self.bool_dtype = torch.bool
+        self.uint8_dtype = torch.uint8
+        self.uint64_dtype = None  # torch has no uint64: packed modes fall back
+        self.int64_dtype = torch.int64
+        # Device copies of segment-id vectors, keyed by the (tiny, per-plan)
+        # offsets bytes — rebuilding + re-uploading them on every gradient
+        # scatter would put a host-to-device transfer in the hot loop.
+        self._segment_id_cache: dict = {}
+
+    def _torch_dtype(self, dtype):
+        if dtype is None:
+            return None
+        if isinstance(dtype, self.torch.dtype):
+            return dtype
+        return self._dtype_map.get(np.dtype(dtype), None)
+
+    # -- host boundary ------------------------------------------------------------------
+    def asnumpy(self, array):
+        if isinstance(array, self.torch.Tensor):
+            return array.detach().cpu().numpy()
+        return np.asarray(array)
+
+    def from_numpy(self, array):
+        return self.torch.as_tensor(np.asarray(array), device=self.device)
+
+    # -- creation -----------------------------------------------------------------------
+    def asarray(self, array, dtype=None):
+        return self.torch.as_tensor(
+            array, dtype=self._torch_dtype(dtype), device=self.device
+        )
+
+    def empty(self, shape, dtype=None):
+        return self.torch.empty(
+            shape, dtype=self._torch_dtype(dtype) or self._float, device=self.device
+        )
+
+    def zeros(self, shape, dtype=None):
+        return self.torch.zeros(
+            shape, dtype=self._torch_dtype(dtype) or self._float, device=self.device
+        )
+
+    def ones(self, shape, dtype=None):
+        return self.torch.ones(
+            shape, dtype=self._torch_dtype(dtype) or self._float, device=self.device
+        )
+
+    def full(self, shape, value, dtype=None):
+        if not isinstance(shape, tuple):
+            shape = (int(shape),)
+        return self.torch.full(
+            shape, value, dtype=self._torch_dtype(dtype), device=self.device
+        )
+
+    def zeros_like(self, array):
+        return self.torch.zeros_like(array)
+
+    def ones_like(self, array):
+        return self.torch.ones_like(array)
+
+    def copy(self, array):
+        return array.clone()
+
+    def astype(self, array, dtype):
+        return array.to(self._torch_dtype(dtype))
+
+    # -- elementwise --------------------------------------------------------------------
+    def add(self, a, b, out=None):
+        return self.torch.add(a, b, out=out)
+
+    def subtract(self, a, b, out=None):
+        return self.torch.sub(a, b, out=out)
+
+    def multiply(self, a, b, out=None):
+        return self.torch.mul(a, b, out=out)
+
+    def one_minus(self, a, out=None):
+        result = 1.0 - a if a.dtype.is_floating_point else ~a
+        if out is None:
+            return result
+        out.copy_(result)
+        return out
+
+    def exp(self, a):
+        return self.torch.exp(a)
+
+    def sqrt(self, a):
+        return self.torch.sqrt(a)
+
+    def logical_and(self, a, b, out=None):
+        return self.torch.logical_and(a, b, out=out)
+
+    def logical_or(self, a, b, out=None):
+        return self.torch.logical_or(a, b, out=out)
+
+    def logical_not(self, a, out=None):
+        return self.torch.logical_not(a, out=out)
+
+    def bitwise_and(self, a, b, out=None):
+        return self.torch.bitwise_and(a, b, out=out)
+
+    def bitwise_or(self, a, b, out=None):
+        return self.torch.bitwise_or(a, b, out=out)
+
+    def bitwise_xor(self, a, b, out=None):
+        return self.torch.bitwise_xor(a, b, out=out)
+
+    # -- reductions / structure ---------------------------------------------------------
+    def sum(self, a, axis=None, keepdims=False):
+        if axis is None:
+            return self.torch.sum(a)
+        return self.torch.sum(a, dim=axis, keepdim=keepdims)
+
+    def all(self, a, axis=None):
+        if axis is None:
+            return self.torch.all(a)
+        return self.torch.all(a, dim=axis)
+
+    def any(self, a, axis=None):
+        if axis is None:
+            return self.torch.any(a)
+        return self.torch.any(a, dim=axis)
+
+    def broadcast_to(self, a, shape):
+        return self.torch.broadcast_to(a, shape)
+
+    def expand_dims(self, a, axis):
+        return self.torch.unsqueeze(a, axis)
+
+    def stack(self, arrays, axis=0):
+        return self.torch.stack(list(arrays), dim=axis)
+
+    def reshape(self, a, shape):
+        return self.torch.reshape(a, shape)
+
+    def ascontiguousarray(self, a):
+        return a.contiguous()
+
+    def add_reduceat(self, a, offsets, axis=0):
+        """Segment sums via ``index_add_`` (native on the device).
+
+        Same contract as the base class: monotonically increasing offsets,
+        rows before ``offsets[0]`` belong to no segment.
+        """
+        if axis != 0:
+            raise NotImplementedError("TorchBackend add_reduceat supports axis=0 only")
+        offsets = np.asarray(offsets)
+        key = (offsets.tobytes(), int(a.shape[0]))
+        cached = self._segment_id_cache.get(key)
+        if cached is None:
+            start = int(offsets[0])
+            lengths = np.r_[offsets[1:], a.shape[0]] - offsets
+            segment_ids = self.torch.as_tensor(
+                np.repeat(np.arange(len(offsets)), lengths), device=self.device
+            )
+            cached = (start, segment_ids, np.flatnonzero(lengths <= 0))
+            self._segment_id_cache[key] = cached
+        start, segment_ids, empty = cached
+        source = a[start:] if start else a
+        out = self.torch.zeros(
+            (len(offsets),) + tuple(a.shape[1:]), dtype=a.dtype, device=self.device
+        )
+        out.index_add_(0, segment_ids, source)
+        if empty.size:  # reduceat quirk: an empty segment yields a[offsets[i]]
+            out[empty] = a[offsets[empty]]
+        return out

@@ -60,3 +60,67 @@ class TestSplitBatch:
         chunks = list(split_batch(matrix, Device()))
         assert len(chunks) == 1
         assert chunks[0].shape == (7, 3)
+
+
+class TestChunkEdgeCases:
+    """Regression tests for the chunk-size edge cases fixed in the backend refactor."""
+
+    def test_chunk_size_larger_than_batch_is_one_span(self):
+        device = Device(DeviceKind.GPU_SIM, chunk_size=4096)
+        assert list(device.chunks(100)) == [(0, 100)]
+        assert device.num_launches(100) == 1
+
+    def test_cpu_chunk_size_larger_than_batch(self):
+        device = Device(DeviceKind.CPU, chunk_size=64)
+        assert list(device.chunks(10)) == [(0, 10)]
+
+    def test_zero_size_batch_yields_nothing(self):
+        for device in (Device(), Device(DeviceKind.CPU), Device(chunk_size=7)):
+            assert list(device.chunks(0)) == []
+            assert device.num_launches(0) == 0
+
+    def test_negative_batch_yields_nothing(self):
+        assert list(Device().chunks(-5)) == []
+
+    def test_negative_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            Device(DeviceKind.GPU_SIM, chunk_size=-1)
+
+    def test_split_batch_empty_matrix(self):
+        matrix = np.zeros((0, 3), dtype=bool)
+        assert list(split_batch(matrix, Device(DeviceKind.CPU))) == []
+
+    def test_chunk_size_equal_to_batch(self):
+        device = Device(DeviceKind.GPU_SIM, chunk_size=8)
+        assert list(device.chunks(8)) == [(0, 8)]
+
+    def test_num_launches_counts_spans(self):
+        assert Device(DeviceKind.GPU_SIM, chunk_size=40).num_launches(100) == 3
+        assert Device(DeviceKind.CPU).num_launches(5) == 5
+
+
+class TestDeviceBackend:
+    def test_default_inherits_active_backend(self):
+        import repro.xp as xp
+
+        assert Device().backend() is xp.active_backend()
+
+    def test_explicit_backend_resolved_lazily(self):
+        import repro.xp as xp
+
+        device = Device(DeviceKind.GPU_SIM, array_backend="numpy:float32")
+        assert device.backend().float_dtype == np.float32
+        assert device.backend() is xp.get_backend("numpy:float32")
+
+    def test_invalid_backend_spec_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            Device(DeviceKind.GPU_SIM, array_backend="no-such-backend")
+
+    def test_get_device_accepts_array_backend(self):
+        device = get_device("gpu-sim", array_backend="numpy")
+        assert device.array_backend == "numpy"
+        assert device.backend().is_numpy
+
+    def test_describe_mentions_backend(self):
+        device = Device(DeviceKind.GPU_SIM, array_backend="numpy")
+        assert "backend=numpy" in device.describe()

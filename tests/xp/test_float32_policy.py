@@ -1,0 +1,95 @@
+"""The float32 dtype policy: documented tolerance vs the float64 reference.
+
+``"numpy:float32"`` (and the ``:float32`` suffix on any backend) is the
+reduced-precision throughput mode for accelerator runs.  It is *not* part of
+the bitwise contract — these tests pin down and document how far it may
+drift:
+
+* forward output probabilities agree with float64 to ``5e-5`` absolute
+  (probabilities live in [0, 1]; float32 has ~7 decimal digits, and a
+  ~40-gate cone loses a couple more to accumulation);
+* input gradients agree to ``5e-4`` relative-ish absolute slack (gradient
+  chains multiply more terms, so the error budget is wider);
+* sampled *solutions* usually still agree exactly — thresholding ``V > 0``
+  absorbs tiny drift — but this is not guaranteed near decision boundaries,
+  so the suite asserts validity instead of bitwise equality end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.xp as xp
+from repro.core.config import SamplerConfig
+from repro.core.sampler import GradientSATSampler
+from repro.engine.compiler import compile_circuit
+from repro.engine.executor import backward, forward
+from tests.engine.conftest import random_circuit
+
+#: Documented float32-vs-float64 agreement for forward probabilities.
+FORWARD_TOLERANCE = 5e-5
+#: Documented float32-vs-float64 agreement for input gradients.
+GRADIENT_TOLERANCE = 5e-4
+
+
+@pytest.fixture()
+def program():
+    circuit = random_circuit(
+        np.random.default_rng(21), num_inputs=6, num_gates=40, num_outputs=3
+    )
+    return compile_circuit(circuit, list(circuit.outputs))
+
+
+def test_float32_backend_uses_float32_arrays(program):
+    backend = xp.get_backend("numpy:float32")
+    probabilities = np.random.default_rng(0).random((8, program.input_width))
+    outputs, cache = forward(program, probabilities, backend)
+    assert outputs.dtype == np.float32
+    assert cache.values.dtype == np.float32
+
+
+def test_forward_within_documented_tolerance(program):
+    probabilities = np.random.default_rng(1).random((32, program.input_width))
+    reference, _ = forward(program, probabilities, xp.get_backend("numpy"))
+    outputs, _ = forward(program, probabilities, xp.get_backend("numpy:float32"))
+    np.testing.assert_allclose(
+        outputs.astype(np.float64), reference, rtol=0.0, atol=FORWARD_TOLERANCE
+    )
+
+
+def test_backward_within_documented_tolerance(program):
+    rng = np.random.default_rng(2)
+    probabilities = rng.random((16, program.input_width))
+    seed_grad = rng.random((16, len(program.output_nets)))
+    _, cache64 = forward(program, probabilities, xp.get_backend("numpy"))
+    reference = backward(program, cache64, seed_grad)
+    _, cache32 = forward(program, probabilities, xp.get_backend("numpy:float32"))
+    grads = backward(program, cache32, seed_grad)
+    np.testing.assert_allclose(
+        grads.astype(np.float64), reference, rtol=0.0, atol=GRADIENT_TOLERANCE
+    )
+
+
+def test_tensor_layer_follows_the_policy():
+    with xp.use_backend("numpy:float32"):
+        from repro.tensor.functional import sigmoid
+        from repro.tensor.tensor import Tensor
+
+        tensor = Tensor(np.linspace(-3, 3, 7), requires_grad=True)
+        out = sigmoid(tensor)
+        assert out.data.dtype == np.float32
+        out.backward()
+        assert tensor.grad.dtype == np.float32
+
+
+def test_sampler_produces_valid_solutions_under_float32(fig1_formula):
+    config = SamplerConfig(
+        batch_size=64, seed=13, max_rounds=3, array_backend="numpy:float32"
+    )
+    result = GradientSATSampler(fig1_formula, config=config).sample(num_solutions=30)
+    matrix = result.solution_matrix()
+    assert result.num_unique > 0
+    # Everything the float32 run reports as a solution must really satisfy
+    # the formula (validated in float-free boolean arithmetic).
+    assert fig1_formula.evaluate_batch(matrix).all()
