@@ -1,0 +1,164 @@
+"""Serving-layer throughput: manifest jobs/sec through ``repro.serve``.
+
+The acceptance bar of the serving subsystem: running an 8-job manifest on
+the largest Table II instance (``s15850a_3_2`` at the fast scale) through
+:class:`~repro.serve.service.SamplingService` with a warm artifact cache
+must deliver at least ``REPRO_BENCH_SERVE_MIN_RATIO`` (default 2x) the
+aggregate unique-solutions/sec of the pre-service baseline — a sequential
+loop of :func:`~repro.core.pipeline.sample_cnf` calls that re-transforms
+and re-compiles the formula for every job.
+
+The grid rewrites ``BENCH_serve.json`` each run:
+
+* ``sequential``      — the baseline loop (one cold pipeline call per job);
+* ``service_w1_cold`` — 1 worker, fresh caches (first manifest pass);
+* ``service_w1_warm`` — 1 worker, second pass on the same pool;
+* ``service_wN_cold`` / ``service_wN_warm`` — the same on the parallel pool
+  (N from ``REPRO_BENCH_SERVE_WORKERS``, default 4).
+
+Per mode it records jobs/sec and aggregate unique-solutions/sec (the sum of
+per-job unique counts over the manifest wall-clock).  Pool startup is
+excluded — a service is a long-lived process; what is charged is everything
+a request actually waits for: scheduling, compile (on cold passes), GD
+sampling, dedup and result transport.  On a single-core host the win is
+almost entirely the artifact cache (the transform dominates end-to-end job
+cost ~10:1); on multi-core hosts the worker pool adds on top of it.
+
+Every mode's job results are cross-checked against the baseline's unique
+counts per job (same seeds => same solutions) before any timing is trusted.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import serve_bench_workers, serve_min_ratio
+from repro.core.config import SamplerConfig
+from repro.core.pipeline import sample_cnf
+from repro.serve import SamplingService
+
+#: Where the serving grid records its trajectory.
+BENCH_SERVE_JSON = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+#: The 8-job manifest: distinct seeds so no request coalesces — every job is
+#: real sampling work and the measured win is caching + scheduling only.
+NUM_JOBS = 8
+NUM_SOLUTIONS = 200
+BATCH_SIZE = 256
+
+
+def _manifest_configs():
+    return [
+        SamplerConfig.paper_defaults(batch_size=BATCH_SIZE, seed=seed, max_rounds=8)
+        for seed in range(NUM_JOBS)
+    ]
+
+
+def _mode_record(seconds: float, unique_counts) -> dict:
+    return {
+        "seconds": seconds,
+        "jobs": len(unique_counts),
+        "jobs_per_second": len(unique_counts) / seconds,
+        "unique_solutions": int(sum(unique_counts)),
+        "unique_per_second": sum(unique_counts) / seconds,
+    }
+
+
+def _run_sequential(formula_path: str, configs) -> dict:
+    start = time.perf_counter()
+    unique_counts = []
+    for config in configs:
+        result = sample_cnf(formula_path, num_solutions=NUM_SOLUTIONS, config=config)
+        unique_counts.append(result.sample.num_unique)
+    return _mode_record(time.perf_counter() - start, unique_counts)
+
+
+def _run_service_pass(service: SamplingService, formula_path: str, configs) -> dict:
+    start = time.perf_counter()
+    job_ids = [
+        service.submit(formula_path, num_solutions=NUM_SOLUTIONS, config=config)
+        for config in configs
+    ]
+    results = [service.result(job_id, timeout=600) for job_id in job_ids]
+    seconds = time.perf_counter() - start
+    assert all(result.status == "done" for result in results)
+    return _mode_record(seconds, [result.num_unique for result in results])
+
+
+@pytest.mark.benchmark(group="serve-throughput")
+def test_serve_throughput(benchmark, largest_instance, tmp_path):
+    """Manifest throughput: sequential baseline vs 1/N-worker service."""
+    from repro.cnf.dimacs import write_dimacs_file
+
+    entry, formula = largest_instance
+    formula_path = str(tmp_path / f"{entry.name}.cnf")
+    write_dimacs_file(formula, formula_path)
+    configs = _manifest_configs()
+    workers = serve_bench_workers()
+
+    sequential = benchmark.pedantic(
+        lambda: _run_sequential(formula_path, configs), rounds=1, iterations=1
+    )
+
+    modes = {"sequential": sequential}
+    for num_workers in (1, workers):
+        with SamplingService(num_workers=num_workers) as service:
+            modes[f"service_w{num_workers}_cold"] = _run_service_pass(
+                service, formula_path, configs
+            )
+            modes[f"service_w{num_workers}_warm"] = _run_service_pass(
+                service, formula_path, configs
+            )
+
+    # Same seeds => identical per-job solution counts in every mode.
+    for name, record in modes.items():
+        assert record["unique_solutions"] == sequential["unique_solutions"], (
+            f"mode {name} produced {record['unique_solutions']} unique solutions, "
+            f"baseline produced {sequential['unique_solutions']} — results diverge"
+        )
+
+    warm_key = f"service_w{workers}_warm"
+    ratio = modes[warm_key]["unique_per_second"] / sequential["unique_per_second"]
+    minimum = serve_min_ratio()
+    gate_skipped = None
+    if minimum <= 0:
+        gate_skipped = (
+            f"floor disabled via REPRO_BENCH_SERVE_MIN_RATIO={minimum} "
+            "(measurement still recorded)"
+        )
+    record = {
+        "instance": entry.name,
+        "variables": formula.num_variables,
+        "clauses": formula.num_clauses,
+        "num_jobs": NUM_JOBS,
+        "num_solutions_per_job": NUM_SOLUTIONS,
+        "batch_size": BATCH_SIZE,
+        "workers": workers,
+        "modes": modes,
+        "ratio_warm_service_vs_sequential": ratio,
+        "min_ratio": minimum,
+    }
+    if gate_skipped is not None:
+        record["no_regression_gate_skipped"] = gate_skipped
+    benchmark.extra_info.update(record)
+    BENCH_SERVE_JSON.write_text(json.dumps(record, indent=2) + "\n")
+    print()
+    for name, mode in modes.items():
+        print(
+            f"{name:>18}: {mode['jobs_per_second']:.2f} jobs/s, "
+            f"{mode['unique_per_second']:,.0f} unique solutions/s "
+            f"({mode['seconds']:.2f} s)"
+        )
+    print(f"warm {workers}-worker service vs sequential baseline: {ratio:.2f}x")
+    if gate_skipped is not None:
+        # Never let the gate silently check nothing.
+        print(f"WARNING: no-regression gate SKIPPED — {gate_skipped}")
+        return
+    assert ratio >= minimum, (
+        f"the warm {workers}-worker service must deliver at least {minimum}x the "
+        f"sequential baseline's unique-solutions/sec, got {ratio:.2f}x"
+    )

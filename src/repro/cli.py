@@ -1,10 +1,16 @@
 """Command-line interface.
 
-Three subcommands cover the common workflows:
+Four subcommands cover the common workflows:
 
 ``sample``
     DIMACS CNF in, unique solutions out (with throughput statistics) —
     the end-to-end pipeline of the paper.
+
+``serve``
+    Batch front end of the sampling service (:mod:`repro.serve`): read a
+    jobs manifest (JSON or JSONL), run it on a pool of worker processes
+    with request coalescing, artifact caching and portfolio scheduling,
+    and write per-job results + solution files.
 
 ``transform``
     Run Algorithm 1 only and report the recovered structure; optionally
@@ -68,6 +74,27 @@ def _build_parser() -> argparse.ArgumentParser:
     sample.add_argument("-o", "--output", default=None,
                         help="write solutions (signed-literal lines) to this file")
 
+    serve = subparsers.add_parser(
+        "serve", help="run a jobs manifest through the multi-worker sampling service"
+    )
+    serve.add_argument("manifest", help="jobs manifest: JSON array, {'jobs': [...]}, or JSONL")
+    serve.add_argument("-w", "--workers", type=int, default=0,
+                       help="worker processes (0 = run inline in this process, the default)")
+    serve.add_argument("--array-backend", default=None, metavar="SPEC",
+                       help="array backend each worker pins at startup "
+                            "(job configs may still override per job)")
+    serve.add_argument("--cache-entries", type=int, default=8,
+                       help="per-worker artifact-cache entry bound (default 8 formulas)")
+    serve.add_argument("--cache-mb", type=float, default=256.0,
+                       help="per-worker artifact-cache byte bound in MiB (default 256)")
+    serve.add_argument("-o", "--output-dir", default=None,
+                       help="write results.json plus one <job-id>.solutions file here")
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="per-job wall-clock budget waiting on the worker pool "
+                            "(seconds; with --workers 0 jobs run synchronously in "
+                            "this process, so the flag is ignored — use the config's "
+                            "timeout_seconds to bound a job's own runtime)")
+
     transform = subparsers.add_parser(
         "transform", help="recover the multi-level function from a DIMACS CNF"
     )
@@ -111,6 +138,60 @@ def _command_sample(arguments: argparse.Namespace) -> int:
         path = write_solutions_file(sample.solutions, arguments.output)
         print(f"solutions written  : {path}")
     return 0 if sample.num_unique > 0 else 1
+
+
+def _command_serve(arguments: argparse.Namespace) -> int:
+    from repro.io.results_io import write_job_results_json
+    from repro.serve import SamplingService, load_manifest
+
+    jobs = load_manifest(arguments.manifest)
+    cache_bytes = int(arguments.cache_mb * 1024 * 1024) if arguments.cache_mb else None
+    output_dir = Path(arguments.output_dir) if arguments.output_dir else None
+    if output_dir is not None:
+        output_dir.mkdir(parents=True, exist_ok=True)
+
+    timeout = arguments.timeout
+    if timeout is not None and arguments.workers == 0:
+        print("note: --timeout has no effect with --workers 0 (jobs run "
+              "synchronously in this process)", file=sys.stderr)
+        timeout = None
+    with SamplingService(
+        num_workers=arguments.workers,
+        array_backend=arguments.array_backend,
+        cache_entries=arguments.cache_entries,
+        cache_bytes=cache_bytes,
+    ) as service:
+        job_ids = [service.submit(job) for job in jobs]
+        results = [service.result(job_id, timeout=timeout) for job_id in job_ids]
+
+    rows = []
+    for result in results:
+        rows.append(
+            {
+                "job": result.job_id,
+                "status": result.status,
+                "unique": result.num_unique,
+                "requested": result.num_requested,
+                "seconds": f"{result.elapsed_seconds:.3f}",
+                "throughput": f"{result.throughput:,.1f}/s",
+                "members": len(result.members),
+                "coalesced": result.coalesced_with or "",
+            }
+        )
+    print(render_rows(rows, title=f"{len(results)} jobs ({arguments.workers} workers)"))
+
+    if output_dir is not None:
+        results_path = write_job_results_json(results, output_dir / "results.json")
+        print(f"results written     : {results_path}")
+        for result in results:
+            path = write_solutions_file(
+                result.solutions, output_dir / f"{result.job_id}.solutions"
+            )
+            print(f"solutions written   : {path}")
+    failed = [result for result in results if result.status != "done"]
+    for result in failed:
+        print(f"job {result.job_id} failed: {result.error}", file=sys.stderr)
+    return 1 if failed else 0
 
 
 def _command_transform(arguments: argparse.Namespace) -> int:
@@ -169,6 +250,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     arguments = _build_parser().parse_args(argv)
     if arguments.command == "sample":
         return _command_sample(arguments)
+    if arguments.command == "serve":
+        return _command_serve(arguments)
     if arguments.command == "transform":
         return _command_transform(arguments)
     if arguments.command == "instances":

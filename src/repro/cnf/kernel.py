@@ -125,6 +125,21 @@ class CNFEvalPlan:
         """Total literal occurrences across the non-empty clauses."""
         return int(self.literal_columns.shape[0])
 
+    @property
+    def nbytes(self) -> int:
+        """Resident size of the plan's host index arrays.
+
+        Per-backend device uploads are excluded (they live on the device and
+        are dropped with the plan).  Used by byte-bounded artifact caches
+        (:mod:`repro.serve.cache`) to account for compiled state.
+        """
+        return int(
+            self.literal_columns.nbytes
+            + self.literal_negated.nbytes
+            + self.reduce_offsets.nbytes
+            + self.nonempty_index.nbytes
+        )
+
     @staticmethod
     def _resolve_xpb(assignments, xpb: Optional[ArrayBackend]) -> ArrayBackend:
         """Default backend resolution following the *input's* residency.

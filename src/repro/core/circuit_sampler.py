@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -47,6 +47,9 @@ class CircuitSampleResult:
     rounds: int
     loss_history: List[float] = field(default_factory=list)
     timed_out: bool = False
+    #: True when a ``should_stop`` callback halted the run early (see
+    #: :attr:`repro.core.sampler.SampleResult.stopped_early`).
+    stopped_early: bool = False
 
     @property
     def num_unique(self) -> int:
@@ -115,12 +118,26 @@ class CircuitSampler:
         :meth:`GradientSATSampler.reset_rng <repro.core.sampler.GradientSATSampler.reset_rng>`)."""
         self._rng = self._xp.rng(self.config.seed)
 
-    def sample(self, num_solutions: int = 1000) -> CircuitSampleResult:
-        """Generate at least ``num_solutions`` unique valid input vectors (best effort)."""
-        with use_backend(self._xp):
-            return self._sample(num_solutions)
+    def sample(
+        self,
+        num_solutions: int = 1000,
+        *,
+        should_stop: Optional[Callable[[], bool]] = None,
+    ) -> CircuitSampleResult:
+        """Generate at least ``num_solutions`` unique valid input vectors (best effort).
 
-    def _sample(self, num_solutions: int) -> CircuitSampleResult:
+        ``should_stop`` is polled at the same points as the timeout deadline
+        (between rounds, device chunks and GD iterations); a truthy return
+        halts the run cooperatively with ``stopped_early`` set on the result.
+        """
+        with use_backend(self._xp):
+            return self._sample(num_solutions, should_stop)
+
+    def _sample(
+        self,
+        num_solutions: int,
+        should_stop: Optional[Callable[[], bool]] = None,
+    ) -> CircuitSampleResult:
         if num_solutions <= 0:
             raise ValueError(f"num_solutions must be positive, got {num_solutions}")
         start = time.perf_counter()
@@ -136,10 +153,14 @@ class CircuitSampler:
         rounds = 0
         stalled = 0
         timed_out = False
+        stopped_early = False
 
         while rounds < self.config.max_rounds and len(solutions) < num_solutions:
             if deadline is not None and time.perf_counter() >= deadline:
                 timed_out = True
+                break
+            if should_stop is not None and should_stop():
+                stopped_early = True
                 break
             if (
                 self.config.stall_rounds is not None
@@ -147,8 +168,8 @@ class CircuitSampler:
             ):
                 break
             rounds += 1
-            inputs, losses, round_timed_out = self._one_round(
-                self.config.batch_size, deadline
+            inputs, losses, round_halted = self._one_round(
+                self.config.batch_size, deadline, should_stop
             )
             loss_history.extend(losses)
             valid = self._validate(inputs)
@@ -156,8 +177,11 @@ class CircuitSampler:
             num_valid += int(valid.sum())
             added = solutions.add_batch(inputs, valid)
             stalled = stalled + 1 if added == 0 else 0
-            if round_timed_out:
-                timed_out = True
+            if round_halted:
+                if should_stop is not None and should_stop():
+                    stopped_early = True
+                else:
+                    timed_out = True
                 break
 
         return CircuitSampleResult(
@@ -169,23 +193,28 @@ class CircuitSampler:
             rounds=rounds,
             loss_history=loss_history,
             timed_out=timed_out,
+            stopped_early=stopped_early,
         )
 
     # -- internals --------------------------------------------------------------------
     def _one_round(
-        self, batch_size: int, deadline: Optional[float] = None
+        self,
+        batch_size: int,
+        deadline: Optional[float] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> Tuple[np.ndarray, List[float], bool]:
         """Learn one batch of constrained inputs and assemble full input vectors.
 
-        The ``deadline`` (absolute ``time.perf_counter`` instant) is checked
-        between device chunks and GD iterations; on expiry the batch is
-        truncated to the rows actually learned and the timed-out flag is set.
+        The ``deadline`` (absolute ``time.perf_counter`` instant) and the
+        ``should_stop`` hook are checked between device chunks and GD
+        iterations; when either fires the batch is truncated to the rows
+        actually learned and the halted flag is set.
         """
         losses: List[float] = []
         targets = target_matrix(batch_size, self.model.output_nets, self.output_targets)
         if self.config.backend == "engine":
             # Fused compiled training loop; chunking happens at the program level.
-            constrained_bits, losses, timed_out = engine_learn_batch(
+            constrained_bits, losses, halted = engine_learn_batch(
                 self.model.program,
                 batch_size,
                 targets,
@@ -194,16 +223,20 @@ class CircuitSampler:
                     0.0, self.config.init_scale, size=(chunk, self.model.num_inputs)
                 ),
                 deadline,
+                should_stop,
             )
-            return self._assemble_inputs(constrained_bits), losses, timed_out
+            return self._assemble_inputs(constrained_bits), losses, halted
         constrained_bits = self._xp.zeros(
             (batch_size, len(self._constrained_inputs)), dtype=self._xp.bool_dtype
         )
         completed = 0
-        timed_out = False
+        halted = False
         for start, stop in self.config.device.chunks(batch_size):
             if deadline is not None and time.perf_counter() >= deadline:
-                timed_out = True
+                halted = True
+                break
+            if should_stop is not None and should_stop():
+                halted = True
                 break
             chunk = stop - start
             soft = Tensor(
@@ -215,7 +248,10 @@ class CircuitSampler:
             )
             for _ in range(self.config.iterations):
                 if deadline is not None and time.perf_counter() >= deadline:
-                    timed_out = True
+                    halted = True
+                    break
+                if should_stop is not None and should_stop():
+                    halted = True
                     break
                 optimizer.zero_grad()
                 outputs = self.model.forward(sigmoid(soft))
@@ -226,9 +262,9 @@ class CircuitSampler:
                     losses.append(loss.item())
             constrained_bits[start:stop] = soft.data > 0.0
             completed = stop
-            if timed_out:
+            if halted:
                 break
-        return self._assemble_inputs(constrained_bits[:completed]), losses, timed_out
+        return self._assemble_inputs(constrained_bits[:completed]), losses, halted
 
     def _assemble_inputs(self, constrained_bits):
         """Scatter learned bits and random unconstrained bits into input vectors."""

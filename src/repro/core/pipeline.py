@@ -13,7 +13,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Callable, Dict, Optional, Union
 
 from repro.cnf.dimacs import parse_dimacs, parse_dimacs_file
 from repro.cnf.formula import CNF
@@ -77,6 +77,8 @@ def sample_cnf(
     num_solutions: int = 1000,
     config: Optional[SamplerConfig] = None,
     transform: Optional[TransformResult] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
+    on_round: Optional[Callable] = None,
     **transform_options,
 ) -> PipelineResult:
     """Run the full pipeline on a CNF instance.
@@ -91,6 +93,14 @@ def sample_cnf(
         Sampler hyper-parameters; defaults to :class:`SamplerConfig` defaults.
     transform:
         A pre-computed transformation (skips re-running Algorithm 1).
+    should_stop:
+        Cooperative-cancellation hook forwarded to
+        :meth:`GradientSATSampler.sample`; polled at the timeout-deadline
+        check points.
+    on_round:
+        Per-round progress callback forwarded to the sampler (receives the
+        :class:`~repro.core.sampler.RoundRecord` and the round's new unique
+        solutions).
     transform_options:
         Keyword arguments forwarded to :func:`repro.core.transform.transform_cnf`
         when the transformation is not supplied.
@@ -103,7 +113,9 @@ def sample_cnf(
 
     sampler = GradientSATSampler(formula, transform=transform, config=config)
     sample_start = time.perf_counter()
-    sample = sampler.sample(num_solutions=num_solutions)
+    sample = sampler.sample(
+        num_solutions=num_solutions, should_stop=should_stop, on_round=on_round
+    )
     sample_seconds = time.perf_counter() - sample_start
     return PipelineResult(
         formula=formula,

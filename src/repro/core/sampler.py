@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -80,6 +80,10 @@ class SampleResult:
     rounds: List[RoundRecord]
     elapsed_seconds: float
     timed_out: bool = False
+    #: True when a ``should_stop`` callback halted the run before the target,
+    #: round limit, stall limit or timeout did (cooperative cancellation —
+    #: how the portfolio scheduler retires losing runs).
+    stopped_early: bool = False
 
     @property
     def num_unique(self) -> int:
@@ -115,6 +119,7 @@ class SampleResult:
             "throughput": self.throughput,
             "rounds": len(self.rounds),
             "timed_out": self.timed_out,
+            "stopped_early": self.stopped_early,
         }
 
 
@@ -153,17 +158,36 @@ class GradientSATSampler:
         """
         self._rng = self._xp.rng(self.config.seed)
 
-    def sample(self, num_solutions: int = 1000) -> SampleResult:
+    def sample(
+        self,
+        num_solutions: int = 1000,
+        *,
+        should_stop: Optional[Callable[[], bool]] = None,
+        on_round: Optional[Callable[[RoundRecord, np.ndarray], None]] = None,
+    ) -> SampleResult:
         """Generate at least ``num_solutions`` unique valid solutions (best effort).
 
         Sampling stops when the target count is reached, the configured round
-        limit is exhausted, or the wall-clock timeout expires.  The whole run
-        executes on the configured array backend.
+        limit is exhausted, the wall-clock timeout expires, or ``should_stop``
+        returns true.  The stop callback is polled at exactly the deadline
+        check points — between rounds, between device chunks and between GD
+        iterations — so cancellation latency is bounded by one iteration and
+        the partial round learned so far is still validated and kept
+        (``stopped_early`` is set on the result).  ``on_round`` is invoked
+        after every round's dedup with the :class:`RoundRecord` and the
+        round's *new unique* solutions as a boolean matrix — the streaming
+        hook ``repro.serve`` uses to forward incremental results.  The whole
+        run executes on the configured array backend.
         """
         with use_backend(self._xp):
-            return self._sample(num_solutions)
+            return self._sample(num_solutions, should_stop, on_round)
 
-    def _sample(self, num_solutions: int) -> SampleResult:
+    def _sample(
+        self,
+        num_solutions: int,
+        should_stop: Optional[Callable[[], bool]] = None,
+        on_round: Optional[Callable[[RoundRecord, np.ndarray], None]] = None,
+    ) -> SampleResult:
         if num_solutions <= 0:
             raise ValueError(f"num_solutions must be positive, got {num_solutions}")
         start = time.perf_counter()
@@ -177,6 +201,7 @@ class GradientSATSampler:
         num_generated = 0
         num_valid = 0
         timed_out = False
+        stopped_early = False
         stalled_rounds = 0
 
         for round_index in range(self.config.max_rounds):
@@ -184,6 +209,9 @@ class GradientSATSampler:
                 break
             if deadline is not None and time.perf_counter() >= deadline:
                 timed_out = True
+                break
+            if should_stop is not None and should_stop():
+                stopped_early = True
                 break
             if (
                 self.config.stall_rounds is not None
@@ -193,9 +221,10 @@ class GradientSATSampler:
                 # solution space is very likely exhausted for this batch size.
                 break
             round_start = time.perf_counter()
-            assignments, valid_mask, loss_history, round_timed_out = self._run_round(
-                self.config.batch_size, deadline
+            assignments, valid_mask, loss_history, round_halted = self._run_round(
+                self.config.batch_size, deadline, should_stop
             )
+            stored_before = len(solutions)
             new_unique = solutions.add_batch(assignments, valid_mask)
             num_generated += assignments.shape[0]
             # One reduction per round: under device backends each .sum() is a
@@ -203,20 +232,27 @@ class GradientSATSampler:
             round_valid = int(valid_mask.sum())
             num_valid += round_valid
             stalled_rounds = stalled_rounds + 1 if new_unique == 0 else 0
-            rounds.append(
-                RoundRecord(
-                    round_index=round_index,
-                    num_candidates=assignments.shape[0],
-                    num_valid=round_valid,
-                    num_new_unique=new_unique,
-                    loss_history=loss_history,
-                    seconds=time.perf_counter() - round_start,
-                )
+            record = RoundRecord(
+                round_index=round_index,
+                num_candidates=assignments.shape[0],
+                num_valid=round_valid,
+                num_new_unique=new_unique,
+                loss_history=loss_history,
+                seconds=time.perf_counter() - round_start,
             )
-            if round_timed_out:
-                # The deadline expired inside the round's GD loop; the
-                # partial candidates above are kept, but no new round starts.
-                timed_out = True
+            rounds.append(record)
+            if on_round is not None:
+                on_round(record, solutions.matrix_since(stored_before))
+            if round_halted:
+                # The deadline expired (or the stop hook fired) inside the
+                # round's GD loop; the partial candidates above are kept, but
+                # no new round starts.  The hook is re-polled to attribute
+                # the halt: a live stop request is cancellation, anything
+                # else was the deadline.
+                if should_stop is not None and should_stop():
+                    stopped_early = True
+                else:
+                    timed_out = True
                 break
         elapsed = time.perf_counter() - start
         return SampleResult(
@@ -227,6 +263,7 @@ class GradientSATSampler:
             rounds=rounds,
             elapsed_seconds=elapsed,
             timed_out=timed_out,
+            stopped_early=stopped_early,
         )
 
     def learning_curve(
@@ -289,21 +326,28 @@ class GradientSATSampler:
         return soft_inputs, optimizer, targets
 
     def _learn_chunk(
-        self, chunk_size: int, deadline: Optional[float] = None
+        self,
+        chunk_size: int,
+        deadline: Optional[float] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> Tuple[np.ndarray, List[float], bool]:
         """Learn one chunk of constrained-input assignments; returns hard bits.
 
         Mirrors :func:`repro.engine.train.learn_chunk`: when ``deadline``
-        passes mid-chunk the remaining GD iterations are skipped and the
-        partially-trained bits are returned with the timed-out flag set.
+        passes (or ``should_stop`` fires) mid-chunk the remaining GD
+        iterations are skipped and the partially-trained bits are returned
+        with the halted flag set.
         """
         assert self.model is not None
         soft_inputs, optimizer, targets = self._init_parameters(chunk_size)
         loss_history: List[float] = []
-        timed_out = False
+        halted = False
         for _ in range(self.config.iterations):
             if deadline is not None and time.perf_counter() >= deadline:
-                timed_out = True
+                halted = True
+                break
+            if should_stop is not None and should_stop():
+                halted = True
                 break
             optimizer.zero_grad()
             outputs = self.model.forward(sigmoid(soft_inputs))
@@ -311,18 +355,22 @@ class GradientSATSampler:
             loss.backward()
             optimizer.step()
             loss_history.append(loss.item())
-        return soft_inputs.data > 0.0, loss_history, timed_out
+        return soft_inputs.data > 0.0, loss_history, halted
 
     def _learn_constrained_inputs(
-        self, batch_size: int, deadline: Optional[float] = None
+        self,
+        batch_size: int,
+        deadline: Optional[float] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> Tuple[np.ndarray, List[float], bool]:
         """Learn constrained inputs for a full batch, honouring the device's chunking.
 
         The engine backend hands the whole batch to the compiled program's
         training loop (chunking happens at the program level); the interpreter
         backend keeps the legacy Python-sliced chunk loop.  Both check the
-        ``deadline`` between chunks and between GD iterations, truncating the
-        batch to the rows actually learned when it expires.
+        ``deadline`` and the ``should_stop`` hook between chunks and between
+        GD iterations, truncating the batch to the rows actually learned when
+        either fires.
         """
         assert self.model is not None
         if self.config.backend == "engine":
@@ -334,28 +382,32 @@ class GradientSATSampler:
                 self.config,
                 self._draw_initial_soft_inputs,
                 deadline,
+                should_stop,
             )
         hard = self._xp.zeros(
             (batch_size, self.model.num_inputs), dtype=self._xp.bool_dtype
         )
         loss_history: List[float] = []
         completed = 0
-        timed_out = False
+        halted = False
         for start, stop in self.config.device.chunks(batch_size):
             if deadline is not None and time.perf_counter() >= deadline:
-                timed_out = True
+                halted = True
                 break
-            chunk_hard, chunk_losses, chunk_timed_out = self._learn_chunk(
-                stop - start, deadline
+            if should_stop is not None and should_stop():
+                halted = True
+                break
+            chunk_hard, chunk_losses, chunk_halted = self._learn_chunk(
+                stop - start, deadline, should_stop
             )
             hard[start:stop] = chunk_hard
             completed = stop
             if not loss_history:
                 loss_history = chunk_losses
-            if chunk_timed_out:
-                timed_out = True
+            if chunk_halted:
+                halted = True
                 break
-        return hard[:completed], loss_history, timed_out
+        return hard[:completed], loss_history, halted
 
     def _assemble(self, constrained_bits) -> Tuple[object, object]:
         """Build full CNF assignments from constrained-input bits and validate them.
@@ -386,18 +438,23 @@ class GradientSATSampler:
         return assignments, valid_mask
 
     def _run_round(
-        self, batch_size: int, deadline: Optional[float] = None
+        self,
+        batch_size: int,
+        deadline: Optional[float] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> Tuple[np.ndarray, np.ndarray, List[float], bool]:
         """One sampling round: learn (if needed), assemble and validate a batch."""
         if self.model is None:
             assignments, valid_mask, loss_history = self._random_round(batch_size)
-            timed_out = deadline is not None and time.perf_counter() >= deadline
-            return assignments, valid_mask, loss_history, timed_out
-        constrained_bits, loss_history, timed_out = self._learn_constrained_inputs(
-            batch_size, deadline
+            halted = (
+                deadline is not None and time.perf_counter() >= deadline
+            ) or (should_stop is not None and should_stop())
+            return assignments, valid_mask, loss_history, halted
+        constrained_bits, loss_history, halted = self._learn_constrained_inputs(
+            batch_size, deadline, should_stop
         )
         assignments, valid_mask = self._assemble(constrained_bits)
-        return assignments, valid_mask, loss_history, timed_out
+        return assignments, valid_mask, loss_history, halted
 
     def _random_round(self, batch_size: int) -> Tuple[object, object, List[float]]:
         """Round for instances without constrained paths: pure random assignment."""

@@ -7,7 +7,10 @@ fixed clause pattern — its *CNF signature*.  This module provides
   instance generators and tests), and
 * :func:`match_gate_signature` — the pattern-matching fast path of the
   transformation: recognise a signature group and return the gate it encodes
-  without running the generic extraction + complement check.
+  without running the generic extraction + complement check, and
+* :func:`formula_signature` — a whole-*formula* signature: a stable content
+  hash two equal CNF objects share, used by :mod:`repro.serve` to key
+  artifact caches and coalesce requests for the same instance.
 
 The paper stresses that pattern matching alone is insufficient ("it is
 impractical to store all possible Boolean patterns"); the generic extraction
@@ -17,11 +20,15 @@ signatures first keeps the transformation fast on gate-encoded CNFs.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.cnf.clause import Clause
 from repro.circuit.gates import GateType
+
+if TYPE_CHECKING:  # avoid a runtime import cycle with repro.cnf.formula
+    from repro.cnf.formula import CNF
 
 
 @dataclass(frozen=True)
@@ -31,6 +38,28 @@ class GateMatch:
     gate_type: GateType
     output: int
     fanin_literals: Tuple[int, ...]
+
+
+def formula_signature(formula: "CNF") -> str:
+    """Stable content hash of a CNF formula (hex digest).
+
+    Two formulas compare equal under :meth:`CNF.__eq__` — same
+    ``num_variables`` and the same clause sequence, literal order included —
+    exactly when their signatures match.  Clause *order* is deliberately
+    significant: Algorithm 1 scans clauses in order, so reordered formulas
+    can recover different circuits and must not share compiled artifacts.
+
+    The digest is independent of the process, the formula's ``name`` and its
+    comments, so it is a safe cross-process cache key — the property
+    :mod:`repro.serve` relies on to coalesce requests and to route jobs to
+    workers that already hold the compiled artifact.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"p {formula.num_variables}\n".encode())
+    for clause in formula.clauses:
+        digest.update(" ".join(str(literal) for literal in clause.literals).encode())
+        digest.update(b"\n")
+    return digest.hexdigest()
 
 
 def gate_signature_clauses(

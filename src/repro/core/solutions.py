@@ -108,6 +108,21 @@ class SolutionSet:
             return np.zeros((0, self.num_variables), dtype=bool)
         return np.stack(rows, axis=0)
 
+    def matrix_since(self, start: int) -> np.ndarray:
+        """The solutions stored at positions ``start..`` as a boolean matrix.
+
+        Because insertion order is preserved, ``matrix_since(len_before)``
+        after an :meth:`add_batch` is exactly the batch's new unique rows —
+        the increment a streaming consumer (``repro.serve``'s round events)
+        wants without re-exporting the whole set.
+        """
+        if start < 0:
+            raise ValueError(f"start must be non-negative, got {start}")
+        rows = self._rows[start:]
+        if not rows:
+            return np.zeros((0, self.num_variables), dtype=bool)
+        return np.stack(rows, axis=0)
+
     def to_literal_lists(self, limit: Optional[int] = None) -> List[List[int]]:
         """Export solutions as signed DIMACS literal lists (variable order 1..n)."""
         matrix = self.to_matrix(limit)

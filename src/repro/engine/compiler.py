@@ -282,6 +282,17 @@ def compiled_program_for(
     return program
 
 
+def cached_programs(circuit: Circuit) -> List[CompiledProgram]:
+    """The programs currently memoised on ``circuit`` (no compilation).
+
+    This is the read-only cache handle services use to account for compiled
+    state they keep alive — e.g. :mod:`repro.serve.cache` sums
+    :attr:`CompiledProgram.nbytes <repro.engine.program.CompiledProgram.nbytes>`
+    over it for the byte-bounded artifact cache.
+    """
+    return list(circuit.engine_cache().values())
+
+
 #: Circuits holding at least one memoised program.
 _CACHE_OWNERS = OwnerRegistry()
 

@@ -174,6 +174,34 @@ class CompiledProgram:
         """Total primitive ops (fused NumPy statements touch many at once)."""
         return sum(block.size for block in self.blocks)
 
+    @property
+    def nbytes(self) -> int:
+        """Approximate resident size of the compiled representation.
+
+        Sums the index arrays of every block (operand slots plus scatter-plan
+        permutations) and the program-level arrays; the slot dictionary is
+        estimated per entry.  Used by byte-bounded artifact caches
+        (:mod:`repro.serve.cache`) to account for compiled state.
+        """
+
+        def plan_bytes(plan: Optional[ScatterPlan]) -> int:
+            if plan is None:
+                return 0
+            total = plan.slots.nbytes
+            for extra in (plan.perm, plan.starts, plan.unique_slots):
+                if extra is not None:
+                    total += extra.nbytes
+            return total
+
+        total = self.input_columns.nbytes + self.output_slots.nbytes
+        total += plan_bytes(self.output_plan)
+        for block in self.blocks:
+            total += block.a_slots.nbytes + block.b_slots.nbytes
+            total += plan_bytes(block.a_plan) + plan_bytes(block.b_plan)
+        # Rough per-entry footprint of the net -> slot mapping (pointer-heavy).
+        total += 64 * len(self.net_slot)
+        return total
+
     def describe(self) -> Dict[str, int]:
         """Compact size summary (used by reports and tests)."""
         return {

@@ -54,6 +54,7 @@ def learn_chunk(
     targets,
     config: "SamplerConfig",
     deadline: Optional[float] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> Tuple[object, List[float], bool]:
     """Run the configured GD iterations on one chunk of soft inputs.
 
@@ -61,18 +62,26 @@ def learn_chunk(
     mid-chunk the remaining iterations are skipped (the overshoot is bounded
     by one iteration instead of a whole round) and the partially-trained bits
     are still returned — downstream validation decides whether they satisfy
-    the formula.  Returns the thresholded hard bits (``V > 0``), the loss
-    history, and whether the deadline cut the chunk short.
+    the formula.  ``should_stop`` is the cooperative-cancellation hook
+    (polled at exactly the deadline check points): a truthy return abandons
+    the remaining iterations the same way an expired deadline does, so an
+    external scheduler — the portfolio scheduler of :mod:`repro.serve` in
+    particular — can retire a chunk mid-flight.  Returns the thresholded
+    hard bits (``V > 0``), the loss history, and whether the deadline or the
+    stop hook cut the chunk short.
     """
     xpb = active_backend()
     parameter = Tensor(initial_soft_inputs, requires_grad=True)
     targets = xpb.asarray(targets, dtype=xpb.float_dtype)
     optimizer = make_optimizer([parameter], config.optimizer, config.learning_rate)
     loss_history: List[float] = []
-    timed_out = False
+    halted = False
     for _ in range(config.iterations):
         if deadline is not None and time.perf_counter() >= deadline:
-            timed_out = True
+            halted = True
+            break
+        if should_stop is not None and should_stop():
+            halted = True
             break
         probabilities = sigmoid_embedding(parameter.data, xpb)
         outputs, cache = forward(program, probabilities, xpb)
@@ -83,7 +92,7 @@ def learn_chunk(
         parameter.grad = input_grads * probabilities * (1.0 - probabilities)
         optimizer.step()
         loss_history.append(loss)
-    return parameter.data > 0.0, loss_history, timed_out
+    return parameter.data > 0.0, loss_history, halted
 
 
 def learn_batch(
@@ -93,35 +102,45 @@ def learn_batch(
     config: "SamplerConfig",
     draw_initial: Callable[[int], object],
     deadline: Optional[float] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> Tuple[object, List[float], bool]:
     """Learn a full batch of soft assignments with program-level chunking.
 
     ``draw_initial`` draws the ``(chunk, n)`` Gaussian initialisation for each
     device chunk in order, which keeps RNG consumption identical to the legacy
     interpreter's chunk loop.  When ``deadline`` (absolute
-    ``time.perf_counter`` instant) expires, untrained chunks are dropped and
-    the returned matrix is truncated to the rows actually learned.  Returns
-    the hard bit matrix (on the configured array backend), the first chunk's
-    loss history (the round-level convergence signal), and whether the
-    deadline expired.
+    ``time.perf_counter`` instant) expires or ``should_stop`` returns true —
+    both are polled between chunks and, inside :func:`learn_chunk`, between
+    iterations — untrained chunks are dropped and the returned matrix is
+    truncated to the rows actually learned.  Returns the hard bit matrix (on
+    the configured array backend), the first chunk's loss history (the
+    round-level convergence signal), and whether the run was halted early.
     """
     with use_backend(config.resolve_array_backend()) as xpb:
         hard = xpb.zeros((batch_size, program.input_width), dtype=xpb.bool_dtype)
         loss_history: List[float] = []
         completed = 0
-        timed_out = False
+        halted = False
         for start, stop in config.device.chunks(batch_size):
             if deadline is not None and time.perf_counter() >= deadline:
-                timed_out = True
+                halted = True
                 break
-            chunk_hard, chunk_losses, chunk_timed_out = learn_chunk(
-                program, draw_initial(stop - start), targets[start:stop], config, deadline
+            if should_stop is not None and should_stop():
+                halted = True
+                break
+            chunk_hard, chunk_losses, chunk_halted = learn_chunk(
+                program,
+                draw_initial(stop - start),
+                targets[start:stop],
+                config,
+                deadline,
+                should_stop,
             )
             hard[start:stop] = chunk_hard
             completed = stop
             if not loss_history:
                 loss_history = chunk_losses
-            if chunk_timed_out:
-                timed_out = True
+            if chunk_halted:
+                halted = True
                 break
-        return hard[:completed], loss_history, timed_out
+        return hard[:completed], loss_history, halted

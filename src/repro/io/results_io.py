@@ -1,8 +1,10 @@
-"""Exporting evaluation results (RunRecords) to JSON and CSV.
+"""Exporting evaluation results (RunRecords) and service job results.
 
 The benchmark harness prints text tables; these helpers let scripts persist
 the same measurements for later analysis or plotting without re-running the
-experiments.
+experiments.  The sampling service's batch front end (``repro-sat serve``)
+uses the job-result exporters to write one machine-readable record per
+manifest job.
 """
 
 from __future__ import annotations
@@ -10,9 +12,13 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Iterable, List
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, List, Union
 
 from repro.eval.runner import RunRecord
+
+if TYPE_CHECKING:  # avoid importing the serving layer for plain run records
+    from repro.serve.service import JobResult
 
 _FIELDS = [
     "sampler_name",
@@ -59,4 +65,50 @@ def load_run_records_json(text: str) -> List[dict]:
     data = json.loads(text)
     if not isinstance(data, list):
         raise ValueError("expected a JSON array of run records")
+    return data
+
+
+# -- service job results ------------------------------------------------------------------
+
+def job_result_row(result: "JobResult") -> dict:
+    """Flatten one :class:`~repro.serve.service.JobResult` for export.
+
+    The row carries the aggregate summary plus the per-member records (the
+    solutions themselves go to separate files via
+    :func:`repro.io.solutions_io.write_solutions_file`).
+    """
+    row = {
+        "job_id": result.job_id,
+        "status": result.status,
+        "num_unique": result.num_unique,
+        "num_requested": result.num_requested,
+        "elapsed_seconds": result.elapsed_seconds,
+        "throughput": result.throughput,
+        "coalesced_with": result.coalesced_with,
+        "error": result.error,
+        "summary": dict(result.summary),
+        "members": [dict(member) for member in result.members],
+    }
+    return row
+
+
+def job_results_to_json(results: Iterable["JobResult"], indent: int = 2) -> str:
+    """Serialise service job results to a JSON array (submission order)."""
+    return json.dumps([job_result_row(result) for result in results], indent=indent)
+
+
+def write_job_results_json(
+    results: Iterable["JobResult"], path: Union[str, Path]
+) -> Path:
+    """Write :func:`job_results_to_json` output to ``path`` (returned)."""
+    path = Path(path)
+    path.write_text(job_results_to_json(results) + "\n")
+    return path
+
+
+def load_job_results_json(text: str) -> List[dict]:
+    """Load previously exported job results back into plain dictionaries."""
+    data = json.loads(text)
+    if not isinstance(data, list):
+        raise ValueError("expected a JSON array of job results")
     return data

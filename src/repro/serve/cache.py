@@ -1,0 +1,166 @@
+"""Formula-keyed artifact cache: a hot formula never recompiles.
+
+One sampling request needs three expensive compiled artifacts, all derived
+purely from the formula:
+
+* the **transformation** (Algorithm 1: CNF -> recovered circuit), by far the
+  dominant cost — roughly 10x the sampling time itself on the ISCAS-family
+  instances;
+* the **compiled engine program** of the constrained cone
+  (:func:`repro.engine.compiler.compiled_program_for`, memoised on the
+  recovered circuit);
+* the **CNF evaluation plan** used for candidate validation
+  (:meth:`CNF.evaluation_plan`, memoised on the formula object).
+
+:class:`ArtifactCache` bundles the three into a :class:`SamplingArtifact`
+keyed by the formula's content signature
+(:func:`repro.core.signatures.formula_signature`) and keeps them in a
+:class:`~repro.utils.weakcache.BoundedLRUCache` — bounded both by entry
+count and by total bytes, with the byte cost read straight off the compiled
+objects' ``nbytes`` handles (:attr:`CompiledProgram.nbytes`,
+:attr:`CNFEvalPlan.nbytes`).  Every service worker owns one instance, so a
+formula that stays hot on a worker is transformed and compiled exactly once
+for the worker's lifetime, however many jobs reference it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.cnf.formula import CNF
+from repro.cnf.kernel import CNFEvalPlan
+from repro.core.signatures import formula_signature
+from repro.core.transform import TransformResult, transform_cnf
+from repro.engine.compiler import cached_programs
+from repro.utils.weakcache import BoundedLRUCache
+
+#: Default bounds: a handful of hot formulas, capped at a quarter gigabyte.
+DEFAULT_MAX_ENTRIES = 8
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+@dataclass
+class SamplingArtifact:
+    """Everything compiled from one formula, ready for repeated sampling."""
+
+    #: Content signature the artifact is keyed by.
+    signature: str
+    #: The formula object solutions are validated against.  Samplers must be
+    #: built on *this* object (not the caller's equal copy) so the memoised
+    #: evaluation plan is shared.
+    formula: CNF
+    #: The recovered multi-level function (Algorithm 1 output).
+    transform: TransformResult
+    #: The memoised CNF evaluation plan (also reachable via the formula).
+    plan: CNFEvalPlan
+    #: Wall-clock seconds the build took (transform + compiles).
+    build_seconds: float
+
+    @property
+    def nbytes(self) -> int:
+        """Byte cost charged to the cache: plan + every memoised program."""
+        total = self.plan.nbytes
+        for program in cached_programs(self.transform.circuit):
+            total += program.nbytes
+        return total
+
+
+def build_artifact(formula: CNF, signature: Optional[str] = None) -> SamplingArtifact:
+    """Compile every artifact for ``formula`` (the cache-miss path).
+
+    The engine program of the constrained cone is compiled eagerly — through
+    the same :class:`~repro.core.model.ProbabilisticCircuitModel` route the
+    sampler takes, so the memo key matches and the sampler's own model
+    construction later becomes a pure cache hit.
+    """
+    from repro.core.model import ProbabilisticCircuitModel
+
+    start = time.perf_counter()
+    signature = signature or formula_signature(formula)
+    transform = transform_cnf(formula)
+    plan = formula.evaluation_plan()
+    if transform.constraints:
+        model = ProbabilisticCircuitModel.from_transform(transform, backend="engine")
+        model.program  # force compilation into the circuit's memo
+    return SamplingArtifact(
+        signature=signature,
+        formula=formula,
+        transform=transform,
+        plan=plan,
+        build_seconds=time.perf_counter() - start,
+    )
+
+
+class ArtifactCache:
+    """LRU + byte-bounded cache of :class:`SamplingArtifact` by signature."""
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        max_bytes: Optional[int] = DEFAULT_MAX_BYTES,
+    ) -> None:
+        self._cache = BoundedLRUCache(
+            max_entries=max_entries,
+            max_bytes=max_bytes,
+            on_evict=self._release,
+        )
+
+    @staticmethod
+    def _release(_key, artifact) -> None:
+        # Drop the memoised state so an evicted artifact frees its compiled
+        # bytes even if a caller still holds the bare formula/circuit.
+        artifact.formula.clear_evaluation_plan()
+        artifact.transform.circuit.engine_cache().clear()
+
+    def get(self, signature: str) -> Optional[SamplingArtifact]:
+        """The cached artifact for a signature, refreshing recency."""
+        return self._cache.get(signature)
+
+    def get_or_build(
+        self,
+        formula: Optional[CNF] = None,
+        signature: Optional[str] = None,
+        loader: Optional[Callable[[], CNF]] = None,
+    ) -> Tuple[SamplingArtifact, bool]:
+        """Return ``(artifact, was_built)``, building and admitting on miss.
+
+        The formula may be given directly, or — when the signature is known
+        up front, as it is for service tasks — as a ``loader`` callable that
+        is invoked *only on a miss*: a cache hit then costs no DIMACS
+        parse/materialisation at all, which matters on exactly the warm
+        path the cache exists for.
+        """
+        if formula is None and loader is None:
+            raise ValueError("either a formula or a loader is required")
+        if signature is None:
+            if formula is None:
+                formula = loader()
+            signature = formula_signature(formula)
+        artifact = self._cache.get(signature)
+        if artifact is not None:
+            return artifact, False
+        if formula is None:
+            formula = loader()
+        artifact = build_artifact(formula, signature)
+        self._cache.put(signature, artifact, artifact.nbytes)
+        return artifact, True
+
+    def signatures(self) -> Tuple[str, ...]:
+        """Cached signatures, least- to most-recently used."""
+        return tuple(self._cache.keys())
+
+    def clear(self) -> None:
+        """Evict everything (releasing the artifacts' memoised state)."""
+        self._cache.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Entry/byte/hit/miss/eviction counters of the underlying LRU."""
+        return self._cache.stats()
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __contains__(self, signature: str) -> bool:
+        return signature in self._cache

@@ -1,0 +1,296 @@
+"""Job descriptions for the sampling service, and the manifest format.
+
+A :class:`SamplingJob` is everything the service needs to run one request:
+the formula (inline DIMACS text, a file path, or a registry instance name),
+the unique-solution target, the :class:`~repro.core.config.SamplerConfig`
+hyper-parameters, and optionally a *portfolio* — a fan-out of config
+variants raced against each other (see :mod:`repro.serve.portfolio`).
+
+Jobs deliberately reference formulas by *value or by name*, never by live
+object: a job must survive pickling into a ``spawn``-started worker process,
+so :func:`normalize_source` converts any accepted formula source (including
+a live :class:`~repro.cnf.formula.CNF`) into a small, self-contained,
+picklable source spec, and :func:`load_source` re-materialises the formula
+on the other side.
+
+The batch front-end (``repro-sat serve``) reads jobs from a **manifest**:
+either a JSON document (an array of job objects, or ``{"jobs": [...]}``)
+or JSON Lines (one job object per line).  Job object keys:
+
+``path`` / ``instance`` / ``dimacs``
+    Exactly one formula source: a DIMACS file path, a benchmark-registry
+    instance name, or inline DIMACS text.
+``id``
+    Optional job identifier (defaults to ``job-<index>``).
+``num_solutions``
+    Unique-solution target (default 1000).
+``config``
+    :class:`SamplerConfig` field overrides — ``batch_size``, ``iterations``,
+    ``learning_rate``, ``optimizer``, ``init_scale``, ``seed``, ``backend``,
+    ``max_rounds``, ``stall_rounds``, ``timeout_seconds``,
+    ``array_backend``, and ``device`` (either a device-kind string or
+    ``{"kind", "chunk_size", "array_backend"}``).
+``portfolio``
+    Either an integer N (N members with seeds ``seed .. seed+N-1``) or a
+    list of config-override objects, one per member.
+``coalesce``
+    Whether the job may share work with an identical in-flight job
+    (default true).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.cnf.dimacs import parse_dimacs, parse_dimacs_file, write_dimacs
+from repro.cnf.formula import CNF
+from repro.core.config import SamplerConfig
+from repro.gpu.device import Device, DeviceKind
+
+#: SamplerConfig fields a manifest (or portfolio member) may override.
+CONFIG_FIELDS = (
+    "batch_size",
+    "iterations",
+    "learning_rate",
+    "optimizer",
+    "init_scale",
+    "seed",
+    "backend",
+    "max_rounds",
+    "stall_rounds",
+    "timeout_seconds",
+    "array_backend",
+)
+
+
+class ManifestError(ValueError):
+    """A jobs manifest (or one of its job objects) is malformed."""
+
+
+# -- formula sources --------------------------------------------------------------------
+
+def normalize_source(source: Union[CNF, str, Path, Dict[str, str]]) -> Dict[str, str]:
+    """Convert any accepted formula source into a picklable source spec.
+
+    The spec is a one-key dictionary — ``{"dimacs": text}``, ``{"path": p}``
+    or ``{"instance": name}`` — small enough to ship to a worker process and
+    stable enough to re-materialise the identical formula there.  A live
+    :class:`CNF` is serialised to DIMACS text (lossless for clauses and
+    variable count, which is all the signature covers).
+    """
+    if isinstance(source, dict):
+        keys = set(source) & {"dimacs", "path", "instance"}
+        if len(keys) != 1:
+            raise ManifestError(
+                f"a source spec needs exactly one of 'dimacs'/'path'/'instance', got {sorted(source)}"
+            )
+        key = keys.pop()
+        return {key: str(source[key])}
+    if isinstance(source, CNF):
+        return {"dimacs": write_dimacs(source, include_comments=False)}
+    if isinstance(source, Path):
+        return {"path": str(source)}
+    if isinstance(source, str):
+        if "\n" in source or source.lstrip().startswith(("p ", "c ", "p\t")):
+            return {"dimacs": source}
+        return {"path": source}
+    raise TypeError(f"cannot interpret {type(source).__name__} as a formula source")
+
+
+def load_source(spec: Dict[str, str]) -> CNF:
+    """Re-materialise the formula a :func:`normalize_source` spec names."""
+    if "dimacs" in spec:
+        return parse_dimacs(spec["dimacs"])
+    if "path" in spec:
+        return parse_dimacs_file(Path(spec["path"]))
+    if "instance" in spec:
+        from repro.instances.registry import get_instance
+
+        return get_instance(spec["instance"]).build_cnf()
+    raise ManifestError(f"unrecognised source spec {sorted(spec)}")
+
+
+# -- config (de)serialisation ------------------------------------------------------------
+
+def config_to_dict(config: SamplerConfig) -> Dict[str, object]:
+    """Flatten a :class:`SamplerConfig` into a JSON/pickle-safe dictionary."""
+    return {
+        "batch_size": config.batch_size,
+        "iterations": config.iterations,
+        "learning_rate": config.learning_rate,
+        "optimizer": config.optimizer,
+        "init_scale": config.init_scale,
+        "seed": config.seed,
+        "backend": config.backend,
+        "max_rounds": config.max_rounds,
+        "stall_rounds": config.stall_rounds,
+        "timeout_seconds": config.timeout_seconds,
+        "array_backend": config.array_backend,
+        "device": {
+            "kind": config.device.kind.value,
+            "chunk_size": config.device.chunk_size,
+            "array_backend": config.device.array_backend,
+        },
+    }
+
+
+def config_from_dict(data: Dict[str, object]) -> SamplerConfig:
+    """Rebuild a :class:`SamplerConfig` from :func:`config_to_dict` output.
+
+    Also accepts the manifest's looser override form: unknown keys are
+    rejected with a precise error, and ``device`` may be just a kind string.
+    """
+    fields: Dict[str, object] = {}
+    for key, value in data.items():
+        if key == "device":
+            fields["device"] = _device_from(value)
+        elif key in CONFIG_FIELDS:
+            fields[key] = value
+        else:
+            raise ManifestError(
+                f"unknown config field {key!r} (accepted: {', '.join(CONFIG_FIELDS + ('device',))})"
+            )
+    return SamplerConfig(**fields)
+
+
+def _device_from(value: object) -> Device:
+    if isinstance(value, Device):
+        return value
+    if isinstance(value, str):
+        return Device(DeviceKind(value))
+    if isinstance(value, dict):
+        unknown = set(value) - {"kind", "chunk_size", "array_backend"}
+        if unknown:
+            raise ManifestError(f"unknown device fields {sorted(unknown)}")
+        return Device(
+            DeviceKind(value.get("kind", DeviceKind.GPU_SIM.value)),
+            int(value.get("chunk_size", 0)),
+            value.get("array_backend"),
+        )
+    raise ManifestError(f"cannot interpret {type(value).__name__} as a device")
+
+
+# -- jobs --------------------------------------------------------------------------------
+
+@dataclass
+class SamplingJob:
+    """One sampling request, fully self-contained and picklable."""
+
+    #: Picklable formula source spec (see :func:`normalize_source`).
+    source: Dict[str, str]
+    #: Unique-solution target.
+    num_solutions: int = 1000
+    #: Sampler hyper-parameters of the job (portfolio members derive from it).
+    config: SamplerConfig = field(default_factory=SamplerConfig)
+    #: Portfolio fan-out: per-member config overrides (empty = no portfolio).
+    portfolio: Tuple[Dict[str, object], ...] = ()
+    #: Whether the job may coalesce with an identical in-flight job.
+    coalesce: bool = True
+    #: Caller-chosen identifier (the service assigns one when empty).
+    job_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.num_solutions <= 0:
+            raise ManifestError(
+                f"num_solutions must be positive, got {self.num_solutions}"
+            )
+
+    def load_formula(self) -> CNF:
+        """Materialise the job's formula."""
+        return load_source(self.source)
+
+    @classmethod
+    def build(
+        cls,
+        source: Union[CNF, str, Path, Dict[str, str]],
+        num_solutions: int = 1000,
+        config: Optional[SamplerConfig] = None,
+        portfolio: Union[int, Sequence[Dict[str, object]], None] = None,
+        coalesce: bool = True,
+        job_id: Optional[str] = None,
+    ) -> "SamplingJob":
+        """The permissive constructor ``SamplingService.submit`` uses."""
+        from repro.serve.portfolio import normalize_portfolio
+
+        return cls(
+            source=normalize_source(source),
+            num_solutions=num_solutions,
+            config=config or SamplerConfig(),
+            portfolio=normalize_portfolio(portfolio),
+            coalesce=coalesce,
+            job_id=job_id,
+        )
+
+
+# -- manifests ---------------------------------------------------------------------------
+
+def job_from_manifest_entry(entry: Dict[str, object], index: int = 0) -> SamplingJob:
+    """Build one :class:`SamplingJob` from a manifest job object."""
+    if not isinstance(entry, dict):
+        raise ManifestError(f"job #{index}: expected an object, got {type(entry).__name__}")
+    known = {"id", "path", "instance", "dimacs", "num_solutions", "config", "portfolio", "coalesce"}
+    unknown = set(entry) - known
+    if unknown:
+        raise ManifestError(f"job #{index}: unknown keys {sorted(unknown)}")
+    sources = [key for key in ("path", "instance", "dimacs") if key in entry]
+    if len(sources) != 1:
+        raise ManifestError(
+            f"job #{index}: exactly one of 'path'/'instance'/'dimacs' is required"
+        )
+    config_data = entry.get("config", {})
+    if not isinstance(config_data, dict):
+        raise ManifestError(f"job #{index}: 'config' must be an object")
+    try:
+        return SamplingJob.build(
+            source={sources[0]: entry[sources[0]]},
+            num_solutions=int(entry.get("num_solutions", 1000)),
+            config=config_from_dict(config_data),
+            portfolio=entry.get("portfolio"),
+            coalesce=bool(entry.get("coalesce", True)),
+            # No default id here: the service assigns a process-unique one,
+            # so the same manifest (or two manifests with defaulted ids) can
+            # be replayed on one long-lived service without collisions.
+            job_id=str(entry["id"]) if "id" in entry else None,
+        )
+    except (ValueError, TypeError) as error:
+        raise ManifestError(f"job #{index}: {error}") from error
+
+
+def parse_manifest(text: str) -> List[SamplingJob]:
+    """Parse a jobs manifest: a JSON array, ``{"jobs": [...]}`` or JSON Lines."""
+    stripped = text.strip()
+    if not stripped:
+        raise ManifestError("empty manifest")
+    if stripped.startswith(("[", "{")):
+        try:
+            document = json.loads(stripped)
+        except json.JSONDecodeError:
+            document = None
+        if isinstance(document, list):
+            return [job_from_manifest_entry(e, i) for i, e in enumerate(document)]
+        if isinstance(document, dict):
+            if isinstance(document.get("jobs"), list):
+                return [
+                    job_from_manifest_entry(e, i) for i, e in enumerate(document["jobs"])
+                ]
+            if any(key in document for key in ("path", "instance", "dimacs")):
+                # A single job object (also what a one-line JSONL file parses as).
+                return [job_from_manifest_entry(document, 0)]
+            raise ManifestError('a manifest object must hold a "jobs" array')
+    # JSON Lines: one job object per non-empty line.
+    jobs = []
+    for index, line in enumerate(line for line in stripped.splitlines() if line.strip()):
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ManifestError(f"job #{index}: invalid JSON line: {error}") from error
+        jobs.append(job_from_manifest_entry(entry, index))
+    return jobs
+
+
+def load_manifest(path: Union[str, Path]) -> List[SamplingJob]:
+    """Read and parse a manifest file (``.json`` or ``.jsonl``)."""
+    return parse_manifest(Path(path).read_text())

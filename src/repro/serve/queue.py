@@ -1,0 +1,135 @@
+"""Request coalescing and signature-affinity dispatch.
+
+Two scheduling decisions happen *above* the workers, and this module owns
+both as plain, synchronously-tested data structures:
+
+* :class:`CoalesceTable` — jobs that are literally the same request (same
+  formula signature, same hyper-parameters, same target, same portfolio)
+  should not be sampled twice.  The first such job becomes the *primary*;
+  equivalent jobs submitted while it is in flight attach as *followers* and
+  share its solution pool.  Under a fixed seed the sampler is deterministic,
+  so a follower receives bit-for-bit the result it would have computed
+  itself — coalescing is purely a throughput win.
+
+* :class:`Dispatcher` — jobs for the same formula should land on a worker
+  that already holds the compiled artifact.  The dispatcher remembers which
+  workers have seen which formula signatures and routes by warm-affinity
+  first, load second (a cold worker is preferred over queueing behind a
+  long backlog: ``spill_threshold`` bounds how much longer the warm worker's
+  queue may be before the job spills to the least-loaded cold one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.serve.jobs import SamplingJob, config_to_dict
+
+
+def coalesce_key(job: SamplingJob, signature: str) -> Tuple:
+    """The identity under which two jobs are the same request.
+
+    Formula content signature + full config + target + portfolio shape.
+    Jobs with ``coalesce=False`` never call this.
+    """
+
+    def freeze(data: Dict[str, object]) -> Tuple:
+        return tuple(
+            (key, freeze(value) if isinstance(value, dict) else value)
+            for key, value in sorted(data.items())
+        )
+
+    return (
+        signature,
+        job.num_solutions,
+        freeze(config_to_dict(job.config)),
+        tuple(freeze(member) for member in job.portfolio),
+    )
+
+
+class CoalesceTable:
+    """In-flight request identities and their follower lists."""
+
+    def __init__(self) -> None:
+        self._primaries: Dict[Tuple, str] = {}
+        self._followers: Dict[str, List[str]] = {}
+
+    def attach(self, key: Tuple, job_id: str) -> Optional[str]:
+        """Register a job under ``key``.
+
+        Returns ``None`` when the job becomes the primary (it must actually
+        run), or the primary's job id when it attached as a follower.
+        """
+        primary = self._primaries.get(key)
+        if primary is None:
+            self._primaries[key] = job_id
+            self._followers[job_id] = []
+            return None
+        self._followers[primary].append(job_id)
+        return primary
+
+    def release(self, key: Tuple, primary_id: str) -> List[str]:
+        """Finish a primary: forget the identity, return its followers."""
+        if self._primaries.get(key) == primary_id:
+            del self._primaries[key]
+        return self._followers.pop(primary_id, [])
+
+    def __len__(self) -> int:
+        return len(self._primaries)
+
+
+@dataclass
+class _WorkerState:
+    outstanding: int = 0
+    signatures: Set[str] = field(default_factory=set)
+
+
+class Dispatcher:
+    """Pick a worker for each task: warm artifact first, load second."""
+
+    def __init__(self, num_workers: int, spill_threshold: int = 2) -> None:
+        if num_workers <= 0:
+            raise ValueError(f"num_workers must be positive, got {num_workers}")
+        self._workers = [_WorkerState() for _ in range(num_workers)]
+        self.spill_threshold = spill_threshold
+
+    def choose(self, signature: str) -> int:
+        """The worker the next task for ``signature`` should go to.
+
+        A worker that already compiled this formula wins unless its backlog
+        exceeds the globally least-loaded worker's by more than
+        ``spill_threshold`` tasks — then the work spills (the cold worker
+        will recompile once, after which both are warm and the formula's
+        traffic parallelises).
+        """
+        least_loaded = min(
+            range(len(self._workers)), key=lambda i: (self._workers[i].outstanding, i)
+        )
+        warm = [
+            index
+            for index, state in enumerate(self._workers)
+            if signature in state.signatures
+        ]
+        if warm:
+            best_warm = min(warm, key=lambda i: (self._workers[i].outstanding, i))
+            floor = self._workers[least_loaded].outstanding
+            if self._workers[best_warm].outstanding - floor <= self.spill_threshold:
+                return best_warm
+        return least_loaded
+
+    def record_dispatch(self, worker: int, signature: str) -> None:
+        """Account a task sent to ``worker`` (it will hold the artifact)."""
+        state = self._workers[worker]
+        state.outstanding += 1
+        state.signatures.add(signature)
+
+    def record_done(self, worker: int) -> None:
+        """Account a finished task."""
+        state = self._workers[worker]
+        if state.outstanding > 0:
+            state.outstanding -= 1
+
+    def outstanding(self, worker: int) -> int:
+        """Tasks currently queued or running on ``worker``."""
+        return self._workers[worker].outstanding

@@ -1,0 +1,690 @@
+"""The sampling service: submit jobs, collect streamed deduplicated results.
+
+:class:`SamplingService` is the synchronous front door of :mod:`repro.serve`.
+It accepts :class:`~repro.serve.jobs.SamplingJob` descriptions (or anything
+:meth:`submit` can turn into one), schedules them over a pool of
+``spawn``-started worker processes — or runs them inline in this process
+when ``num_workers=0`` — and hands back per-job
+:class:`~repro.core.solutions.SolutionSet` results with aggregate
+statistics.
+
+What the service layer adds over calling the sampler directly:
+
+* **request coalescing** — identical in-flight requests (same formula
+  signature, config, target and portfolio) run once; followers share the
+  primary's solution pool (:mod:`repro.serve.queue`);
+* **artifact affinity** — jobs are routed to a worker that already compiled
+  the formula, so a hot formula never recompiles
+  (:class:`~repro.serve.cache.ArtifactCache` per worker, signature-affinity
+  dispatch);
+* **portfolio scheduling** — a job may fan out config variants; the first
+  time the job's merged unique pool reaches the target, the remaining
+  members are cancelled cooperatively and the members' sets are merged with
+  exact dedup in member-index order (:mod:`repro.serve.portfolio`);
+* **streaming** — :meth:`stream` yields each round's new unique solutions
+  as they arrive, long before the job finishes.
+
+Determinism: with ``num_workers`` of 0 or 1, tasks execute sequentially in
+a fixed order, so job results — portfolio merges included — are
+bitwise-reproducible for a fixed (seed, backend, worker-count) tuple.  With
+more workers, per-member sampling is still seed-deterministic; only
+cancellation timing (how much a losing member contributes before it stops)
+varies with scheduling.
+
+The service is deliberately synchronous and single-threaded: messages from
+workers are pumped while a caller waits inside :meth:`result`,
+:meth:`stream` or :meth:`drain`.  It is not itself thread-safe; wrap calls
+in a lock to share one service across threads.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from queue import Empty
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cnf.formula import CNF
+from repro.core.config import SamplerConfig
+from repro.core.signatures import formula_signature
+from repro.core.solutions import SolutionSet
+from repro.serve.cache import ArtifactCache, DEFAULT_MAX_BYTES, DEFAULT_MAX_ENTRIES
+from repro.serve.jobs import SamplingJob, config_to_dict
+from repro.serve.portfolio import member_configs, merge_member_solutions
+from repro.serve.queue import CoalesceTable, Dispatcher, coalesce_key
+from repro.serve.workers import (
+    MSG_DONE,
+    MSG_ERROR,
+    MSG_ROUND,
+    execute_task,
+    unpack_rows,
+    worker_main,
+)
+
+#: How long one blocking poll of the result queue lasts (seconds); liveness
+#: of the worker processes is re-checked between polls.
+_POLL_SECONDS = 0.1
+
+
+@dataclass
+class JobResult:
+    """Everything the service reports for one finished job."""
+
+    job_id: str
+    #: ``"done"`` or ``"error"`` (a job errors only when *every* member did).
+    status: str
+    #: Merged, exactly-deduplicated unique solutions (member-index order).
+    solutions: SolutionSet
+    num_requested: int
+    elapsed_seconds: float
+    #: Aggregate statistics (see :meth:`SamplingService._finalize`).
+    summary: Dict[str, object]
+    #: Per-member records: config knobs, counts, status, worker, cache hit.
+    members: List[Dict[str, object]] = field(default_factory=list)
+    error: Optional[str] = None
+    #: Set on coalesced followers: the primary job that did the work.
+    coalesced_with: Optional[str] = None
+
+    @property
+    def num_unique(self) -> int:
+        """Unique solutions in the merged set."""
+        return len(self.solutions)
+
+    @property
+    def throughput(self) -> float:
+        """Unique solutions per second of service wall-clock time."""
+        if self.elapsed_seconds <= 0.0:
+            return float("inf") if self.num_unique else 0.0
+        return self.num_unique / self.elapsed_seconds
+
+
+@dataclass
+class _TaskState:
+    member_index: int
+    config: SamplerConfig
+    solutions: SolutionSet
+    worker: Optional[int] = None
+    done: bool = False
+    payload: Optional[Dict[str, object]] = None
+    error: Optional[str] = None
+    skipped: bool = False
+
+
+@dataclass
+class _JobState:
+    job: SamplingJob
+    job_id: str
+    signature: str
+    num_variables: int
+    key: Optional[Tuple]
+    start: float
+    tasks: List[_TaskState] = field(default_factory=list)
+    #: Arrival-order merged pool driving the first-to-target cancellation.
+    progress: Optional[SolutionSet] = None
+    #: Round matrices in arrival order, for :meth:`SamplingService.stream`.
+    stream_buffer: List[np.ndarray] = field(default_factory=list)
+    cancelled: bool = False
+    done: bool = False
+    result: Optional[JobResult] = None
+    #: Follower jobs resolved from this primary when it finishes.
+    primary: Optional[str] = None
+
+    @property
+    def tasks_remaining(self) -> int:
+        return sum(1 for task in self.tasks if not task.done)
+
+
+class _WorkerHandle:
+    """One spawned worker process and its task/cancel queues."""
+
+    def __init__(self, context, worker_id, result_queue, backend_spec,
+                 cache_entries, cache_bytes) -> None:
+        self.worker_id = worker_id
+        self.task_queue = context.Queue()
+        self.cancel_queue = context.Queue()
+        self.process = context.Process(
+            target=worker_main,
+            args=(
+                worker_id,
+                self.task_queue,
+                result_queue,
+                self.cancel_queue,
+                backend_spec,
+                cache_entries,
+                cache_bytes,
+            ),
+            daemon=True,
+            name=f"repro-serve-worker-{worker_id}",
+        )
+        self.process.start()
+
+
+class SamplingService:
+    """Multi-worker sampling front end (see the module docstring).
+
+    Parameters
+    ----------
+    num_workers:
+        0 runs every task inline in this process (deterministic, no
+        subprocesses); N >= 1 starts N ``spawn`` worker processes.
+    array_backend:
+        Backend spec each worker pins at startup (``"numpy"``,
+        ``"numpy:float32"``, ...).  Tasks whose config names a backend keep
+        their own choice.  ``None`` leaves the workers on the process
+        default.
+    cache_entries / cache_bytes:
+        Bounds of each worker's formula-keyed artifact cache (LRU over
+        entry count *and* total compiled bytes).
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 0,
+        *,
+        array_backend: Optional[str] = None,
+        cache_entries: int = DEFAULT_MAX_ENTRIES,
+        cache_bytes: Optional[int] = DEFAULT_MAX_BYTES,
+    ) -> None:
+        if num_workers < 0:
+            raise ValueError(f"num_workers must be non-negative, got {num_workers}")
+        self.num_workers = num_workers
+        self.array_backend = array_backend
+        self._jobs: Dict[str, _JobState] = {}
+        self._pending_inline: List[str] = []
+        self._coalesce = CoalesceTable()
+        self._counter = 0
+        self._closed = False
+        if num_workers == 0:
+            self._inline_cache = ArtifactCache(
+                max_entries=cache_entries, max_bytes=cache_bytes
+            )
+            self._workers: List[_WorkerHandle] = []
+            self._dispatcher: Optional[Dispatcher] = None
+            self._result_queue = None
+        else:
+            import multiprocessing
+
+            context = multiprocessing.get_context("spawn")
+            self._inline_cache = None
+            self._result_queue = context.Queue()
+            self._dispatcher = Dispatcher(num_workers)
+            self._workers = [
+                _WorkerHandle(
+                    context, worker_id, self._result_queue, array_backend,
+                    cache_entries, cache_bytes,
+                )
+                for worker_id in range(num_workers)
+            ]
+
+    # -- lifecycle ----------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker.task_queue.put(None)
+            except (OSError, ValueError):
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=10)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=5)
+        for worker in self._workers:
+            worker.task_queue.close()
+            worker.cancel_queue.close()
+        if self._result_queue is not None:
+            self._result_queue.close()
+
+    def __enter__(self) -> "SamplingService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- submission ---------------------------------------------------------------------
+    def submit(
+        self,
+        source: Union[SamplingJob, CNF, str, Path, Dict[str, str]],
+        num_solutions: int = 1000,
+        config: Optional[SamplerConfig] = None,
+        *,
+        portfolio: Union[int, Sequence[Dict[str, object]], None] = None,
+        coalesce: bool = True,
+        job_id: Optional[str] = None,
+    ) -> str:
+        """Submit one sampling job; returns its job id immediately.
+
+        ``source`` may be a ready :class:`SamplingJob` (remaining arguments
+        are then ignored) or anything
+        :func:`~repro.serve.jobs.normalize_source` accepts — a
+        :class:`CNF`, DIMACS text, a ``.cnf`` path, a registry-instance
+        spec.
+        """
+        if self._closed:
+            raise RuntimeError("the service is closed")
+        if isinstance(source, SamplingJob):
+            job = source
+        else:
+            job = SamplingJob.build(
+                source,
+                num_solutions=num_solutions,
+                config=config,
+                portfolio=portfolio,
+                coalesce=coalesce,
+                job_id=job_id,
+            )
+        if job.job_id:
+            job_id = job.job_id
+            if job_id in self._jobs:
+                raise ValueError(f"duplicate job id {job_id!r}")
+        else:
+            # Auto ids skip names explicit submissions already took.
+            while f"job-{self._counter}" in self._jobs:
+                self._counter += 1
+            job_id = f"job-{self._counter}"
+            self._counter += 1
+
+        formula = job.load_formula()
+        signature = formula_signature(formula)
+        num_variables = formula.num_variables
+        state = _JobState(
+            job=job,
+            job_id=job_id,
+            signature=signature,
+            num_variables=num_variables,
+            key=None,
+            start=time.perf_counter(),
+        )
+        self._jobs[job_id] = state
+
+        if job.coalesce:
+            key = coalesce_key(job, signature)
+            primary = self._coalesce.attach(key, job_id)
+            if primary is not None:
+                state.primary = primary
+                return job_id
+            state.key = key
+
+        configs = (
+            member_configs(job.config, job.portfolio)
+            if job.portfolio
+            else [job.config]
+        )
+        state.tasks = [
+            _TaskState(
+                member_index=index,
+                config=member_config,
+                solutions=SolutionSet(num_variables),
+            )
+            for index, member_config in enumerate(configs)
+        ]
+        state.progress = SolutionSet(num_variables)
+
+        if self.num_workers == 0:
+            self._pending_inline.append(job_id)
+        else:
+            for task_state in state.tasks:
+                worker = self._dispatcher.choose(signature)
+                task_state.worker = worker
+                self._dispatcher.record_dispatch(worker, signature)
+                self._workers[worker].task_queue.put(
+                    self._task_payload(state, task_state)
+                )
+        return job_id
+
+    def run_manifest(self, jobs: Sequence[SamplingJob]) -> List[JobResult]:
+        """Submit a whole manifest and gather results in submission order."""
+        job_ids = [self.submit(job) for job in jobs]
+        return [self.result(job_id) for job_id in job_ids]
+
+    # -- results ------------------------------------------------------------------------
+    def result(self, job_id: str, timeout: Optional[float] = None) -> JobResult:
+        """Block until ``job_id`` finishes and return its :class:`JobResult`.
+
+        Raises :class:`TimeoutError` when ``timeout`` (seconds) elapses
+        first; the job keeps running and ``result`` may be called again.
+        ``timeout`` bounds only the *wait* for the worker pool — with
+        ``num_workers=0`` the pending jobs execute synchronously inside this
+        very call, so there is nothing to wait on and the parameter is
+        ignored (bound a job's own runtime with
+        ``SamplerConfig(timeout_seconds=...)`` instead).
+        """
+        state = self._state(job_id)
+        if state.result is not None:
+            # already materialised (possibly when its primary was forgotten)
+            return state.result
+        primary = self._resolve_primary(state)
+        if not primary.done:
+            if self.num_workers == 0:
+                self._run_inline_until(primary.job_id)
+            else:
+                self._pump_until(primary.job_id, timeout)
+        return self._resolve_result(state)
+
+    def stream(self, job_id: str) -> Iterator[np.ndarray]:
+        """Yield each round's new unique solutions as boolean matrices.
+
+        Matrices arrive in completion order across the job's (or its
+        coalesce primary's) portfolio members; rows are unique within a
+        member but may repeat across members — :meth:`result` returns the
+        exactly-deduplicated merge.  With ``num_workers=0`` the job runs to
+        completion on first pull, then the buffered rounds are yielded.
+        """
+        state = self._state(job_id)
+        primary = self._resolve_primary(state)
+        cursor = 0
+        while True:
+            while cursor < len(primary.stream_buffer):
+                yield primary.stream_buffer[cursor]
+                cursor += 1
+            if primary.done:
+                return
+            if self.num_workers == 0:
+                self._run_inline_until(primary.job_id)
+            else:
+                self._pump(block=True)
+
+    def drain(self) -> None:
+        """Finish every outstanding job (useful before reading cache stats)."""
+        for job_id in list(self._jobs):
+            self.result(job_id)
+
+    def forget(self, job_id: str) -> JobResult:
+        """Release a *finished* job's retained state and return its result.
+
+        The service keeps every job's result, merged solution set and
+        streamed round buffer for the process lifetime so that ``result``/
+        ``stream`` stay repeatable; a long-lived deployment should call
+        ``forget`` once it has consumed a job, or memory grows with every
+        job served.  Raises :class:`RuntimeError` for a job that is still
+        running (cancel it by letting it finish — there is no abort API).
+        Coalesced followers of the job are materialised first, so their
+        ``result`` calls keep working after the primary is forgotten.
+        """
+        state = self._state(job_id)
+        primary = self._resolve_primary(state)
+        if not primary.done:
+            raise RuntimeError(f"job {job_id!r} has not finished; collect it first")
+        result = self._resolve_result(state)
+        for other in self._jobs.values():
+            if other.primary == job_id:
+                self._resolve_result(other)
+        del self._jobs[job_id]
+        return result
+
+    def cache_stats(self) -> Optional[Dict[str, int]]:
+        """Inline-mode artifact-cache counters (``None`` with a worker pool:
+        each worker owns its cache and reports per-task hits in the member
+        records instead)."""
+        if self._inline_cache is None:
+            return None
+        return self._inline_cache.stats()
+
+    # -- internals: common message handling ---------------------------------------------
+    def _state(self, job_id: str) -> _JobState:
+        state = self._jobs.get(job_id)
+        if state is None:
+            raise KeyError(f"unknown job id {job_id!r}")
+        return state
+
+    def _resolve_primary(self, state: _JobState) -> _JobState:
+        return self._state(state.primary) if state.primary else state
+
+    def _task_payload(self, state: _JobState, task_state: _TaskState) -> Dict[str, object]:
+        return {
+            "key": (state.job_id, task_state.member_index),
+            "group": state.job_id,
+            "source": state.job.source,
+            "signature": state.signature,
+            "config": config_to_dict(task_state.config),
+            "num_solutions": state.job.num_solutions,
+        }
+
+    def _handle_message(self, kind: str, key: Tuple, payload: Dict[str, object]) -> None:
+        job_id, member_index = key
+        state = self._jobs.get(job_id)
+        if state is None or state.done:
+            return  # late message for a finished/forgotten job
+        task_state = state.tasks[member_index]
+        if kind == MSG_ROUND:
+            rows, cols = payload["shape"]
+            matrix = unpack_rows(payload["rows"], rows, cols)
+            task_state.solutions.add_batch(matrix)
+            if matrix.shape[0]:
+                state.stream_buffer.append(matrix)
+                state.progress.add_batch(matrix)
+            self._maybe_cancel_rest(state)
+        elif kind == MSG_DONE:
+            task_state.done = True
+            task_state.payload = payload
+            if payload.get("worker") is not None:
+                task_state.worker = payload["worker"]
+            if payload.get("summary") is None and payload.get("cancelled"):
+                task_state.skipped = True
+            if self._dispatcher is not None and task_state.worker is not None:
+                self._dispatcher.record_done(task_state.worker)
+            self._maybe_cancel_rest(state)
+            if state.tasks_remaining == 0:
+                self._finalize(state)
+        elif kind == MSG_ERROR:
+            task_state.done = True
+            task_state.error = payload.get("error", "unknown worker error")
+            task_state.payload = payload
+            if self._dispatcher is not None and task_state.worker is not None:
+                self._dispatcher.record_done(task_state.worker)
+            if state.tasks_remaining == 0:
+                self._finalize(state)
+        else:  # pragma: no cover - defensive
+            raise AssertionError(f"unknown worker message kind {kind!r}")
+
+    def _maybe_cancel_rest(self, state: _JobState) -> None:
+        """First-to-target: cancel the job's remaining members once the
+        merged pool holds enough unique solutions."""
+        if state.cancelled or len(state.tasks) <= 1:
+            return
+        if state.tasks_remaining == 0:
+            return
+        if len(state.progress) >= state.job.num_solutions:
+            state.cancelled = True
+            for worker in self._workers:
+                worker.cancel_queue.put(state.job_id)
+
+    def _finalize(self, state: _JobState) -> None:
+        members = []
+        matrices = []
+        any_ok = False
+        for task_state in state.tasks:
+            config = task_state.config
+            record: Dict[str, object] = {
+                "member_index": task_state.member_index,
+                "seed": config.seed,
+                "learning_rate": config.learning_rate,
+                "batch_size": config.batch_size,
+                "backend": config.backend,
+                "array_backend": config.array_backend,
+                "unique_solutions": len(task_state.solutions),
+                "worker": task_state.worker,
+            }
+            payload = task_state.payload or {}
+            summary = payload.get("summary") or {}
+            if task_state.error is not None:
+                record["status"] = "error"
+                record["error"] = task_state.error
+                matrices.append(None)
+            else:
+                any_ok = True
+                if task_state.skipped:
+                    record["status"] = "cancelled"
+                elif summary.get("stopped_early"):
+                    record["status"] = "cancelled"
+                else:
+                    record["status"] = "done"
+                record["generated"] = summary.get("generated", 0)
+                record["valid"] = summary.get("valid", 0)
+                record["seconds"] = summary.get("seconds", 0.0)
+                record["rounds"] = summary.get("rounds", 0)
+                record["timed_out"] = summary.get("timed_out", False)
+                record["cache_hit"] = payload.get("cache_hit")
+                record["build_seconds"] = payload.get("build_seconds", 0.0)
+                matrices.append(task_state.solutions.to_matrix())
+            members.append(record)
+
+        merged = merge_member_solutions(state.num_variables, matrices)
+        elapsed = time.perf_counter() - state.start
+        status = "done" if any_ok else "error"
+        error = None
+        if status == "error":
+            error = "; ".join(
+                str(member.get("error")) for member in members if "error" in member
+            )
+        summary = {
+            "job_id": state.job_id,
+            "unique_solutions": len(merged),
+            "requested": state.job.num_solutions,
+            "generated": sum(member.get("generated", 0) for member in members),
+            "valid": sum(member.get("valid", 0) for member in members),
+            "seconds": elapsed,
+            "throughput": (len(merged) / elapsed) if elapsed > 0 else 0.0,
+            "members": len(members),
+            "cancelled_members": sum(
+                1 for member in members if member.get("status") == "cancelled"
+            ),
+            "cache_hits": sum(1 for member in members if member.get("cache_hit")),
+            "workers": sorted(
+                {member["worker"] for member in members if member["worker"] is not None}
+            ),
+            "status": status,
+        }
+        state.result = JobResult(
+            job_id=state.job_id,
+            status=status,
+            solutions=merged,
+            num_requested=state.job.num_solutions,
+            elapsed_seconds=elapsed,
+            summary=summary,
+            members=members,
+            error=error,
+        )
+        state.done = True
+        state.progress = None  # the cancellation pool is dead weight now
+        if state.key is not None:
+            self._coalesce.release(state.key, state.job_id)
+
+    def _resolve_result(self, state: _JobState) -> JobResult:
+        primary = self._resolve_primary(state)
+        assert primary.result is not None
+        if primary is state:
+            return primary.result
+        base = primary.result
+        if state.result is None:
+            state.result = JobResult(
+                job_id=state.job_id,
+                status=base.status,
+                solutions=base.solutions,
+                num_requested=base.num_requested,
+                elapsed_seconds=base.elapsed_seconds,
+                summary={**base.summary, "job_id": state.job_id, "coalesced_with": primary.job_id},
+                members=base.members,
+                error=base.error,
+                coalesced_with=primary.job_id,
+            )
+            state.done = True
+        return state.result
+
+    # -- internals: inline execution -----------------------------------------------------
+    def _run_inline_until(self, job_id: str) -> None:
+        """Run pending inline jobs in FIFO order until ``job_id`` is done."""
+        while not self._state(job_id).done:
+            if not self._pending_inline:
+                raise RuntimeError(
+                    f"job {job_id!r} cannot finish: nothing pending (already "
+                    "consumed by an error path?)"
+                )
+            next_id = self._pending_inline.pop(0)
+            self._run_inline_job(self._state(next_id))
+
+    def _run_inline_job(self, state: _JobState) -> None:
+        for task_state in state.tasks:
+            task_state.worker = 0
+            if state.cancelled:
+                # First-to-target already satisfied: skip without work, the
+                # same way a pool worker skips a task whose group flag is set.
+                self._handle_message(
+                    MSG_DONE,
+                    (state.job_id, task_state.member_index),
+                    {
+                        "summary": None,
+                        "cancelled": True,
+                        "worker": 0,
+                        "cache_hit": None,
+                        "build_seconds": 0.0,
+                        "elapsed_seconds": 0.0,
+                    },
+                )
+                continue
+            execute_task(
+                self._task_payload(state, task_state),
+                self._inline_cache,
+                should_stop=lambda: state.cancelled,
+                emit=self._handle_message,
+                worker_id=0,
+            )
+
+    # -- internals: worker-pool pumping --------------------------------------------------
+    def _pump(self, block: bool) -> bool:
+        """Process queued worker messages; returns whether any arrived.
+
+        With ``block`` the call waits at most one poll interval for the
+        first message, then drains whatever else is queued.  It always
+        returns within ~one interval so callers can re-check their own
+        conditions — job completion, their deadline, worker liveness (a
+        dead worker's tasks are finalized as errors here, which is the only
+        way such a job ever finishes).
+        """
+        received = False
+        while True:
+            try:
+                kind, key, payload = self._result_queue.get(
+                    timeout=_POLL_SECONDS if (block and not received) else 0
+                )
+            except Empty:
+                if not received:
+                    self._check_workers_alive()
+                return received
+            received = True
+            self._handle_message(kind, key, payload)
+
+    def _pump_until(self, job_id: str, timeout: Optional[float]) -> None:
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        while not self._state(job_id).done:
+            if deadline is not None and time.perf_counter() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id!r} did not finish within {timeout} seconds"
+                )
+            self._pump(block=True)
+
+    def _check_workers_alive(self) -> None:
+        dead = [w for w in self._workers if not w.process.is_alive()]
+        if not dead:
+            return
+        dead_ids = {w.worker_id for w in dead}
+        for state in self._jobs.values():
+            if state.done:
+                continue
+            for task_state in state.tasks:
+                if not task_state.done and task_state.worker in dead_ids:
+                    self._handle_message(
+                        MSG_ERROR,
+                        (state.job_id, task_state.member_index),
+                        {
+                            "error": f"worker {task_state.worker} died "
+                            f"(exit code {self._workers[task_state.worker].process.exitcode})",
+                            "worker": task_state.worker,
+                        },
+                    )

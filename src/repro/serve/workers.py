@@ -1,0 +1,190 @@
+"""Process workers: where sampling tasks actually execute.
+
+One *task* is one sampling run — a whole job, or one member of a portfolio
+job.  Tasks are plain picklable dictionaries (built by the service) and all
+execution goes through :func:`execute_task`, which both deployment modes
+share:
+
+* the **inline** mode (``num_workers=0``) calls it directly in the service
+  process — deterministic, dependency-free, what tests and small scripts
+  use;
+* the **process pool** runs :func:`worker_main` in ``spawn``-started
+  subprocesses.  ``spawn`` (never ``fork``) keeps the workers safe in the
+  presence of threaded array backends and makes the pool behave identically
+  on every platform.
+
+Each worker pins one :mod:`repro.xp` array backend at startup (tasks whose
+config names no backend inherit it) and owns one
+:class:`~repro.serve.cache.ArtifactCache`, so consecutive tasks on the same
+formula reuse the memoised transform, engine program and CNF plan across
+jobs — the warm-cache path the serving benchmark measures.
+
+Results stream back over a single shared queue as ``(kind, task_key,
+payload)`` messages: a ``"round"`` message per sampling round carrying the
+round's new unique solutions (bit-packed), then one terminal ``"done"`` or
+``"error"``.  Message order per task is the emission order (one queue, one
+producer process per task), which the service relies on when it rebuilds
+the per-task solution sets.
+
+Cancellation rides a dedicated per-worker queue rather than shared memory:
+the service broadcasts a cancelled *group id* to every worker, and the
+worker's ``should_stop`` hook — polled by the sampler at its deadline check
+points — drains the queue into a local set.  A task whose group is already
+cancelled when it reaches the front of the queue is skipped entirely and
+reports ``cancelled`` with zero work.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import time
+import traceback
+from typing import Callable, Dict, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.sampler import GradientSATSampler
+from repro.serve.cache import ArtifactCache, DEFAULT_MAX_BYTES, DEFAULT_MAX_ENTRIES
+from repro.serve.jobs import config_from_dict, load_source
+
+#: Message kinds a worker emits.
+MSG_ROUND = "round"
+MSG_DONE = "done"
+MSG_ERROR = "error"
+
+
+def pack_rows(matrix: np.ndarray) -> Tuple[bytes, int, int]:
+    """Bit-pack a boolean matrix for the result queue (8x smaller pickles)."""
+    matrix = np.asarray(matrix, dtype=bool)
+    return np.packbits(matrix, axis=1).tobytes(), matrix.shape[0], matrix.shape[1]
+
+
+def unpack_rows(blob: bytes, rows: int, cols: int) -> np.ndarray:
+    """Inverse of :func:`pack_rows`."""
+    if rows == 0:
+        return np.zeros((0, cols), dtype=bool)
+    packed = np.frombuffer(blob, dtype=np.uint8).reshape(rows, -1)
+    return np.unpackbits(packed, axis=1, count=cols).astype(bool)
+
+
+def execute_task(
+    task: Dict[str, object],
+    cache: ArtifactCache,
+    should_stop: Optional[Callable[[], bool]],
+    emit: Callable[[str, Tuple, Dict[str, object]], None],
+    worker_id: int = 0,
+) -> None:
+    """Run one sampling task and emit its round/done/error messages.
+
+    Never raises: failures are reported as an ``"error"`` message so a bad
+    job cannot take its worker down.
+    """
+    key = task["key"]
+    try:
+        if should_stop is not None and should_stop():
+            emit(
+                MSG_DONE,
+                key,
+                {
+                    "summary": None,
+                    "cancelled": True,
+                    "worker": worker_id,
+                    "cache_hit": None,
+                    "build_seconds": 0.0,
+                    "elapsed_seconds": 0.0,
+                },
+            )
+            return
+        start = time.perf_counter()
+        artifact, built = cache.get_or_build(
+            signature=task["signature"],
+            loader=lambda: load_source(task["source"]),
+        )
+        config = config_from_dict(task["config"])
+        sampler = GradientSATSampler(
+            artifact.formula, transform=artifact.transform, config=config
+        )
+
+        def on_round(record, new_rows) -> None:
+            blob, rows, cols = pack_rows(new_rows)
+            emit(
+                MSG_ROUND,
+                key,
+                {
+                    "round_index": record.round_index,
+                    "num_candidates": record.num_candidates,
+                    "num_valid": record.num_valid,
+                    "num_new_unique": record.num_new_unique,
+                    "seconds": record.seconds,
+                    "rows": blob,
+                    "shape": (rows, cols),
+                },
+            )
+
+        result = sampler.sample(
+            num_solutions=int(task["num_solutions"]),
+            should_stop=should_stop,
+            on_round=on_round,
+        )
+        emit(
+            MSG_DONE,
+            key,
+            {
+                "summary": result.summary(),
+                "cancelled": result.stopped_early,
+                "worker": worker_id,
+                "cache_hit": not built,
+                "build_seconds": artifact.build_seconds if built else 0.0,
+                "elapsed_seconds": time.perf_counter() - start,
+            },
+        )
+    except BaseException as error:  # noqa: BLE001 - the worker must survive
+        emit(
+            MSG_ERROR,
+            key,
+            {
+                "error": f"{type(error).__name__}: {error}",
+                "traceback": traceback.format_exc(),
+                "worker": worker_id,
+            },
+        )
+
+
+def worker_main(
+    worker_id: int,
+    task_queue,
+    result_queue,
+    cancel_queue,
+    backend_spec: Optional[str],
+    cache_entries: int = DEFAULT_MAX_ENTRIES,
+    cache_bytes: Optional[int] = DEFAULT_MAX_BYTES,
+) -> None:
+    """Entry point of one worker process: loop until the ``None`` sentinel."""
+    import repro.xp as xp
+
+    if backend_spec is not None:
+        xp.set_active_backend(xp.get_backend(backend_spec))
+    cache = ArtifactCache(max_entries=cache_entries, max_bytes=cache_bytes)
+    cancelled_groups: Set[object] = set()
+
+    def drain_cancellations() -> None:
+        try:
+            while True:
+                cancelled_groups.add(cancel_queue.get_nowait())
+        except queue_module.Empty:
+            pass
+
+    def emit(kind: str, key, payload: Dict[str, object]) -> None:
+        result_queue.put((kind, key, payload))
+
+    while True:
+        task = task_queue.get()
+        if task is None:
+            break
+        group = task.get("group")
+
+        def should_stop(group=group) -> bool:
+            drain_cancellations()
+            return group in cancelled_groups
+
+        execute_task(task, cache, should_stop, emit, worker_id)

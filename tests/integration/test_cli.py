@@ -1,0 +1,138 @@
+"""End-to-end CLI tests: ``python -m repro.cli`` as a real subprocess.
+
+The in-process CLI tests (tests/utils/test_cli.py) cover argument handling;
+these verify the installed entry point actually works from a shell — module
+resolution, exit codes, files on disk — for every subcommand, including the
+``serve`` batch front end with a two-job manifest.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from tests.conftest import FIG1_DIMACS
+
+#: Generous bound per CLI invocation (spawned workers import numpy etc.).
+TIMEOUT = 180
+
+
+def run_cli(*arguments, cwd=None):
+    source_root = Path(__file__).resolve().parents[2] / "src"
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = (
+        f"{source_root}{os.pathsep}{environment['PYTHONPATH']}"
+        if environment.get("PYTHONPATH")
+        else str(source_root)
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *arguments],
+        capture_output=True,
+        text=True,
+        timeout=TIMEOUT,
+        env=environment,
+        cwd=cwd,
+    )
+
+
+@pytest.fixture
+def fig1_path(tmp_path):
+    path = tmp_path / "fig1.cnf"
+    path.write_text(FIG1_DIMACS)
+    return path
+
+
+class TestSampleSubcommand:
+    def test_sample_end_to_end(self, fig1_path, tmp_path):
+        output = tmp_path / "solutions.txt"
+        completed = run_cli(
+            "sample", str(fig1_path), "-n", "8", "-b", "32", "--seed", "0",
+            "-o", str(output),
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "unique solutions" in completed.stdout
+        assert output.exists()
+        assert sum(1 for line in output.read_text().splitlines() if line.strip()) >= 1
+
+
+class TestTransformSubcommand:
+    def test_transform_reports_structure(self, fig1_path, tmp_path):
+        verilog = tmp_path / "fig1.v"
+        completed = run_cli("transform", str(fig1_path), "--verilog", str(verilog))
+        assert completed.returncode == 0, completed.stderr
+        assert "constrained inputs" in completed.stdout
+        assert verilog.exists()
+        assert "module" in verilog.read_text()
+
+
+class TestInstancesSubcommand:
+    def test_list_registry(self):
+        completed = run_cli("instances", "--family", "or")
+        assert completed.returncode == 0, completed.stderr
+        assert "or-50-10-7-UC-10" in completed.stdout
+
+    def test_write_instance(self, tmp_path):
+        completed = run_cli(
+            "instances", "--write", "or-50-10-7-UC-10", "--output-dir", str(tmp_path)
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert (tmp_path / "or-50-10-7-UC-10.cnf").exists()
+
+
+class TestServeSubcommand:
+    def write_manifest(self, tmp_path, fig1_path):
+        manifest = tmp_path / "jobs.json"
+        manifest.write_text(
+            json.dumps(
+                {
+                    "jobs": [
+                        {
+                            "id": "plain",
+                            "path": str(fig1_path),
+                            "num_solutions": 8,
+                            "config": {"batch_size": 32, "seed": 0},
+                        },
+                        {
+                            "id": "folio",
+                            "path": str(fig1_path),
+                            "num_solutions": 8,
+                            "config": {"batch_size": 32, "seed": 1},
+                            "portfolio": 2,
+                        },
+                    ]
+                }
+            )
+        )
+        return manifest
+
+    def test_serve_inline(self, fig1_path, tmp_path):
+        manifest = self.write_manifest(tmp_path, fig1_path)
+        out_dir = tmp_path / "out"
+        completed = run_cli("serve", str(manifest), "-o", str(out_dir))
+        assert completed.returncode == 0, completed.stderr
+        assert "2 jobs" in completed.stdout
+        results = json.loads((out_dir / "results.json").read_text())
+        assert [row["job_id"] for row in results] == ["plain", "folio"]
+        assert all(row["status"] == "done" for row in results)
+        assert len(results[1]["members"]) == 2
+        for job_id in ("plain", "folio"):
+            solutions = (out_dir / f"{job_id}.solutions").read_text()
+            assert solutions.strip(), f"no solutions written for {job_id}"
+
+    def test_serve_with_worker_pool(self, fig1_path, tmp_path):
+        manifest = self.write_manifest(tmp_path, fig1_path)
+        out_dir = tmp_path / "out-pool"
+        completed = run_cli("serve", str(manifest), "--workers", "2", "-o", str(out_dir))
+        assert completed.returncode == 0, completed.stderr
+        results = json.loads((out_dir / "results.json").read_text())
+        assert all(row["status"] == "done" for row in results)
+
+    def test_serve_bad_manifest_fails_loudly(self, tmp_path):
+        manifest = tmp_path / "bad.json"
+        manifest.write_text('[{"num_solutions": 3}]')
+        completed = run_cli("serve", str(manifest))
+        assert completed.returncode != 0
+        assert "exactly one of" in completed.stderr

@@ -1,0 +1,88 @@
+"""Tests for portfolio expansion and deterministic merging."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SamplerConfig
+from repro.core.solutions import SolutionSet
+from repro.serve.jobs import ManifestError
+from repro.serve.portfolio import (
+    MAX_MEMBERS,
+    member_configs,
+    merge_member_solutions,
+    normalize_portfolio,
+)
+
+
+class TestNormalize:
+    def test_none_is_empty(self):
+        assert normalize_portfolio(None) == ()
+
+    def test_integer_spec(self):
+        assert normalize_portfolio(3) == ({}, {}, {})
+
+    def test_list_spec_is_copied(self):
+        spec = [{"seed": 1}, {"learning_rate": 5.0}]
+        members = normalize_portfolio(spec)
+        assert members == ({"seed": 1}, {"learning_rate": 5.0})
+        spec[0]["seed"] = 99
+        assert members[0]["seed"] == 1
+
+    def test_bounds_and_types(self):
+        with pytest.raises(ManifestError):
+            normalize_portfolio(0)
+        with pytest.raises(ManifestError):
+            normalize_portfolio(MAX_MEMBERS + 1)
+        with pytest.raises(ManifestError):
+            normalize_portfolio(True)
+        with pytest.raises(ManifestError):
+            normalize_portfolio([["not", "a", "dict"]])
+
+
+class TestMemberConfigs:
+    def test_seeds_distinct_by_default(self):
+        base = SamplerConfig(seed=10)
+        configs = member_configs(base, normalize_portfolio(3))
+        assert [config.seed for config in configs] == [10, 11, 12]
+
+    def test_explicit_seed_respected(self):
+        base = SamplerConfig(seed=10)
+        configs = member_configs(base, ({"seed": 99}, {}))
+        assert [config.seed for config in configs] == [99, 11]
+
+    def test_overrides_apply_on_top_of_base(self):
+        base = SamplerConfig(batch_size=64, learning_rate=10.0)
+        configs = member_configs(base, ({"learning_rate": 5.0}, {"batch_size": 32}))
+        assert configs[0].learning_rate == 5.0 and configs[0].batch_size == 64
+        assert configs[1].learning_rate == 10.0 and configs[1].batch_size == 32
+
+    def test_none_seed_base(self):
+        configs = member_configs(SamplerConfig(seed=None), normalize_portfolio(2))
+        assert [config.seed for config in configs] == [0, 1]
+
+
+class TestMerge:
+    def test_exact_dedup_member_major_order(self):
+        member0 = np.array([[1, 0, 0], [0, 1, 0]], dtype=bool)
+        member1 = np.array([[0, 1, 0], [1, 1, 1]], dtype=bool)  # first row repeats
+        merged = merge_member_solutions(3, [member0, member1])
+        assert len(merged) == 3
+        expected = np.array([[1, 0, 0], [0, 1, 0], [1, 1, 1]], dtype=bool)
+        assert np.array_equal(merged.to_matrix(), expected)
+
+    def test_none_and_empty_members_skipped(self):
+        member = np.array([[1, 0]], dtype=bool)
+        merged = merge_member_solutions(
+            2, [None, np.zeros((0, 2), dtype=bool), member]
+        )
+        assert np.array_equal(merged.to_matrix(), member)
+
+    def test_completion_order_does_not_matter(self):
+        # the caller passes matrices in member-index order regardless of who
+        # finished first; merging is a pure function of that ordered list
+        rng = np.random.default_rng(0)
+        members = [rng.random((4, 5)) < 0.5 for _ in range(3)]
+        a = merge_member_solutions(5, members)
+        b = merge_member_solutions(5, [m.copy() for m in members])
+        assert np.array_equal(a.to_matrix(), b.to_matrix())
+        assert isinstance(a, SolutionSet)

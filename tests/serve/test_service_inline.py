@@ -1,0 +1,252 @@
+"""End-to-end tests of SamplingService in inline mode (num_workers=0).
+
+Inline mode executes tasks sequentially in this process, so every scheduling
+behaviour — coalescing, portfolio cancellation, cache reuse, streaming — is
+exactly reproducible and can be asserted bitwise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cnf.dimacs import parse_dimacs
+from repro.core.config import SamplerConfig
+from repro.core.sampler import GradientSATSampler
+from repro.serve import SamplingJob, SamplingService, parse_manifest
+from tests.conftest import FIG1_DIMACS
+
+CONFIG = SamplerConfig(batch_size=32, seed=0)
+
+
+@pytest.fixture
+def service():
+    with SamplingService(num_workers=0) as svc:
+        yield svc
+
+
+@pytest.fixture
+def fig1():
+    return parse_dimacs(FIG1_DIMACS, name="fig1")
+
+
+class TestBasics:
+    def test_matches_direct_sampler(self, service, fig1):
+        job_id = service.submit(fig1, num_solutions=16, config=CONFIG)
+        result = service.result(job_id)
+        direct = GradientSATSampler(
+            parse_dimacs(FIG1_DIMACS), config=CONFIG
+        ).sample(16)
+        assert result.status == "done"
+        assert np.array_equal(
+            result.solutions.to_matrix(), direct.solutions.to_matrix()
+        )
+        member = result.members[0]
+        assert member["status"] == "done"
+        assert member["cache_hit"] is False
+
+    def test_solutions_satisfy_formula(self, service, fig1):
+        result = service.result(service.submit(fig1, num_solutions=16, config=CONFIG))
+        matrix = result.solutions.to_matrix()
+        assert matrix.shape[0] >= 1
+        assert bool(fig1.evaluate_batch(matrix).all())
+
+    def test_result_is_idempotent(self, service, fig1):
+        job_id = service.submit(fig1, num_solutions=8, config=CONFIG)
+        assert service.result(job_id) is service.result(job_id)
+
+    def test_unknown_job_id(self, service):
+        with pytest.raises(KeyError):
+            service.result("nope")
+
+    def test_submit_after_close_rejected(self, fig1):
+        service = SamplingService(num_workers=0)
+        service.close()
+        with pytest.raises(RuntimeError):
+            service.submit(fig1, num_solutions=1, config=CONFIG)
+
+    def test_fifo_across_jobs(self, service, fig1, tiny_sat_formula):
+        first = service.submit(fig1, num_solutions=8, config=CONFIG)
+        second = service.submit(tiny_sat_formula, num_solutions=4, config=CONFIG)
+        # asking for the later job runs the earlier one too (FIFO)
+        result = service.result(second)
+        assert result.status == "done"
+        assert service._state(first).done  # noqa: SLF001 - deliberate peek
+
+
+class TestCaching:
+    def test_same_formula_compiles_once(self, service, fig1):
+        first = service.result(service.submit(fig1, num_solutions=8, config=CONFIG))
+        second = service.result(
+            service.submit(
+                parse_dimacs(FIG1_DIMACS),
+                num_solutions=8,
+                config=CONFIG.with_(seed=1),  # different seed: not coalesced
+            )
+        )
+        assert first.members[0]["cache_hit"] is False
+        assert second.members[0]["cache_hit"] is True
+        stats = service.cache_stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] >= 1
+
+
+class TestCoalescing:
+    def test_identical_jobs_share_one_run(self, service, fig1):
+        a = service.submit(fig1, num_solutions=12, config=CONFIG)
+        b = service.submit(parse_dimacs(FIG1_DIMACS), num_solutions=12, config=CONFIG)
+        ra, rb = service.result(a), service.result(b)
+        assert rb.coalesced_with == a
+        assert rb.solutions is ra.solutions
+        assert rb.summary["job_id"] == b
+        # only one task actually sampled
+        assert service.cache_stats()["misses"] == 1
+        assert service.cache_stats()["hits"] == 0
+
+    def test_coalesce_false_runs_separately(self, service, fig1):
+        a = service.submit(fig1, num_solutions=12, config=CONFIG)
+        b = service.submit(fig1, num_solutions=12, config=CONFIG, coalesce=False)
+        ra, rb = service.result(a), service.result(b)
+        assert rb.coalesced_with is None
+        # identical configs: identical (but separately computed) solutions
+        assert rb.solutions is not ra.solutions
+        assert np.array_equal(ra.solutions.to_matrix(), rb.solutions.to_matrix())
+
+    def test_different_targets_not_coalesced(self, service, fig1):
+        a = service.submit(fig1, num_solutions=12, config=CONFIG)
+        b = service.submit(fig1, num_solutions=13, config=CONFIG)
+        assert service.result(b).coalesced_with is None
+
+    def test_finished_primary_does_not_adopt_late_jobs(self, service, fig1):
+        a = service.submit(fig1, num_solutions=12, config=CONFIG)
+        service.result(a)
+        b = service.submit(fig1, num_solutions=12, config=CONFIG)
+        assert service.result(b).coalesced_with is None
+
+
+class TestPortfolio:
+    def test_first_to_target_cancels_rest(self, service, fig1):
+        job_id = service.submit(fig1, num_solutions=4, config=CONFIG, portfolio=3)
+        result = service.result(job_id)
+        statuses = [member["status"] for member in result.members]
+        # member 0 reaches the tiny target alone; the rest are cancelled
+        assert statuses[0] == "done"
+        assert statuses[1:] == ["cancelled", "cancelled"]
+        assert result.summary["cancelled_members"] == 2
+        assert result.num_unique >= 4
+
+    def test_members_get_distinct_seeds_and_merge_dedups(self, service, fig1):
+        job_id = service.submit(
+            fig1, num_solutions=10_000, config=CONFIG, portfolio=2
+        )
+        result = service.result(job_id)
+        assert [member["seed"] for member in result.members] == [0, 1]
+        matrix = result.solutions.to_matrix()
+        # exact dedup: no repeated rows in the merged set
+        assert len(np.unique(np.packbits(matrix, axis=1), axis=0)) == matrix.shape[0]
+
+    def test_merged_set_is_reproducible(self, fig1):
+        def run():
+            with SamplingService(num_workers=0) as svc:
+                job_id = svc.submit(
+                    fig1,
+                    num_solutions=40,
+                    config=CONFIG,
+                    portfolio=[{"learning_rate": 10.0}, {"learning_rate": 5.0}],
+                )
+                return svc.result(job_id).solutions.to_matrix()
+
+        assert np.array_equal(run(), run())
+
+    def test_merge_is_member_major(self, service, fig1):
+        job_id = service.submit(
+            fig1, num_solutions=10_000, config=CONFIG, portfolio=2
+        )
+        result = service.result(job_id)
+        member0 = None
+        for state in [service._state(job_id)]:  # noqa: SLF001 - deliberate peek
+            member0 = state.tasks[0].solutions.to_matrix()
+        assert np.array_equal(
+            result.solutions.to_matrix()[: member0.shape[0]], member0
+        )
+
+
+class TestStreaming:
+    def test_stream_rounds_rebuild_the_result(self, service, fig1):
+        job_id = service.submit(fig1, num_solutions=60, config=CONFIG)
+        chunks = list(service.stream(job_id))
+        assert chunks, "expected at least one round"
+        stacked = np.concatenate(chunks, axis=0)
+        result = service.result(job_id)
+        assert np.array_equal(stacked, result.solutions.to_matrix())
+
+    def test_follower_streams_primary_rounds(self, service, fig1):
+        a = service.submit(fig1, num_solutions=12, config=CONFIG)
+        b = service.submit(fig1, num_solutions=12, config=CONFIG)
+        assert sum(chunk.shape[0] for chunk in service.stream(b)) == service.result(
+            a
+        ).num_unique
+
+
+class TestErrorsAndManifests:
+    def test_bad_path_job_errors_gracefully(self, service, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            # the formula is materialised at submit time (signature + width),
+            # so a dead path fails fast, before any task is queued
+            service.submit(str(tmp_path / "missing.cnf"), num_solutions=4)
+
+    def test_unsat_instance_reports_zero_solutions(self, service, tiny_unsat_formula):
+        result = service.result(
+            service.submit(tiny_unsat_formula, num_solutions=4, config=CONFIG)
+        )
+        assert result.status == "done"
+        assert result.num_unique == 0
+
+    def test_run_manifest(self, service):
+        import json
+
+        entry = {"dimacs": FIG1_DIMACS, "num_solutions": 8, "config": {"batch_size": 32}}
+        jobs = parse_manifest(json.dumps([entry, dict(entry)]))
+        results = service.run_manifest(jobs)
+        assert [result.status for result in results] == ["done", "done"]
+        assert results[1].coalesced_with == results[0].job_id
+
+    def test_manifest_replay_gets_fresh_ids(self, service):
+        import json
+
+        text = json.dumps([{"dimacs": FIG1_DIMACS, "num_solutions": 4,
+                            "config": {"batch_size": 32}}])
+        first = service.run_manifest(parse_manifest(text))
+        second = service.run_manifest(parse_manifest(text))
+        # defaulted manifest ids are assigned by the service, so replaying
+        # the same manifest on one long-lived service never collides
+        assert first[0].job_id != second[0].job_id
+
+    def test_explicit_id_collides_with_auto_id_safely(self, service, fig1):
+        service.result(service.submit(fig1, num_solutions=4, config=CONFIG,
+                                      job_id="job-0"))
+        auto = service.submit(fig1, num_solutions=4, config=CONFIG, coalesce=False)
+        assert auto != "job-0"
+        assert service.result(auto).status == "done"
+
+
+class TestForget:
+    def test_forget_releases_state(self, service, fig1):
+        job_id = service.submit(fig1, num_solutions=8, config=CONFIG)
+        result = service.result(job_id)
+        assert service.forget(job_id) is result
+        with pytest.raises(KeyError):
+            service.result(job_id)
+
+    def test_forget_running_job_refused(self, service, fig1):
+        job_id = service.submit(fig1, num_solutions=8, config=CONFIG)
+        with pytest.raises(RuntimeError):
+            service.forget(job_id)
+        service.result(job_id)
+
+    def test_forgotten_primary_keeps_followers_working(self, service, fig1):
+        a = service.submit(fig1, num_solutions=12, config=CONFIG)
+        b = service.submit(fig1, num_solutions=12, config=CONFIG)
+        service.result(a)
+        service.forget(a)
+        result = service.result(b)
+        assert result.coalesced_with == a
+        assert result.num_unique > 0

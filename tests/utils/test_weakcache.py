@@ -1,0 +1,96 @@
+"""Tests for the cache plumbing in repro.utils.weakcache."""
+
+import gc
+
+import pytest
+
+from repro.utils.weakcache import BoundedLRUCache, OwnerRegistry
+
+
+class TestOwnerRegistry:
+    def test_dead_owner_drops_out(self):
+        registry = OwnerRegistry()
+
+        class Owner:
+            pass
+
+        owner = Owner()
+        registry.register(owner)
+        assert len(registry) == 1
+        del owner
+        gc.collect()
+        assert len(registry) == 0
+
+
+class TestBoundedLRUCache:
+    def test_get_put_and_recency(self):
+        cache = BoundedLRUCache(max_entries=2, max_bytes=None)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a": "b" becomes LRU
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_miss_returns_none_and_counts(self):
+        cache = BoundedLRUCache(max_entries=2)
+        assert cache.get("nope") is None
+        cache.put("a", 1)
+        cache.get("a")
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+
+    def test_byte_bound_evicts_lru(self):
+        cache = BoundedLRUCache(max_entries=10, max_bytes=100)
+        cache.put("a", "A", nbytes=60)
+        cache.put("b", "B", nbytes=60)  # 120 > 100: "a" evicted
+        assert "a" not in cache
+        assert "b" in cache
+        assert cache.total_bytes == 60
+
+    def test_oversized_entry_admitted_alone(self):
+        cache = BoundedLRUCache(max_entries=10, max_bytes=100)
+        cache.put("a", "A", nbytes=10)
+        cache.put("big", "B", nbytes=500)
+        assert "a" not in cache
+        assert "big" in cache
+        assert len(cache) == 1
+
+    def test_replace_updates_bytes(self):
+        cache = BoundedLRUCache(max_entries=4, max_bytes=None)
+        cache.put("a", 1, nbytes=10)
+        cache.put("a", 2, nbytes=30)
+        assert cache.total_bytes == 30
+        assert cache.get("a") == 2
+        assert len(cache) == 1
+
+    def test_on_evict_called_for_every_eviction(self):
+        evicted = []
+        cache = BoundedLRUCache(
+            max_entries=1, max_bytes=None, on_evict=lambda k, v: evicted.append(k)
+        )
+        cache.put("a", 1)
+        cache.put("b", 2)  # evicts a
+        cache.pop("b")
+        cache.put("c", 3)
+        cache.clear()
+        assert evicted == ["a", "b", "c"]
+
+    def test_entry_bound_eviction_order(self):
+        cache = BoundedLRUCache(max_entries=3, max_bytes=None)
+        for key in "abc":
+            cache.put(key, key)
+        cache.get("a")
+        cache.put("d", "d")  # LRU is "b"
+        assert list(cache.keys()) == ["c", "a", "d"]
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedLRUCache(max_entries=0)
+        with pytest.raises(ValueError):
+            BoundedLRUCache(max_entries=1, max_bytes=0)
+        cache = BoundedLRUCache(max_entries=1)
+        with pytest.raises(ValueError):
+            cache.put("a", 1, nbytes=-1)
