@@ -45,6 +45,31 @@ from repro.boolalg.bdd import BDD
 from repro.boolalg.cnf_convert import expr_to_cnf_clauses, tseitin_encode
 from repro.boolalg.parsing import parse_expr
 
+
+def clear_caches() -> None:
+    """Drop every memo the boolalg layer keeps on the interned AST.
+
+    Covers the truth-table bitmasks, the equivalence/complement memos, the
+    Quine--McCluskey memo and the ``simplify_exact`` memo.  The intern table
+    itself is weak and needs no clearing.  Long-lived services that stream
+    many distinct formulas call this (via
+    :func:`repro.core.transform.clear_transform_caches`) to bound memory.
+    """
+    from repro.boolalg.quine_mccluskey import _minimize_expr_cached
+    from repro.boolalg.simplify import _simplify_exact_cached
+    from repro.boolalg.truth_table import (
+        _bits_cached,
+        _equivalent_cached,
+        _is_complement_cached,
+    )
+
+    _bits_cached.cache_clear()
+    _equivalent_cached.cache_clear()
+    _is_complement_cached.cache_clear()
+    _minimize_expr_cached.cache_clear()
+    _simplify_exact_cached.cache_clear()
+
+
 __all__ = [
     "Expr",
     "Var",
@@ -73,4 +98,5 @@ __all__ = [
     "expr_to_cnf_clauses",
     "tseitin_encode",
     "parse_expr",
+    "clear_caches",
 ]

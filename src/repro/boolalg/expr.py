@@ -1,10 +1,19 @@
-"""Immutable Boolean expression AST.
+"""Immutable, hash-consed Boolean expression AST.
 
 Expressions are hashable, structurally comparable trees built from variables,
 constants and the operators NOT/AND/OR/XOR.  Convenience constructors perform
 cheap local normalisation (flattening nested AND/OR, removing duplicate
 operands, constant folding) so that the rest of the library rarely sees
 degenerate trees.
+
+Nodes are *interned* (hash-consed): constructing the same expression twice
+returns the same object, so structural equality usually reduces to a pointer
+comparison and per-node derived data — the structural hash, the support set,
+the 2-input gate count and the node count — is computed once and shared by
+every consumer (``simplify``, the transformation's ``accept_definition``,
+``circuit_from_expressions``, the truth-table memos, ...).  Equality remains
+structural with an identity fast path, so expressions that bypass the intern
+table (e.g. unpickled in another process) still compare correctly.
 
 The node types intentionally mirror the operators whose CNF signatures the
 paper enumerates in Section III-A (Eqs. 1--4): NOT, AND, OR, NAND, NOR, XOR
@@ -16,8 +25,13 @@ those gates.
 from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, Tuple, Union
+from weakref import WeakValueDictionary
 
 BoolLike = Union[bool, int]
+
+#: The global hash-cons table.  Values are the canonical node per structural
+#: key; entries disappear automatically when the last reference dies.
+_INTERN: "WeakValueDictionary" = WeakValueDictionary()
 
 
 class Expr:
@@ -27,7 +41,10 @@ class Expr:
     are overloaded to build new expressions.
     """
 
-    __slots__ = ()
+    #: ``_hash`` caches the structural hash, ``_support``/``_gate2``/``_nodes``
+    #: lazily cache :meth:`support`, :meth:`two_input_gate_count` and
+    #: :meth:`node_count`; ``__weakref__`` lets the intern table drop nodes.
+    __slots__ = ("_hash", "_support", "_gate2", "_nodes", "__weakref__")
 
     # -- construction operators -------------------------------------------------
     def __and__(self, other: "Expr") -> "Expr":
@@ -49,6 +66,15 @@ class Expr:
 
     def support(self) -> FrozenSet[str]:
         """Return the set of variable names the expression depends on syntactically."""
+        try:
+            return self._support
+        except AttributeError:
+            pass
+        result = self._compute_support()
+        object.__setattr__(self, "_support", result)
+        return result
+
+    def _compute_support(self) -> FrozenSet[str]:
         raise NotImplementedError
 
     def substitute(self, mapping: Dict[str, "Expr"]) -> "Expr":
@@ -62,7 +88,13 @@ class Expr:
     # -- generic helpers ---------------------------------------------------------
     def node_count(self) -> int:
         """Total number of AST nodes (shared structure counted repeatedly)."""
-        return 1 + sum(child.node_count() for child in self.children())
+        try:
+            return self._nodes
+        except AttributeError:
+            pass
+        result = 1 + sum(child.node_count() for child in self.children())
+        object.__setattr__(self, "_nodes", result)
+        return result
 
     def depth(self) -> int:
         """Height of the AST (a leaf has depth 0)."""
@@ -78,15 +110,27 @@ class Expr:
         counts as one gate (an inverter).  This is the metric used by the
         paper's Fig. 4 (middle) ops-reduction ablation.
         """
+        try:
+            return self._gate2
+        except AttributeError:
+            pass
         if isinstance(self, (Var, Const)):
-            return 0
-        if isinstance(self, Not):
-            return 1 + self.operand.two_input_gate_count()
-        arity_cost = max(len(self.children()) - 1, 0)
-        return arity_cost + sum(c.two_input_gate_count() for c in self.children())
+            result = 0
+        elif isinstance(self, Not):
+            result = 1 + self.operand.two_input_gate_count()
+        else:
+            arity_cost = max(len(self.children()) - 1, 0)
+            result = arity_cost + sum(c.two_input_gate_count() for c in self.children())
+        object.__setattr__(self, "_gate2", result)
+        return result
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
         return str(self)
+
+
+def _intern(key: tuple, instance: Expr) -> Expr:
+    """Publish ``instance`` under ``key``, returning the canonical winner."""
+    return _INTERN.setdefault(key, instance)
 
 
 class Const(Expr):
@@ -94,26 +138,39 @@ class Const(Expr):
 
     __slots__ = ("value",)
 
-    def __init__(self, value: BoolLike) -> None:
-        object.__setattr__(self, "value", bool(value))
+    def __new__(cls, value: BoolLike):
+        value = bool(value)
+        key = ("c", value)
+        existing = _INTERN.get(key)
+        if existing is not None:
+            return existing
+        instance = object.__new__(cls)
+        object.__setattr__(instance, "value", value)
+        object.__setattr__(instance, "_hash", hash(("const", value)))
+        return _intern(key, instance)
 
     def __setattr__(self, *args) -> None:
         raise AttributeError("Const is immutable")
 
+    def __reduce__(self):
+        return (Const, (self.value,))
+
     def evaluate(self, assignment: Dict[str, BoolLike]) -> bool:
         return self.value
 
-    def support(self) -> FrozenSet[str]:
+    def _compute_support(self) -> FrozenSet[str]:
         return frozenset()
 
     def substitute(self, mapping: Dict[str, Expr]) -> Expr:
         return self
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return isinstance(other, Const) and other.value == self.value
 
     def __hash__(self) -> int:
-        return hash(("const", self.value))
+        return self._hash
 
     def __str__(self) -> str:
         return "1" if self.value else "0"
@@ -128,13 +185,23 @@ class Var(Expr):
 
     __slots__ = ("name",)
 
-    def __init__(self, name: str) -> None:
+    def __new__(cls, name: str):
         if not isinstance(name, str) or not name:
             raise ValueError(f"variable name must be a non-empty string, got {name!r}")
-        object.__setattr__(self, "name", name)
+        key = ("v", name)
+        existing = _INTERN.get(key)
+        if existing is not None:
+            return existing
+        instance = object.__new__(cls)
+        object.__setattr__(instance, "name", name)
+        object.__setattr__(instance, "_hash", hash(("var", name)))
+        return _intern(key, instance)
 
     def __setattr__(self, *args) -> None:
         raise AttributeError("Var is immutable")
+
+    def __reduce__(self):
+        return (Var, (self.name,))
 
     def evaluate(self, assignment: Dict[str, BoolLike]) -> bool:
         try:
@@ -142,17 +209,19 @@ class Var(Expr):
         except KeyError as exc:
             raise KeyError(f"assignment is missing variable {self.name!r}") from exc
 
-    def support(self) -> FrozenSet[str]:
+    def _compute_support(self) -> FrozenSet[str]:
         return frozenset({self.name})
 
     def substitute(self, mapping: Dict[str, Expr]) -> Expr:
         return mapping.get(self.name, self)
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return isinstance(other, Var) and other.name == self.name
 
     def __hash__(self) -> int:
-        return hash(("var", self.name))
+        return self._hash
 
     def __str__(self) -> str:
         return self.name
@@ -168,17 +237,25 @@ class Not(Expr):
             return FALSE if operand.value else TRUE
         if isinstance(operand, Not):
             return operand.operand
+        key = ("~", operand)
+        existing = _INTERN.get(key)
+        if existing is not None:
+            return existing
         instance = object.__new__(cls)
         object.__setattr__(instance, "operand", operand)
-        return instance
+        object.__setattr__(instance, "_hash", hash(("not", operand)))
+        return _intern(key, instance)
 
     def __setattr__(self, *args) -> None:
         raise AttributeError("Not is immutable")
 
+    def __reduce__(self):
+        return (Not, (self.operand,))
+
     def evaluate(self, assignment: Dict[str, BoolLike]) -> bool:
         return not self.operand.evaluate(assignment)
 
-    def support(self) -> FrozenSet[str]:
+    def _compute_support(self) -> FrozenSet[str]:
         return self.operand.support()
 
     def substitute(self, mapping: Dict[str, Expr]) -> Expr:
@@ -188,10 +265,12 @@ class Not(Expr):
         return (self.operand,)
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return isinstance(other, Not) and other.operand == self.operand
 
     def __hash__(self) -> int:
-        return hash(("not", self.operand))
+        return self._hash
 
     def __str__(self) -> str:
         return f"~{_wrap(self.operand)}"
@@ -207,24 +286,41 @@ class _NaryOp(Expr):
     def __setattr__(self, *args) -> None:
         raise AttributeError(f"{type(self).__name__} is immutable")
 
+    def __reduce__(self):
+        return (type(self), tuple(self.operands))
+
     def children(self) -> Tuple[Expr, ...]:
         return self.operands
 
-    def support(self) -> FrozenSet[str]:
+    def _compute_support(self) -> FrozenSet[str]:
         result: FrozenSet[str] = frozenset()
         for operand in self.operands:
             result |= operand.support()
         return result
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return type(other) is type(self) and other.operands == self.operands
 
     def __hash__(self) -> int:
-        return hash((type(self).__name__, self.operands))
+        return self._hash
 
     def __str__(self) -> str:
         joined = f" {self._symbol} ".join(_wrap(op) for op in self.operands)
         return f"({joined})"
+
+
+def _new_nary(cls, operands: Tuple[Expr, ...]) -> Expr:
+    """Intern an n-ary node with the given (already normalised) operands."""
+    key = (cls._symbol, operands)
+    existing = _INTERN.get(key)
+    if existing is not None:
+        return existing
+    instance = object.__new__(cls)
+    object.__setattr__(instance, "operands", operands)
+    object.__setattr__(instance, "_hash", hash((cls.__name__, operands)))
+    return _intern(key, instance)
 
 
 def _flatten(cls, operands: Iterable[Expr]) -> Tuple[Expr, ...]:
@@ -238,6 +334,19 @@ def _flatten(cls, operands: Iterable[Expr]) -> Tuple[Expr, ...]:
         else:
             flat.append(operand)
     return tuple(flat)
+
+
+def _has_complement_pair(seen, seen_set) -> bool:
+    """Whether ``seen`` contains some ``x`` together with ``~x``.
+
+    Any complementary pair contains exactly one ``Not``-rooted member (double
+    negation is collapsed at construction), so checking the ``Not`` operands
+    against the set is equivalent to building ``Not(op)`` per operand.
+    """
+    for operand in seen:
+        if isinstance(operand, Not) and operand.operand in seen_set:
+            return True
+    return False
 
 
 class And(_NaryOp):
@@ -263,16 +372,13 @@ class And(_NaryOp):
                 continue
             seen_set.add(operand)
             seen.append(operand)
-        for operand in seen:
-            if Not(operand) in seen_set:
-                return FALSE
+        if _has_complement_pair(seen, seen_set):
+            return FALSE
         if not seen:
             return TRUE
         if len(seen) == 1:
             return seen[0]
-        instance = object.__new__(cls)
-        object.__setattr__(instance, "operands", tuple(seen))
-        return instance
+        return _new_nary(cls, tuple(seen))
 
     def evaluate(self, assignment: Dict[str, BoolLike]) -> bool:
         return all(op.evaluate(assignment) for op in self.operands)
@@ -299,16 +405,13 @@ class Or(_NaryOp):
                 continue
             seen_set.add(operand)
             seen.append(operand)
-        for operand in seen:
-            if Not(operand) in seen_set:
-                return TRUE
+        if _has_complement_pair(seen, seen_set):
+            return TRUE
         if not seen:
             return FALSE
         if len(seen) == 1:
             return seen[0]
-        instance = object.__new__(cls)
-        object.__setattr__(instance, "operands", tuple(seen))
-        return instance
+        return _new_nary(cls, tuple(seen))
 
     def evaluate(self, assignment: Dict[str, BoolLike]) -> bool:
         return any(op.evaluate(assignment) for op in self.operands)
@@ -350,8 +453,7 @@ class Xor(_NaryOp):
         if len(survivors) == 1:
             core: Expr = survivors[0]
         else:
-            core = object.__new__(cls)
-            object.__setattr__(core, "operands", tuple(survivors))
+            core = _new_nary(cls, tuple(survivors))
         return Not(core) if parity else core
 
     def evaluate(self, assignment: Dict[str, BoolLike]) -> bool:

@@ -13,10 +13,19 @@ Two complementary strategies are provided:
 falls back to the algebraic route otherwise, mirroring the paper's use of
 SymPy's ``simplify_logic`` on the small sub-expressions produced per clause
 group.
+
+Most expressions the transformation adopts come from the gate-signature fast
+path and are already *flat literal gates* — an AND/OR/XOR (possibly under one
+NOT) whose operands are plain literals over distinct variables.  Such
+expressions are provably fixed points of :func:`simplify` (see
+:func:`is_flat_literal_gate`), so :func:`simplify` short-circuits them; the
+``use_fast_path=False`` escape hatch runs the full route and is used by the
+equivalence test-suite to validate the claim empirically.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List
 
 from repro.boolalg.expr import And, Const, Expr, Not, Or, Var, Xor
@@ -27,20 +36,101 @@ from repro.boolalg.truth_table import equivalent
 EXACT_SIMPLIFY_MAX_VARS = 10
 
 
-def simplify(expr: Expr, exact_max_vars: int = EXACT_SIMPLIFY_MAX_VARS) -> Expr:
-    """Simplify ``expr``, preferring exact minimization on narrow supports."""
+def _is_literal(expr: Expr) -> bool:
+    return isinstance(expr, Var) or (
+        isinstance(expr, Not) and isinstance(expr.operand, Var)
+    )
+
+
+def _is_flat_gate(expr: Expr) -> bool:
+    if isinstance(expr, (And, Or)):
+        return all(_is_literal(op) for op in expr.operands)
+    if isinstance(expr, Xor):
+        # Xor folds NOT operands into its parity flag at construction, so a
+        # flat parity's operands are bare variables.
+        return all(isinstance(op, Var) for op in expr.operands)
+    return False
+
+
+def is_flat_literal_gate(expr: Expr) -> bool:
+    """Whether ``expr`` is a fixed point of :func:`simplify` by construction.
+
+    Covers constants, literals, flat AND/OR/XOR gates over literals of
+    distinct variables, flat XNOR, and NOT-wrapped flat AND/OR whose inner
+    negation count cannot lose to the De Morgan dual.  The expression
+    constructors already removed duplicate and complementary literals, so a
+    flat AND (OR) is a single product (sum) — its own minimal two-level
+    cover — and a flat XOR's parity form strictly beats its sum-of-products
+    on the 2-input gate metric.  For ``Not(And(...))``/``Not(Or(...))`` the
+    only competing cover Quine--McCluskey can produce is the De Morgan dual
+    (a single sum/product of complemented literals): with ``n`` operands of
+    which ``k`` are negated, the original costs ``n + k`` gates and the dual
+    ``2n - 1 - k``, so the original wins exactly when ``2k <= n - 1`` (ties
+    also land on the original: ``simplify_exact``'s ``min`` keeps the first
+    of cost-equal candidates, and on a gate tie the node counts tie too).
+    The transformation equivalence suite cross-checks all of this against
+    ``use_fast_path=False``.
+    """
+    if isinstance(expr, (Var, Const)):
+        return True
+    if isinstance(expr, Not):
+        inner = expr.operand
+        if isinstance(inner, Var):
+            return True
+        if isinstance(inner, Xor):
+            return _is_flat_gate(inner)
+        if isinstance(inner, (And, Or)) and _is_flat_gate(inner):
+            negated = sum(1 for op in inner.operands if isinstance(op, Not))
+            return 2 * negated <= len(inner.operands) - 1
+        return False
+    return _is_flat_gate(expr)
+
+
+def simplify(
+    expr: Expr,
+    exact_max_vars: int = EXACT_SIMPLIFY_MAX_VARS,
+    use_fast_path: bool = True,
+) -> Expr:
+    """Simplify ``expr``, preferring exact minimization on narrow supports.
+
+    With ``use_fast_path=False`` the already-minimal short-circuit is skipped
+    and the full (reference) route runs; the result is identical, just slower.
+    """
+    if use_fast_path and is_flat_literal_gate(expr):
+        return expr
     support_size = len(expr.support())
     if support_size == 0:
         return expr
     if support_size <= exact_max_vars:
-        return simplify_exact(expr)
+        if use_fast_path:
+            return simplify_exact(expr)
+        return _simplify_exact_reference(expr)
     return simplify_algebraic(expr)
 
 
-def simplify_exact(expr: Expr) -> Expr:
-    """Exact minimization with XOR re-detection; guaranteed equivalent result."""
+@lru_cache(maxsize=65536)
+def _simplify_exact_cached(expr: Expr) -> Expr:
     minimized = minimize_expr(expr)
     with_xor = _detect_xor(minimized)
+    best = min(
+        (expr, minimized, with_xor), key=lambda e: (e.two_input_gate_count(), e.node_count())
+    )
+    return best
+
+
+def simplify_exact(expr: Expr) -> Expr:
+    """Exact minimization with XOR re-detection; guaranteed equivalent result.
+
+    Memoised on the interned AST node (the routine is a pure function of the
+    expression's structure).
+    """
+    return _simplify_exact_cached(expr)
+
+
+def _simplify_exact_reference(expr: Expr) -> Expr:
+    """Non-memoised exact route on the seed's dictionary-enumeration oracle."""
+    minimized = minimize_expr(expr, use_fast_path=False)
+    with_xor = _detect_xor(minimized, use_fast_path=False)
     best = min(
         (expr, minimized, with_xor), key=lambda e: (e.two_input_gate_count(), e.node_count())
     )
@@ -105,7 +195,7 @@ def _contains_operand(composite: Expr, candidate: Expr) -> bool:
     return any(candidate == op for op in composite.children())
 
 
-def _detect_xor(expr: Expr) -> Expr:
+def _detect_xor(expr: Expr, use_fast_path: bool = True) -> Expr:
     """Rewrite 2-variable sum-of-products into XOR/XNOR when equivalent.
 
     Quine--McCluskey returns ``(a & ~b) | (~a & b)`` for parity functions; the
@@ -117,9 +207,9 @@ def _detect_xor(expr: Expr) -> Expr:
         return expr
     a, b = Var(names[0]), Var(names[1])
     xor_expr = Xor(a, b)
-    if equivalent(expr, xor_expr):
+    if equivalent(expr, xor_expr, use_fast_path=use_fast_path):
         return xor_expr
     xnor_expr = Not(Xor(a, b))
-    if equivalent(expr, xnor_expr):
+    if equivalent(expr, xnor_expr, use_fast_path=use_fast_path):
         return xnor_expr
     return expr

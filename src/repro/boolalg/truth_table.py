@@ -9,21 +9,31 @@ sub-expressions it derives from clause groups:
   contradiction? (the primary-output classification in Algorithm 1, line 12).
 
 Sub-expressions extracted from clause groups have small support (a handful of
-variables), so exhaustive truth-table enumeration is both simple and fast.
-For wider supports callers can use :class:`repro.boolalg.bdd.BDD` instead.
+variables), so exhaustive enumeration is both simple and fast.  Rather than
+looping over ``2**n`` per-row assignment dictionaries, the whole table is
+computed as a single arbitrary-precision *integer bitmask* — bit ``r`` holds
+the expression's value on row ``r`` — with one Python big-int operation per
+AST node (:func:`truth_table_bits`).  On the interned AST
+(:mod:`repro.boolalg.expr`) results are additionally memoised per node, so
+the transformation never enumerates the same sub-expression twice.  For wider
+supports callers can use :class:`repro.boolalg.bdd.BDD` instead.
 """
 
 from __future__ import annotations
 
-from itertools import product
+from functools import lru_cache
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.boolalg.expr import Expr
+from repro.boolalg.expr import And, Const, Expr, Not, Or, Var, Xor
 
 #: Above this support size exhaustive enumeration is refused by default.
 MAX_ENUMERATION_VARS = 20
+
+#: Tables of at most this many variables are memoised (wider tables are huge
+#: integers; memoising them would pin hundreds of KB per entry).
+_MEMO_MAX_VARS = 12
 
 
 def _ordered_support(*exprs: Expr, over: Optional[Sequence[str]] = None) -> List[str]:
@@ -33,6 +43,86 @@ def _ordered_support(*exprs: Expr, over: Optional[Sequence[str]] = None) -> List
     for expr in exprs:
         names |= expr.support()
     return sorted(names)
+
+
+@lru_cache(maxsize=None)
+def _var_mask(num_vars: int, position: int) -> int:
+    """Bitmask of rows ``r`` in ``[0, 2**num_vars)`` with bit ``position`` set.
+
+    The mask is the periodic pattern ``2**position`` zeros followed by
+    ``2**position`` ones; bit ``r`` of the result equals ``(r >> position) & 1``.
+    """
+    block = 1 << position
+    period = ((1 << block) - 1) << block  # one '0^block 1^block' period
+    total_bits = 1 << num_vars
+    # Replicate the period with a "repunit" multiplier: ones at every
+    # multiple of the period length.
+    multiplier = ((1 << total_bits) - 1) // ((1 << (2 * block)) - 1)
+    return period * multiplier
+
+
+def _bits_uncached(expr: Expr, names: Tuple[str, ...]) -> int:
+    """Truth table of ``expr`` over ``names`` as an integer bitmask."""
+    n = len(names)
+    full = (1 << (1 << n)) - 1
+    masks = {name: _var_mask(n, j) for j, name in enumerate(names)}
+    memo: Dict[Expr, int] = {}
+
+    def rec(e: Expr) -> int:
+        cached = memo.get(e)
+        if cached is not None:
+            return cached
+        if isinstance(e, Var):
+            try:
+                result = masks[e.name]
+            except KeyError as exc:
+                raise KeyError(f"assignment is missing variable {e.name!r}") from exc
+        elif isinstance(e, Const):
+            result = full if e.value else 0
+        elif isinstance(e, Not):
+            result = full ^ rec(e.operand)
+        elif isinstance(e, And):
+            result = full
+            for op in e.operands:
+                result &= rec(op)
+        elif isinstance(e, Or):
+            result = 0
+            for op in e.operands:
+                result |= rec(op)
+        elif isinstance(e, Xor):
+            result = 0
+            for op in e.operands:
+                result ^= rec(op)
+        else:
+            raise TypeError(f"unsupported expression node {type(e).__name__}")
+        memo[e] = result
+        return result
+
+    return rec(expr)
+
+
+@lru_cache(maxsize=32768)
+def _bits_cached(expr: Expr, names: Tuple[str, ...]) -> int:
+    return _bits_uncached(expr, names)
+
+
+def truth_table_bits(expr: Expr, names: Sequence[str]) -> int:
+    """Return the truth table of ``expr`` over ``names`` as an integer.
+
+    Bit ``r`` of the result is the value of ``expr`` on the assignment whose
+    bit ``j`` (LSB first) gives the value of ``names[j]`` — the same row
+    order as :func:`truth_table`.  Narrow tables are memoised on the interned
+    AST node.
+    """
+    key = tuple(names)
+    if len(key) <= _MEMO_MAX_VARS:
+        return _bits_cached(expr, key)
+    return _bits_uncached(expr, key)
+
+
+def clear_truth_table_caches() -> None:
+    """Drop the memoised truth tables (mainly for tests and benchmarks)."""
+    _bits_cached.cache_clear()
 
 
 def truth_table(
@@ -49,13 +139,11 @@ def truth_table(
         raise ValueError(
             f"refusing to enumerate {n} variables (> {max_vars}); use a BDD instead"
         )
-    table = np.zeros(2**n, dtype=bool)
-    for row, bits in enumerate(product((False, True), repeat=n)):
-        # ``product`` varies the last element fastest; map it so bit j of the
-        # row index corresponds to names[j].
-        assignment = {names[j]: bool((row >> j) & 1) for j in range(n)}
-        table[row] = expr.evaluate(assignment)
-    return table
+    bits = truth_table_bits(expr, names)
+    num_rows = 2**n
+    raw = bits.to_bytes((num_rows + 7) // 8, "little")
+    table = np.unpackbits(np.frombuffer(raw, dtype=np.uint8), bitorder="little")
+    return table[:num_rows].astype(bool)
 
 
 def assignments_iter(names: Sequence[str]) -> Iterator[Dict[str, bool]]:
@@ -65,15 +153,33 @@ def assignments_iter(names: Sequence[str]) -> Iterator[Dict[str, bool]]:
         yield {names[j]: bool((row >> j) & 1) for j in range(n)}
 
 
+@lru_cache(maxsize=65536)
+def _equivalent_cached(a: Expr, b: Expr, max_vars: int) -> bool:
+    names = _ordered_support(a, b)
+    if len(names) > max_vars:
+        from repro.boolalg.bdd import BDD
+
+        manager = BDD(names)
+        return manager.from_expr(a) == manager.from_expr(b)
+    key = tuple(names)
+    return truth_table_bits(a, key) == truth_table_bits(b, key)
+
+
 def equivalent(
-    a: Expr, b: Expr, max_vars: int = MAX_ENUMERATION_VARS
+    a: Expr, b: Expr, max_vars: int = MAX_ENUMERATION_VARS, use_fast_path: bool = True
 ) -> bool:
     """Return ``True`` iff ``a`` and ``b`` compute the same function.
 
     The comparison is over the union of both supports, so ``x & y`` and
     ``y & x`` are equivalent while ``x`` and ``x & (y | ~y)`` also are (the
     latter normalises away its vacuous variable at construction).
+
+    ``use_fast_path=False`` selects the original per-row dictionary
+    enumeration instead of the memoised bitmask comparison; the equivalence
+    test-suite uses it to cross-check the bitmask kernel.
     """
+    if use_fast_path:
+        return _equivalent_cached(a, b, max_vars)
     names = _ordered_support(a, b)
     if len(names) > max_vars:
         from repro.boolalg.bdd import BDD
@@ -86,13 +192,36 @@ def equivalent(
     return True
 
 
-def is_complement(a: Expr, b: Expr, max_vars: int = MAX_ENUMERATION_VARS) -> bool:
+@lru_cache(maxsize=65536)
+def _is_complement_cached(a: Expr, b: Expr, max_vars: int) -> bool:
+    names = _ordered_support(a, b)
+    if len(names) > max_vars:
+        from repro.boolalg.bdd import BDD
+
+        manager = BDD(names)
+        return manager.from_expr(a) == manager.negate(manager.from_expr(b))
+    key = tuple(names)
+    full = (1 << (1 << len(key))) - 1
+    return truth_table_bits(a, key) == full ^ truth_table_bits(b, key)
+
+
+def is_complement(
+    a: Expr, b: Expr, max_vars: int = MAX_ENUMERATION_VARS, use_fast_path: bool = True
+) -> bool:
     """Return ``True`` iff ``a == ~b`` as Boolean functions.
 
     This is the acceptance test of Algorithm 1: the expression derived for a
     candidate output variable must be the complement of the expression derived
-    for its negation.
+    for its negation.  Results are memoised on the interned node pair — the
+    transformation re-checks the same derived pair whenever a clause group is
+    revisited, and the memo makes the repeat checks free.
+
+    ``use_fast_path=False`` selects the original per-row dictionary
+    enumeration (the seed implementation), used as the oracle by the
+    transformation equivalence suite and the cold-start benchmark baseline.
     """
+    if use_fast_path:
+        return _is_complement_cached(a, b, max_vars)
     names = _ordered_support(a, b)
     if len(names) > max_vars:
         from repro.boolalg.bdd import BDD
@@ -113,7 +242,8 @@ def is_tautology(expr: Expr, max_vars: int = MAX_ENUMERATION_VARS) -> bool:
 
         manager = BDD(names)
         return manager.from_expr(expr) == manager.true
-    return all(expr.evaluate(a) for a in assignments_iter(names))
+    full = (1 << (1 << len(names))) - 1
+    return truth_table_bits(expr, names) == full
 
 
 def is_contradiction(expr: Expr, max_vars: int = MAX_ENUMERATION_VARS) -> bool:
@@ -124,7 +254,7 @@ def is_contradiction(expr: Expr, max_vars: int = MAX_ENUMERATION_VARS) -> bool:
 
         manager = BDD(names)
         return manager.from_expr(expr) == manager.false
-    return not any(expr.evaluate(a) for a in assignments_iter(names))
+    return truth_table_bits(expr, names) == 0
 
 
 def satisfying_assignments(
@@ -134,11 +264,17 @@ def satisfying_assignments(
 ) -> List[Dict[str, bool]]:
     """Enumerate every satisfying assignment of ``expr`` over ``over``/its support."""
     names = _ordered_support(expr, over=over)
-    if len(names) > max_vars:
+    n = len(names)
+    if n > max_vars:
         raise ValueError(
-            f"refusing to enumerate {len(names)} variables (> {max_vars})"
+            f"refusing to enumerate {n} variables (> {max_vars})"
         )
-    return [a for a in assignments_iter(names) if expr.evaluate(a)]
+    bits = truth_table_bits(expr, names)
+    return [
+        {names[j]: bool((row >> j) & 1) for j in range(n)}
+        for row in range(2**n)
+        if (bits >> row) & 1
+    ]
 
 
 def count_satisfying(
@@ -152,11 +288,24 @@ def count_satisfying(
         raise ValueError(
             f"refusing to enumerate {len(names)} variables (> {max_vars})"
         )
-    return sum(1 for a in assignments_iter(names) if expr.evaluate(a))
+    # bin().count over int.bit_count(): the package still supports Python 3.9.
+    return bin(truth_table_bits(expr, names)).count("1")
 
 
 def minterms(expr: Expr, over: Optional[Sequence[str]] = None) -> Tuple[List[int], List[str]]:
     """Return the list of minterm indices of ``expr`` and the variable order used."""
     names = _ordered_support(expr, over=over)
-    table = truth_table(expr, over=names)
-    return [int(i) for i in np.flatnonzero(table)], names
+    if len(names) > MAX_ENUMERATION_VARS:
+        raise ValueError(
+            f"refusing to enumerate {len(names)} variables (> {MAX_ENUMERATION_VARS}); "
+            "use a BDD instead"
+        )
+    bits = truth_table_bits(expr, names)
+    indices: List[int] = []
+    row = 0
+    while bits:
+        low = bits & -bits
+        row = low.bit_length() - 1
+        indices.append(row)
+        bits ^= low
+    return indices, names

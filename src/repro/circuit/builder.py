@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.boolalg.expr import And, Const, Expr, Not, Or, Var, Xor
-from repro.circuit.gates import GateType
+from repro.circuit.gates import Gate, GateType
 from repro.circuit.netlist import Circuit
 
 
@@ -168,26 +168,36 @@ def circuit_from_expressions(
         circuit.add_input(variable)
         return variable
 
+    fresh = builder._fresh
+
+    def lower_gate(gate_type: GateType, fanins: Tuple[str, ...]) -> str:
+        # Fanins come from recursive lowering, so they are defined by
+        # construction; define directly instead of re-validating per gate
+        # (this loop dominated the transform's circuit-build stage).
+        name = fresh()
+        circuit._define(Gate.unchecked(name, gate_type, fanins))
+        return name
+
     def lower(expr: Expr) -> str:
         if isinstance(expr, Const):
             return builder.constant(expr.value)
         if isinstance(expr, Var):
             return ensure_net(expr.name)
         if isinstance(expr, Not):
-            return builder.not_(lower(expr.operand))
+            return lower_gate(GateType.NOT, (lower(expr.operand),))
         if isinstance(expr, And):
-            return builder.and_(*(lower(op) for op in expr.operands))
+            return lower_gate(GateType.AND, tuple(lower(op) for op in expr.operands))
         if isinstance(expr, Or):
-            return builder.or_(*(lower(op) for op in expr.operands))
+            return lower_gate(GateType.OR, tuple(lower(op) for op in expr.operands))
         if isinstance(expr, Xor):
-            return builder.xor_(*(lower(op) for op in expr.operands))
+            return lower_gate(GateType.XOR, tuple(lower(op) for op in expr.operands))
         raise TypeError(f"unsupported expression node {type(expr).__name__}")
 
     for net_name, expr in definitions:
         if circuit.has_net(net_name):
             raise ValueError(f"net {net_name!r} defined twice")
         driver = lower(expr)
-        circuit.add_gate(net_name, GateType.BUF, [driver])
+        circuit._define(Gate.unchecked(net_name, GateType.BUF, (driver,)))
 
     if outputs is not None:
         for output_name in outputs:

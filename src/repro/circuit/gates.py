@@ -31,12 +31,12 @@ class GateType(str, Enum):
     @property
     def is_source(self) -> bool:
         """Whether nodes of this type have no fanins."""
-        return self in (GateType.INPUT, GateType.CONST0, GateType.CONST1)
+        return self in _SOURCE_TYPES
 
     @property
     def is_unary(self) -> bool:
         """Whether the gate takes exactly one input."""
-        return self in (GateType.BUF, GateType.NOT)
+        return self in _UNARY_TYPES
 
     @property
     def min_arity(self) -> int:
@@ -46,6 +46,12 @@ class GateType(str, Enum):
         if self.is_unary:
             return 1
         return 2
+
+
+#: Frozen membership sets back the hot-path type predicates (tuple-building
+#: properties showed up in transform profiles at ~100k calls per instance).
+_SOURCE_TYPES = frozenset((GateType.INPUT, GateType.CONST0, GateType.CONST1))
+_UNARY_TYPES = frozenset((GateType.BUF, GateType.NOT))
 
 
 @dataclass(frozen=True)
@@ -77,6 +83,20 @@ class Gate:
                 f"{self.gate_type.value} gate {self.name!r} needs at least 2 fanins, "
                 f"got {len(self.fanins)}"
             )
+
+    @staticmethod
+    def unchecked(name: str, gate_type: GateType, fanins: Tuple[str, ...] = ()) -> "Gate":
+        """Build a gate skipping arity validation.
+
+        For internal rebuild paths (optimizer, sweeps) whose gates come from
+        an already-validated circuit; constructing via ``__init__`` showed up
+        in transform profiles at tens of thousands of calls per instance.
+        """
+        gate = object.__new__(Gate)
+        object.__setattr__(gate, "name", name)
+        object.__setattr__(gate, "gate_type", gate_type)
+        object.__setattr__(gate, "fanins", fanins)
+        return gate
 
     @property
     def arity(self) -> int:

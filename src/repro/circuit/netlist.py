@@ -26,7 +26,9 @@ class Circuit:
         self._gates: Dict[str, Gate] = {}
         self._inputs: List[str] = []
         self._outputs: List[str] = []
+        self._output_set: set = set()        # mirrors _outputs for O(1) membership
         self._order: List[str] = []          # insertion order of gate definitions
+        self._num_logic_gates = 0            # running count of non-source gates
         self._topo_cache: Optional[List[str]] = None
         self._engine_cache: Dict[object, object] = {}
 
@@ -58,7 +60,8 @@ class Circuit:
         """Mark an existing net as a primary output."""
         if name not in self._gates:
             raise CircuitError(f"cannot mark unknown net {name!r} as output")
-        if name not in self._outputs:
+        if name not in self._output_set:
+            self._output_set.add(name)
             self._outputs.append(name)
 
     def _define(self, gate: Gate) -> None:
@@ -66,8 +69,25 @@ class Circuit:
             raise CircuitError(f"net {gate.name!r} is already defined")
         self._gates[gate.name] = gate
         self._order.append(gate.name)
+        if not gate.gate_type.is_source:
+            self._num_logic_gates += 1
         self._topo_cache = None
         self._engine_cache.clear()
+
+    def _define_unchecked(self, gate: Gate, is_input: bool = False) -> None:
+        """Append a gate from an already-validated source (rebuild paths).
+
+        Skips the duplicate-name check and per-call cache invalidation; the
+        caller guarantees unique names and a freshly constructed circuit.
+        """
+        self._gates[gate.name] = gate
+        self._order.append(gate.name)
+        if is_input:
+            self._inputs.append(gate.name)
+        elif gate.fanins:
+            self._num_logic_gates += 1
+        elif not gate.gate_type.is_source:
+            self._num_logic_gates += 1
 
     def engine_cache(self) -> Dict[object, object]:
         """Per-netlist memo for compiled engine programs.
@@ -112,7 +132,7 @@ class Circuit:
     @property
     def num_gates(self) -> int:
         """Number of non-source gates (logic gates, including buffers and inverters)."""
-        return sum(1 for gate in self._gates.values() if not gate.gate_type.is_source)
+        return self._num_logic_gates
 
     @property
     def num_inputs(self) -> int:
@@ -141,19 +161,34 @@ class Circuit:
         """
         if self._topo_cache is not None:
             return list(self._topo_cache)
+        gates = self._gates
         in_degree: Dict[str, int] = {}
+        consumers: Dict[str, List[str]] = {}
+        ready: List[str] = []
         for name in self._order:
-            in_degree[name] = len(self._gates[name].fanins)
-        consumers = self.fanouts()
-        ready = [name for name in self._order if in_degree[name] == 0]
+            fanins = gates[name].fanins
+            in_degree[name] = len(fanins)
+            if not fanins:
+                ready.append(name)
+            for fanin in fanins:
+                existing = consumers.get(fanin)
+                if existing is None:
+                    consumers[fanin] = [name]
+                else:
+                    existing.append(name)
         order: List[str] = []
+        empty: List[str] = []
+        consumers_get = consumers.get
+        ready_append = ready.append
+        order_append = order.append
         while ready:
             current = ready.pop()
-            order.append(current)
-            for consumer in consumers[current]:
-                in_degree[consumer] -= 1
-                if in_degree[consumer] == 0:
-                    ready.append(consumer)
+            order_append(current)
+            for consumer in consumers_get(current, empty):
+                remaining = in_degree[consumer] - 1
+                in_degree[consumer] = remaining
+                if remaining == 0:
+                    ready_append(consumer)
         if len(order) != len(self._order):
             raise CircuitError("circuit contains a combinational cycle")
         self._topo_cache = order
@@ -163,12 +198,17 @@ class Circuit:
         """Return all nets in the transitive fanin cone of ``nets`` (inclusive)."""
         seen: Set[str] = set()
         stack = list(nets)
+        gates = self._gates
         while stack:
             current = stack.pop()
             if current in seen:
                 continue
             seen.add(current)
-            stack.extend(self.gate(current).fanins)
+            try:
+                gate = gates[current]
+            except KeyError as exc:
+                raise CircuitError(f"unknown net {current!r}") from exc
+            stack.extend(gate.fanins)
         return seen
 
     def depth(self) -> int:
@@ -206,7 +246,9 @@ class Circuit:
         duplicate._gates = dict(self._gates)
         duplicate._inputs = list(self._inputs)
         duplicate._outputs = list(self._outputs)
+        duplicate._output_set = set(self._output_set)
         duplicate._order = list(self._order)
+        duplicate._num_logic_gates = self._num_logic_gates
         return duplicate  # fresh engine cache: the copy may be mutated freely
 
     def replace_gate(self, name: str, gate_type: GateType, fanins: Sequence[str]) -> None:
@@ -215,7 +257,9 @@ class Circuit:
             raise CircuitError(f"unknown net {name!r}")
         if name in self._inputs:
             raise CircuitError(f"cannot redefine primary input {name!r}")
+        was_logic = not self._gates[name].gate_type.is_source
         self._gates[name] = Gate(name, gate_type, tuple(fanins))
+        self._num_logic_gates += int(not gate_type.is_source) - int(was_logic)
         self._topo_cache = None
         self._engine_cache.clear()
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.circuit.gates import Gate, GateType
+from repro.circuit.gates import Gate, GateType, _SOURCE_TYPES
 from repro.circuit.netlist import Circuit
 
 #: (gate type, sorted fanins) key used for structural hashing.
@@ -43,9 +43,19 @@ def _rebuild(
     the map keep their original definition.  Primary inputs and outputs are
     preserved.  Fanin references are resolved through the replacement map so
     that nets rewritten into buffers of other nets are bypassed.
+
+    All gates come from an already-validated circuit, so the rebuilt netlist
+    is assembled through the unchecked fast paths (this routine dominated the
+    transform's circuit-optimization stage before).
     """
     rebuilt = Circuit(circuit.name)
     alias: Dict[str, str] = {}
+    gates = circuit._gates
+    output_set = circuit._output_set
+    rebuilt_gates = rebuilt._gates
+    rebuilt_order = rebuilt._order
+    rebuilt_inputs = rebuilt._inputs
+    unchecked = Gate.unchecked
 
     def resolve(name: str) -> str:
         seen = set()
@@ -55,38 +65,59 @@ def _rebuild(
         return name
 
     for name in circuit.topological_order():
-        gate = circuit.gate(name)
-        gate_type, fanins = replacement.get(name, (gate.gate_type, gate.fanins))
-        fanins = tuple(resolve(f) for f in fanins)
+        gate = gates[name]
+        replaced = replacement.get(name)
+        if replaced is None:
+            gate_type, fanins = gate.gate_type, gate.fanins
+        else:
+            gate_type, fanins = replaced
         if gate_type == GateType.INPUT:
-            rebuilt.add_input(name)
+            rebuilt_gates[name] = gate
+            rebuilt_order.append(name)
+            rebuilt_inputs.append(name)
             continue
-        if gate_type == GateType.BUF and name not in circuit.outputs:
+        if alias:
+            fanins = tuple(resolve(f) for f in fanins)
+        if gate_type == GateType.BUF and name not in output_set:
             # Collapse pure buffers by aliasing, unless the net is an output
             # (outputs must keep their name).
             alias[name] = fanins[0]
             continue
-        if gate_type.is_source:
-            rebuilt.add_constant(name, gate_type == GateType.CONST1)
-            continue
-        rebuilt.add_gate(name, gate_type, fanins)
+        if replaced is None and fanins is gate.fanins:
+            rebuilt_gates[name] = gate  # unchanged: share the immutable record
+        else:
+            rebuilt_gates[name] = unchecked(name, gate_type, fanins)
+        rebuilt_order.append(name)
+        if gate_type not in _SOURCE_TYPES:
+            rebuilt._num_logic_gates += 1
 
     for output in circuit.outputs:
-        rebuilt.set_output(resolve(output))
-        if resolve(output) != output and not rebuilt.has_net(output):
+        resolved = resolve(output)
+        rebuilt.set_output(resolved)
+        if resolved != output and not rebuilt.has_net(output):
             # Preserve the output's name with an explicit buffer.
-            rebuilt.add_gate(output, GateType.BUF, [resolve(output)])
+            rebuilt.add_gate(output, GateType.BUF, [resolved])
             rebuilt.set_output(output)
     return rebuilt
 
 
 def constant_propagate(circuit: Circuit) -> Circuit:
     """Fold gates whose fanins include constants; returns a new circuit."""
+    gates = circuit._gates
+    if not any(
+        gate.gate_type is GateType.CONST0 or gate.gate_type is GateType.CONST1
+        for gate in gates.values()
+    ):
+        # Without constant drivers no gate can fold (``_fold_gate`` is the
+        # identity when every fanin constant is None), so the pass reduces to
+        # the plain rebuild (which still collapses non-output buffers).
+        return _rebuild(circuit, {})
+
     constant: Dict[str, bool] = {}
     replacement: Dict[str, Tuple[GateType, Tuple[str, ...]]] = {}
 
     for name in circuit.topological_order():
-        gate = circuit.gate(name)
+        gate = gates[name]
         if gate.gate_type == GateType.CONST0:
             constant[name] = False
             continue
@@ -174,14 +205,20 @@ def strash(circuit: Circuit) -> Circuit:
     """Structural hashing: merge gates with identical (type, fanins) definitions."""
     canonical: Dict[_StrashKey, str] = {}
     replacement: Dict[str, Tuple[GateType, Tuple[str, ...]]] = {}
+    gates = circuit._gates
 
     for name in circuit.topological_order():
-        gate = circuit.gate(name)
-        if gate.gate_type.is_source:
+        gate = gates[name]
+        if gate.gate_type in _SOURCE_TYPES:
             continue
         fanins = gate.fanins
         if gate.gate_type in _COMMUTATIVE:
-            fanins = tuple(sorted(fanins))
+            if len(fanins) == 2:
+                first, second = fanins
+                if second < first:
+                    fanins = (second, first)
+            else:
+                fanins = tuple(sorted(fanins))
         key: _StrashKey = (gate.gate_type.value, fanins)
         existing = canonical.get(key)
         if existing is None:
@@ -195,17 +232,15 @@ def sweep_dangling(circuit: Circuit) -> Circuit:
     """Remove gates that feed no primary output (keep all primary inputs)."""
     keep = circuit.transitive_fanin(circuit.outputs)
     swept = Circuit(circuit.name)
+    gates = circuit._gates
     for name in circuit.topological_order():
-        gate = circuit.gate(name)
+        gate = gates[name]
         if gate.gate_type == GateType.INPUT:
-            swept.add_input(name)
+            swept._define_unchecked(gate, is_input=True)
             continue
         if name not in keep:
             continue
-        if gate.gate_type.is_source:
-            swept.add_constant(name, gate.gate_type == GateType.CONST1)
-        else:
-            swept.add_gate(name, gate.gate_type, gate.fanins)
+        swept._define_unchecked(gate)
     for output in circuit.outputs:
         swept.set_output(output)
     return swept

@@ -103,6 +103,13 @@ def _build_parser() -> argparse.ArgumentParser:
     transform.add_argument("--bench", default=None, help="write the recovered circuit as .bench")
     transform.add_argument("--no-simplify", action="store_true",
                            help="skip expression simplification before adoption")
+    transform.add_argument("--profile", action="store_true",
+                           help="print per-stage wall-clock timings "
+                                "(TransformStats.stage_seconds)")
+    transform.add_argument("--reference", action="store_true",
+                           help="run the original rescan-everything reference "
+                                "implementation instead of the indexed fast "
+                                "path (identical output, for benchmarking)")
 
     instances = subparsers.add_parser("instances", help="inspect the built-in benchmark registry")
     instances.add_argument("--family", default=None, help="filter by family (or/q/iscas/prod)")
@@ -196,7 +203,11 @@ def _command_serve(arguments: argparse.Namespace) -> int:
 
 def _command_transform(arguments: argparse.Namespace) -> int:
     formula = load_formula(Path(arguments.cnf))
-    result = transform_cnf(formula, simplify_expressions=not arguments.no_simplify)
+    result = transform_cnf(
+        formula,
+        simplify_expressions=not arguments.no_simplify,
+        use_fast_path=not arguments.reference,
+    )
     stats = result.stats
     print(f"instance              : {formula.name or arguments.cnf}")
     print(f"clauses               : {stats.num_clauses}")
@@ -212,6 +223,13 @@ def _command_transform(arguments: argparse.Namespace) -> int:
     print(f"circuit operations    : {stats.circuit_operations}")
     print(f"ops reduction         : {stats.operations_reduction:.2f}x")
     print(f"transform time        : {stats.seconds:.3f} s")
+    if arguments.profile:
+        print("stage timings (seconds; signature/extraction/simplify/flush "
+              "are inside stream):")
+        for stage, seconds in sorted(
+            stats.stage_seconds.items(), key=lambda item: -item[1]
+        ):
+            print(f"  {stage:<14s}: {seconds:.4f}")
     if arguments.verilog:
         Path(arguments.verilog).write_text(to_verilog(result.circuit))
         print(f"verilog written       : {arguments.verilog}")

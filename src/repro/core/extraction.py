@@ -17,16 +17,18 @@ adopt it.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, Iterable, Optional, Sequence
 
 from repro.boolalg.expr import And, Expr, FALSE, Not, Or, TRUE, Var
-from repro.boolalg.truth_table import is_complement
+from repro.boolalg.truth_table import _var_mask, is_complement
 from repro.cnf.clause import Clause
 
 #: Default variable-name prefix used when mapping DIMACS indices to expression names.
 VAR_PREFIX = "x"
 
 
+@lru_cache(maxsize=None)
 def variable_name(index: int, prefix: str = VAR_PREFIX) -> str:
     """Name of DIMACS variable ``index`` in the expression domain (``x<k>``)."""
     if index <= 0:
@@ -34,8 +36,13 @@ def variable_name(index: int, prefix: str = VAR_PREFIX) -> str:
     return f"{prefix}{index}"
 
 
+@lru_cache(maxsize=None)
 def literal_to_expr(literal: int, prefix: str = VAR_PREFIX) -> Expr:
-    """Convert a signed DIMACS literal into a variable or negated variable."""
+    """Convert a signed DIMACS literal into a variable or negated variable.
+
+    Memoised: the transformation converts the same few thousand literals many
+    times over, and the interned AST makes the cached node safe to share.
+    """
     variable = Var(variable_name(abs(literal), prefix))
     return variable if literal > 0 else Not(variable)
 
@@ -47,8 +54,23 @@ def clause_to_expr(clause: Clause, prefix: str = VAR_PREFIX) -> Expr:
     return Or(*(literal_to_expr(literal, prefix) for literal in clause))
 
 
+@lru_cache(maxsize=131072)
+def _clause_remainder(literals: tuple, complement: int, prefix: str) -> Expr:
+    """Disjunction of ``literals`` minus ``complement`` (FALSE when empty).
+
+    Memoised per (clause literals, falsified literal) pair: the streaming
+    transformation re-derives the same clause remainders every time a
+    candidate's sub-group grows by one clause.
+    """
+    remaining = [lit for lit in literals if lit != complement]
+    if not remaining:
+        return FALSE
+    return Or(*(literal_to_expr(lit, prefix) for lit in remaining))
+
+
 def expression_for_literal(
-    literal: int, clauses: Sequence[Clause], prefix: str = VAR_PREFIX
+    literal: int, clauses: Sequence[Clause], prefix: str = VAR_PREFIX,
+    use_fast_path: bool = True,
 ) -> Expr:
     """Expression that must hold when ``literal`` is true, from ``clauses``.
 
@@ -57,11 +79,17 @@ def expression_for_literal(
     of the remaining literals must hold.  Clauses that do not mention the
     variable at all are ignored (the caller is responsible for ensuring the
     group only contains clauses over the candidate variable).
+
+    ``use_fast_path=False`` rebuilds each clause remainder instead of using
+    the memo (the seed behaviour; used by the cold-start benchmark baseline).
     """
     complement = -literal
     conjuncts = []
     for clause in clauses:
         if clause.contains(complement):
+            if use_fast_path:
+                conjuncts.append(_clause_remainder(clause.literals, complement, prefix))
+                continue
             remaining = [lit for lit in clause if lit != complement]
             if not remaining:
                 conjuncts.append(FALSE)
@@ -72,11 +100,52 @@ def expression_for_literal(
     return And(*conjuncts)
 
 
+def _raw_complement_check(
+    variable: int, clauses: Sequence[Clause], num_vars: int, positions: Dict[int, int]
+) -> bool:
+    """Bitmask complement check straight off the clause literals.
+
+    Computes the truth tables of the expressions ``expression_for_literal``
+    would derive for ``variable`` and ``-variable`` — one integer bitmask per
+    side, one big-int op per literal — without building the expressions.
+    The expression constructors' normalisations (duplicate/complement
+    folding) are semantics-preserving, and complement-ness is invariant under
+    vacuous support variables, so the answer is exactly the one
+    :func:`repro.boolalg.truth_table.is_complement` would give on the built
+    pair.
+    """
+    full = (1 << (1 << num_vars)) - 1
+    positive_bits = full
+    negative_bits = full
+
+    def remainder_bits(literals, skip) -> int:
+        disjunction = 0
+        for literal in literals:
+            if literal == skip:
+                continue
+            mask = _var_mask(num_vars, positions[abs(literal)])
+            disjunction |= mask if literal > 0 else full ^ mask
+        return disjunction
+
+    for clause in clauses:
+        literals = clause.literals
+        # A clause containing both phases (a tautology w.r.t. ``variable``)
+        # contributes a remainder to *both* sides, exactly like
+        # ``expression_for_literal`` does.
+        if -variable in literals:
+            positive_bits &= remainder_bits(literals, -variable)
+        if variable in literals:
+            negative_bits &= remainder_bits(literals, variable)
+    return positive_bits == full ^ negative_bits
+
+
 def find_boolean_expression(
     variable: int,
     clauses: Sequence[Clause],
     prefix: str = VAR_PREFIX,
     max_vars: int = 16,
+    use_fast_path: bool = True,
+    assume_all_mention: bool = False,
 ) -> Optional[Expr]:
     """Attempt to extract the defining expression of ``variable`` from a clause group.
 
@@ -91,18 +160,56 @@ def find_boolean_expression(
       to the under-specified path), or
     * the expressions extracted for ``variable`` and its negation are not
       complements (the group does not define ``variable``).
+
+    ``use_fast_path=False`` runs the complement check on the original
+    per-row dictionary enumeration instead of the memoised bitmask kernel
+    (see :func:`repro.boolalg.truth_table.is_complement`).
+    ``assume_all_mention=True`` skips the per-clause mention scan; the
+    transformation's occurrence index passes sub-groups that contain the
+    candidate by construction.
     """
     if not clauses:
         return None
-    for clause in clauses:
-        if not clause.contains(variable) and not clause.contains(-variable):
-            return None
-    positive_expr = expression_for_literal(variable, clauses, prefix)
-    negative_expr = expression_for_literal(-variable, clauses, prefix)
+    if not assume_all_mention:
+        for clause in clauses:
+            if not clause.contains(variable) and not clause.contains(-variable):
+                return None
+    if use_fast_path:
+        raw_support = set()
+        keep_variable = False
+        for clause in clauses:
+            literals = clause.literals
+            for literal in literals:
+                raw_support.add(abs(literal))
+            if variable in literals and -variable in literals:
+                # A clause tautological w.r.t. the candidate keeps the
+                # candidate itself in the derived expressions' support.
+                keep_variable = True
+        if not keep_variable:
+            raw_support.discard(variable)
+        if len(raw_support) <= max_vars:
+            # The width gate passes whatever normalisation drops (the
+            # normalised support is a subset of the raw one), so the
+            # accept/reject decision can be taken on raw clause bitmasks;
+            # the expression is only built for the rare acceptance.
+            positions = {v: j for j, v in enumerate(sorted(raw_support))}
+            if not _raw_complement_check(
+                variable, clauses, len(raw_support), positions
+            ):
+                return None
+            return expression_for_literal(variable, clauses, prefix)
+        # Wide raw support: normalisation may still shrink it under the
+        # gate, so fall through to the exact expression-based route.
+    positive_expr = expression_for_literal(
+        variable, clauses, prefix, use_fast_path=use_fast_path
+    )
+    negative_expr = expression_for_literal(
+        -variable, clauses, prefix, use_fast_path=use_fast_path
+    )
     support = positive_expr.support() | negative_expr.support()
     if len(support) > max_vars:
         return None
-    if not is_complement(positive_expr, negative_expr):
+    if not is_complement(positive_expr, negative_expr, use_fast_path=use_fast_path):
         return None
     return positive_expr
 

@@ -96,7 +96,9 @@ def gate_signature_clauses(
 
 
 def match_gate_signature(
-    candidate_output: int, clauses: Sequence[Clause]
+    candidate_output: int,
+    clauses: Sequence[Clause],
+    literal_sets: Optional[Sequence[frozenset]] = None,
 ) -> Optional[GateMatch]:
     """Recognise whether ``clauses`` form a gate signature with the given output.
 
@@ -105,52 +107,67 @@ def match_gate_signature(
     ``candidate_output``; returns ``None`` otherwise.  The match is exact —
     no missing or extra clauses are tolerated — so a successful match lets
     the transformation adopt the definition without a complement check.
+
+    The matcher dispatches on the group's *shape* (clause count and widths)
+    before comparing literal sets, and operates on plain integer-literal
+    frozensets.  Callers that already maintain per-clause literal sets (the
+    transformation's occurrence index) pass them via ``literal_sets`` to skip
+    rebuilding them per call.
     """
-    if not clauses:
+    count = len(clauses)
+    if count == 0:
         return None
-    for matcher in (_match_inverter, _match_and_or, _match_xor):
-        result = matcher(candidate_output, clauses)
-        if result is not None:
-            return result
+    if literal_sets is None:
+        groups = [frozenset(clause.literals) for clause in clauses]
+    else:
+        groups = list(literal_sets)
+    # Shape dispatch: an inverter/buffer signature is two binary clauses, an
+    # n-fanin AND/OR signature is one n+1-wide clause plus n binary clauses,
+    # a 2-fanin XOR/XNOR signature is four ternary clauses.  The AND/OR shape
+    # is tried before XOR for groups of four, matching the historical order.
+    if count == 2:
+        return _match_inverter(candidate_output, groups)
+    if count >= 3:
+        result = _match_and_or(candidate_output, groups, count)
+        if result is None and count == 4:
+            result = _match_xor(candidate_output, groups)
+        return result
     return None
 
 
-def _clause_sets(clauses: Sequence[Clause]) -> List[frozenset]:
-    return [frozenset(clause.literals) for clause in clauses]
-
-
-def _match_inverter(output: int, clauses: Sequence[Clause]) -> Optional[GateMatch]:
-    if len(clauses) != 2:
+def _match_inverter(output: int, groups: List[frozenset]) -> Optional[GateMatch]:
+    first, second = groups
+    if len(first) != 2 or len(second) != 2:
         return None
-    groups = _clause_sets(clauses)
-    if any(len(group) != 2 for group in groups):
-        return None
-    variables = set()
-    for group in groups:
-        variables.update(abs(lit) for lit in group)
+    variables = {abs(lit) for lit in first} | {abs(lit) for lit in second}
     variables.discard(abs(output))
     if len(variables) != 1:
         return None
     other = variables.pop()
+    group_set = {first, second}
     # NOT: (f | a) & (~f | ~a);   BUF: (f | ~a) & (~f | a)
-    not_signature = [frozenset({output, other}), frozenset({-output, -other})]
-    buf_signature = [frozenset({output, -other}), frozenset({-output, other})]
-    if sorted(groups, key=sorted) == sorted(not_signature, key=sorted):
+    if group_set == {frozenset({output, other}), frozenset({-output, -other})}:
         return GateMatch(GateType.NOT, abs(output), (other,))
-    if sorted(groups, key=sorted) == sorted(buf_signature, key=sorted):
+    if group_set == {frozenset({output, -other}), frozenset({-output, other})}:
         return GateMatch(GateType.BUF, abs(output), (other,))
     return None
 
 
-def _match_and_or(output: int, clauses: Sequence[Clause]) -> Optional[GateMatch]:
-    if len(clauses) < 3:
+def _match_and_or(
+    output: int, groups: List[frozenset], count: int
+) -> Optional[GateMatch]:
+    wide_clause = None
+    binary: List[frozenset] = []
+    for group in groups:
+        size = len(group)
+        if size == count:
+            if wide_clause is not None:
+                return None
+            wide_clause = group
+        elif size == 2:
+            binary.append(group)
+    if wide_clause is None or len(binary) != count - 1:
         return None
-    groups = _clause_sets(clauses)
-    wide = [group for group in groups if len(group) == len(clauses)]
-    binary = [group for group in groups if len(group) == 2]
-    if len(wide) != 1 or len(binary) != len(clauses) - 1:
-        return None
-    wide_clause = wide[0]
     # OR:  (~f | x1 | ... | xn) plus (f | ~xi) for each i.
     if -output in wide_clause:
         fanins = tuple(sorted(wide_clause - {-output}, key=abs))
@@ -166,24 +183,31 @@ def _match_and_or(output: int, clauses: Sequence[Clause]) -> Optional[GateMatch]
     return None
 
 
-def _match_xor(output: int, clauses: Sequence[Clause]) -> Optional[GateMatch]:
-    if len(clauses) != 4:
-        return None
-    groups = _clause_sets(clauses)
-    if any(len(group) != 3 for group in groups):
-        return None
+def _match_xor(output: int, groups: List[frozenset]) -> Optional[GateMatch]:
     variables = set()
     for group in groups:
+        if len(group) != 3:
+            return None
         variables.update(abs(lit) for lit in group)
     variables.discard(abs(output))
     if len(variables) != 2:
         return None
     a, b = sorted(variables)
-    for gate_type in (GateType.XOR, GateType.XNOR):
-        expected = {
-            frozenset(clause)
-            for clause in gate_signature_clauses(gate_type, abs(output), (a, b))
-        }
-        if set(groups) == expected:
-            return GateMatch(gate_type, abs(output), (a, b))
+    out = abs(output)
+    group_set = set(groups)
+    # XOR: (~f|a|b) (~f|~a|~b) (f|a|~b) (f|~a|b); XNOR negates f throughout.
+    if group_set == {
+        frozenset({-out, a, b}),
+        frozenset({-out, -a, -b}),
+        frozenset({out, a, -b}),
+        frozenset({out, -a, b}),
+    }:
+        return GateMatch(GateType.XOR, out, (a, b))
+    if group_set == {
+        frozenset({out, a, b}),
+        frozenset({out, -a, -b}),
+        frozenset({-out, a, -b}),
+        frozenset({-out, -a, b}),
+    }:
+        return GateMatch(GateType.XNOR, out, (a, b))
     return None

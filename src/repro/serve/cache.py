@@ -57,6 +57,9 @@ class SamplingArtifact:
     plan: CNFEvalPlan
     #: Wall-clock seconds the build took (transform + compiles).
     build_seconds: float
+    #: Wall-clock seconds of the transform alone — the dominant cold-start
+    #: stage, surfaced per job so cold-path latency is observable end to end.
+    transform_seconds: float = 0.0
 
     @property
     def nbytes(self) -> int:
@@ -90,6 +93,7 @@ def build_artifact(formula: CNF, signature: Optional[str] = None) -> SamplingArt
         transform=transform,
         plan=plan,
         build_seconds=time.perf_counter() - start,
+        transform_seconds=transform.stats.seconds,
     )
 
 

@@ -532,6 +532,7 @@ class SamplingService:
                 record["timed_out"] = summary.get("timed_out", False)
                 record["cache_hit"] = payload.get("cache_hit")
                 record["build_seconds"] = payload.get("build_seconds", 0.0)
+                record["transform_seconds"] = payload.get("transform_seconds", 0.0)
                 matrices.append(task_state.solutions.to_matrix())
             members.append(record)
 
@@ -556,6 +557,10 @@ class SamplingService:
                 1 for member in members if member.get("status") == "cancelled"
             ),
             "cache_hits": sum(1 for member in members if member.get("cache_hit")),
+            "build_seconds": sum(member.get("build_seconds", 0.0) for member in members),
+            "transform_seconds": sum(
+                member.get("transform_seconds", 0.0) for member in members
+            ),
             "workers": sorted(
                 {member["worker"] for member in members if member["worker"] is not None}
             ),

@@ -135,6 +135,7 @@ def execute_task(
                 "worker": worker_id,
                 "cache_hit": not built,
                 "build_seconds": artifact.build_seconds if built else 0.0,
+                "transform_seconds": artifact.transform_seconds if built else 0.0,
                 "elapsed_seconds": time.perf_counter() - start,
             },
         )

@@ -160,7 +160,9 @@ def clear_caches() -> None:
     processes that swap backends or want to release memory.
     """
     from repro.cnf import kernel as cnf_kernel
+    from repro.core.transform import clear_transform_caches
     from repro.engine import compiler as engine_compiler
 
     engine_compiler.clear_program_caches()
     cnf_kernel.clear_plan_caches()
+    clear_transform_caches()
