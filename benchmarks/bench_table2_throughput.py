@@ -73,12 +73,17 @@ def test_table2_throughput(benchmark, table2_instances, sampler_config):
 def _time_passes(step, repeats: int, passes: int) -> float:
     """Best-of-``repeats`` seconds for ``passes`` forward+backward passes.
 
-    Garbage from one contender (the interpreter's tape allocates thousands of
-    nodes per pass) must not be collected on the other's clock, so each
-    measurement starts from a collected heap.
+    One untimed warm-up call precedes the measurement so one-time costs —
+    native kernel builds / Numba JIT, plan compilation, lazy imports — land
+    outside every timed loop (they are reported separately, via
+    ``repro.native.compile_seconds``, where they matter).  Garbage from one
+    contender (the interpreter's tape allocates thousands of nodes per pass)
+    must not be collected on the other's clock, so each measurement starts
+    from a collected heap.
     """
     import gc
 
+    step()  # warm-up: compile/JIT outside the clock
     best = float("inf")
     for _ in range(repeats):
         gc.collect()

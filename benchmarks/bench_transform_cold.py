@@ -71,6 +71,10 @@ def _cold(fn):
 
 
 def _best_of(fn, repeats: int = 3) -> float:
+    # One untimed warm-up keeps process-wide one-time costs (native kernel
+    # build/JIT, lazy imports) out of the cold-start numbers; _cold still
+    # drops every per-artifact memo before each timed run.
+    _cold(fn)
     best = float("inf")
     for _ in range(repeats):
         start = time.perf_counter()

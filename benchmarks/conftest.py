@@ -83,6 +83,27 @@ def transform_min_speedup() -> float:
     return float(os.environ.get("REPRO_BENCH_TRANSFORM_MIN_SPEEDUP", "2.0"))
 
 
+def native_min_speedup() -> float:
+    """Required native-over-NumPy speedup on the best of the three measured
+    dominators (lower it on noisy shared CI; <= 0 skips the gate loudly while
+    still recording the measurement)."""
+    return float(os.environ.get("REPRO_BENCH_NATIVE_MIN_SPEEDUP", "2.0"))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_native_kernels():
+    """Bring the native kernel tier up once, before any timed region.
+
+    The C build / Numba JIT is a one-time process cost; paying it inside a
+    benchmark's first timed pass would corrupt that contender's numbers.  It
+    is reported separately (``repro.native.compile_seconds``) where the
+    cold-start accounting wants it.
+    """
+    from repro import native
+
+    native.kernels_for(None)  # auto: build the best tier, or silently none
+
+
 def serve_min_ratio() -> float:
     """Required warm-cache service / sequential-baseline unique-solutions/sec
     ratio (lower it on noisy shared CI)."""

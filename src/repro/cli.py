@@ -71,6 +71,14 @@ def _build_parser() -> argparse.ArgumentParser:
                              "'numpy:float32', 'cupy', 'torch', ... — overrides the "
                              "REPRO_ARRAY_BACKEND environment variable and the config "
                              "(precedence: env < config < CLI)")
+    sample.add_argument("--kernel", default=None,
+                        choices=["auto", "native", "python", "off", "cext", "numba"],
+                        help="native kernel mode for the hot loops: 'auto' "
+                             "(best available tier, silently none), 'native' "
+                             "(require a tier), 'python'/'off' (pure "
+                             "NumPy/Python), or a specific tier — overrides "
+                             "the REPRO_NATIVE environment variable and the "
+                             "config (precedence: env < config < CLI)")
     sample.add_argument("-o", "--output", default=None,
                         help="write solutions (signed-literal lines) to this file")
 
@@ -82,6 +90,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="worker processes (0 = run inline in this process, the default)")
     serve.add_argument("--array-backend", default=None, metavar="SPEC",
                        help="array backend each worker pins at startup "
+                            "(job configs may still override per job)")
+    serve.add_argument("--kernel", default=None,
+                       choices=["auto", "native", "python", "off", "cext", "numba"],
+                       help="native kernel mode each worker pins at startup "
                             "(job configs may still override per job)")
     serve.add_argument("--cache-entries", type=int, default=8,
                        help="per-worker artifact-cache entry bound (default 8 formulas)")
@@ -110,6 +122,10 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="run the original rescan-everything reference "
                                 "implementation instead of the indexed fast "
                                 "path (identical output, for benchmarking)")
+    transform.add_argument("--kernel", default=None,
+                           choices=["auto", "native", "python", "off", "cext", "numba"],
+                           help="native kernel mode for the complement-scan "
+                                "fast path (see 'sample --kernel')")
 
     instances = subparsers.add_parser("instances", help="inspect the built-in benchmark registry")
     instances.add_argument("--family", default=None, help="filter by family (or/q/iscas/prod)")
@@ -120,6 +136,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _command_sample(arguments: argparse.Namespace) -> int:
+    from repro.native import use_kernel
+
     formula = load_formula(Path(arguments.cnf))
     config = SamplerConfig(
         batch_size=arguments.batch_size,
@@ -130,8 +148,14 @@ def _command_sample(arguments: argparse.Namespace) -> int:
         device=get_device(arguments.device),
         backend=arguments.backend,
         array_backend=arguments.array_backend,
+        kernel=arguments.kernel,
     )
-    result = sample_cnf(formula, num_solutions=arguments.num_solutions, config=config)
+    # The kernel scope also covers the transform inside the pipeline (the
+    # sampler re-applies config.kernel around its own runs).
+    with use_kernel(arguments.kernel):
+        result = sample_cnf(
+            formula, num_solutions=arguments.num_solutions, config=config
+        )
     sample = result.sample
     print(f"instance           : {formula.name or arguments.cnf}")
     print(f"variables / clauses: {formula.num_variables} / {formula.num_clauses}")
@@ -165,6 +189,7 @@ def _command_serve(arguments: argparse.Namespace) -> int:
     with SamplingService(
         num_workers=arguments.workers,
         array_backend=arguments.array_backend,
+        kernel=arguments.kernel,
         cache_entries=arguments.cache_entries,
         cache_bytes=cache_bytes,
     ) as service:
@@ -202,12 +227,15 @@ def _command_serve(arguments: argparse.Namespace) -> int:
 
 
 def _command_transform(arguments: argparse.Namespace) -> int:
+    from repro.native import use_kernel
+
     formula = load_formula(Path(arguments.cnf))
-    result = transform_cnf(
-        formula,
-        simplify_expressions=not arguments.no_simplify,
-        use_fast_path=not arguments.reference,
-    )
+    with use_kernel(arguments.kernel):
+        result = transform_cnf(
+            formula,
+            simplify_expressions=not arguments.no_simplify,
+            use_fast_path=not arguments.reference,
+        )
     stats = result.stats
     print(f"instance              : {formula.name or arguments.cnf}")
     print(f"clauses               : {stats.num_clauses}")

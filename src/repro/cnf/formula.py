@@ -12,6 +12,7 @@ from repro.cnf.kernel import (
     compile_evaluation_plan,
     register_plan_owner,
     resolve_backend,
+    resolve_native_kernels,
 )
 from repro.xp import backend_for, to_numpy
 
@@ -169,9 +170,11 @@ class CNF:
         Column ``j`` of ``assignments`` holds the value of variable ``j + 1``.
         Returns a boolean vector of length ``batch`` that is ``True`` where all
         clauses are satisfied.  ``backend`` selects the implementation
-        (``"compiled"``, ``"packed"`` or the clause-loop ``"reference"``);
-        ``None`` uses :func:`repro.cnf.kernel.default_backend`.  All backends
-        are bitwise-identical.
+        (``"compiled"``, ``"packed"``, the compiled-C/Numba ``"native"`` or
+        the clause-loop ``"reference"``); ``None`` uses
+        :func:`repro.cnf.kernel.default_backend`.  All backends are
+        bitwise-identical.  Like ``"reference"``, the ``"native"`` kernel runs
+        host-side and returns a NumPy result.
         """
         matrix, xpb = self._check_assignment_matrix(assignments)
         backend = resolve_backend(backend)
@@ -179,6 +182,9 @@ class CNF:
             # The clause loop is a host-side reference implementation.
             return self._evaluate_batch_reference(np.asarray(to_numpy(matrix)))
         plan = self.evaluation_plan()
+        if backend == "native":
+            kernels = resolve_native_kernels()
+            return kernels.cnf_evaluate(plan, np.asarray(to_numpy(matrix)))
         if backend == "packed":
             return plan.evaluate_packed(matrix, xpb)
         return plan.evaluate(matrix, xpb)
@@ -193,9 +199,15 @@ class CNF:
         per-clause counting form, so it falls back to ``"compiled"``).
         """
         matrix, xpb = self._check_assignment_matrix(assignments)
-        if resolve_backend(backend) == "reference":
+        backend = resolve_backend(backend)
+        if backend == "reference":
             return self._unsatisfied_clause_counts_reference(
                 np.asarray(to_numpy(matrix))
+            )
+        if backend == "native":
+            kernels = resolve_native_kernels()
+            return kernels.cnf_unsatisfied_counts(
+                self.evaluation_plan(), np.asarray(to_numpy(matrix))
             )
         return self.evaluation_plan().unsatisfied_counts(matrix, xpb)
 

@@ -62,7 +62,7 @@ if TYPE_CHECKING:  # avoid a runtime import cycle with repro.cnf.formula
     from repro.cnf.formula import CNF
 
 #: Accepted values for the evaluation-backend knob.
-BACKENDS = ("compiled", "packed", "reference")
+BACKENDS = ("compiled", "packed", "reference", "native")
 
 #: Environment variable consulted for the process-wide default backend.
 BACKEND_ENV_VAR = "REPRO_CNF_BACKEND"
@@ -94,6 +94,29 @@ def _validate_backend(name: str) -> str:
     return name
 
 
+def resolve_native_kernels():
+    """The native kernel set backing ``backend="native"`` (never ``None``).
+
+    An explicitly requested native CNF backend fails loudly — with
+    :class:`~repro.xp.backend.BackendUnavailableError` — when native kernels
+    are disabled (``REPRO_NATIVE=off``) or no tier can be brought up,
+    mirroring how explicitly requested array backends fail.
+    """
+    from repro import native
+    from repro.xp.backend import BackendUnavailableError
+
+    mode = native.resolve_mode(None)
+    if mode == "python":
+        raise BackendUnavailableError(
+            'CNF backend "native" requested but native kernels are disabled '
+            f"(mode 'python' via ${native.NATIVE_ENV_VAR} or "
+            "repro.native.set_default_mode)"
+        )
+    # A tier-specific default mode keeps selecting that tier; "auto" hardens
+    # to "native" so the explicit backend request fails loudly if unavailable.
+    return native.kernels_for("native" if mode == "auto" else mode)
+
+
 @dataclass(frozen=True)
 class CNFEvalPlan:
     """A compiled, formula-specific batch-evaluation plan (immutable)."""
@@ -117,6 +140,10 @@ class CNFEvalPlan:
     num_empty: int
     #: Per-array-backend uploads of the index arrays (keyed by cache_key).
     _device_arrays: Dict[str, Tuple] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    #: Native-kernel layouts of the index arrays (see :mod:`repro.native.kernels`).
+    _native_arrays: Dict[str, object] = field(
         default_factory=dict, repr=False, compare=False
     )
 

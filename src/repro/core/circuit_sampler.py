@@ -32,6 +32,7 @@ from repro.engine.train import learn_batch as engine_learn_batch
 from repro.tensor.optim import make_optimizer
 from repro.tensor.tensor import Tensor
 from repro.tensor.functional import sigmoid
+from repro.native import use_kernel
 from repro.xp import use_backend
 
 
@@ -130,7 +131,7 @@ class CircuitSampler:
         (between rounds, device chunks and GD iterations); a truthy return
         halts the run cooperatively with ``stopped_early`` set on the result.
         """
-        with use_backend(self._xp):
+        with use_backend(self._xp), use_kernel(self.config.kernel):
             return self._sample(num_solutions, should_stop)
 
     def _sample(

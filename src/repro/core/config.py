@@ -53,6 +53,11 @@ class SamplerConfig:
     #: NumPy) — precedence: environment < config < CLI (the CLI writes this
     #: field, so it wins).
     array_backend: Optional[str] = None
+    #: Native kernel mode ("auto", "native", "python"/"off", "cext", "numba")
+    #: scoping :mod:`repro.native` for this sampler's runs.  ``None`` leaves
+    #: the process default (``REPRO_NATIVE`` env or "auto") in place —
+    #: precedence: environment < config < CLI (the CLI writes this field).
+    kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
         check_positive("batch_size", self.batch_size)
@@ -76,6 +81,12 @@ class SamplerConfig:
             # Syntax/registration check only; availability (e.g. CuPy import)
             # is verified at resolution time with a precise error.
             validate_spec(self.array_backend)
+        if self.kernel is not None:
+            from repro.native import resolve_mode
+
+            # Vocabulary check only; tier availability is resolved at run
+            # time (explicit tiers then fail with a precise error).
+            resolve_mode(self.kernel)
 
     def resolve_array_backend(self):
         """The :class:`~repro.xp.backend.ArrayBackend` this config selects.

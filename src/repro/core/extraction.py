@@ -175,31 +175,82 @@ def find_boolean_expression(
             if not clause.contains(variable) and not clause.contains(-variable):
                 return None
     if use_fast_path:
-        raw_support = set()
-        keep_variable = False
-        for clause in clauses:
-            literals = clause.literals
-            for literal in literals:
-                raw_support.add(abs(literal))
-            if variable in literals and -variable in literals:
-                # A clause tautological w.r.t. the candidate keeps the
-                # candidate itself in the derived expressions' support.
-                keep_variable = True
-        if not keep_variable:
-            raw_support.discard(variable)
-        if len(raw_support) <= max_vars:
-            # The width gate passes whatever normalisation drops (the
-            # normalised support is a subset of the raw one), so the
-            # accept/reject decision can be taken on raw clause bitmasks;
-            # the expression is only built for the rare acceptance.
-            positions = {v: j for j, v in enumerate(sorted(raw_support))}
-            if not _raw_complement_check(
-                variable, clauses, len(raw_support), positions
-            ):
+        kernels = _scan_kernels() if max_vars <= _NATIVE_MAX_VARS else None
+        if kernels is not None:
+            # The native scan fuses the prelude below (raw support, tautology
+            # rule, width gate) with the bitmask complement check over uint64
+            # words; verdicts are pinned decision-for-decision to this
+            # function's Python path by tests/native/.
+            verdict = kernels.complement_scan(variable, clauses, max_vars)
+            if verdict == 0:
                 return None
-            return expression_for_literal(variable, clauses, prefix)
-        # Wide raw support: normalisation may still shrink it under the
-        # gate, so fall through to the exact expression-based route.
+            if verdict == 1:
+                return expression_for_literal(variable, clauses, prefix)
+            # verdict -1: raw support wider than max_vars — normalisation may
+            # still shrink it, so fall through to the exact expression route.
+        else:
+            return _find_boolean_expression_fast(
+                variable, clauses, prefix, max_vars, use_fast_path
+            )
+    return _find_boolean_expression_exact(
+        variable, clauses, prefix, max_vars, use_fast_path
+    )
+
+
+def _scan_kernels():
+    """Native kernels for the complement scan, or ``None`` (pure-Python path)."""
+    from repro import native
+
+    return native.kernels_for(None)
+
+
+_NATIVE_MAX_VARS = 16
+
+
+def _find_boolean_expression_fast(
+    variable: int,
+    clauses: Sequence[Clause],
+    prefix: str,
+    max_vars: int,
+    use_fast_path: bool,
+) -> Optional[Expr]:
+    """The pure-Python fast path (big-int bitmask complement check)."""
+    raw_support = set()
+    keep_variable = False
+    for clause in clauses:
+        literals = clause.literals
+        for literal in literals:
+            raw_support.add(abs(literal))
+        if variable in literals and -variable in literals:
+            # A clause tautological w.r.t. the candidate keeps the
+            # candidate itself in the derived expressions' support.
+            keep_variable = True
+    if not keep_variable:
+        raw_support.discard(variable)
+    if len(raw_support) <= max_vars:
+        # The width gate passes whatever normalisation drops (the
+        # normalised support is a subset of the raw one), so the
+        # accept/reject decision can be taken on raw clause bitmasks;
+        # the expression is only built for the rare acceptance.
+        positions = {v: j for j, v in enumerate(sorted(raw_support))}
+        if not _raw_complement_check(variable, clauses, len(raw_support), positions):
+            return None
+        return expression_for_literal(variable, clauses, prefix)
+    # Wide raw support: normalisation may still shrink it under the
+    # gate, so fall through to the exact expression-based route.
+    return _find_boolean_expression_exact(
+        variable, clauses, prefix, max_vars, use_fast_path
+    )
+
+
+def _find_boolean_expression_exact(
+    variable: int,
+    clauses: Sequence[Clause],
+    prefix: str,
+    max_vars: int,
+    use_fast_path: bool,
+) -> Optional[Expr]:
+    """The exact expression-based route (builds both sides, normalised support)."""
     positive_expr = expression_for_literal(
         variable, clauses, prefix, use_fast_path=use_fast_path
     )

@@ -54,6 +54,7 @@ from repro.engine.train import learn_batch as engine_learn_batch
 from repro.tensor.optim import make_optimizer
 from repro.tensor.tensor import Tensor
 from repro.tensor.functional import sigmoid
+from repro.native import use_kernel
 from repro.xp import use_backend
 
 
@@ -179,7 +180,7 @@ class GradientSATSampler:
         hook ``repro.serve`` uses to forward incremental results.  The whole
         run executes on the configured array backend.
         """
-        with use_backend(self._xp):
+        with use_backend(self._xp), use_kernel(self.config.kernel):
             return self._sample(num_solutions, should_stop, on_round)
 
     def _sample(
@@ -275,7 +276,7 @@ class GradientSATSampler:
         iteration, returning the cumulative unique-solution count per
         iteration (index 0 is the random initialisation before any update).
         """
-        with use_backend(self._xp):
+        with use_backend(self._xp), use_kernel(self.config.kernel):
             return self._learning_curve(max_iterations, batch_size)
 
     def _learning_curve(

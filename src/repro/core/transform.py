@@ -749,6 +749,9 @@ def transform_cnf(
         (the equivalence suite asserts it field by field), just slower.
     """
     start = _perf()
+    from repro import native as native_kernels
+
+    compile_before = native_kernels.compile_seconds()
     clauses = list(formula.clauses)
     stats = TransformStats(num_clauses=len(clauses))
     stats.cnf_operations = formula.two_input_operation_count()
@@ -816,6 +819,11 @@ def transform_cnf(
 
     stats.circuit_operations = two_input_gate_equivalents(circuit)
     stats.num_definitions = len(definitions)
+    compile_delta = native_kernels.compile_seconds() - compile_before
+    if compile_delta > 0.0:
+        # One-time native kernel build cost incurred during this transform;
+        # recorded as its own stage so cold numbers can be read warm.
+        stats.add_stage("native_compile", compile_delta)
     stats.seconds = _perf() - start
 
     intermediate_variables = [

@@ -33,8 +33,32 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.engine.program import OP_ADD, OP_MUL, OP_NOT, CompiledProgram
 from repro.xp import ArrayBackend, active_backend, backend_for, get_backend
+
+#: Float dtypes the native engine kernels cover.
+_NATIVE_FLOAT_DTYPES = (np.dtype(np.float64), np.dtype(np.float32))
+
+
+def _native_kernels(xpb: ArrayBackend, float_mode: bool = False):
+    """The native kernel set to engage for an execution on ``xpb``, or ``None``.
+
+    Native execution engages automatically when the backend is NumPy and a
+    native tier is importable (mode ``auto``); explicitly requested modes
+    (``native``/``cext``/``numba``) raise
+    :class:`~repro.xp.backend.BackendUnavailableError` when unavailable, and
+    ``python`` disables the fast path outright.  Device backends always run
+    the array-program path — their data is not host-addressable.
+    """
+    if not xpb.is_numpy:
+        return None
+    if float_mode and np.dtype(xpb.float_dtype) not in _NATIVE_FLOAT_DTYPES:
+        return None
+    from repro import native
+
+    return native.kernels_for(None)
 
 
 class ForwardCache:
@@ -57,6 +81,22 @@ class ForwardCache:
     ) -> None:
         self.values = values
         self.operands = operands
+        self.xpb = xpb
+
+
+class NativeForwardCache:
+    """Forward state of a native-kernel execution (no per-block gathers).
+
+    The native forward runs in place over the slot matrix, so the reverse
+    pass needs only the matrix itself plus the kernel set that produced it —
+    :func:`backward` dispatches on the cache type.
+    """
+
+    __slots__ = ("values", "kernels", "xpb")
+
+    def __init__(self, values, kernels, xpb: ArrayBackend) -> None:
+        self.values = values
+        self.kernels = kernels
         self.xpb = xpb
 
 
@@ -92,6 +132,13 @@ def forward(
     values = _base_values(program, batch, xpb, xpb.float_dtype, 0.0, 1.0)
     if program.num_inputs:
         values[: program.num_inputs] = probabilities.T[program.input_columns]
+    kernels = _native_kernels(xpb, float_mode=True)
+    if kernels is not None:
+        # One C/jitted pass over the flat op stream; elementwise per op, so
+        # bitwise identical to the fused block path below.
+        kernels.engine_forward(program, values)
+        outputs = xpb.copy(values[program.output_slots].T)
+        return outputs, NativeForwardCache(values, kernels, xpb)
     operands: List[Optional[Tuple]] = []
     for block in program.blocks:
         out = values[block.out_start : block.out_stop]
@@ -133,6 +180,15 @@ def backward(
         )
     grads = xpb.zeros_like(values)
     program.output_plan.scatter(grads, output_grads.T, xpb)
+    if isinstance(cache, NativeForwardCache):
+        # Sequential per-op reverse accumulation; matches the block path
+        # within the engine's 1e-10 gradient contract (NumPy's scatter
+        # reductions use platform-dependent accumulation orders).
+        cache.kernels.engine_backward(program, values, grads)
+        input_grads = xpb.zeros((batch, program.input_width), dtype=xpb.float_dtype)
+        if program.num_inputs:
+            input_grads[:, program.input_columns] = grads[: program.num_inputs].T
+        return input_grads
     for index in range(len(program.blocks) - 1, -1, -1):
         block = program.blocks[index]
         g = grads[block.out_start : block.out_stop]
@@ -174,6 +230,10 @@ def execute_bool(
     values = _base_values(program, batch, xpb, xpb.bool_dtype, False, True)
     if program.num_inputs:
         values[: program.num_inputs] = input_matrix.T[program.input_columns]
+    kernels = _native_kernels(xpb)
+    if kernels is not None:
+        kernels.engine_execute_bool(program, values)
+        return {name: values[slot] for name, slot in program.net_slot.items()}
     for block in program.blocks:
         out = values[block.out_start : block.out_stop]
         a = values[block.a_slots]
@@ -236,6 +296,13 @@ def execute_packed(
         values[program.const1_slot] = xpb.packed_ones_u64
     for slot, column in enumerate(columns):
         values[slot] = column
+    kernels = _native_kernels(xpb)
+    if kernels is not None:
+        kernels.engine_execute_packed(program, values)
+        return {
+            name: values[slot].reshape(shape)
+            for name, slot in program.net_slot.items()
+        }
     for block in program.blocks:
         out = values[block.out_start : block.out_stop]
         a = values[block.a_slots]

@@ -63,6 +63,7 @@ CONFIG_FIELDS = (
     "stall_rounds",
     "timeout_seconds",
     "array_backend",
+    "kernel",
 )
 
 

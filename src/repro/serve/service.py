@@ -141,7 +141,7 @@ class _WorkerHandle:
     """One spawned worker process and its task/cancel queues."""
 
     def __init__(self, context, worker_id, result_queue, backend_spec,
-                 cache_entries, cache_bytes) -> None:
+                 kernel_mode, cache_entries, cache_bytes) -> None:
         self.worker_id = worker_id
         self.task_queue = context.Queue()
         self.cancel_queue = context.Queue()
@@ -155,6 +155,7 @@ class _WorkerHandle:
                 backend_spec,
                 cache_entries,
                 cache_bytes,
+                kernel_mode,
             ),
             daemon=True,
             name=f"repro-serve-worker-{worker_id}",
@@ -175,6 +176,11 @@ class SamplingService:
         ``"numpy:float32"``, ...).  Tasks whose config names a backend keep
         their own choice.  ``None`` leaves the workers on the process
         default.
+    kernel:
+        Native kernel mode (:mod:`repro.native`: ``"auto"``, ``"native"``,
+        ``"python"``/``"off"``, ``"cext"``, ``"numba"``) each worker pins at
+        startup; job configs with a ``kernel`` field keep their own choice.
+        ``None`` leaves the process default (``REPRO_NATIVE``) in place.
     cache_entries / cache_bytes:
         Bounds of each worker's formula-keyed artifact cache (LRU over
         entry count *and* total compiled bytes).
@@ -185,13 +191,19 @@ class SamplingService:
         num_workers: int = 0,
         *,
         array_backend: Optional[str] = None,
+        kernel: Optional[str] = None,
         cache_entries: int = DEFAULT_MAX_ENTRIES,
         cache_bytes: Optional[int] = DEFAULT_MAX_BYTES,
     ) -> None:
         if num_workers < 0:
             raise ValueError(f"num_workers must be non-negative, got {num_workers}")
+        if kernel is not None:
+            from repro.native import resolve_mode
+
+            resolve_mode(kernel)  # vocabulary check; availability at run time
         self.num_workers = num_workers
         self.array_backend = array_backend
+        self.kernel = kernel
         self._jobs: Dict[str, _JobState] = {}
         self._pending_inline: List[str] = []
         self._coalesce = CoalesceTable()
@@ -214,7 +226,7 @@ class SamplingService:
             self._workers = [
                 _WorkerHandle(
                     context, worker_id, self._result_queue, array_backend,
-                    cache_entries, cache_bytes,
+                    kernel, cache_entries, cache_bytes,
                 )
                 for worker_id in range(num_workers)
             ]
@@ -533,6 +545,8 @@ class SamplingService:
                 record["cache_hit"] = payload.get("cache_hit")
                 record["build_seconds"] = payload.get("build_seconds", 0.0)
                 record["transform_seconds"] = payload.get("transform_seconds", 0.0)
+                record["kernel_tier"] = payload.get("kernel_tier")
+                record["compile_seconds"] = payload.get("compile_seconds", 0.0)
                 matrices.append(task_state.solutions.to_matrix())
             members.append(record)
 
@@ -560,6 +574,19 @@ class SamplingService:
             "build_seconds": sum(member.get("build_seconds", 0.0) for member in members),
             "transform_seconds": sum(
                 member.get("transform_seconds", 0.0) for member in members
+            ),
+            # One-time native kernel build/JIT cost incurred by this job's
+            # members, and the tiers that ran — kept separate from the
+            # sampling seconds so cold and warm runs stay comparable.
+            "compile_seconds": sum(
+                member.get("compile_seconds", 0.0) for member in members
+            ),
+            "kernel_tiers": sorted(
+                {
+                    str(member["kernel_tier"])
+                    for member in members
+                    if member.get("kernel_tier") is not None
+                }
             ),
             "workers": sorted(
                 {member["worker"] for member in members if member["worker"] is not None}
@@ -630,16 +657,21 @@ class SamplingService:
                         "cache_hit": None,
                         "build_seconds": 0.0,
                         "elapsed_seconds": 0.0,
+                        "kernel_tier": None,
+                        "compile_seconds": 0.0,
                     },
                 )
                 continue
-            execute_task(
-                self._task_payload(state, task_state),
-                self._inline_cache,
-                should_stop=lambda: state.cancelled,
-                emit=self._handle_message,
-                worker_id=0,
-            )
+            from repro.native import use_kernel
+
+            with use_kernel(self.kernel):
+                execute_task(
+                    self._task_payload(state, task_state),
+                    self._inline_cache,
+                    should_stop=lambda: state.cancelled,
+                    emit=self._handle_message,
+                    worker_id=0,
+                )
 
     # -- internals: worker-pool pumping --------------------------------------------------
     def _pump(self, block: bool) -> bool:

@@ -79,6 +79,8 @@ def execute_task(
     Never raises: failures are reported as an ``"error"`` message so a bad
     job cannot take its worker down.
     """
+    from repro import native
+
     key = task["key"]
     try:
         if should_stop is not None and should_stop():
@@ -92,10 +94,13 @@ def execute_task(
                     "cache_hit": None,
                     "build_seconds": 0.0,
                     "elapsed_seconds": 0.0,
+                    "kernel_tier": None,
+                    "compile_seconds": 0.0,
                 },
             )
             return
         start = time.perf_counter()
+        compile_before = native.compile_seconds()
         artifact, built = cache.get_or_build(
             signature=task["signature"],
             loader=lambda: load_source(task["source"]),
@@ -137,6 +142,12 @@ def execute_task(
                 "build_seconds": artifact.build_seconds if built else 0.0,
                 "transform_seconds": artifact.transform_seconds if built else 0.0,
                 "elapsed_seconds": time.perf_counter() - start,
+                # Which native kernel tier this task's config resolves to
+                # ("python" = pure NumPy paths) and any one-time kernel
+                # build/JIT cost incurred while it ran — kept out of the
+                # sampling seconds so cold and warm runs stay comparable.
+                "kernel_tier": native.active_tier(config.kernel) or "python",
+                "compile_seconds": native.compile_seconds() - compile_before,
             },
         )
     except BaseException as error:  # noqa: BLE001 - the worker must survive
@@ -159,12 +170,17 @@ def worker_main(
     backend_spec: Optional[str],
     cache_entries: int = DEFAULT_MAX_ENTRIES,
     cache_bytes: Optional[int] = DEFAULT_MAX_BYTES,
+    kernel_mode: Optional[str] = None,
 ) -> None:
     """Entry point of one worker process: loop until the ``None`` sentinel."""
     import repro.xp as xp
 
     if backend_spec is not None:
         xp.set_active_backend(xp.get_backend(backend_spec))
+    if kernel_mode is not None:
+        from repro.native import set_default_mode
+
+        set_default_mode(kernel_mode)
     cache = ArtifactCache(max_entries=cache_entries, max_bytes=cache_bytes)
     cancelled_groups: Set[object] = set()
 

@@ -153,12 +153,15 @@ def to_numpy(array) -> np.ndarray:
 def clear_caches() -> None:
     """Drop every memoised compiled artifact in the process.
 
-    Clears the per-circuit compiled-program memos of the engine and the
+    Clears the per-circuit compiled-program memos of the engine, the
     per-formula CNF evaluation plans (including their per-backend device
-    copies).  Until now these caches could only be invalidated by mutating
-    the owning circuit/formula; this is the explicit hook for long-lived
-    processes that swap backends or want to release memory.
+    copies) and the per-artifact native-kernel layouts
+    (:func:`repro.native.clear_caches`).  Until now these caches could only
+    be invalidated by mutating the owning circuit/formula; this is the
+    explicit hook for long-lived processes that swap backends or want to
+    release memory.
     """
+    from repro import native
     from repro.cnf import kernel as cnf_kernel
     from repro.core.transform import clear_transform_caches
     from repro.engine import compiler as engine_compiler
@@ -166,3 +169,4 @@ def clear_caches() -> None:
     engine_compiler.clear_program_caches()
     cnf_kernel.clear_plan_caches()
     clear_transform_caches()
+    native.clear_caches()

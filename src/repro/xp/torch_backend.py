@@ -3,11 +3,16 @@
 Torch's array API diverges from NumPy (``dim`` vs ``axis``, ``clone`` vs
 ``copy``, no unsigned 64-bit dtype), so unlike :class:`CupyBackend` this is
 a method-by-method adapter rather than a re-binding.  The packed (uint64 /
-``packbits``) execution modes cannot run natively — Torch has no ``uint64``
-— so :attr:`supports_packed` is ``False`` and callers route those kernels
-through the NumPy reference instead.  Construction raises
-:class:`~repro.xp.backend.BackendUnavailableError` when ``import torch``
-fails; the registry and the test suite skip the backend in that case.
+``packbits``) execution modes run natively on a **bit-view policy**: packed
+words live in ``int64`` tensors carrying the same 64 bit lanes (``uint64``
+host arrays are reinterpreted with ``.view(int64)`` at the boundary, the
+all-ones constant is ``-1``), which is sound because every packed kernel is
+pure bitwise logic — no ordering or arithmetic ever touches the words.
+Downloaded packed results therefore come back as ``int64``; view them as
+``uint64`` to compare bit patterns against the NumPy reference.
+Construction raises :class:`~repro.xp.backend.BackendUnavailableError` when
+``import torch`` fails; the registry and the test suite skip the backend in
+that case.
 """
 
 from __future__ import annotations
@@ -24,7 +29,7 @@ class TorchBackend(ArrayBackend):
 
     name = "torch"
     is_numpy = False
-    supports_packed = False
+    supports_packed = True
 
     def __init__(self, float_dtype=None, device: str = None) -> None:
         try:
@@ -45,12 +50,21 @@ class TorchBackend(ArrayBackend):
             np.dtype(np.bool_): torch.bool,
             np.dtype(np.uint8): torch.uint8,
             np.dtype(np.int64): torch.int64,
+            np.dtype(np.uint64): torch.int64,  # bit-view policy (see module docstring)
         }
         # Torch's native dtype objects double as this backend's dtype policy.
         self.bool_dtype = torch.bool
         self.uint8_dtype = torch.uint8
-        self.uint64_dtype = None  # torch has no uint64: packed modes fall back
+        self.uint64_dtype = torch.int64  # uint64 words as int64 bit views
         self.int64_dtype = torch.int64
+        self.packed_ones_u8 = 0xFF
+        self.packed_ones_u64 = -1  # int64 all-ones bit pattern
+        #: MSB-first bit positions/weights shared by the packbits family.
+        self._bit_shifts = torch.arange(7, -1, -1, dtype=torch.uint8, device=self.device)
+        self._bit_weights = (
+            torch.tensor([128, 64, 32, 16, 8, 4, 2, 1], dtype=torch.uint8)
+            .to(self.device)
+        )
         # Device copies of segment-id vectors, keyed by the (tiny, per-plan)
         # offsets bytes — rebuilding + re-uploading them on every gradient
         # scatter would put a host-to-device transfer in the hot loop.
@@ -70,10 +84,15 @@ class TorchBackend(ArrayBackend):
         return np.asarray(array)
 
     def from_numpy(self, array):
-        return self.torch.as_tensor(np.asarray(array), device=self.device)
+        array = np.asarray(array)
+        if array.dtype == np.uint64:  # bit-view policy: uint64 words ride as int64
+            array = array.view(np.int64)
+        return self.torch.as_tensor(array, device=self.device)
 
     # -- creation -----------------------------------------------------------------------
     def asarray(self, array, dtype=None):
+        if isinstance(array, np.ndarray) and array.dtype == np.uint64:
+            array = array.view(np.int64)
         return self.torch.as_tensor(
             array, dtype=self._torch_dtype(dtype), device=self.device
         )
@@ -212,3 +231,58 @@ class TorchBackend(ArrayBackend):
         if empty.size:  # reduceat quirk: an empty segment yields a[offsets[i]]
             out[empty] = a[offsets[empty]]
         return out
+
+    # -- bit packing (native: the uint8 word layer of the packed kernels) ---------------
+    def _unpack_last_axis(self, words):
+        """``uint8`` words ``(..., W)`` -> MSB-first bits ``(..., W * 8)``."""
+        bits = (words.unsqueeze(-1) >> self._bit_shifts) & 1
+        return bits.reshape(*words.shape[:-1], words.shape[-1] * 8)
+
+    def _pack_last_axis(self, bits):
+        """0/1 values ``(..., N)`` -> MSB-first ``uint8`` words ``(..., ceil(N/8))``."""
+        length = bits.shape[-1]
+        padded = -length % 8
+        bits = bits.to(self.torch.uint8)
+        if padded:
+            bits = self.torch.nn.functional.pad(bits, (0, padded))
+        grouped = bits.reshape(*bits.shape[:-1], bits.shape[-1] // 8, 8)
+        return (grouped * self._bit_weights).sum(dim=-1).to(self.torch.uint8)
+
+    def packbits(self, a, axis=None):
+        if axis is None:
+            return self._pack_last_axis(a.reshape(-1))
+        if axis != -1 and axis != a.dim() - 1:
+            raise NotImplementedError("TorchBackend packbits packs the last axis only")
+        return self._pack_last_axis(a)
+
+    def unpackbits(self, a, count=None):
+        bits = self._unpack_last_axis(a.reshape(-1))
+        return bits if count is None else bits[:count]
+
+    def bitwise_or_reduceat(self, a, offsets, axis: int = 0):
+        """Segmented OR of ``uint8`` words: unpack to bits, segment-sum, repack.
+
+        A summed bit is set iff any word in the segment had it set, so
+        thresholding the :meth:`add_reduceat` result at zero *is* the OR —
+        and the reduceat empty-segment quirk (yield ``a[offsets[i]]``) comes
+        along for free because a lone 0/1 row thresholds to itself.
+        """
+        if axis != 0:
+            raise NotImplementedError("TorchBackend bitwise_or_reduceat supports axis=0 only")
+        bits = self._unpack_last_axis(a).to(self.torch.int32)
+        summed = self.add_reduceat(bits, offsets, axis=0)
+        return self._pack_last_axis(summed > 0)
+
+    def bitwise_and_reduce(self, a, axis: int = 0):
+        """AND along one axis by pairwise halving (log2 rounds of fused ANDs)."""
+        if axis != 0:
+            raise NotImplementedError("TorchBackend bitwise_and_reduce supports axis=0 only")
+        if a.shape[0] == 0:  # ufunc identity: all-ones words
+            return ~self.torch.zeros(a.shape[1:], dtype=a.dtype, device=self.device)
+        while a.shape[0] > 1:
+            half = a.shape[0] // 2
+            folded = self.torch.bitwise_and(a[:half], a[half : 2 * half])
+            if a.shape[0] % 2:
+                folded = self.torch.cat([folded, a[2 * half :]])
+            a = folded
+        return a[0]

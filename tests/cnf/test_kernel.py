@@ -12,6 +12,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro import native
 from repro.cnf.formula import CNF
 from repro.cnf.kernel import (
     BACKENDS,
@@ -20,6 +21,15 @@ from repro.cnf.kernel import (
     set_default_backend,
 )
 from tests.conftest import all_assignments
+
+#: Backends runnable on this host/configuration: "native" drops out when no
+#: tier can be brought up or kernels are disabled (REPRO_NATIVE=off), the
+#: same auto-skip the missing CuPy/Torch array backends get.
+RUNNABLE_BACKENDS = tuple(
+    backend
+    for backend in BACKENDS
+    if backend != "native" or native.kernels_for(None) is not None
+)
 
 
 @st.composite
@@ -99,26 +109,26 @@ class TestEdgeCases:
     def test_no_clauses_satisfies_everything(self):
         formula = CNF(num_variables=3)
         matrix = all_assignments(3)
-        for backend in BACKENDS:
+        for backend in RUNNABLE_BACKENDS:
             assert formula.evaluate_batch(matrix, backend=backend).all()
         assert (formula.unsatisfied_clause_counts(matrix) == 0).all()
 
     def test_zero_variable_formula(self):
         formula = CNF(num_variables=0)
         matrix = np.zeros((4, 0), dtype=bool)
-        for backend in BACKENDS:
+        for backend in RUNNABLE_BACKENDS:
             assert formula.evaluate_batch(matrix, backend=backend).all()
 
     def test_tautological_clause_always_satisfied(self):
         formula = CNF([[1, -1]], num_variables=1)
         matrix = all_assignments(1)
-        for backend in BACKENDS:
+        for backend in RUNNABLE_BACKENDS:
             assert formula.evaluate_batch(matrix, backend=backend).all()
 
     def test_empty_batch(self):
         formula = CNF([[1]], num_variables=1)
         matrix = np.zeros((0, 1), dtype=bool)
-        for backend in BACKENDS:
+        for backend in RUNNABLE_BACKENDS:
             assert formula.evaluate_batch(matrix, backend=backend).shape == (0,)
 
     def test_batch_not_multiple_of_eight_packed(self):

@@ -1,0 +1,29 @@
+"""Fixtures for the native-kernel equivalence suite.
+
+Every test parametrised over ``kernels``/``tier`` runs once per native tier
+that can actually be brought up on this host (the C extension wherever a
+system compiler exists, Numba where it is installed) and is skipped wholesale
+when no tier is available — the suite must pass on hosts with neither.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import native
+
+AVAILABLE_TIERS = native.available_tiers()
+
+
+@pytest.fixture(params=AVAILABLE_TIERS if AVAILABLE_TIERS else ["missing"])
+def tier(request) -> str:
+    """Each available native tier name, skipping when none can load."""
+    if request.param == "missing":
+        pytest.skip("no native kernel tier available on this host")
+    return request.param
+
+
+@pytest.fixture
+def kernels(tier):
+    """The :class:`~repro.native.kernels.NativeKernels` facade of ``tier``."""
+    return native.kernels_for(tier)

@@ -1,0 +1,113 @@
+"""The native complement scan pinned decision-for-decision to the Python path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import native
+from repro.cnf.clause import Clause
+from repro.cnf.formula import CNF
+from repro.core.extraction import find_boolean_expression
+from repro.core.transform import transform_cnf
+
+
+def _random_group(rng: np.random.Generator, num_vars: int, mention_rate: float = 0.9):
+    """A random clause group biased towards mentioning the candidate variable."""
+    variable = int(rng.integers(1, num_vars + 1))
+    clauses = []
+    for _ in range(int(rng.integers(1, 7))):
+        width = int(rng.integers(1, 5))
+        literals = [
+            int(v) * (1 if rng.random() < 0.5 else -1)
+            for v in rng.integers(1, num_vars + 1, size=width)
+        ]
+        if rng.random() < mention_rate:
+            literals.append(variable if rng.random() < 0.5 else -variable)
+        if rng.random() < 0.1:  # occasionally tautological w.r.t. the candidate
+            literals.extend([variable, -variable])
+        clauses.append(Clause(literals))
+    return variable, clauses
+
+
+def _decision(variable, clauses, mode, max_vars):
+    with native.use_kernel(mode):
+        expression = find_boolean_expression(variable, clauses, max_vars=max_vars)
+    return None if expression is None else str(expression)
+
+
+class TestScanDecisions:
+    @pytest.mark.parametrize("max_vars", [3, 8, 16])
+    def test_fuzzed_groups_agree_with_python(self, tier, max_vars):
+        rng = np.random.default_rng(max_vars)
+        for _ in range(400):
+            variable, clauses = _random_group(rng, num_vars=max_vars + 2)
+            assert _decision(variable, clauses, tier, max_vars) == _decision(
+                variable, clauses, "python", max_vars
+            ), (variable, [c.literals for c in clauses], max_vars)
+
+    def test_simple_definition_is_extracted(self, tier):
+        # x1 <-> x2, written as the two binary clauses of the equivalence.
+        clauses = [Clause([-1, 2]), Clause([1, -2])]
+        with native.use_kernel(tier):
+            expression = find_boolean_expression(1, clauses)
+        assert expression is not None and "x2" in str(expression)
+
+    def test_non_definition_is_rejected(self, tier):
+        clauses = [Clause([1, 2])]  # one clause never defines the variable
+        with native.use_kernel(tier):
+            assert find_boolean_expression(1, clauses) is None
+
+    def test_wide_support_falls_back_to_the_exact_route(self, tier):
+        # 4 support variables with max_vars=3: both paths must refuse the
+        # width gate the same way (scan verdict -1 -> exact route).
+        clauses = [Clause([-1, 2, 3, 4, 5]), Clause([1, -2, -3, -4, -5])]
+        assert _decision(1, clauses, tier, 3) == _decision(1, clauses, "python", 3)
+
+    def test_scan_respects_the_transform_width_ceiling(self, kernels):
+        literalled = [Clause([-1, 2]), Clause([1, -2])]
+        assert kernels.complement_scan(1, literalled, native.TRANSFORM_MAX_VARS) == 1
+
+
+class TestFullTransform:
+    def test_transform_is_identical_under_native(self, tier, fig1_formula):
+        with native.use_kernel("python"):
+            reference = transform_cnf(fig1_formula)
+        with native.use_kernel(tier):
+            candidate = transform_cnf(fig1_formula)
+        assert [
+            (name, str(expr)) for name, expr in candidate.definitions
+        ] == [(name, str(expr)) for name, expr in reference.definitions]
+        assert candidate.primary_inputs == reference.primary_inputs
+        assert candidate.stats.num_definitions == reference.stats.num_definitions
+        assert candidate.stats.signature_matches == reference.stats.signature_matches
+        assert candidate.stats.generic_matches == reference.stats.generic_matches
+        assert candidate.stats.fallback_groups == reference.stats.fallback_groups
+
+    def test_transform_on_random_cnf_matches(self, tier):
+        rng = np.random.default_rng(17)
+        clauses = []
+        for gate in range(3, 30):
+            driver = int(rng.integers(1, gate))
+            other = int(rng.integers(1, gate))
+            # AND-gate Tseitin triple: gate <-> driver AND other.
+            clauses.extend(
+                [[-gate, driver], [-gate, other], [gate, -driver, -other]]
+            )
+        formula = CNF(clauses, num_variables=29, name="tseitin-rand")
+        with native.use_kernel("python"):
+            reference = transform_cnf(formula)
+        with native.use_kernel(tier):
+            candidate = transform_cnf(formula)
+        assert [
+            (name, str(expr)) for name, expr in candidate.definitions
+        ] == [(name, str(expr)) for name, expr in reference.definitions]
+
+    def test_native_compile_time_is_reported_as_a_stage(self, tier, fig1_formula):
+        # The stage only appears when this transform actually paid a build/JIT
+        # cost, so assert the accounting invariant rather than presence.
+        with native.use_kernel(tier):
+            result = transform_cnf(fig1_formula)
+        compile_stage = result.stats.stage_seconds.get("native_compile", 0.0)
+        assert compile_stage >= 0.0
+        assert compile_stage <= native.compile_seconds() + 1e-9
