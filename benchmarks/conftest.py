@@ -83,6 +83,13 @@ def transform_min_speedup() -> float:
     return float(os.environ.get("REPRO_BENCH_TRANSFORM_MIN_SPEEDUP", "2.0"))
 
 
+def workloads_min_speedup() -> float:
+    """Required incremental-retransform over cold-transform speedup on the
+    headline single-clause-delta workload (lower it on noisy shared CI; <= 0
+    skips the gate loudly while still recording the measurement)."""
+    return float(os.environ.get("REPRO_BENCH_WORKLOADS_MIN_SPEEDUP", "3.0"))
+
+
 def native_min_speedup() -> float:
     """Required native-over-NumPy speedup on the best of the three measured
     dominators (lower it on noisy shared CI; <= 0 skips the gate loudly while

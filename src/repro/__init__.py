@@ -16,14 +16,16 @@ Public API surface: the most common entry points are re-exported here.
 * :mod:`repro.eval` — throughput harness and table/figure builders
 """
 
-from repro.cnf import CNF, parse_dimacs, parse_dimacs_file, write_dimacs
+from repro.cnf import CNF, ClauseDelta, parse_dimacs, parse_dimacs_file, write_dimacs
 from repro.core import (
     GradientSATSampler,
     PipelineResult,
     SampleResult,
     SamplerConfig,
+    SamplingTask,
     SolutionSet,
     TransformResult,
+    retransform,
     sample_cnf,
     transform_cnf,
 )
@@ -41,6 +43,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CNF",
+    "ClauseDelta",
     "parse_dimacs",
     "parse_dimacs_file",
     "write_dimacs",
@@ -48,8 +51,10 @@ __all__ = [
     "PipelineResult",
     "SampleResult",
     "SamplerConfig",
+    "SamplingTask",
     "SolutionSet",
     "TransformResult",
+    "retransform",
     "sample_cnf",
     "transform_cnf",
     "Device",

@@ -81,6 +81,29 @@ def _build_parser() -> argparse.ArgumentParser:
                              "config (precedence: env < config < CLI)")
     sample.add_argument("-o", "--output", default=None,
                         help="write solutions (signed-literal lines) to this file")
+    sample.add_argument("--project", action="append", type=int, default=None,
+                        metavar="VAR",
+                        help="count unique solutions over this 1-based variable "
+                             "only (repeatable; together the repeats form the "
+                             "projection set)")
+    sample.add_argument("--weight", action="append", default=None,
+                        metavar="VAR=P",
+                        help="bias the sampler's initialization so the variable "
+                             "leans towards probability P in (0,1), e.g. "
+                             "--weight 3=0.9 (repeatable)")
+    sample.add_argument("--assume", action="append", type=int, default=None,
+                        metavar="LIT",
+                        help="assume a signed literal (added as a unit clause "
+                             "before transforming; repeatable)")
+    sample.add_argument("--add-clause", action="append", default=None,
+                        metavar="LITS",
+                        help="add a clause before transforming, as quoted "
+                             "space-separated literals: --add-clause '1 -2 3' "
+                             "(repeatable)")
+    sample.add_argument("--retract-clause", action="append", default=None,
+                        metavar="LITS",
+                        help="remove the first clause matching these literals "
+                             "before transforming (repeatable)")
 
     serve = subparsers.add_parser(
         "serve", help="run a jobs manifest through the multi-worker sampling service"
@@ -135,10 +158,41 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_weight(text: str):
+    variable, separator, probability = text.partition("=")
+    if not separator:
+        raise SystemExit(f"--weight expects VAR=P, got {text!r}")
+    try:
+        return int(variable), float(probability)
+    except ValueError:
+        raise SystemExit(f"--weight expects VAR=P with integer VAR and float P, got {text!r}")
+
+
+def _parse_clause(text: str):
+    try:
+        return [int(literal) for literal in text.split()]
+    except ValueError:
+        raise SystemExit(f"expected space-separated literals, got {text!r}")
+
+
+def _task_from_arguments(arguments: argparse.Namespace):
+    from repro.core.task import SamplingTask
+
+    task = SamplingTask.build(
+        project=tuple(arguments.project or ()),
+        weights=[_parse_weight(item) for item in arguments.weight or ()],
+        add=[_parse_clause(item) for item in arguments.add_clause or ()],
+        retract=[_parse_clause(item) for item in arguments.retract_clause or ()],
+        assume=tuple(arguments.assume or ()),
+    )
+    return None if task.is_default else task
+
+
 def _command_sample(arguments: argparse.Namespace) -> int:
     from repro.native import use_kernel
 
     formula = load_formula(Path(arguments.cnf))
+    task = _task_from_arguments(arguments)
     config = SamplerConfig(
         batch_size=arguments.batch_size,
         iterations=arguments.iterations,
@@ -154,11 +208,16 @@ def _command_sample(arguments: argparse.Namespace) -> int:
     # sampler re-applies config.kernel around its own runs).
     with use_kernel(arguments.kernel):
         result = sample_cnf(
-            formula, num_solutions=arguments.num_solutions, config=config
+            formula, num_solutions=arguments.num_solutions, config=config, task=task
         )
     sample = result.sample
     print(f"instance           : {formula.name or arguments.cnf}")
-    print(f"variables / clauses: {formula.num_variables} / {formula.num_clauses}")
+    print(f"variables / clauses: {result.formula.num_variables} / {result.formula.num_clauses}")
+    if task is not None:
+        print(f"task               : {task.kind()}")
+        if task.is_projected:
+            print(f"projected unique   : {sample.projected_unique} "
+                  f"(over {len(task.project)} variables)")
     print(f"ops reduction      : {result.transform.stats.operations_reduction:.2f}x")
     print(f"transform time     : {result.transform_seconds:.3f} s")
     print(f"unique solutions   : {sample.num_unique}")

@@ -7,11 +7,13 @@ CNF — never against the transformed circuit — exactly as the paper does.
 """
 
 from repro.cnf.clause import Clause, literal_variable, literal_is_positive, negate_literal
+from repro.cnf.delta import ClauseDelta
 from repro.cnf.formula import CNF
 from repro.cnf.kernel import (
     CNFEvalPlan,
     compile_evaluation_plan,
     default_backend,
+    extend_evaluation_plan,
     set_default_backend,
 )
 from repro.cnf.assignment import Assignment
@@ -21,10 +23,12 @@ from repro.cnf.generators import random_ksat, random_horn, planted_ksat
 
 __all__ = [
     "Clause",
+    "ClauseDelta",
     "CNF",
     "CNFEvalPlan",
     "compile_evaluation_plan",
     "default_backend",
+    "extend_evaluation_plan",
     "set_default_backend",
     "Assignment",
     "literal_variable",

@@ -1,0 +1,131 @@
+"""Clause deltas: declarative add / retract / assume edits of a CNF.
+
+Incremental SAT workflows (and the serving tier's ``incremental`` job type)
+describe a formula as *another formula plus a small edit* instead of a whole
+new clause list.  :class:`ClauseDelta` is that edit, pinned down precisely so
+every consumer — :meth:`CNF.with_delta <repro.cnf.formula.CNF.with_delta>`,
+:func:`repro.core.transform.retransform`, the task signature — agrees on the
+resulting clause sequence:
+
+1. every ``retract`` clause removes the *first* clause equal to it
+   (:class:`~repro.cnf.clause.Clause` equality ignores literal order);
+2. the ``add`` clauses are appended, in order;
+3. each ``assume`` literal is appended as a unit clause, in order.
+
+Assumptions are just sugar for unit-clause adds — the form incremental SAT
+interfaces (IPASIR's ``assume``) use to pin variables for one solve; retract
+the unit to release the assumption.  Deltas are immutable and hashable, so
+they can ride inside frozen task specs and coalescing keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple, Union
+
+from repro.cnf.clause import Clause
+
+ClauseLike = Union[Clause, Sequence[int]]
+
+
+def _coerce_clauses(clauses: Iterable[ClauseLike]) -> Tuple[Clause, ...]:
+    return tuple(
+        clause if isinstance(clause, Clause) else Clause(clause) for clause in clauses
+    )
+
+
+@dataclass(frozen=True)
+class ClauseDelta:
+    """An immutable edit of a clause list (see the module docstring for order)."""
+
+    #: Clauses appended to the formula.
+    add: Tuple[Clause, ...] = ()
+    #: Clauses removed from the formula (first content-equal match each).
+    retract: Tuple[Clause, ...] = ()
+    #: Literals pinned true for this task; each becomes an appended unit clause.
+    assume: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "add", _coerce_clauses(self.add))
+        object.__setattr__(self, "retract", _coerce_clauses(self.retract))
+        assume = tuple(int(literal) for literal in self.assume)
+        if any(literal == 0 for literal in assume):
+            raise ValueError("0 is not a valid assumption literal")
+        object.__setattr__(self, "assume", assume)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the delta changes nothing."""
+        return not (self.add or self.retract or self.assume)
+
+    @property
+    def is_append_only(self) -> bool:
+        """Whether the delta only appends clauses (no retraction).
+
+        Append-only deltas preserve every existing clause position, which is
+        what lets the evaluation-plan patch and the transform replay reuse
+        the full parent prefix.
+        """
+        return not self.retract
+
+    def appended_clauses(self) -> Tuple[Clause, ...]:
+        """The clauses this delta appends: ``add`` then the ``assume`` units."""
+        return self.add + tuple(Clause([literal]) for literal in self.assume)
+
+    def apply(self, clauses: Sequence[Clause]) -> Tuple[List[Clause], int]:
+        """Apply the delta to a clause sequence.
+
+        Returns ``(mutated clause list, change position)`` where the change
+        position is the smallest index at which the mutated list can differ
+        from the input (``len(clauses)`` for a pure append).  Raises
+        :class:`ValueError` when a ``retract`` clause has no match.
+        """
+        mutated = list(clauses)
+        change_position = len(mutated)
+        for clause in self.retract:
+            try:
+                index = mutated.index(clause)
+            except ValueError:
+                raise ValueError(
+                    f"cannot retract {clause!r}: no matching clause in the formula"
+                ) from None
+            del mutated[index]
+            change_position = min(change_position, index)
+        mutated.extend(self.appended_clauses())
+        return mutated, change_position
+
+    def canonical(self) -> Tuple:
+        """Hashable canonical form used by signatures and coalescing keys.
+
+        Literal order inside ``add``/``retract`` clauses is preserved (clause
+        order matters to Algorithm 1, and the literal sequence is part of the
+        formula signature's identity too).
+        """
+        return (
+            tuple(clause.literals for clause in self.add),
+            tuple(clause.literals for clause in self.retract),
+            self.assume,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON/pickle-safe form (inverse of :meth:`from_dict`)."""
+        return {
+            "add": [list(clause.literals) for clause in self.add],
+            "retract": [list(clause.literals) for clause in self.retract],
+            "assume": list(self.assume),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClauseDelta":
+        """Rebuild a delta from :meth:`to_dict` output (or manifest fields)."""
+        unknown = set(data) - {"add", "retract", "assume"}
+        if unknown:
+            raise ValueError(f"unknown delta fields {sorted(unknown)}")
+        return cls(
+            add=tuple(Clause(clause) for clause in data.get("add", ())),
+            retract=tuple(Clause(clause) for clause in data.get("retract", ())),
+            assume=tuple(int(literal) for literal in data.get("assume", ())),
+        )
+
+    def __bool__(self) -> bool:
+        return not self.is_empty

@@ -10,6 +10,7 @@ from repro.cnf.clause import Clause
 from repro.cnf.kernel import (
     CNFEvalPlan,
     compile_evaluation_plan,
+    extend_evaluation_plan,
     register_plan_owner,
     resolve_backend,
     resolve_native_kernels,
@@ -20,9 +21,11 @@ from repro.xp import backend_for, to_numpy
 class CNF:
     """A conjunction of clauses over variables ``1..num_variables``.
 
-    The container is mutable only through :meth:`add_clause`; everything else
-    returns new objects.  ``num_variables`` may exceed the largest referenced
-    variable (DIMACS headers frequently over-declare), but never undercounts.
+    The container is mutable only through :meth:`add_clause` /
+    :meth:`retract_clause` (both of which invalidate the memoised evaluation
+    plan); everything else returns new objects.  ``num_variables`` may exceed
+    the largest referenced variable (DIMACS headers frequently over-declare),
+    but never undercounts.
     """
 
     def __init__(
@@ -55,6 +58,53 @@ class CNF:
         """Append several clauses."""
         for clause in clauses:
             self.add_clause(clause)
+
+    def retract_clause(self, clause: Sequence[int]) -> Clause:
+        """Remove (and return) the first clause equal to ``clause``.
+
+        Clause equality ignores literal order, so ``[2, -1]`` retracts a
+        clause added as ``[-1, 2]``.  ``num_variables`` never shrinks (it is a
+        declaration, not a census — consistent with DIMACS over-declaration).
+        Raises :class:`ValueError` when no clause matches.
+        """
+        if not isinstance(clause, Clause):
+            clause = Clause(clause)
+        try:
+            index = self._clauses.index(clause)
+        except ValueError:
+            raise ValueError(
+                f"cannot retract {clause!r}: no matching clause in the formula"
+            ) from None
+        removed = self._clauses.pop(index)
+        self._plan = None
+        return removed
+
+    def with_delta(self, delta) -> "CNF":
+        """A copy of this formula with a :class:`~repro.cnf.delta.ClauseDelta`
+        applied (retractions first, then ``add`` clauses, then ``assume``
+        units).
+
+        An empty (or ``None``) delta returns ``self`` unchanged — same object,
+        so the default :class:`~repro.core.task.SamplingTask` costs nothing
+        and stays bitwise-identical.  When this formula has a memoised
+        evaluation plan and the delta is append-only, the copy's plan is
+        *patched* from the parent plan (:func:`extend_evaluation_plan`)
+        instead of scheduling a recompile.
+        """
+        if delta is None or delta.is_empty:
+            return self
+        mutated_clauses, _ = delta.apply(self._clauses)
+        mutated = CNF(
+            num_variables=self._num_variables,
+            comments=list(self.comments),
+            name=self.name,
+        )
+        for clause in mutated_clauses:
+            mutated.add_clause(clause)
+        if self._plan is not None and delta.is_append_only:
+            mutated._plan = extend_evaluation_plan(self._plan, mutated)
+            register_plan_owner(mutated)
+        return mutated
 
     def copy(self) -> "CNF":
         """Return a deep copy."""

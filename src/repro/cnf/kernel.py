@@ -348,3 +348,83 @@ def compile_evaluation_plan(formula: "CNF") -> CNFEvalPlan:
         width_groups=tuple((start, stop, width) for start, stop, width in groups),
         num_empty=num_empty,
     )
+
+
+def _concatenate(segments, dtype):
+    if not segments:
+        return np.asarray([], dtype=dtype)
+    if len(segments) == 1:
+        return np.asarray(segments[0], dtype=dtype)
+    return np.concatenate(segments).astype(dtype, copy=False)
+
+
+def extend_evaluation_plan(plan: CNFEvalPlan, formula: "CNF") -> CNFEvalPlan:
+    """Patch a parent plan into the plan of an append-only extended formula.
+
+    ``formula``'s first ``plan.num_clauses`` clauses must be exactly the
+    clauses the parent plan was compiled from; only appended clauses (and a
+    possibly larger variable count) may differ.  Because the width sort in
+    :func:`compile_evaluation_plan` is stable and appended clauses carry the
+    largest original indices, each appended clause lands at the *end* of its
+    width bucket — so the parent's flat arrays can be spliced per bucket
+    without recompiling the whole formula.  The result is equal, field for
+    field, to ``compile_evaluation_plan(formula)`` (pinned by tests).
+    """
+    clauses = formula.clauses
+    if len(clauses) < plan.num_clauses:
+        raise ValueError(
+            f"formula has {len(clauses)} clauses but the parent plan covers "
+            f"{plan.num_clauses}; extend_evaluation_plan is append-only"
+        )
+    appended = clauses[plan.num_clauses :]
+    num_empty = plan.num_empty + sum(1 for clause in appended if not len(clause))
+    new_by_width: Dict[int, list] = {}
+    for offset, clause in enumerate(appended):
+        if len(clause):
+            index = plan.num_clauses + offset
+            new_by_width.setdefault(len(clause), []).append((index, clause))
+
+    old_spans = {width: (start, stop) for start, stop, width in plan.width_groups}
+    boundaries = np.append(plan.reduce_offsets, plan.literal_columns.size)
+    columns_segments = []
+    negated_segments = []
+    offsets_segments = []
+    index_segments = []
+    groups = []
+    position = 0
+    sorted_position = 0
+    for width in sorted(set(old_spans) | set(new_by_width)):
+        group_start = sorted_position
+        if width in old_spans:
+            start, stop = old_spans[width]
+            literal_start, literal_stop = boundaries[start], boundaries[stop]
+            columns_segments.append(plan.literal_columns[literal_start:literal_stop])
+            negated_segments.append(plan.literal_negated[literal_start:literal_stop])
+            offsets_segments.append(
+                plan.reduce_offsets[start:stop] - literal_start + position
+            )
+            index_segments.append(plan.nonempty_index[start:stop])
+            position += int(literal_stop - literal_start)
+            sorted_position += stop - start
+        for index, clause in new_by_width.get(width, ()):
+            columns_segments.append(
+                np.asarray([abs(literal) - 1 for literal in clause], dtype=np.intp)
+            )
+            negated_segments.append(
+                np.asarray([literal < 0 for literal in clause], dtype=bool)
+            )
+            offsets_segments.append(np.asarray([position], dtype=np.intp))
+            index_segments.append(np.asarray([index], dtype=np.intp))
+            position += width
+            sorted_position += 1
+        groups.append((group_start, sorted_position, width))
+    return CNFEvalPlan(
+        num_variables=formula.num_variables,
+        num_clauses=len(clauses),
+        literal_columns=_concatenate(columns_segments, np.intp),
+        literal_negated=_concatenate(negated_segments, bool),
+        reduce_offsets=_concatenate(offsets_segments, np.intp),
+        nonempty_index=_concatenate(index_segments, np.intp),
+        width_groups=tuple(groups),
+        num_empty=num_empty,
+    )

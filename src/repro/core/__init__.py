@@ -18,8 +18,19 @@ from repro.core.extraction import (
     expression_for_literal,
     find_boolean_expression,
 )
-from repro.core.signatures import match_gate_signature, gate_signature_clauses
-from repro.core.transform import TransformResult, transform_cnf
+from repro.core.signatures import (
+    formula_signature,
+    gate_signature_clauses,
+    match_gate_signature,
+    task_signature,
+)
+from repro.core.task import DEFAULT_TASK, SamplingTask
+from repro.core.transform import (
+    TransformReplay,
+    TransformResult,
+    retransform,
+    transform_cnf,
+)
 from repro.core.model import ProbabilisticCircuitModel
 from repro.core.sampler import GradientSATSampler, SampleResult
 from repro.core.solutions import SolutionSet
@@ -33,7 +44,13 @@ __all__ = [
     "find_boolean_expression",
     "match_gate_signature",
     "gate_signature_clauses",
+    "formula_signature",
+    "task_signature",
+    "DEFAULT_TASK",
+    "SamplingTask",
+    "TransformReplay",
     "TransformResult",
+    "retransform",
     "transform_cnf",
     "ProbabilisticCircuitModel",
     "GradientSATSampler",

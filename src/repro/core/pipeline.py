@@ -19,6 +19,7 @@ from repro.cnf.dimacs import parse_dimacs, parse_dimacs_file
 from repro.cnf.formula import CNF
 from repro.core.config import SamplerConfig
 from repro.core.sampler import GradientSATSampler, SampleResult
+from repro.core.task import SamplingTask
 from repro.core.transform import TransformResult, transform_cnf
 
 
@@ -79,6 +80,7 @@ def sample_cnf(
     transform: Optional[TransformResult] = None,
     should_stop: Optional[Callable[[], bool]] = None,
     on_round: Optional[Callable] = None,
+    task: Optional[SamplingTask] = None,
     **transform_options,
 ) -> PipelineResult:
     """Run the full pipeline on a CNF instance.
@@ -92,7 +94,9 @@ def sample_cnf(
     config:
         Sampler hyper-parameters; defaults to :class:`SamplerConfig` defaults.
     transform:
-        A pre-computed transformation (skips re-running Algorithm 1).
+        A pre-computed transformation (skips re-running Algorithm 1).  When a
+        ``task`` carries a clause delta, the transform must correspond to the
+        *effective* (post-delta) formula.
     should_stop:
         Cooperative-cancellation hook forwarded to
         :meth:`GradientSATSampler.sample`; polled at the timeout-deadline
@@ -101,17 +105,26 @@ def sample_cnf(
         Per-round progress callback forwarded to the sampler (receives the
         :class:`~repro.core.sampler.RoundRecord` and the round's new unique
         solutions).
+    task:
+        An optional :class:`~repro.core.task.SamplingTask` workload spec.  Its
+        clause delta is applied to the formula *before* transforming, its
+        projection drives solution dedup and its weights bias initialization.
+        ``None`` (the default task) reproduces the pre-task pipeline bitwise.
     transform_options:
         Keyword arguments forwarded to :func:`repro.core.transform.transform_cnf`
         when the transformation is not supplied.
     """
     formula = load_formula(source)
+    if task is not None:
+        formula = task.apply_to(formula)
     transform_start = time.perf_counter()
     if transform is None:
         transform = transform_cnf(formula, **transform_options)
     transform_seconds = time.perf_counter() - transform_start
 
-    sampler = GradientSATSampler(formula, transform=transform, config=config)
+    sampler = GradientSATSampler(
+        formula, transform=transform, config=config, task=task
+    )
     sample_start = time.perf_counter()
     sample = sampler.sample(
         num_solutions=num_solutions, should_stop=should_stop, on_round=on_round

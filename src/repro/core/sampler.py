@@ -49,6 +49,8 @@ from repro.core.config import SamplerConfig
 from repro.core.loss import regression_loss, target_matrix
 from repro.core.model import ProbabilisticCircuitModel
 from repro.core.solutions import SolutionSet
+from repro.core.extraction import VAR_PREFIX
+from repro.core.task import DEFAULT_TASK, SamplingTask
 from repro.core.transform import TransformResult, transform_cnf
 from repro.engine.train import learn_batch as engine_learn_batch
 from repro.tensor.optim import make_optimizer
@@ -85,10 +87,24 @@ class SampleResult:
     #: round limit, stall limit or timeout did (cooperative cancellation —
     #: how the portfolio scheduler retires losing runs).
     stopped_early: bool = False
+    #: The workload kind this run sampled (``SamplingTask.kind()``):
+    #: ``"default"`` or a ``+``-joined combination of ``projected`` /
+    #: ``weighted`` / ``incremental``.
+    task_kind: str = "default"
 
     @property
     def num_unique(self) -> int:
-        """Number of unique valid solutions found."""
+        """Number of unique valid solutions found.
+
+        Under a projected task the solution set deduplicates on the projected
+        columns, so this already counts distinct projected patterns.
+        """
+        return len(self.solutions)
+
+    @property
+    def projected_unique(self) -> int:
+        """Distinct projected patterns found (equals :attr:`num_unique` when
+        the task is unprojected — the projection is then the identity)."""
         return len(self.solutions)
 
     @property
@@ -121,6 +137,8 @@ class SampleResult:
             "rounds": len(self.rounds),
             "timed_out": self.timed_out,
             "stopped_early": self.stopped_early,
+            "task": self.task_kind,
+            "projected_unique": self.projected_unique,
         }
 
 
@@ -132,6 +150,7 @@ class GradientSATSampler:
         formula: CNF,
         transform: Optional[TransformResult] = None,
         config: Optional[SamplerConfig] = None,
+        task: Optional[SamplingTask] = None,
     ) -> None:
         self.formula = formula
         self.config = config or SamplerConfig()
@@ -140,6 +159,17 @@ class GradientSATSampler:
         self._rng = self._xp.rng(self.config.seed)
         self._constrained_inputs = self.transform.constrained_inputs()
         self._unconstrained_inputs = self.transform.unconstrained_inputs()
+        # The task shapes *how* this sampler counts and draws, not *what* it
+        # samples: ``formula`` (and ``transform``) must already be the
+        # effective post-delta formula — the pipeline / serving tier applies
+        # ``task.delta`` before constructing the sampler.  Here the task
+        # contributes the projection columns for dedup and the per-variable
+        # weight vectors for initialization.
+        self.task = task if task is not None else DEFAULT_TASK
+        self._projection = (
+            self.task.projection_columns(formula.num_variables) or None
+        )
+        self._init_weight_vectors()
         if self.transform.constraints:
             self.model: Optional[ProbabilisticCircuitModel] = (
                 ProbabilisticCircuitModel.from_transform(
@@ -197,7 +227,7 @@ class GradientSATSampler:
             if self.config.timeout_seconds is None
             else start + self.config.timeout_seconds
         )
-        solutions = SolutionSet(self.formula.num_variables)
+        solutions = SolutionSet(self.formula.num_variables, project=self._projection)
         rounds: List[RoundRecord] = []
         num_generated = 0
         num_valid = 0
@@ -265,6 +295,7 @@ class GradientSATSampler:
             elapsed_seconds=elapsed,
             timed_out=timed_out,
             stopped_early=stopped_early,
+            task_kind=self.task.kind(),
         )
 
     def learning_curve(
@@ -283,7 +314,7 @@ class GradientSATSampler:
         self, max_iterations: int, batch_size: Optional[int]
     ) -> List[int]:
         batch = batch_size or self.config.batch_size
-        solutions = SolutionSet(self.formula.num_variables)
+        solutions = SolutionSet(self.formula.num_variables, project=self._projection)
         curve: List[int] = []
 
         if self.model is None:
@@ -309,12 +340,60 @@ class GradientSATSampler:
         return curve
 
     # -- internals ------------------------------------------------------------------------
+    def _init_weight_vectors(self) -> None:
+        """Precompute the per-variable weight vectors on the sampler's backend.
+
+        A weight ``p`` on variable ``v`` biases the sampler's *initialization*
+        (never the loss): constrained inputs start their Gaussian ``V`` draw
+        shifted by ``logit(p)`` so ``sigma(V)`` is centred on ``p``, while
+        unconstrained inputs and free variables are drawn Bernoulli(``p``)
+        instead of fair coins.  All three vectors are ``None`` for unweighted
+        tasks, keeping the arithmetic (and the RNG stream) bitwise identical
+        to the pre-task sampler.
+        """
+        self._constrained_bias = None
+        self._unconstrained_probs = None
+        self._free_probs = None
+        if not self.task.is_weighted:
+            return
+        logits = self.task.weight_logits(self.formula.num_variables)
+        probs = self.task.weight_map()
+
+        def variable_of(name: str) -> int:
+            return int(name[len(VAR_PREFIX):])
+
+        bias = [logits.get(variable_of(name), 0.0) for name in self._constrained_inputs]
+        if any(bias):
+            self._constrained_bias = self._xp.asarray(
+                np.asarray(bias, dtype=np.float64)[np.newaxis, :],
+                dtype=self._xp.float_dtype,
+            )
+        unconstrained = [
+            probs.get(variable_of(name), 0.5) for name in self._unconstrained_inputs
+        ]
+        if any(probability != 0.5 for probability in unconstrained):
+            self._unconstrained_probs = self._xp.asarray(
+                np.asarray(unconstrained, dtype=np.float64),
+                dtype=self._xp.float_dtype,
+            )
+        free = [
+            probs.get(variable_of(name), 0.5)
+            for name in self.transform.free_variables
+        ]
+        if any(probability != 0.5 for probability in free):
+            self._free_probs = self._xp.asarray(
+                np.asarray(free, dtype=np.float64), dtype=self._xp.float_dtype
+            )
+
     def _draw_initial_soft_inputs(self, batch_size: int):
         """Draw the Gaussian initialisation of ``V`` for one chunk (Eq. 6 input)."""
         assert self.model is not None
-        return self._rng.normal(
+        draw = self._rng.normal(
             0.0, self.config.init_scale, size=(batch_size, self.model.num_inputs)
         )
+        if self._constrained_bias is not None:
+            draw = draw + self._constrained_bias
+        return draw
 
     def _init_parameters(self, batch_size: int) -> Tuple[Tensor, object, np.ndarray]:
         """Initialise the trainable soft inputs, the optimizer and the target matrix."""
@@ -426,14 +505,25 @@ class GradientSATSampler:
         for source_column, name in enumerate(self._constrained_inputs):
             input_matrix[:, column_of[name]] = constrained_bits[:, source_column]
         if self._unconstrained_inputs:
-            random_bits = self._rng.random((batch_size, len(self._unconstrained_inputs))) < 0.5
+            # Weighted tasks compare the same uniform draws against per-column
+            # target probabilities instead of 0.5 — identical RNG consumption,
+            # so unweighted tasks keep their exact candidate bit-stream.
+            draws = self._rng.random((batch_size, len(self._unconstrained_inputs)))
+            if self._unconstrained_probs is not None:
+                random_bits = draws < self._unconstrained_probs
+            else:
+                random_bits = draws < 0.5
             for source_column, name in enumerate(self._unconstrained_inputs):
                 input_matrix[:, column_of[name]] = random_bits[:, source_column]
         free_values = None
         if self.transform.free_variables:
-            free_values = self._rng.random(
+            free_draws = self._rng.random(
                 (batch_size, len(self.transform.free_variables))
-            ) < 0.5
+            )
+            if self._free_probs is not None:
+                free_values = free_draws < self._free_probs
+            else:
+                free_values = free_draws < 0.5
         assignments = self.transform.complete_assignments(input_matrix, free_values)
         valid_mask = self.formula.evaluate_batch(assignments)
         return assignments, valid_mask

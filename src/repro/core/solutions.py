@@ -15,7 +15,7 @@ arrays pass through as views) and everything after the crossing is NumPy.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -23,14 +23,41 @@ from repro.xp import to_numpy
 
 
 class SolutionSet:
-    """An ordered set of unique boolean assignment vectors."""
+    """An ordered set of unique boolean assignment vectors.
 
-    def __init__(self, num_variables: int) -> None:
+    With ``project`` (a sequence of 0-based column indices), uniqueness is
+    keyed on the *projected* column subset while full-width rows are stored:
+    the first full assignment seen for each projected pattern is its witness.
+    This is the dedup semantics of projected sampling — ``len(solution_set)``
+    counts distinct projected patterns.  ``project=None`` (default) keys on
+    the full row, exactly as before.
+    """
+
+    def __init__(
+        self, num_variables: int, project: Optional[Sequence[int]] = None
+    ) -> None:
         if num_variables < 0:
             raise ValueError(f"num_variables must be non-negative, got {num_variables}")
         self.num_variables = num_variables
+        self.project: Optional[Tuple[int, ...]] = None
+        if project is not None:
+            columns = tuple(sorted({int(column) for column in project}))
+            if columns and not 0 <= columns[0] <= columns[-1] < num_variables:
+                raise ValueError(
+                    f"projection columns must lie in [0, {num_variables}), "
+                    f"got {columns}"
+                )
+            # An empty projection means "no projection", not "project onto
+            # zero columns" (which would collapse everything to one key).
+            self.project = columns or None
         self._keys: set = set()
         self._rows: List[np.ndarray] = []
+
+    def _key_columns(self, matrix: np.ndarray) -> np.ndarray:
+        """The column subset uniqueness is keyed on."""
+        if self.project is None:
+            return matrix
+        return matrix[..., list(self.project)]
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -45,7 +72,7 @@ class SolutionSet:
             raise ValueError(
                 f"expected assignment of shape ({self.num_variables},), got {row.shape}"
             )
-        key = np.packbits(row).tobytes()
+        key = np.packbits(self._key_columns(row)).tobytes()
         if key in self._keys:
             return False
         self._keys.add(key)
@@ -75,7 +102,7 @@ class SolutionSet:
             assignments = assignments[mask]
         if assignments.shape[0] == 0:
             return 0
-        packed = np.packbits(assignments, axis=1)
+        packed = np.packbits(self._key_columns(assignments), axis=1)
         if packed.shape[1]:
             # One np.unique over the packed rows viewed as opaque fixed-width
             # blobs — much faster than the axis=0 form, which re-sorts
@@ -97,9 +124,10 @@ class SolutionSet:
         return added
 
     def contains(self, assignment) -> bool:
-        """Whether the assignment is already present."""
+        """Whether the assignment (its projected pattern, when projected) is
+        already present."""
         row = np.asarray(to_numpy(assignment), dtype=bool)
-        return np.packbits(row).tobytes() in self._keys
+        return np.packbits(self._key_columns(row)).tobytes() in self._keys
 
     def to_matrix(self, limit: Optional[int] = None) -> np.ndarray:
         """Return the unique solutions as a ``(count, num_variables)`` matrix."""

@@ -1,0 +1,219 @@
+"""First-class workload specs: the :class:`SamplingTask`.
+
+Every layer of the library used to hard-code one workload — "sample N unique
+solutions of one whole DIMACS formula".  A :class:`SamplingTask` makes the
+workload an explicit contract instead, combining three orthogonal, composable
+aspects on top of a base formula:
+
+* **projection** — uniqueness is counted over a declared variable subset
+  (testbench-style workloads: many full assignments share one projected
+  pattern, and only distinct patterns matter);
+* **weights** — per-variable target probabilities bias the sampler's
+  initialization: a weight ``p`` on variable ``v`` shifts the sigmoid
+  parameters of constrained inputs by ``logit(p)`` and draws unconstrained /
+  free variables as Bernoulli(``p``) instead of fair coins;
+* **delta** — an incremental clause edit
+  (:class:`~repro.cnf.delta.ClauseDelta`: add / retract / assume) applied to
+  the base formula before transforming, the substrate for incremental serve
+  jobs via :func:`~repro.core.transform.retransform`.
+
+The *default* task (no projection, no weights, empty delta) is the identity:
+``apply_to`` returns the base formula object itself, the task signature
+equals the plain formula signature, and the sampler's arithmetic is bitwise
+what it was before tasks existed (pinned by ``tests/workloads``).
+
+Tasks are frozen and hashable so they can ride inside the serving tier's
+coalescing keys and be carried across process boundaries via
+:meth:`to_dict` / :meth:`from_dict`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+
+from repro.cnf.delta import ClauseDelta
+from repro.cnf.formula import CNF
+
+WeightsLike = Union[Mapping[int, float], Iterable[Tuple[int, float]], None]
+
+
+def _normalize_project(project) -> Tuple[int, ...]:
+    variables = sorted({int(variable) for variable in project or ()})
+    if variables and variables[0] < 1:
+        raise ValueError(
+            f"projection variables are 1-based DIMACS indices, got {variables[0]}"
+        )
+    return tuple(variables)
+
+
+def _normalize_weights(weights: WeightsLike) -> Tuple[Tuple[int, float], ...]:
+    if weights is None:
+        return ()
+    items = weights.items() if isinstance(weights, Mapping) else weights
+    normalized: Dict[int, float] = {}
+    for variable, probability in items:
+        variable = int(variable)
+        probability = float(probability)
+        if variable < 1:
+            raise ValueError(
+                f"weight variables are 1-based DIMACS indices, got {variable}"
+            )
+        if not 0.0 < probability < 1.0:
+            raise ValueError(
+                f"weight for variable {variable} must lie strictly in (0, 1), "
+                f"got {probability}"
+            )
+        if variable in normalized and normalized[variable] != probability:
+            raise ValueError(f"conflicting weights for variable {variable}")
+        normalized[variable] = probability
+    return tuple(sorted(normalized.items()))
+
+
+@dataclass(frozen=True)
+class SamplingTask:
+    """A workload spec: projection + per-variable weights + clause delta.
+
+    ``project`` holds 1-based DIMACS variable indices (deduplicated,
+    sorted); ``weights`` maps 1-based variables to target probabilities in
+    the open interval (0, 1); ``delta`` is the clause edit applied to the
+    base formula.  All three default to "absent", making the default task the
+    identity workload.
+    """
+
+    project: Tuple[int, ...] = ()
+    weights: Tuple[Tuple[int, float], ...] = ()
+    delta: ClauseDelta = ClauseDelta()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "project", _normalize_project(self.project))
+        object.__setattr__(self, "weights", _normalize_weights(self.weights))
+        if self.delta is None:
+            object.__setattr__(self, "delta", ClauseDelta())
+
+    # -- classification ------------------------------------------------------------
+    @property
+    def is_default(self) -> bool:
+        """Whether this is the identity workload (today's implicit behaviour)."""
+        return not (self.project or self.weights or not self.delta.is_empty)
+
+    @property
+    def is_projected(self) -> bool:
+        return bool(self.project)
+
+    @property
+    def is_weighted(self) -> bool:
+        return bool(self.weights)
+
+    @property
+    def is_incremental(self) -> bool:
+        return not self.delta.is_empty
+
+    def kind(self) -> str:
+        """Human-readable task kind: ``"default"`` or a ``+``-joined list of
+        the present aspects, e.g. ``"projected+incremental"``."""
+        parts = []
+        if self.is_projected:
+            parts.append("projected")
+        if self.is_weighted:
+            parts.append("weighted")
+        if self.is_incremental:
+            parts.append("incremental")
+        return "+".join(parts) if parts else "default"
+
+    # -- application ---------------------------------------------------------------
+    def apply_to(self, formula: CNF) -> CNF:
+        """The effective formula this task samples: the base formula with
+        ``delta`` applied.  Returns ``formula`` itself (same object) when the
+        delta is empty."""
+        return formula.with_delta(self.delta)
+
+    def projection_columns(self, num_variables: int) -> Tuple[int, ...]:
+        """0-based assignment-matrix columns of the projection variables.
+
+        Validates the projection against the *effective* formula's variable
+        count (projection may reference variables the delta introduced).
+        Empty when the task is unprojected.
+        """
+        if self.project and self.project[-1] > num_variables:
+            raise ValueError(
+                f"projection variable {self.project[-1]} exceeds the formula's "
+                f"{num_variables} variables"
+            )
+        return tuple(variable - 1 for variable in self.project)
+
+    def weight_map(self, num_variables: Optional[int] = None) -> Dict[int, float]:
+        """The weights as ``{1-based variable: probability}``, optionally
+        validated against a variable count."""
+        if (
+            num_variables is not None
+            and self.weights
+            and self.weights[-1][0] > num_variables
+        ):
+            raise ValueError(
+                f"weighted variable {self.weights[-1][0]} exceeds the formula's "
+                f"{num_variables} variables"
+            )
+        return dict(self.weights)
+
+    def weight_logits(self, num_variables: Optional[int] = None) -> Dict[int, float]:
+        """The weights as ``{1-based variable: logit(probability)}`` — the
+        additive bias on the sampler's soft-input initialization."""
+        return {
+            variable: math.log(probability / (1.0 - probability))
+            for variable, probability in self.weight_map(num_variables).items()
+        }
+
+    # -- identity ------------------------------------------------------------------
+    def canonical(self) -> Tuple:
+        """Hashable canonical form used by signatures and coalescing keys."""
+        return (self.project, self.weights, self.delta.canonical())
+
+    def to_dict(self) -> dict:
+        """JSON/pickle-safe form (inverse of :meth:`from_dict`); used to ship
+        tasks to spawned serve workers."""
+        return {
+            "project": list(self.project),
+            "weights": [[variable, probability] for variable, probability in self.weights],
+            "delta": self.delta.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Optional[dict]) -> "SamplingTask":
+        """Rebuild a task from :meth:`to_dict` output (``None`` → default task)."""
+        if data is None:
+            return cls()
+        unknown = set(data) - {"project", "weights", "delta"}
+        if unknown:
+            raise ValueError(f"unknown task fields {sorted(unknown)}")
+        return cls(
+            project=tuple(data.get("project", ())),
+            weights=tuple(
+                (int(variable), float(probability))
+                for variable, probability in data.get("weights", ())
+            ),
+            delta=ClauseDelta.from_dict(data.get("delta", {})),
+        )
+
+    @classmethod
+    def build(
+        cls,
+        project: Iterable[int] = (),
+        weights: WeightsLike = None,
+        add: Iterable = (),
+        retract: Iterable = (),
+        assume: Iterable[int] = (),
+    ) -> "SamplingTask":
+        """Convenience constructor from loose inputs (lists, dicts)."""
+        return cls(
+            project=tuple(project),
+            weights=_normalize_weights(weights),
+            delta=ClauseDelta(
+                add=tuple(add), retract=tuple(retract), assume=tuple(assume)
+            ),
+        )
+
+
+#: The identity workload, shared so callers can compare against it cheaply.
+DEFAULT_TASK = SamplingTask()

@@ -69,7 +69,7 @@ from repro.core.extraction import (
     variable_name,
 )
 from repro.core.signatures import GateMatch, match_gate_signature
-from repro.circuit.gates import GateType
+from repro.circuit.gates import Gate, GateType
 
 _perf = time.perf_counter
 
@@ -105,6 +105,40 @@ class TransformStats:
         if self.circuit_operations == 0:
             return float("inf")
         return self.cnf_operations / self.circuit_operations
+
+
+#: One fast-stream checkpoint: ``(clause position, definitions, inputs,
+#: constraints, signature matches, generic matches, fallback groups, constant
+#: definitions, lookahead-free)``.  Recorded only at *empty-buffer*
+#: boundaries, where the stream's entire forward-reaching state is the record
+#: lists plus the duplicate-clause filter — the occurrence index, versions
+#: and failure memo are all empty or unreachable (``failed_version`` can
+#: never spuriously match a fresh version: any consume bumps versions after a
+#: failure), so a replay from the checkpoint with fresh dictionaries is
+#: decision-identical.  The final flag is ``False`` when the buffer was
+#: emptied by the disjoint-lookahead flush at the previous position — that
+#: flush *examined this position's clause*, so such a checkpoint is invalid
+#: when the clause at exactly this position changed.
+_Checkpoint = Tuple[int, int, int, int, int, int, int, int, bool]
+
+
+@dataclass
+class TransformReplay:
+    """Everything :func:`retransform` needs to resume a previous transform.
+
+    Carries the exact clause sequence the transform consumed, the fast
+    stream's empty-buffer checkpoints, and the option set — incremental
+    re-transforms must replay under identical options or the decision
+    sequence (and therefore the records) would diverge from the oracle.
+    """
+
+    clauses: Tuple[Clause, ...]
+    checkpoints: Tuple[_Checkpoint, ...]
+    simplify_expressions: bool
+    use_signature_fast_path: bool
+    optimize: bool
+    max_group_size: int
+    max_candidate_vars: int
 
 
 @dataclass
@@ -145,6 +179,9 @@ class TransformResult:
     circuit: Circuit
     free_variables: List[str] = field(default_factory=list)
     stats: TransformStats = field(default_factory=TransformStats)
+    #: Replay record consumed by :func:`retransform` (clause sequence, fast
+    #: stream checkpoints, option set).  Not part of the result's value.
+    replay: Optional[TransformReplay] = field(default=None, repr=False, compare=False)
 
     # -- path analysis -------------------------------------------------------------
     def constraint_nets(self) -> List[str]:
@@ -466,6 +503,10 @@ def _stream_fast(
     use_signature_fast_path: bool,
     max_group_size: int,
     max_candidate_vars: int,
+    checkpoints: Optional[List[_Checkpoint]] = None,
+    position_offset: int = 0,
+    seen_clause_keys: Optional[Set[frozenset]] = None,
+    resume_lookahead_flush: bool = False,
 ) -> None:
     """Literal-occurrence-indexed clause-stream loop (the tentpole fast path).
 
@@ -478,6 +519,13 @@ def _stream_fast(
     match and the generic extraction are pure functions of ``(v, sub-group)``,
     a candidate whose sub-group did not change since its last failure is
     skipped with two dictionary lookups.
+
+    When ``checkpoints`` is a list, a :data:`_Checkpoint` is appended at every
+    empty-buffer boundary (including one at end-of-stream when the final flush
+    had nothing buffered); :func:`retransform` resumes suffix replays from
+    them, passing ``position_offset`` (the replay's absolute start position)
+    and the prefix's ``seen_clause_keys`` (the duplicate filter is the one
+    piece of forward-reaching state that survives flushes).
     """
     slots: Dict[int, Clause] = {}
     slot_literals: Dict[int, Tuple[int, ...]] = {}
@@ -487,8 +535,25 @@ def _stream_fast(
     versions: Dict[int, int] = {}
     order: List[int] = []
     failed_version: Dict[int, int] = {}
-    seen_clause_keys: Set[frozenset] = set()
+    if seen_clause_keys is None:
+        seen_clause_keys = set()
     next_slot = 0
+    stats = state.stats
+
+    def record_checkpoint(position: int, lookahead_free: bool) -> None:
+        checkpoints.append(
+            (
+                position_offset + position,
+                len(state.definitions),
+                len(state.primary_inputs),
+                len(state.constraints),
+                stats.signature_matches,
+                stats.generic_matches,
+                stats.fallback_groups,
+                stats.constant_definitions,
+                lookahead_free,
+            )
+        )
 
     defined_vars = state.defined_vars
     input_vars = state.input_vars
@@ -558,7 +623,13 @@ def _stream_fast(
         failed_version.clear()
 
     total = len(clauses)
+    # Resumed replays seed the flag so the checkpoint they re-record at their
+    # first position carries the same lookahead provenance the original did.
+    lookahead_flush = resume_lookahead_flush
     for position, clause in enumerate(clauses):
+        if checkpoints is not None and not order:
+            record_checkpoint(position, not lookahead_flush)
+        lookahead_flush = False
         literals = clause.literals
         literal_set = frozenset(literals)
         if any(-literal in literal_set for literal in literal_set):
@@ -601,6 +672,14 @@ def _stream_fast(
             next_clause = clauses[position + 1]
             if all(abs(literal) not in occurrences for literal in next_clause):
                 flush()
+                lookahead_flush = True
+    if checkpoints is not None and not order:
+        # End-of-stream checkpoint, recorded only when nothing was buffered: a
+        # trailing under-specified group's flush depends on the stream ending
+        # here, which an append-only delta would change.  The disjoint
+        # lookahead cannot fire at the final position, so the flag is only
+        # ever False here for an empty resumed stream carrying its seed.
+        record_checkpoint(total, not lookahead_flush)
     flush()
 
 
@@ -764,9 +843,22 @@ def transform_cnf(
         use_fast_path=use_fast_path,
     )
 
-    stream = _stream_fast if use_fast_path else _stream_reference
+    checkpoints: List[_Checkpoint] = []
     stream_start = _perf()
-    stream(clauses, state, use_signature_fast_path, max_group_size, max_candidate_vars)
+    if use_fast_path:
+        _stream_fast(
+            clauses,
+            state,
+            use_signature_fast_path,
+            max_group_size,
+            max_candidate_vars,
+            checkpoints=checkpoints,
+        )
+    else:
+        _stream_reference(
+            clauses, state, use_signature_fast_path, max_group_size,
+            max_candidate_vars,
+        )
     stats.add_stage("stream", _perf() - stream_start)
     if state.signature_seconds:
         stats.add_stage("signature", state.signature_seconds)
@@ -829,6 +921,18 @@ def transform_cnf(
     intermediate_variables = [
         name for name, _ in definitions if name not in primary_outputs
     ]
+    replay = TransformReplay(
+        clauses=tuple(clauses),
+        # The reference path records no checkpoints; a retransform from such a
+        # result simply replays the whole stream on the fast path (or reruns
+        # the reference oracle when asked to).
+        checkpoints=tuple(checkpoints),
+        simplify_expressions=simplify_expressions,
+        use_signature_fast_path=use_signature_fast_path,
+        optimize=optimize,
+        max_group_size=max_group_size,
+        max_candidate_vars=max_candidate_vars,
+    )
     return TransformResult(
         source_name=formula.name,
         num_variables=formula.num_variables,
@@ -840,4 +944,327 @@ def transform_cnf(
         circuit=circuit,
         free_variables=free_variables,
         stats=stats,
+        replay=replay,
+    )
+
+
+class _GraftUnsafe(Exception):
+    """Raised when the incremental circuit graft would collide with a copied
+    net name; the caller falls back to a full (still fast-path) rebuild."""
+
+
+def _graft_circuit(
+    prev_circuit: Circuit,
+    state: _TransformState,
+    num_kept_definitions: int,
+    num_kept_constraints: int,
+    mark_definition_outputs: bool,
+    name: str,
+) -> Circuit:
+    """Build the incremental circuit: copy kept cones, lower new records.
+
+    The kept prefix records' nets all survive in ``prev_circuit`` by name
+    (optimization marks every definition and constraint net as an output, and
+    the rebuild passes preserve output names), and their transitive-fanin
+    cones reference only prefix-known inputs — structural hashing merges
+    gates with *identical* fanins only, so a cone's leaf inputs never change.
+    Copying those cones verbatim skips the global re-optimization that
+    dominates a cold transform; new records are lowered on top with fresh
+    internal names.  Raises :class:`_GraftUnsafe` in the rare case a new
+    record's net name already exists in the copied region (possible when
+    strashing chose a suffix record's buffer as a shared representative).
+    """
+    kept_nets = [net for net, _ in state.definitions[:num_kept_definitions]]
+    kept_nets += [net for net, _ in state.constraints[:num_kept_constraints]]
+    new_records = (
+        state.definitions[num_kept_definitions:]
+        + state.constraints[num_kept_constraints:]
+    )
+    circuit = Circuit(name)
+    for input_name in state.primary_inputs:
+        circuit._define_unchecked(Gate(input_name, GateType.INPUT), is_input=True)
+    if kept_nets:
+        cone = prev_circuit.transitive_fanin(kept_nets)
+        gates = prev_circuit._gates
+        for net in prev_circuit.topological_order():
+            if net not in cone:
+                continue
+            gate = gates[net]
+            if gate.gate_type == GateType.INPUT:
+                continue  # cone leaves are prefix inputs, pre-declared above
+            circuit._define_unchecked(gate)
+
+    counter = 0
+
+    def fresh(prefix: str = "n") -> str:
+        nonlocal counter
+        while True:
+            counter += 1
+            candidate = f"{prefix}{counter}"
+            if not circuit.has_net(candidate):
+                return candidate
+
+    unchecked = Gate.unchecked
+
+    def lower_gate(gate_type: GateType, fanins: Tuple[str, ...]) -> str:
+        gate_name = fresh()
+        circuit._define(unchecked(gate_name, gate_type, fanins))
+        return gate_name
+
+    def lower(expr: Expr) -> str:
+        if isinstance(expr, Const):
+            return circuit.add_constant(fresh("const"), expr.value)
+        if isinstance(expr, Var):
+            if not circuit.has_net(expr.name):
+                raise _GraftUnsafe(expr.name)
+            return expr.name
+        if isinstance(expr, Not):
+            return lower_gate(GateType.NOT, (lower(expr.operand),))
+        if isinstance(expr, And):
+            return lower_gate(GateType.AND, tuple(lower(op) for op in expr.operands))
+        if isinstance(expr, Or):
+            return lower_gate(GateType.OR, tuple(lower(op) for op in expr.operands))
+        if isinstance(expr, Xor):
+            return lower_gate(GateType.XOR, tuple(lower(op) for op in expr.operands))
+        raise TypeError(f"unsupported expression node {type(expr).__name__}")
+
+    for net, expr in new_records:
+        if circuit.has_net(net):
+            raise _GraftUnsafe(net)
+        driver = lower(expr)
+        circuit._define(unchecked(net, GateType.BUF, (driver,)))
+
+    for net, _ in state.constraints:
+        circuit.set_output(net)
+    if mark_definition_outputs:
+        # Mirror transform_cnf's optimize path, which keeps defined nets
+        # readable by marking them as outputs.
+        for net, _ in state.definitions:
+            circuit.set_output(net)
+    return circuit
+
+
+def _mutated_formula(
+    clauses: Sequence[Clause], num_variables: int, name: str
+) -> CNF:
+    formula = CNF(num_variables=num_variables, name=name)
+    for clause in clauses:
+        formula.add_clause(clause)
+    return formula
+
+
+def retransform(
+    prev: TransformResult,
+    delta,
+    use_fast_path: bool = True,
+) -> TransformResult:
+    """Transform the delta-mutated formula incrementally, reusing ``prev``.
+
+    ``delta`` is a :class:`~repro.cnf.delta.ClauseDelta` applied to the exact
+    clause sequence ``prev`` consumed (recorded on ``prev.replay``).  The fast
+    path restores the stream state from the latest valid empty-buffer
+    checkpoint at or before the first changed clause position, replays only
+    the suffix, and grafts the new records onto the previously optimized
+    circuit (:func:`_graft_circuit`) — on instances where the change touches
+    a late suffix this is an order of magnitude cheaper than a cold
+    :func:`transform_cnf`.
+
+    The contract, pinned by ``tests/incremental``: every *record* of the
+    result (definitions, primary inputs, intermediate variables, primary
+    outputs, constraints, free variables) is identical to a fresh transform
+    of the mutated formula, and ``complete_assignments`` is bitwise
+    identical; the grafted *circuit* is functionally equivalent but not
+    re-optimized globally, so its gate structure may differ from a cold
+    build's.  ``use_fast_path=False`` performs the full reference rebuild
+    (the oracle), identical to
+    ``transform_cnf(mutated, use_fast_path=False)`` under ``prev``'s
+    transform options.
+
+    An empty delta returns ``prev`` itself.  Transform options are inherited
+    from ``prev`` — replaying under different options would change the
+    decision sequence.
+    """
+    replay = prev.replay
+    if replay is None:
+        raise ValueError(
+            "prev carries no replay record; it must come from transform_cnf "
+            "or retransform"
+        )
+    if delta.is_empty:
+        return prev
+    mutated, change_position = delta.apply(replay.clauses)
+    num_variables = prev.num_variables
+    for clause in delta.appended_clauses():
+        for literal in clause:
+            variable = -literal if literal < 0 else literal
+            if variable > num_variables:
+                num_variables = variable
+    options = dict(
+        simplify_expressions=replay.simplify_expressions,
+        use_signature_fast_path=replay.use_signature_fast_path,
+        optimize=replay.optimize,
+        max_group_size=replay.max_group_size,
+        max_candidate_vars=replay.max_candidate_vars,
+    )
+    name = prev.source_name
+    if not use_fast_path:
+        return transform_cnf(
+            _mutated_formula(mutated, num_variables, name),
+            use_fast_path=False,
+            **options,
+        )
+
+    checkpoint: Optional[_Checkpoint] = None
+    for candidate in replay.checkpoints:
+        if candidate[0] > change_position:
+            break
+        if candidate[0] == change_position and not candidate[8]:
+            # Reached via the disjoint-lookahead flush, which examined the
+            # clause at exactly the change position — invalid to resume from.
+            continue
+        checkpoint = candidate
+    if checkpoint is None or checkpoint[0] == 0:
+        # No reusable prefix (or a reference-path prev without checkpoints):
+        # a full fast transform also rebuilds the optimized circuit.
+        return transform_cnf(
+            _mutated_formula(mutated, num_variables, name),
+            use_fast_path=True,
+            **options,
+        )
+
+    start = _perf()
+    from repro import native as native_kernels
+
+    compile_before = native_kernels.compile_seconds()
+    (
+        position,
+        num_definitions,
+        num_inputs,
+        num_constraints,
+        signature_matches,
+        generic_matches,
+        fallback_groups,
+        constant_definitions,
+        lookahead_free,
+    ) = checkpoint
+
+    stats = TransformStats(num_clauses=len(mutated))
+    cnf_operations = 0
+    for clause in mutated:
+        width = len(clause)
+        cnf_operations += max(width - 1, 0)
+        cnf_operations += sum(1 for literal in clause if literal < 0)
+    cnf_operations += max(len(mutated) - 1, 0)
+    stats.cnf_operations = cnf_operations
+    stats.signature_matches = signature_matches
+    stats.generic_matches = generic_matches
+    stats.fallback_groups = fallback_groups
+    stats.constant_definitions = constant_definitions
+
+    state = _TransformState(
+        num_names=num_variables,
+        stats=stats,
+        simplify_expressions=replay.simplify_expressions,
+        max_candidate_vars=replay.max_candidate_vars,
+        use_fast_path=True,
+    )
+    state.definitions = list(prev.definitions[:num_definitions])
+    state.defined = {net for net, _ in state.definitions}
+    state.defined_vars = {
+        int(net[len(VAR_PREFIX):]) for net in state.defined
+    }
+    state.primary_inputs = list(prev.primary_inputs[:num_inputs])
+    state.primary_input_set = set(state.primary_inputs)
+    state.input_vars = {
+        int(net[len(VAR_PREFIX):]) for net in state.primary_inputs
+    }
+    state.primary_outputs = {
+        net: expr.value
+        for net, expr in state.definitions
+        if isinstance(expr, Const)
+    }
+    state.constraints = list(prev.constraints[:num_constraints])
+
+    # The duplicate-clause filter is the only buffer-independent stream state;
+    # rebuild it from the (unchanged) prefix.
+    seen_clause_keys: Set[frozenset] = set()
+    for clause in mutated[:position]:
+        literal_set = frozenset(clause.literals)
+        if not any(-literal in literal_set for literal in literal_set):
+            seen_clause_keys.add(literal_set)
+
+    checkpoints = [c for c in replay.checkpoints if c[0] < position]
+    stream_start = _perf()
+    _stream_fast(
+        mutated[position:],
+        state,
+        replay.use_signature_fast_path,
+        replay.max_group_size,
+        replay.max_candidate_vars,
+        checkpoints=checkpoints,
+        position_offset=position,
+        seen_clause_keys=seen_clause_keys,
+        resume_lookahead_flush=not lookahead_free,
+    )
+    stats.add_stage("stream", _perf() - stream_start)
+    if state.signature_seconds:
+        stats.add_stage("signature", state.signature_seconds)
+    if state.extraction_seconds:
+        stats.add_stage("extraction", state.extraction_seconds)
+    if state.simplify_seconds:
+        stats.add_stage("simplify", state.simplify_seconds)
+
+    free_start = _perf()
+    free_variables = _free_variables_fast(mutated, num_variables, state.names)
+    stats.add_stage("free_vars", _perf() - free_start)
+
+    graft_start = _perf()
+    try:
+        circuit = _graft_circuit(
+            prev.circuit,
+            state,
+            num_definitions,
+            num_constraints,
+            mark_definition_outputs=replay.optimize and bool(state.constraints),
+            name=name or "recovered",
+        )
+    except _GraftUnsafe:
+        return transform_cnf(
+            _mutated_formula(mutated, num_variables, name),
+            use_fast_path=True,
+            **options,
+        )
+    stats.add_stage("circuit_graft", _perf() - graft_start)
+
+    stats.circuit_operations = two_input_gate_equivalents(circuit)
+    stats.num_definitions = len(state.definitions)
+    compile_delta = native_kernels.compile_seconds() - compile_before
+    if compile_delta > 0.0:
+        stats.add_stage("native_compile", compile_delta)
+    stats.seconds = _perf() - start
+
+    intermediate_variables = [
+        net for net, _ in state.definitions if net not in state.primary_outputs
+    ]
+    new_replay = TransformReplay(
+        clauses=tuple(mutated),
+        checkpoints=tuple(checkpoints),
+        simplify_expressions=replay.simplify_expressions,
+        use_signature_fast_path=replay.use_signature_fast_path,
+        optimize=replay.optimize,
+        max_group_size=replay.max_group_size,
+        max_candidate_vars=replay.max_candidate_vars,
+    )
+    return TransformResult(
+        source_name=name,
+        num_variables=num_variables,
+        definitions=state.definitions,
+        primary_inputs=state.primary_inputs,
+        intermediate_variables=intermediate_variables,
+        primary_outputs=state.primary_outputs,
+        constraints=state.constraints,
+        circuit=circuit,
+        free_variables=free_variables,
+        stats=stats,
+        replay=new_replay,
     )

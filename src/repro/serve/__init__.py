@@ -30,8 +30,14 @@ The ``repro-sat serve`` CLI subcommand is the batch front end over the same
 service (``python -m repro.cli serve jobs.json --workers 4``).
 """
 
-from repro.serve.cache import ArtifactCache, SamplingArtifact, build_artifact
+from repro.serve.cache import (
+    ArtifactCache,
+    SamplingArtifact,
+    build_artifact,
+    build_incremental_artifact,
+)
 from repro.serve.jobs import (
+    SUPPORTED_JOB_TYPES,
     ManifestError,
     SamplingJob,
     config_from_dict,
@@ -49,7 +55,9 @@ __all__ = [
     "SamplingArtifact",
     "SamplingJob",
     "SamplingService",
+    "SUPPORTED_JOB_TYPES",
     "build_artifact",
+    "build_incremental_artifact",
     "config_from_dict",
     "config_to_dict",
     "load_manifest",

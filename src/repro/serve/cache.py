@@ -29,10 +29,11 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
+from repro.cnf.delta import ClauseDelta
 from repro.cnf.formula import CNF
 from repro.cnf.kernel import CNFEvalPlan
 from repro.core.signatures import formula_signature
-from repro.core.transform import TransformResult, transform_cnf
+from repro.core.transform import TransformResult, retransform, transform_cnf
 from repro.engine.compiler import cached_programs
 from repro.utils.weakcache import BoundedLRUCache
 
@@ -60,6 +61,12 @@ class SamplingArtifact:
     #: Wall-clock seconds of the transform alone — the dominant cold-start
     #: stage, surfaced per job so cold-path latency is observable end to end.
     transform_seconds: float = 0.0
+    #: True when this artifact was *derived* from a cached parent via
+    #: :func:`repro.core.transform.retransform` instead of a full cold
+    #: transform (the incremental-job fast path).
+    incremental: bool = False
+    #: Signature of the parent artifact an incremental build derived from.
+    parent_signature: Optional[str] = None
 
     @property
     def nbytes(self) -> int:
@@ -94,6 +101,44 @@ def build_artifact(formula: CNF, signature: Optional[str] = None) -> SamplingArt
         plan=plan,
         build_seconds=time.perf_counter() - start,
         transform_seconds=transform.stats.seconds,
+    )
+
+
+def build_incremental_artifact(
+    parent: SamplingArtifact,
+    delta: ClauseDelta,
+    signature: Optional[str] = None,
+) -> SamplingArtifact:
+    """Derive the artifact for ``parent``'s formula with ``delta`` applied.
+
+    The expensive stage — the transform — runs as an incremental
+    :func:`~repro.core.transform.retransform` replay from the parent's
+    recorded stream checkpoints instead of a cold Algorithm 1 pass, and the
+    parent's compiled CNF evaluation plan is spliced rather than recompiled
+    when the delta is append-only (:meth:`CNF.with_delta`).  The result is
+    a fully independent artifact: equal to a cold build of the effective
+    formula (the ``tests/incremental`` equivalence suite pins this), cached
+    and evicted on its own.
+    """
+    from repro.core.model import ProbabilisticCircuitModel
+
+    start = time.perf_counter()
+    effective = parent.formula.with_delta(delta)
+    signature = signature or formula_signature(effective)
+    transform = retransform(parent.transform, delta)
+    plan = effective.evaluation_plan()
+    if transform.constraints:
+        model = ProbabilisticCircuitModel.from_transform(transform, backend="engine")
+        model.program  # force compilation into the circuit's memo
+    return SamplingArtifact(
+        signature=signature,
+        formula=effective,
+        transform=transform,
+        plan=plan,
+        build_seconds=time.perf_counter() - start,
+        transform_seconds=transform.stats.seconds,
+        incremental=True,
+        parent_signature=parent.signature,
     )
 
 
@@ -150,6 +195,42 @@ class ArtifactCache:
         artifact = build_artifact(formula, signature)
         self._cache.put(signature, artifact, artifact.nbytes)
         return artifact, True
+
+    def get_or_build_task(
+        self,
+        task,
+        signature: str,
+        base_signature: str,
+        loader: Callable[[], CNF],
+    ) -> Tuple[SamplingArtifact, bool, bool]:
+        """Resolve the artifact for a workload task over a base formula.
+
+        ``signature`` keys the *effective* (post-delta) formula —
+        content-addressed, so projected/weighted tasks over one formula
+        share its artifact, and two different deltas reaching the same
+        formula share one too.  ``base_signature`` keys the task's base
+        formula; when the effective artifact is missing but the base one is
+        warm (and carries a transform replay), the build runs as an
+        incremental derivation (:func:`build_incremental_artifact`) instead
+        of a cold transform.  Returns ``(artifact, was_built,
+        was_derived_incrementally)``.
+        """
+        artifact = self._cache.get(signature)
+        if artifact is not None:
+            return artifact, False, False
+        delta = None if task is None else task.delta
+        if delta is not None and not delta.is_empty:
+            parent = self._cache.get(base_signature)
+            if parent is not None and parent.transform.replay is not None:
+                artifact = build_incremental_artifact(parent, delta, signature)
+                self._cache.put(signature, artifact, artifact.nbytes)
+                return artifact, True, True
+        formula = loader()
+        if delta is not None and not delta.is_empty:
+            formula = formula.with_delta(delta)
+        artifact = build_artifact(formula, signature)
+        self._cache.put(signature, artifact, artifact.nbytes)
+        return artifact, True, False
 
     def signatures(self) -> Tuple[str, ...]:
         """Cached signatures, least- to most-recently used."""

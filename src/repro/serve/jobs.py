@@ -36,6 +36,24 @@ or JSON Lines (one job object per line).  Job object keys:
 ``coalesce``
     Whether the job may share work with an identical in-flight job
     (default true).
+``type``
+    The workload kind — one of :data:`SUPPORTED_JOB_TYPES`
+    (``"sample"``, ``"project"``, ``"weighted"``, ``"incremental"``;
+    default ``"sample"``).  Anything else is rejected with a
+    :class:`ManifestError` naming the offending job and the supported
+    types.  The type declares the job's *primary* aspect and requires its
+    keys (below); aspects compose, so e.g. an ``incremental`` job may also
+    carry a ``project`` list.
+``project``
+    1-based variable indices uniqueness is counted over (required for
+    ``type: "project"``).
+``weights``
+    Per-variable target probabilities, ``{"<var>": p}`` with p strictly in
+    (0, 1) (required for ``type: "weighted"``).
+``add`` / ``retract`` / ``assume``
+    A clause delta applied to the base formula before transforming:
+    clause literal lists to add / remove, and literals to assume as unit
+    clauses (at least one required for ``type: "incremental"``).
 """
 
 from __future__ import annotations
@@ -48,7 +66,14 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.cnf.dimacs import parse_dimacs, parse_dimacs_file, write_dimacs
 from repro.cnf.formula import CNF
 from repro.core.config import SamplerConfig
+from repro.core.task import DEFAULT_TASK, SamplingTask
 from repro.gpu.device import Device, DeviceKind
+
+#: Manifest job types and the workload aspect each one requires.
+SUPPORTED_JOB_TYPES = ("sample", "project", "weighted", "incremental")
+
+#: Manifest keys carrying the job's workload spec (beyond plain sampling).
+TASK_KEYS = ("project", "weights", "add", "retract", "assume")
 
 #: SamplerConfig fields a manifest (or portfolio member) may override.
 CONFIG_FIELDS = (
@@ -192,12 +217,18 @@ class SamplingJob:
     coalesce: bool = True
     #: Caller-chosen identifier (the service assigns one when empty).
     job_id: Optional[str] = None
+    #: The workload spec: projection / weights / clause delta (the default
+    #: task is plain sampling).  Frozen and tuple-backed, so it pickles into
+    #: spawn workers and participates in coalescing keys.
+    task: SamplingTask = field(default_factory=SamplingTask)
 
     def __post_init__(self) -> None:
         if self.num_solutions <= 0:
             raise ManifestError(
                 f"num_solutions must be positive, got {self.num_solutions}"
             )
+        if self.task is None:
+            self.task = DEFAULT_TASK
 
     def load_formula(self) -> CNF:
         """Materialise the job's formula."""
@@ -212,6 +243,7 @@ class SamplingJob:
         portfolio: Union[int, Sequence[Dict[str, object]], None] = None,
         coalesce: bool = True,
         job_id: Optional[str] = None,
+        task: Optional[SamplingTask] = None,
     ) -> "SamplingJob":
         """The permissive constructor ``SamplingService.submit`` uses."""
         from repro.serve.portfolio import normalize_portfolio
@@ -223,16 +255,62 @@ class SamplingJob:
             portfolio=normalize_portfolio(portfolio),
             coalesce=coalesce,
             job_id=job_id,
+            task=task if task is not None else DEFAULT_TASK,
         )
 
 
 # -- manifests ---------------------------------------------------------------------------
 
+def _task_from_manifest_entry(
+    entry: Dict[str, object], job_name: str
+) -> SamplingTask:
+    """Validate the job type and build its :class:`SamplingTask`.
+
+    ``job_name`` is the manifest's own id (or the positional default) so
+    type errors name the exact offending job.
+    """
+    job_type = entry.get("type", "sample")
+    if job_type not in SUPPORTED_JOB_TYPES:
+        raise ManifestError(
+            f"job {job_name!r}: unknown job type {job_type!r} "
+            f"(supported types: {', '.join(SUPPORTED_JOB_TYPES)})"
+        )
+    present = [key for key in TASK_KEYS if key in entry]
+    if job_type == "sample" and present:
+        raise ManifestError(
+            f"job {job_name!r}: type 'sample' takes no workload keys, "
+            f"got {present}"
+        )
+    required = {
+        "project": ("project",),
+        "weighted": ("weights",),
+        "incremental": ("add", "retract", "assume"),
+    }
+    if job_type in required and not any(key in entry for key in required[job_type]):
+        needed = "/".join(f"'{key}'" for key in required[job_type])
+        raise ManifestError(
+            f"job {job_name!r}: type '{job_type}' requires {needed}"
+        )
+    try:
+        return SamplingTask.build(
+            project=tuple(entry.get("project", ())),
+            weights=entry.get("weights"),
+            add=tuple(entry.get("add", ())),
+            retract=tuple(entry.get("retract", ())),
+            assume=tuple(entry.get("assume", ())),
+        )
+    except (ValueError, TypeError) as error:
+        raise ManifestError(f"job {job_name!r}: {error}") from error
+
+
 def job_from_manifest_entry(entry: Dict[str, object], index: int = 0) -> SamplingJob:
     """Build one :class:`SamplingJob` from a manifest job object."""
     if not isinstance(entry, dict):
         raise ManifestError(f"job #{index}: expected an object, got {type(entry).__name__}")
-    known = {"id", "path", "instance", "dimacs", "num_solutions", "config", "portfolio", "coalesce"}
+    known = {
+        "id", "path", "instance", "dimacs", "num_solutions", "config",
+        "portfolio", "coalesce", "type", *TASK_KEYS,
+    }
     unknown = set(entry) - known
     if unknown:
         raise ManifestError(f"job #{index}: unknown keys {sorted(unknown)}")
@@ -244,6 +322,7 @@ def job_from_manifest_entry(entry: Dict[str, object], index: int = 0) -> Samplin
     config_data = entry.get("config", {})
     if not isinstance(config_data, dict):
         raise ManifestError(f"job #{index}: 'config' must be an object")
+    task = _task_from_manifest_entry(entry, str(entry.get("id", f"job-{index}")))
     try:
         return SamplingJob.build(
             source={sources[0]: entry[sources[0]]},
@@ -255,6 +334,7 @@ def job_from_manifest_entry(entry: Dict[str, object], index: int = 0) -> Samplin
             # so the same manifest (or two manifests with defaulted ids) can
             # be replayed on one long-lived service without collisions.
             job_id=str(entry["id"]) if "id" in entry else None,
+            task=task,
         )
     except (ValueError, TypeError) as error:
         raise ManifestError(f"job #{index}: {error}") from error

@@ -94,7 +94,9 @@ def member_configs(
 
 
 def merge_member_solutions(
-    num_variables: int, member_matrices: Iterable[Optional[np.ndarray]]
+    num_variables: int,
+    member_matrices: Iterable[Optional[np.ndarray]],
+    project: Optional[Sequence[int]] = None,
 ) -> SolutionSet:
     """Deduplicated union of member solution matrices, in member-index order.
 
@@ -103,9 +105,11 @@ def merge_member_solutions(
     skipped.  Insertion order of the merged set is therefore member-major —
     member 0's solutions first, then member 1's *new* ones, and so on —
     which is what makes the merge reproducible independent of completion
-    order.
+    order.  ``project`` (0-based columns) applies projected-task dedup to
+    the merge: members may find different witnesses of one projected
+    pattern, and the pattern must still count once.
     """
-    merged = SolutionSet(num_variables)
+    merged = SolutionSet(num_variables, project=project)
     for matrix in member_matrices:
         if matrix is None or matrix.shape[0] == 0:
             continue

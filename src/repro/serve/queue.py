@@ -30,7 +30,10 @@ from repro.serve.jobs import SamplingJob, config_to_dict
 def coalesce_key(job: SamplingJob, signature: str) -> Tuple:
     """The identity under which two jobs are the same request.
 
-    Formula content signature + full config + target + portfolio shape.
+    Formula content signature + workload task + full config + target +
+    portfolio shape.  The task's canonical form is part of the identity:
+    two jobs over the same formula but different projections, weights or
+    clause deltas are *different* requests and must not share results.
     Jobs with ``coalesce=False`` never call this.
     """
 
@@ -42,6 +45,7 @@ def coalesce_key(job: SamplingJob, signature: str) -> Tuple:
 
     return (
         signature,
+        job.task.canonical(),
         job.num_solutions,
         freeze(config_to_dict(job.config)),
         tuple(freeze(member) for member in job.portfolio),

@@ -51,6 +51,7 @@ from repro.cnf.formula import CNF
 from repro.core.config import SamplerConfig
 from repro.core.signatures import formula_signature
 from repro.core.solutions import SolutionSet
+from repro.core.task import SamplingTask
 from repro.serve.cache import ArtifactCache, DEFAULT_MAX_BYTES, DEFAULT_MAX_ENTRIES
 from repro.serve.jobs import SamplingJob, config_to_dict
 from repro.serve.portfolio import member_configs, merge_member_solutions
@@ -117,10 +118,16 @@ class _TaskState:
 class _JobState:
     job: SamplingJob
     job_id: str
+    #: Signature of the *effective* (post-delta) formula — the artifact key.
     signature: str
     num_variables: int
     key: Optional[Tuple]
     start: float
+    #: Signature of the base formula (equals ``signature`` for empty deltas);
+    #: lets workers derive incremental artifacts from a warm parent.
+    base_signature: str = ""
+    #: 0-based projection columns of the job's task (``None`` unprojected).
+    project: Optional[Tuple[int, ...]] = None
     tasks: List[_TaskState] = field(default_factory=list)
     #: Arrival-order merged pool driving the first-to-target cancellation.
     progress: Optional[SolutionSet] = None
@@ -269,6 +276,7 @@ class SamplingService:
         portfolio: Union[int, Sequence[Dict[str, object]], None] = None,
         coalesce: bool = True,
         job_id: Optional[str] = None,
+        task: Optional[SamplingTask] = None,
     ) -> str:
         """Submit one sampling job; returns its job id immediately.
 
@@ -276,7 +284,9 @@ class SamplingService:
         are then ignored) or anything
         :func:`~repro.serve.jobs.normalize_source` accepts — a
         :class:`CNF`, DIMACS text, a ``.cnf`` path, a registry-instance
-        spec.
+        spec.  ``task`` attaches a workload spec
+        (:class:`~repro.core.task.SamplingTask`): projection, weights
+        and/or a clause delta.
         """
         if self._closed:
             raise RuntimeError("the service is closed")
@@ -290,6 +300,7 @@ class SamplingService:
                 portfolio=portfolio,
                 coalesce=coalesce,
                 job_id=job_id,
+                task=task,
             )
         if job.job_id:
             job_id = job.job_id
@@ -303,8 +314,18 @@ class SamplingService:
             self._counter += 1
 
         formula = job.load_formula()
-        signature = formula_signature(formula)
-        num_variables = formula.num_variables
+        base_signature = formula_signature(formula)
+        # The artifact cache is content-addressed on the *effective*
+        # formula: two deltas reaching the same formula share one artifact,
+        # and projections/weights (which never change the formula) share
+        # the base one.
+        if job.task.is_incremental:
+            effective = job.task.apply_to(formula)
+            signature = formula_signature(effective)
+        else:
+            effective = formula
+            signature = base_signature
+        num_variables = effective.num_variables
         state = _JobState(
             job=job,
             job_id=job_id,
@@ -312,7 +333,10 @@ class SamplingService:
             num_variables=num_variables,
             key=None,
             start=time.perf_counter(),
+            base_signature=base_signature,
+            project=job.task.projection_columns(num_variables) or None,
         )
+        job.task.weight_map(num_variables)  # fail fast on out-of-range weights
         self._jobs[job_id] = state
 
         if job.coalesce:
@@ -332,11 +356,11 @@ class SamplingService:
             _TaskState(
                 member_index=index,
                 config=member_config,
-                solutions=SolutionSet(num_variables),
+                solutions=SolutionSet(num_variables, project=state.project),
             )
             for index, member_config in enumerate(configs)
         ]
-        state.progress = SolutionSet(num_variables)
+        state.progress = SolutionSet(num_variables, project=state.project)
 
         if self.num_workers == 0:
             self._pending_inline.append(job_id)
@@ -454,6 +478,8 @@ class SamplingService:
             "group": state.job_id,
             "source": state.job.source,
             "signature": state.signature,
+            "base_signature": state.base_signature,
+            "task": None if state.job.task.is_default else state.job.task.to_dict(),
             "config": config_to_dict(task_state.config),
             "num_solutions": state.job.num_solutions,
         }
@@ -542,6 +568,16 @@ class SamplingService:
                 record["seconds"] = summary.get("seconds", 0.0)
                 record["rounds"] = summary.get("rounds", 0)
                 record["timed_out"] = summary.get("timed_out", False)
+                record["stopped_early"] = bool(
+                    task_state.skipped or summary.get("stopped_early", False)
+                )
+                record["task"] = payload.get("task", state.job.task.kind())
+                record["projected_unique"] = summary.get(
+                    "projected_unique", len(task_state.solutions)
+                )
+                record["incremental_artifact"] = payload.get(
+                    "incremental_artifact", False
+                )
                 record["cache_hit"] = payload.get("cache_hit")
                 record["build_seconds"] = payload.get("build_seconds", 0.0)
                 record["transform_seconds"] = payload.get("transform_seconds", 0.0)
@@ -550,7 +586,9 @@ class SamplingService:
                 matrices.append(task_state.solutions.to_matrix())
             members.append(record)
 
-        merged = merge_member_solutions(state.num_variables, matrices)
+        merged = merge_member_solutions(
+            state.num_variables, matrices, project=state.project
+        )
         elapsed = time.perf_counter() - state.start
         status = "done" if any_ok else "error"
         error = None
@@ -561,6 +599,17 @@ class SamplingService:
         summary = {
             "job_id": state.job_id,
             "unique_solutions": len(merged),
+            # Under a projected task the merge dedups on the projection, so
+            # this counts distinct projected patterns (= unique_solutions;
+            # surfaced separately so results.json is explicit about it).
+            "projected_unique": len(merged),
+            "task": state.job.task.kind(),
+            "stopped_early": any(
+                member.get("stopped_early", False) for member in members
+            ),
+            "incremental_artifacts": sum(
+                1 for member in members if member.get("incremental_artifact")
+            ),
             "requested": state.job.num_solutions,
             "generated": sum(member.get("generated", 0) for member in members),
             "valid": sum(member.get("valid", 0) for member in members),

@@ -44,6 +44,7 @@ from typing import Callable, Dict, Optional, Set, Tuple
 import numpy as np
 
 from repro.core.sampler import GradientSATSampler
+from repro.core.task import SamplingTask
 from repro.serve.cache import ArtifactCache, DEFAULT_MAX_BYTES, DEFAULT_MAX_ENTRIES
 from repro.serve.jobs import config_from_dict, load_source
 
@@ -101,13 +102,22 @@ def execute_task(
             return
         start = time.perf_counter()
         compile_before = native.compile_seconds()
-        artifact, built = cache.get_or_build(
+        task_spec = SamplingTask.from_dict(task.get("task"))
+        # task["signature"] keys the *effective* (post-delta) formula; the
+        # base formula's signature enables incremental derivation from a
+        # warm parent artifact.
+        artifact, built, derived = cache.get_or_build_task(
+            task_spec,
             signature=task["signature"],
+            base_signature=task.get("base_signature", task["signature"]),
             loader=lambda: load_source(task["source"]),
         )
         config = config_from_dict(task["config"])
         sampler = GradientSATSampler(
-            artifact.formula, transform=artifact.transform, config=config
+            artifact.formula,
+            transform=artifact.transform,
+            config=config,
+            task=task_spec,
         )
 
         def on_round(record, new_rows) -> None:
@@ -141,6 +151,8 @@ def execute_task(
                 "cache_hit": not built,
                 "build_seconds": artifact.build_seconds if built else 0.0,
                 "transform_seconds": artifact.transform_seconds if built else 0.0,
+                "task": task_spec.kind(),
+                "incremental_artifact": derived,
                 "elapsed_seconds": time.perf_counter() - start,
                 # Which native kernel tier this task's config resolves to
                 # ("python" = pure NumPy paths) and any one-time kernel

@@ -1,0 +1,1 @@
+"""Incremental retransform + serve derivation test suite."""

@@ -1,0 +1,194 @@
+"""Incremental ``retransform`` pinned against cold transforms.
+
+The contract (documented on :func:`repro.core.transform.retransform`): for
+any clause delta, the incremental result's *records* — definitions, primary
+inputs, intermediate variables, primary outputs, constraints, free
+variables — are identical to a cold :func:`transform_cnf` of the mutated
+formula, and :meth:`complete_assignments` is bitwise identical.  The
+grafted circuit may differ structurally from a cold build, so circuits are
+compared by simulation, never by gate list.
+
+Hypothesis drives random formulas through random add/retract/assume deltas
+(single and chained), with the reference path (``use_fast_path=False``) as
+the ultimate oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cnf import CNF, ClauseDelta, planted_ksat
+from repro.circuit.simulate import simulate
+from repro.core.transform import retransform, transform_cnf
+
+
+def assert_records_match(fast, cold):
+    """Record-level equality (expressions are hash-consed, so ``==`` is exact).
+
+    ``constrained_inputs()`` is deliberately *not* compared: it is derived
+    from the circuit's fanin cone, and a grafted circuit may keep an input
+    in the cone that a cold build's optimizer eliminated.  The circuits are
+    instead compared functionally below.
+    """
+    assert fast.num_variables == cold.num_variables
+    assert fast.definitions == cold.definitions
+    assert fast.primary_inputs == cold.primary_inputs
+    assert fast.intermediate_variables == cold.intermediate_variables
+    assert fast.primary_outputs == cold.primary_outputs
+    assert fast.constraints == cold.constraints
+    assert fast.free_variables == cold.free_variables
+
+
+def assert_constraint_nets_equivalent(fast, cold, seed=7):
+    nets = fast.constraint_nets()
+    assert nets == cold.constraint_nets()
+    if not nets or not fast.primary_inputs:
+        return
+    rng = np.random.default_rng(seed)
+    batch = rng.random((64, len(fast.primary_inputs))) < 0.5
+    fast_values = simulate(
+        fast.circuit, batch, input_order=fast.primary_inputs, nets=nets
+    )
+    cold_values = simulate(
+        cold.circuit, batch, input_order=cold.primary_inputs, nets=nets
+    )
+    for net in nets:
+        np.testing.assert_array_equal(fast_values[net], cold_values[net])
+
+
+def assert_completions_match(fast, cold, seed=0):
+    rng = np.random.default_rng(seed)
+    batch = rng.random((32, len(fast.primary_inputs))) < 0.5
+    free = None
+    if fast.free_variables:
+        free = rng.random((32, len(fast.free_variables))) < 0.5
+    np.testing.assert_array_equal(
+        fast.complete_assignments(batch, free),
+        cold.complete_assignments(batch, free),
+    )
+
+
+def literals_strategy(num_variables, width):
+    return st.lists(
+        st.integers(1, num_variables).flatmap(
+            lambda v: st.sampled_from([v, -v])
+        ),
+        min_size=1, max_size=width,
+    )
+
+
+@st.composite
+def formula_and_delta(draw):
+    num_variables = draw(st.integers(4, 10))
+    clauses = draw(
+        st.lists(literals_strategy(num_variables, 3), min_size=4, max_size=24)
+    )
+    # dedup literal multiplicity inside a clause to keep retract matching simple
+    clauses = [sorted(set(c), key=abs) for c in clauses]
+    add = tuple(
+        tuple(c)
+        for c in draw(
+            st.lists(literals_strategy(num_variables + 1, 3), max_size=3)
+        )
+    )
+    retract_indices = draw(
+        st.lists(st.integers(0, len(clauses) - 1), max_size=2, unique=True)
+    )
+    retract = tuple(tuple(clauses[i]) for i in retract_indices)
+    assume = tuple(
+        draw(
+            st.lists(
+                st.integers(1, num_variables).flatmap(
+                    lambda v: st.sampled_from([v, -v])
+                ),
+                max_size=2, unique=True,
+            )
+        )
+    )
+    delta = ClauseDelta(add=add, retract=retract, assume=assume)
+    return CNF(clauses, num_variables=num_variables, name="hyp"), delta
+
+
+@settings(max_examples=40, deadline=None)
+@given(case=formula_and_delta())
+def test_retransform_matches_cold_transform(case):
+    formula, delta = case
+    prev = transform_cnf(formula)
+    fast = retransform(prev, delta)
+    if delta.is_empty:
+        assert fast is prev
+        return
+    mutated = formula.with_delta(delta)
+    cold = transform_cnf(mutated)
+    assert_records_match(fast, cold)
+    assert_completions_match(fast, cold)
+    assert_constraint_nets_equivalent(fast, cold)
+
+
+@settings(max_examples=15, deadline=None)
+@given(case=formula_and_delta())
+def test_retransform_matches_reference_path(case):
+    formula, delta = case
+    prev = transform_cnf(formula)
+    fast = retransform(prev, delta)
+    if delta.is_empty:
+        return
+    oracle = retransform(prev, delta, use_fast_path=False)
+    assert_records_match(fast, oracle)
+    assert_completions_match(fast, oracle)
+
+
+def test_chained_deltas_compose():
+    formula = planted_ksat(14, 36, 3, seed=5)
+    first = ClauseDelta(assume=(3,))
+    second = ClauseDelta(add=((1, -2, 14),), retract=(tuple(formula.clauses[0].literals),))
+    prev = transform_cnf(formula)
+    step_one = retransform(prev, first)
+    step_two = retransform(step_one, second)
+    mutated = formula.with_delta(first).with_delta(second)
+    cold = transform_cnf(mutated)
+    assert_records_match(step_two, cold)
+    assert_completions_match(step_two, cold)
+    assert_constraint_nets_equivalent(step_two, cold)
+    # the chained result itself carries a replay and can keep going
+    assert step_two.replay is not None
+    step_three = retransform(step_two, ClauseDelta(assume=(-7,)))
+    cold_three = transform_cnf(mutated.with_delta(ClauseDelta(assume=(-7,))))
+    assert_records_match(step_three, cold_three)
+
+
+def test_empty_delta_returns_prev():
+    formula = planted_ksat(10, 24, 3, seed=1)
+    prev = transform_cnf(formula)
+    assert retransform(prev, ClauseDelta()) is prev
+
+
+def test_retransform_requires_replay():
+    formula = planted_ksat(10, 24, 3, seed=1)
+    prev = transform_cnf(formula)
+    stripped = prev.__class__(
+        **{
+            field: getattr(prev, field)
+            for field in (
+                "source_name", "num_variables", "definitions", "primary_inputs",
+                "intermediate_variables", "primary_outputs", "constraints",
+                "circuit", "free_variables", "stats",
+            )
+        }
+    )
+    with pytest.raises(ValueError, match="replay"):
+        retransform(stripped, ClauseDelta(assume=(1,)))
+
+
+def test_appended_clause_can_widen_the_variable_range():
+    formula = planted_ksat(8, 20, 3, seed=2)
+    delta = ClauseDelta(add=((9, -10),))
+    prev = transform_cnf(formula)
+    fast = retransform(prev, delta)
+    cold = transform_cnf(formula.with_delta(delta))
+    assert fast.num_variables == 10
+    assert_records_match(fast, cold)
+    assert_completions_match(fast, cold)

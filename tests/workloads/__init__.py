@@ -1,0 +1,1 @@
+"""Workload-spec (SamplingTask) test suite."""
