@@ -58,13 +58,16 @@ def _manifest_configs():
     ]
 
 
-def _mode_record(seconds: float, unique_counts) -> dict:
+def _mode_record(seconds: float, unique_counts, cold_builds: int) -> dict:
     return {
         "seconds": seconds,
         "jobs": len(unique_counts),
         "jobs_per_second": len(unique_counts) / seconds,
         "unique_solutions": int(sum(unique_counts)),
         "unique_per_second": sum(unique_counts) / seconds,
+        # How many members compiled an artifact from scratch in this mode —
+        # the quantity the persistent store (repro.store) exists to collapse.
+        "cold_builds": cold_builds,
     }
 
 
@@ -74,7 +77,8 @@ def _run_sequential(formula_path: str, configs) -> dict:
     for config in configs:
         result = sample_cnf(formula_path, num_solutions=NUM_SOLUTIONS, config=config)
         unique_counts.append(result.sample.num_unique)
-    return _mode_record(time.perf_counter() - start, unique_counts)
+    # The baseline loop re-transforms for every job by construction.
+    return _mode_record(time.perf_counter() - start, unique_counts, len(configs))
 
 
 def _run_service_pass(service: SamplingService, formula_path: str, configs) -> dict:
@@ -86,7 +90,10 @@ def _run_service_pass(service: SamplingService, formula_path: str, configs) -> d
     results = [service.result(job_id, timeout=600) for job_id in job_ids]
     seconds = time.perf_counter() - start
     assert all(result.status == "done" for result in results)
-    return _mode_record(seconds, [result.num_unique for result in results])
+    cold_builds = sum(result.summary.get("cold_builds", 0) for result in results)
+    return _mode_record(
+        seconds, [result.num_unique for result in results], cold_builds
+    )
 
 
 @pytest.mark.benchmark(group="serve-throughput")
@@ -106,7 +113,10 @@ def test_serve_throughput(benchmark, largest_instance, tmp_path):
 
     modes = {"sequential": sequential}
     for num_workers in (1, workers):
-        with SamplingService(num_workers=num_workers) as service:
+        # The persistent store is disabled explicitly: this grid measures the
+        # memory tier and pool scheduling alone (bench_store.py measures the
+        # store's effect on the same manifest).
+        with SamplingService(num_workers=num_workers, store_dir=False) as service:
             modes[f"service_w{num_workers}_cold"] = _run_service_pass(
                 service, formula_path, configs
             )
@@ -151,7 +161,7 @@ def test_serve_throughput(benchmark, largest_instance, tmp_path):
         print(
             f"{name:>18}: {mode['jobs_per_second']:.2f} jobs/s, "
             f"{mode['unique_per_second']:,.0f} unique solutions/s "
-            f"({mode['seconds']:.2f} s)"
+            f"({mode['seconds']:.2f} s, {mode['cold_builds']} cold builds)"
         )
     print(f"warm {workers}-worker service vs sequential baseline: {ratio:.2f}x")
     if gate_skipped is not None:

@@ -98,6 +98,15 @@ class Circuit:
         """
         return self._engine_cache
 
+    def __getstate__(self):
+        # Compiled programs are serialised separately (repro.store keeps them
+        # as their own entries, keyed by memo key); a pickled netlist travels
+        # without its memo so the cache is never embedded twice and a
+        # restored circuit starts consistent with a freshly built one.
+        state = dict(self.__dict__)
+        state["_engine_cache"] = {}
+        return state
+
     # -- accessors ---------------------------------------------------------------------
     @property
     def inputs(self) -> Tuple[str, ...]:

@@ -20,6 +20,10 @@ Four subcommands cover the common workflows:
     List the built-in benchmark registry or write one of its instances to a
     DIMACS file (useful for feeding external samplers).
 
+``cache``
+    Inspect and maintain a persistent artifact store (:mod:`repro.store`):
+    ``stats``, ``ls``, ``verify`` (checksum walk) and ``prune --max-bytes``.
+
 Entry point: ``python -m repro.cli <subcommand> ...`` or the ``repro-sat``
 console script.
 """
@@ -28,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -104,6 +109,13 @@ def _build_parser() -> argparse.ArgumentParser:
                         metavar="LITS",
                         help="remove the first clause matching these literals "
                              "before transforming (repeatable)")
+    sample.add_argument("--store-dir", default=None, metavar="DIR",
+                        help="persistent artifact store: skip the transform "
+                             "when this formula was compiled before, persist "
+                             "it otherwise ('off' disables; overrides the "
+                             "REPRO_STORE_DIR environment variable — "
+                             "precedence: env < config < CLI; default: off "
+                             "unless REPRO_STORE_DIR is set)")
 
     serve = subparsers.add_parser(
         "serve", help="run a jobs manifest through the multi-worker sampling service"
@@ -129,6 +141,26 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(seconds; with --workers 0 jobs run synchronously in "
                             "this process, so the flag is ignored — use the config's "
                             "timeout_seconds to bound a job's own runtime)")
+    serve.add_argument("--store-dir", default=None, metavar="DIR",
+                       help="persistent artifact store shared by the pool "
+                            "(single-flight cold builds, warm restarts); ON "
+                            "by default for serve — $REPRO_STORE_DIR if set, "
+                            "else ~/.cache/repro-sat/store")
+    serve.add_argument("--no-store", action="store_true",
+                       help="disable the persistent artifact store for this run")
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect and maintain a persistent artifact store"
+    )
+    cache.add_argument("action", choices=["stats", "ls", "verify", "prune"],
+                       help="stats: counters and byte census; ls: list entries; "
+                            "verify: checksum-walk every entry; prune: delete "
+                            "least-recently-used entries down to --max-bytes")
+    cache.add_argument("--store-dir", default=None, metavar="DIR",
+                       help="store directory (default: $REPRO_STORE_DIR if set, "
+                            "else ~/.cache/repro-sat/store)")
+    cache.add_argument("--max-bytes", type=int, default=None,
+                       help="byte bound for prune (required with 'prune')")
 
     transform = subparsers.add_parser(
         "transform", help="recover the multi-level function from a DIMACS CNF"
@@ -203,6 +235,7 @@ def _command_sample(arguments: argparse.Namespace) -> int:
         backend=arguments.backend,
         array_backend=arguments.array_backend,
         kernel=arguments.kernel,
+        store_dir=arguments.store_dir,
     )
     # The kernel scope also covers the transform inside the pipeline (the
     # sampler re-applies config.kernel around its own runs).
@@ -245,12 +278,24 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         print("note: --timeout has no effect with --workers 0 (jobs run "
               "synchronously in this process)", file=sys.stderr)
         timeout = None
+    # The store is ON by default for serve: an explicit --store-dir wins,
+    # --no-store disables, and otherwise $REPRO_STORE_DIR (when set) or the
+    # conventional ~/.cache/repro-sat/store location is used.
+    if arguments.no_store:
+        store_spec: object = False
+    elif arguments.store_dir is not None:
+        store_spec = arguments.store_dir
+    else:
+        from repro.store import resolve_store_dir
+
+        store_spec = None if resolve_store_dir(None) is not None else True
     with SamplingService(
         num_workers=arguments.workers,
         array_backend=arguments.array_backend,
         kernel=arguments.kernel,
         cache_entries=arguments.cache_entries,
         cache_bytes=cache_bytes,
+        store_dir=store_spec,
     ) as service:
         job_ids = [service.submit(job) for job in jobs]
         results = [service.result(job_id, timeout=timeout) for job_id in job_ids]
@@ -326,6 +371,59 @@ def _command_transform(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_cache(arguments: argparse.Namespace) -> int:
+    from repro.store import ArtifactStore, default_store_dir, resolve_store_dir
+
+    directory = resolve_store_dir(arguments.store_dir)
+    if directory is None:
+        directory = resolve_store_dir(None) or default_store_dir()
+    store = ArtifactStore(directory)
+
+    if arguments.action == "stats":
+        stats = store.stats()
+        print(f"store directory : {stats['dir']}")
+        print(f"entries         : {stats['entries']}")
+        print(f"bytes           : {stats['bytes']:,}")
+        for kind, count in sorted(stats["kinds"].items()):
+            print(f"  {kind:<13s} : {count}")
+        return 0
+
+    if arguments.action == "ls":
+        rows = [
+            {
+                "kind": entry.kind,
+                "signature": entry.signature[:16],
+                "bytes": f"{entry.nbytes:,}",
+                "last used": time.strftime(
+                    "%Y-%m-%d %H:%M:%S", time.localtime(entry.mtime)
+                ),
+            }
+            for entry in store.entries()
+        ]
+        print(render_rows(rows, title=f"{len(rows)} entries in {store.root}"))
+        return 0
+
+    if arguments.action == "verify":
+        intact, bad = store.verify()
+        print(f"verified {len(intact) + len(bad)} entries: "
+              f"{len(intact)} intact, {len(bad)} bad")
+        for entry, reason in bad:
+            print(f"BAD {entry.path}: {reason}", file=sys.stderr)
+        return 1 if bad else 0
+
+    if arguments.action == "prune":
+        if arguments.max_bytes is None:
+            raise SystemExit("cache prune requires --max-bytes")
+        removed = store.prune(arguments.max_bytes)
+        freed = sum(entry.nbytes for entry in removed)
+        stats = store.stats()
+        print(f"pruned {len(removed)} entries ({freed:,} bytes); "
+              f"{stats['entries']} entries / {stats['bytes']:,} bytes remain")
+        return 0
+
+    raise AssertionError(f"unhandled cache action {arguments.action!r}")
+
+
 def _command_instances(arguments: argparse.Namespace) -> int:
     if arguments.write:
         entry = get_instance(arguments.write)
@@ -361,6 +459,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_transform(arguments)
     if arguments.command == "instances":
         return _command_instances(arguments)
+    if arguments.command == "cache":
+        return _command_cache(arguments)
     raise AssertionError(f"unhandled command {arguments.command!r}")
 
 

@@ -55,6 +55,12 @@ class Clause:
     def __setattr__(self, *args) -> None:
         raise AttributeError("Clause is immutable")
 
+    def __reduce__(self):
+        # The default slots-based protocol would call __setattr__ and hit the
+        # immutability guard; rebuild through __init__ instead (idempotent:
+        # the stored literals are already deduplicated, order preserved).
+        return (Clause, (self._literals,))
+
     @property
     def literals(self) -> Tuple[int, ...]:
         """The literals of the clause, in first-seen order."""

@@ -180,6 +180,34 @@ class CNF:
         """Drop the memoised plan (and its per-backend device uploads)."""
         self._plan = None
 
+    def install_evaluation_plan(self, plan: CNFEvalPlan) -> None:
+        """Adopt a pre-compiled plan as this formula's memo.
+
+        Used by :mod:`repro.store` when a deserialised plan arrives alongside
+        the formula it was compiled from; the plan must match this formula's
+        declared shape (plans are content-addressed, so a shape mismatch
+        means the caller mixed signatures).
+        """
+        if (
+            plan.num_variables != self._num_variables
+            or plan.num_clauses != self.num_clauses
+        ):
+            raise ValueError(
+                f"plan shape ({plan.num_variables} vars, {plan.num_clauses} clauses) "
+                f"does not match formula ({self._num_variables} vars, "
+                f"{self.num_clauses} clauses)"
+            )
+        self._plan = plan
+        register_plan_owner(self)
+
+    def __getstate__(self):
+        # The memoised plan is serialised separately (repro.store keeps it as
+        # its own entry); a pickled formula travels without it so plan bytes
+        # are never embedded twice.
+        state = dict(self.__dict__)
+        state["_plan"] = None
+        return state
+
     def _check_assignment_matrix(self, assignments):
         """Validate and coerce a ``(batch, num_variables)`` boolean matrix.
 

@@ -147,6 +147,16 @@ class CNFEvalPlan:
         default_factory=dict, repr=False, compare=False
     )
 
+    def __getstate__(self):
+        # The per-backend device uploads and native-kernel layouts hold
+        # ctypes/device handles that are process-local and unpicklable;
+        # serialised plans (repro.store entries, spawned workers) start with
+        # empty memos and re-upload lazily on first use.
+        state = dict(self.__dict__)
+        state["_device_arrays"] = {}
+        state["_native_arrays"] = {}
+        return state
+
     @property
     def num_literals(self) -> int:
         """Total literal occurrences across the non-empty clauses."""

@@ -58,6 +58,15 @@ class SamplerConfig:
     #: the process default (``REPRO_NATIVE`` env or "auto") in place —
     #: precedence: environment < config < CLI (the CLI writes this field).
     kernel: Optional[str] = None
+    #: Persistent artifact-store directory (:mod:`repro.store`) consulted by
+    #: :func:`repro.core.pipeline.sample_cnf` before running the CNF->circuit
+    #: transform, and populated after a cold build.  ``None`` defers to the
+    #: ``REPRO_STORE_DIR`` environment variable (off when unset); ``"off"``
+    #: is explicitly off — precedence: environment < config < CLI (the CLI
+    #: writes this field, so ``--store-dir`` wins).  The library default is
+    #: *off*: enable it for workloads that resample the same formulas across
+    #: processes or runs.
+    store_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         check_positive("batch_size", self.batch_size)

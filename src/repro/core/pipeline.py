@@ -113,13 +113,44 @@ def sample_cnf(
     transform_options:
         Keyword arguments forwarded to :func:`repro.core.transform.transform_cnf`
         when the transformation is not supplied.
+
+    When the config names a persistent artifact store
+    (``config.store_dir``, or the ``REPRO_STORE_DIR`` environment variable
+    when that field is ``None`` — see :mod:`repro.store`), the transform
+    stage first consults the store for the formula's signature and persists
+    after a cold build, so repeated runs over the same formula skip
+    Algorithm 1 entirely.  The store path is bypassed when a pre-computed
+    ``transform`` is supplied or non-default ``transform_options`` are given
+    (store entries are keyed by formula content alone, so option variants
+    must not share them).
     """
     formula = load_formula(source)
     if task is not None:
         formula = task.apply_to(formula)
     transform_start = time.perf_counter()
     if transform is None:
-        transform = transform_cnf(formula, **transform_options)
+        store_spec = config.store_dir if config is not None else None
+        if not transform_options:
+            from repro.store import open_store
+
+            store = open_store(store_spec)
+        else:
+            store = None
+        if store is not None:
+            from repro.core.signatures import formula_signature
+            from repro.serve.cache import build_artifact
+            from repro.store import fetch_or_build_artifact
+
+            signature = formula_signature(formula)
+            artifact, _source = fetch_or_build_artifact(
+                store, signature, lambda: build_artifact(formula, signature)
+            )
+            # Sample on the artifact's formula object so its memoised
+            # evaluation plan (store-loaded or freshly compiled) is shared.
+            formula = artifact.formula
+            transform = artifact.transform
+        else:
+            transform = transform_cnf(formula, **transform_options)
     transform_seconds = time.perf_counter() - transform_start
 
     sampler = GradientSATSampler(

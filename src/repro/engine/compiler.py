@@ -282,6 +282,32 @@ def compiled_program_for(
     return program
 
 
+#: Memo key of one compiled program: ``(output nets, explicit input order)``.
+ProgramKey = Tuple[Tuple[str, ...], Optional[Tuple[str, ...]]]
+
+
+def program_key(
+    output_nets: Sequence[str], input_order: Optional[Sequence[str]] = None
+) -> ProgramKey:
+    """The memo key :func:`compiled_program_for` files a cone under."""
+    return (
+        tuple(output_nets),
+        tuple(input_order) if input_order is not None else None,
+    )
+
+
+def adopt_program(circuit: Circuit, key: ProgramKey, program: CompiledProgram) -> None:
+    """Install an externally obtained program into ``circuit``'s memo.
+
+    Used by :mod:`repro.store` to re-attach deserialised programs: a
+    subsequent :func:`compiled_program_for` with the same cone becomes a pure
+    cache hit instead of a recompile.  The memo participates in the usual
+    invalidation — any netlist mutation clears it, adopted entries included.
+    """
+    circuit.engine_cache()[key] = program
+    _CACHE_OWNERS.register(circuit)
+
+
 def cached_programs(circuit: Circuit) -> List[CompiledProgram]:
     """The programs currently memoised on ``circuit`` (no compilation).
 

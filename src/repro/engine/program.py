@@ -164,6 +164,15 @@ class CompiledProgram:
     #: Gradient scatter for the output slots (handles aliased outputs).
     output_plan: Optional[ScatterPlan] = None
 
+    def __getstate__(self):
+        # Native kernels attach an EngineNativeState (ctypes arrays, library
+        # handles) under ``_native_state``; it is process-local and
+        # unpicklable, so serialised programs (repro.store entries, spawned
+        # workers) drop it and re-prepare lazily on first native execution.
+        state = dict(self.__dict__)
+        state.pop("_native_state", None)
+        return state
+
     @property
     def num_levels(self) -> int:
         """Number of distinct execution levels."""

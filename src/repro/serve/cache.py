@@ -21,6 +21,13 @@ objects' ``nbytes`` handles (:attr:`CompiledProgram.nbytes`,
 :attr:`CNFEvalPlan.nbytes`).  Every service worker owns one instance, so a
 formula that stays hot on a worker is transformed and compiled exactly once
 for the worker's lifetime, however many jobs reference it.
+
+An optional second tier — a persistent
+:class:`~repro.store.store.ArtifactStore` — sits under the memory cache:
+``get_or_build`` resolves memory → store → build, persists after a cold
+build, and coordinates concurrent cold starts on one signature through the
+store's single-flight build lease, so the first process to ever compile a
+formula warms every other process sharing the store directory.
 """
 
 from __future__ import annotations
@@ -35,6 +42,8 @@ from repro.cnf.kernel import CNFEvalPlan
 from repro.core.signatures import formula_signature
 from repro.core.transform import TransformResult, retransform, transform_cnf
 from repro.engine.compiler import cached_programs
+from repro.store.artifacts import fetch_or_build_artifact
+from repro.store.store import ArtifactStore
 from repro.utils.weakcache import BoundedLRUCache
 
 #: Default bounds: a handful of hot formulas, capped at a quarter gigabyte.
@@ -67,6 +76,11 @@ class SamplingArtifact:
     incremental: bool = False
     #: Signature of the parent artifact an incremental build derived from.
     parent_signature: Optional[str] = None
+    #: How this artifact entered the process: ``"built"`` (compiled here) or
+    #: ``"store"`` (deserialised from the persistent artifact store).
+    source: str = "built"
+    #: Wall-clock seconds a store load took (0.0 for built artifacts).
+    load_seconds: float = 0.0
 
     @property
     def nbytes(self) -> int:
@@ -143,18 +157,32 @@ def build_incremental_artifact(
 
 
 class ArtifactCache:
-    """LRU + byte-bounded cache of :class:`SamplingArtifact` by signature."""
+    """LRU + byte-bounded cache of :class:`SamplingArtifact` by signature.
+
+    With a ``store``, the cache becomes the top tier of a two-level
+    hierarchy: misses consult the persistent store (milliseconds) before
+    compiling (seconds), cold builds are persisted for every other process
+    sharing the store, and concurrent cold builds of one signature are
+    single-flighted through the store's build lease.
+    """
 
     def __init__(
         self,
         max_entries: int = DEFAULT_MAX_ENTRIES,
         max_bytes: Optional[int] = DEFAULT_MAX_BYTES,
+        store: Optional[ArtifactStore] = None,
     ) -> None:
         self._cache = BoundedLRUCache(
             max_entries=max_entries,
             max_bytes=max_bytes,
             on_evict=self._release,
         )
+        self._store = store
+
+    @property
+    def store(self) -> Optional[ArtifactStore]:
+        """The persistent second tier, when one is attached."""
+        return self._store
 
     @staticmethod
     def _release(_key, artifact) -> None:
@@ -190,9 +218,19 @@ class ArtifactCache:
         artifact = self._cache.get(signature)
         if artifact is not None:
             return artifact, False
-        if formula is None:
-            formula = loader()
-        artifact = build_artifact(formula, signature)
+        if self._store is None:
+            if formula is None:
+                formula = loader()
+            artifact = build_artifact(formula, signature)
+        else:
+            def _build() -> SamplingArtifact:
+                built_from = formula if formula is not None else loader()
+                return build_artifact(built_from, signature)
+
+            artifact, source = fetch_or_build_artifact(self._store, signature, _build)
+            if source == "store":
+                self._cache.put(signature, artifact, artifact.nbytes)
+                return artifact, False
         self._cache.put(signature, artifact, artifact.nbytes)
         return artifact, True
 
@@ -219,18 +257,30 @@ class ArtifactCache:
         if artifact is not None:
             return artifact, False, False
         delta = None if task is None else task.delta
-        if delta is not None and not delta.is_empty:
-            parent = self._cache.get(base_signature)
-            if parent is not None and parent.transform.replay is not None:
-                artifact = build_incremental_artifact(parent, delta, signature)
+
+        def _build() -> SamplingArtifact:
+            # Prefer deriving from a warm parent (incremental replay) over a
+            # cold transform of the effective formula.
+            if delta is not None and not delta.is_empty:
+                parent = self._cache.get(base_signature)
+                if parent is not None and parent.transform.replay is not None:
+                    return build_incremental_artifact(parent, delta, signature)
+                formula = loader().with_delta(delta)
+            else:
+                formula = loader()
+            return build_artifact(formula, signature)
+
+        if self._store is None:
+            artifact = _build()
+            derived = artifact.incremental
+        else:
+            artifact, source = fetch_or_build_artifact(self._store, signature, _build)
+            derived = artifact.incremental and source == "built"
+            if source == "store":
                 self._cache.put(signature, artifact, artifact.nbytes)
-                return artifact, True, True
-        formula = loader()
-        if delta is not None and not delta.is_empty:
-            formula = formula.with_delta(delta)
-        artifact = build_artifact(formula, signature)
+                return artifact, False, False
         self._cache.put(signature, artifact, artifact.nbytes)
-        return artifact, True, False
+        return artifact, True, derived
 
     def signatures(self) -> Tuple[str, ...]:
         """Cached signatures, least- to most-recently used."""
@@ -241,8 +291,17 @@ class ArtifactCache:
         self._cache.clear()
 
     def stats(self) -> Dict[str, int]:
-        """Entry/byte/hit/miss/eviction counters of the underlying LRU."""
-        return self._cache.stats()
+        """Entry/byte/hit/miss/eviction counters of the underlying LRU.
+
+        With a persistent store attached, its counters are merged in under
+        ``store_*`` keys (hits/misses/writes/corrupt/lease activity of *this
+        process's* handle — cheap, no directory walk).
+        """
+        stats = self._cache.stats()
+        if self._store is not None:
+            for key, value in self._store.counters().items():
+                stats[f"store_{key}"] = value
+        return stats
 
     def __len__(self) -> int:
         return len(self._cache)

@@ -148,7 +148,7 @@ class _WorkerHandle:
     """One spawned worker process and its task/cancel queues."""
 
     def __init__(self, context, worker_id, result_queue, backend_spec,
-                 kernel_mode, cache_entries, cache_bytes) -> None:
+                 kernel_mode, cache_entries, cache_bytes, store_dir) -> None:
         self.worker_id = worker_id
         self.task_queue = context.Queue()
         self.cancel_queue = context.Queue()
@@ -163,6 +163,7 @@ class _WorkerHandle:
                 cache_entries,
                 cache_bytes,
                 kernel_mode,
+                store_dir,
             ),
             daemon=True,
             name=f"repro-serve-worker-{worker_id}",
@@ -191,6 +192,14 @@ class SamplingService:
     cache_entries / cache_bytes:
         Bounds of each worker's formula-keyed artifact cache (LRU over
         entry count *and* total compiled bytes).
+    store_dir:
+        Persistent artifact-store tier under every worker's memory cache
+        (see :mod:`repro.store`).  ``None`` defers to ``$REPRO_STORE_DIR``
+        (off when unset), ``False``/``"off"`` is explicitly off, ``True``
+        uses the conventional ``~/.cache/repro-sat/store`` location, and a
+        path uses that directory.  With a store, a formula's cold
+        transform/compile is paid once across the whole pool (single-flight
+        build lease) and survives service restarts.
     """
 
     def __init__(
@@ -201,6 +210,7 @@ class SamplingService:
         kernel: Optional[str] = None,
         cache_entries: int = DEFAULT_MAX_ENTRIES,
         cache_bytes: Optional[int] = DEFAULT_MAX_BYTES,
+        store_dir: Union[None, bool, str, Path] = None,
     ) -> None:
         if num_workers < 0:
             raise ValueError(f"num_workers must be non-negative, got {num_workers}")
@@ -208,17 +218,28 @@ class SamplingService:
             from repro.native import resolve_mode
 
             resolve_mode(kernel)  # vocabulary check; availability at run time
+        from repro.store import resolve_store_dir
+
         self.num_workers = num_workers
         self.array_backend = array_backend
         self.kernel = kernel
+        resolved_store = resolve_store_dir(store_dir)
+        self.store_dir: Optional[str] = (
+            str(resolved_store) if resolved_store is not None else None
+        )
         self._jobs: Dict[str, _JobState] = {}
         self._pending_inline: List[str] = []
         self._coalesce = CoalesceTable()
         self._counter = 0
         self._closed = False
         if num_workers == 0:
+            store = None
+            if self.store_dir is not None:
+                from repro.store import ArtifactStore
+
+                store = ArtifactStore(self.store_dir)
             self._inline_cache = ArtifactCache(
-                max_entries=cache_entries, max_bytes=cache_bytes
+                max_entries=cache_entries, max_bytes=cache_bytes, store=store
             )
             self._workers: List[_WorkerHandle] = []
             self._dispatcher: Optional[Dispatcher] = None
@@ -233,7 +254,7 @@ class SamplingService:
             self._workers = [
                 _WorkerHandle(
                     context, worker_id, self._result_queue, array_backend,
-                    kernel, cache_entries, cache_bytes,
+                    kernel, cache_entries, cache_bytes, self.store_dir,
                 )
                 for worker_id in range(num_workers)
             ]
@@ -583,6 +604,13 @@ class SamplingService:
                 record["transform_seconds"] = payload.get("transform_seconds", 0.0)
                 record["kernel_tier"] = payload.get("kernel_tier")
                 record["compile_seconds"] = payload.get("compile_seconds", 0.0)
+                # Which tier satisfied the artifact ("built" / "memory" /
+                # "store"), the store-load latency, and the worker's cache/
+                # store counters at task end — see repro.store.
+                record["artifact_source"] = payload.get("artifact_source")
+                record["load_seconds"] = payload.get("load_seconds", 0.0)
+                if payload.get("cache_stats") is not None:
+                    record["cache_stats"] = payload["cache_stats"]
                 matrices.append(task_state.solutions.to_matrix())
             members.append(record)
 
@@ -620,6 +648,23 @@ class SamplingService:
                 1 for member in members if member.get("status") == "cancelled"
             ),
             "cache_hits": sum(1 for member in members if member.get("cache_hit")),
+            # Artifact-tier accounting: how many members compiled from
+            # scratch ("cold_builds"), loaded from the persistent store, or
+            # hit a worker's memory cache.  With a shared store and
+            # single-flight leases, cold_builds for one formula stays at 1
+            # across the whole pool.
+            "cold_builds": sum(
+                1 for member in members if member.get("artifact_source") == "built"
+            ),
+            "store_hits": sum(
+                1 for member in members if member.get("artifact_source") == "store"
+            ),
+            "memory_hits": sum(
+                1 for member in members if member.get("artifact_source") == "memory"
+            ),
+            "store_load_seconds": sum(
+                member.get("load_seconds", 0.0) for member in members
+            ),
             "build_seconds": sum(member.get("build_seconds", 0.0) for member in members),
             "transform_seconds": sum(
                 member.get("transform_seconds", 0.0) for member in members
@@ -708,6 +753,7 @@ class SamplingService:
                         "elapsed_seconds": 0.0,
                         "kernel_tier": None,
                         "compile_seconds": 0.0,
+                        "artifact_source": None,
                     },
                 )
                 continue

@@ -97,12 +97,14 @@ def execute_task(
                     "elapsed_seconds": 0.0,
                     "kernel_tier": None,
                     "compile_seconds": 0.0,
+                    "artifact_source": None,
                 },
             )
             return
         start = time.perf_counter()
         compile_before = native.compile_seconds()
         task_spec = SamplingTask.from_dict(task.get("task"))
+        memory_hits_before = cache.stats()["hits"]
         # task["signature"] keys the *effective* (post-delta) formula; the
         # base formula's signature enables incremental derivation from a
         # warm parent artifact.
@@ -112,6 +114,16 @@ def execute_task(
             base_signature=task.get("base_signature", task["signature"]),
             loader=lambda: load_source(task["source"]),
         )
+        cache_stats = cache.stats()
+        # Which tier satisfied this task: compiled here, memory-cache hit, or
+        # loaded from the persistent store.  The worker runs tasks serially,
+        # so the hit-counter delta is race-free.
+        if built:
+            artifact_source = "built"
+        elif cache_stats["hits"] > memory_hits_before:
+            artifact_source = "memory"
+        else:
+            artifact_source = artifact.source
         config = config_from_dict(task["config"])
         sampler = GradientSATSampler(
             artifact.formula,
@@ -153,6 +165,13 @@ def execute_task(
                 "transform_seconds": artifact.transform_seconds if built else 0.0,
                 "task": task_spec.kind(),
                 "incremental_artifact": derived,
+                "artifact_source": artifact_source,
+                "load_seconds": artifact.load_seconds if artifact_source == "store" else 0.0,
+                # Cumulative cache/store counters of this worker at task end
+                # (memory hits/misses/evictions plus store_* when a
+                # persistent store is attached) — surfaced into member
+                # records and results.json.
+                "cache_stats": cache_stats,
                 "elapsed_seconds": time.perf_counter() - start,
                 # Which native kernel tier this task's config resolves to
                 # ("python" = pure NumPy paths) and any one-time kernel
@@ -183,6 +202,7 @@ def worker_main(
     cache_entries: int = DEFAULT_MAX_ENTRIES,
     cache_bytes: Optional[int] = DEFAULT_MAX_BYTES,
     kernel_mode: Optional[str] = None,
+    store_dir: Optional[str] = None,
 ) -> None:
     """Entry point of one worker process: loop until the ``None`` sentinel."""
     import repro.xp as xp
@@ -193,7 +213,12 @@ def worker_main(
         from repro.native import set_default_mode
 
         set_default_mode(kernel_mode)
-    cache = ArtifactCache(max_entries=cache_entries, max_bytes=cache_bytes)
+    store = None
+    if store_dir is not None:
+        from repro.store import ArtifactStore
+
+        store = ArtifactStore(store_dir)
+    cache = ArtifactCache(max_entries=cache_entries, max_bytes=cache_bytes, store=store)
     cancelled_groups: Set[object] = set()
 
     def drain_cancellations() -> None:

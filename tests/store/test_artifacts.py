@@ -1,0 +1,157 @@
+"""Artifact persist/load: bitwise equivalence and every degraded path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cnf.dimacs import parse_dimacs
+from repro.core.config import SamplerConfig
+from repro.core.sampler import GradientSATSampler
+from repro.serve.cache import build_artifact
+from repro.store import (
+    KIND_PLAN,
+    KIND_PROGRAM,
+    KIND_TRANSFORM,
+    fetch_or_build_artifact,
+    load_sampling_artifact,
+    persist_artifact,
+)
+from tests.conftest import FIG1_DIMACS
+
+
+def _solutions(artifact, seed=0):
+    config = SamplerConfig.paper_defaults(batch_size=64, seed=seed, max_rounds=6)
+    sampler = GradientSATSampler(
+        artifact.formula, transform=artifact.transform, config=config
+    )
+    return sampler.sample(num_solutions=20).solutions.to_matrix()
+
+
+class TestRoundTrip:
+    def test_all_three_kinds_are_written(self, store, fig1_artifact):
+        assert persist_artifact(store, fig1_artifact)
+        signature = fig1_artifact.signature
+        assert store.contains(KIND_TRANSFORM, signature)
+        assert store.contains(KIND_PLAN, signature)
+        assert store.contains(KIND_PROGRAM, signature)
+
+    def test_persist_is_idempotent(self, store, fig1_artifact):
+        persist_artifact(store, fig1_artifact)
+        writes = store.counters()["writes"]
+        assert persist_artifact(store, fig1_artifact)
+        assert store.counters()["writes"] == writes  # complete entry: no rewrite
+
+    def test_loaded_artifact_structure(self, store, fig1_artifact):
+        persist_artifact(store, fig1_artifact)
+        loaded = load_sampling_artifact(store, fig1_artifact.signature)
+        assert loaded is not None
+        assert loaded.source == "store"
+        assert loaded.load_seconds > 0.0
+        assert loaded.build_seconds == 0.0
+        assert loaded.signature == fig1_artifact.signature
+        # The formula round-trips exactly (clauses, width, plan shape).
+        assert loaded.formula.clauses == fig1_artifact.formula.clauses
+        assert loaded.formula.num_variables == fig1_artifact.formula.num_variables
+        # The plan was installed as the formula's memo, not recompiled.
+        assert loaded.plan is loaded.formula.evaluation_plan()
+        # The engine programs were adopted into the circuit's memo.
+        from repro.engine.compiler import cached_programs
+
+        assert len(cached_programs(loaded.transform.circuit)) == len(
+            cached_programs(fig1_artifact.transform.circuit)
+        )
+
+    def test_sampler_bit_stream_is_identical(self, store, fig1_artifact):
+        persist_artifact(store, fig1_artifact)
+        loaded = load_sampling_artifact(store, fig1_artifact.signature)
+        for seed in (0, 7):
+            fresh = _solutions(fig1_artifact, seed)
+            from_store = _solutions(loaded, seed)
+            assert fresh.shape == from_store.shape
+            assert np.array_equal(fresh, from_store)
+
+    def test_loaded_nbytes_matches_built(self, store, fig1_artifact):
+        persist_artifact(store, fig1_artifact)
+        loaded = load_sampling_artifact(store, fig1_artifact.signature)
+        assert loaded.nbytes == fig1_artifact.nbytes
+
+
+class TestDegradedLoads:
+    def test_missing_signature_loads_none(self, store):
+        assert load_sampling_artifact(store, "unknown") is None
+
+    def test_missing_plan_entry_recompiles(self, store, fig1_artifact):
+        persist_artifact(store, fig1_artifact)
+        store.object_path(KIND_PLAN, fig1_artifact.signature).unlink()
+        loaded = load_sampling_artifact(store, fig1_artifact.signature)
+        assert loaded is not None
+        assert loaded.plan is loaded.formula.evaluation_plan()
+        assert np.array_equal(_solutions(loaded), _solutions(fig1_artifact))
+
+    def test_missing_program_entry_recompiles(self, store, fig1_artifact):
+        persist_artifact(store, fig1_artifact)
+        store.object_path(KIND_PROGRAM, fig1_artifact.signature).unlink()
+        loaded = load_sampling_artifact(store, fig1_artifact.signature)
+        assert loaded is not None
+        from repro.engine.compiler import cached_programs
+
+        assert cached_programs(loaded.transform.circuit)  # recompiled eagerly
+        assert np.array_equal(_solutions(loaded), _solutions(fig1_artifact))
+
+    def test_corrupt_transform_entry_is_a_miss(self, store, fig1_artifact):
+        persist_artifact(store, fig1_artifact)
+        path = store.object_path(KIND_TRANSFORM, fig1_artifact.signature)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert load_sampling_artifact(store, fig1_artifact.signature) is None
+
+
+class TestFetchOrBuild:
+    def test_none_store_builds(self, fig1, fig1_signature):
+        artifact, source = fetch_or_build_artifact(
+            None, fig1_signature, lambda: build_artifact(fig1, fig1_signature)
+        )
+        assert source == "built" and artifact.source == "built"
+
+    def test_cold_build_persists_then_warm_loads(self, store, fig1, fig1_signature):
+        builds = []
+
+        def builder():
+            builds.append(1)
+            return build_artifact(fig1, fig1_signature)
+
+        first, source1 = fetch_or_build_artifact(store, fig1_signature, builder)
+        assert source1 == "built" and len(builds) == 1
+        second, source2 = fetch_or_build_artifact(store, fig1_signature, builder)
+        assert source2 == "store" and len(builds) == 1
+        assert np.array_equal(_solutions(first), _solutions(second))
+
+    def test_build_lease_is_released_on_builder_failure(
+        self, store, fig1, fig1_signature
+    ):
+        with pytest.raises(RuntimeError):
+            fetch_or_build_artifact(
+                store, fig1_signature, lambda: (_ for _ in ()).throw(RuntimeError("boom"))
+            )
+        assert not store.lock_path(fig1_signature).exists()
+        # The signature is still buildable afterwards.
+        artifact, source = fetch_or_build_artifact(
+            store, fig1_signature, lambda: build_artifact(fig1, fig1_signature)
+        )
+        assert source == "built" and artifact is not None
+
+    def test_unwritable_store_still_returns_artifacts(self, tmp_path, fig1, fig1_signature):
+        from repro.store import ArtifactStore
+
+        blocked = tmp_path / "blocked"
+        blocked.write_text("not a directory")
+        store = ArtifactStore(blocked)
+        artifact, source = fetch_or_build_artifact(
+            store, fig1_signature, lambda: build_artifact(fig1, fig1_signature)
+        )
+        assert source == "built"
+        assert np.array_equal(
+            _solutions(artifact), _solutions(build_artifact(fig1, fig1_signature))
+        )

@@ -1,0 +1,66 @@
+"""The ``repro-sat cache`` subcommand: stats / ls / verify / prune."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.store import ArtifactStore
+
+
+@pytest.fixture
+def populated_dir(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    store.put("plan", "aaaa1111", np.zeros(2048))
+    store.put("transform", "bbbb2222", {"x": np.ones(512)})
+    return tmp_path / "store"
+
+
+def test_stats(populated_dir, capsys):
+    assert main(["cache", "stats", "--store-dir", str(populated_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "entries         : 2" in out
+    assert "plan" in out and "transform" in out
+
+
+def test_ls(populated_dir, capsys):
+    assert main(["cache", "ls", "--store-dir", str(populated_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "aaaa1111" in out and "bbbb2222" in out
+
+
+def test_verify_clean_store(populated_dir, capsys):
+    assert main(["cache", "verify", "--store-dir", str(populated_dir)]) == 0
+    assert "2 intact, 0 bad" in capsys.readouterr().out
+
+
+def test_verify_reports_corruption(populated_dir, capsys):
+    store = ArtifactStore(populated_dir)
+    path = store.object_path("plan", "aaaa1111")
+    data = bytearray(path.read_bytes())
+    data[-1] ^= 0xFF
+    path.write_bytes(bytes(data))
+    assert main(["cache", "verify", "--store-dir", str(populated_dir)]) == 1
+    captured = capsys.readouterr()
+    assert "1 intact, 1 bad" in captured.out
+    assert "BAD" in captured.err
+
+
+def test_prune(populated_dir, capsys):
+    assert main(
+        ["cache", "prune", "--store-dir", str(populated_dir), "--max-bytes", "0"]
+    ) == 0
+    assert "pruned 2 entries" in capsys.readouterr().out
+    assert ArtifactStore(populated_dir).stats()["entries"] == 0
+
+
+def test_prune_requires_max_bytes(populated_dir):
+    with pytest.raises(SystemExit):
+        main(["cache", "prune", "--store-dir", str(populated_dir)])
+
+
+def test_env_var_names_the_store(populated_dir, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_STORE_DIR", str(populated_dir))
+    assert main(["cache", "stats"]) == 0
+    assert str(populated_dir) in capsys.readouterr().out

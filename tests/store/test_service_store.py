@@ -1,0 +1,135 @@
+"""SamplingService with a persistent store: warm starts, pool single-flight."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cnf.dimacs import parse_dimacs
+from repro.core.config import SamplerConfig
+from repro.serve import SamplingService
+from repro.store import ArtifactStore, KIND_TRANSFORM
+from tests.conftest import FIG1_DIMACS
+
+CONFIG = SamplerConfig(batch_size=32, seed=0)
+TIMEOUT = 120.0
+
+
+@pytest.fixture
+def fig1():
+    return parse_dimacs(FIG1_DIMACS, name="fig1")
+
+
+class TestInlineService:
+    def test_cold_then_store_warm_across_service_instances(self, tmp_path, fig1):
+        store_dir = tmp_path / "store"
+
+        with SamplingService(num_workers=0, store_dir=store_dir) as first:
+            result = first.result(
+                first.submit(fig1, num_solutions=8, config=CONFIG, coalesce=False)
+            )
+            assert result.summary["cold_builds"] == 1
+            assert result.members[0]["artifact_source"] == "built"
+            cold_matrix = result.solutions.to_matrix()
+
+        # The artifact landed on disk under the service's store.
+        assert ArtifactStore(store_dir).entries()  # something was persisted
+
+        # A brand-new service over the same directory never compiles.
+        with SamplingService(num_workers=0, store_dir=store_dir) as second:
+            warm = second.result(
+                second.submit(fig1, num_solutions=8, config=CONFIG, coalesce=False)
+            )
+            assert warm.summary["cold_builds"] == 0
+            assert warm.summary["store_hits"] == 1
+            member = warm.members[0]
+            assert member["artifact_source"] == "store"
+            assert member["load_seconds"] > 0.0
+            assert np.array_equal(warm.solutions.to_matrix(), cold_matrix)
+
+    def test_member_records_carry_cache_stats(self, tmp_path, fig1):
+        with SamplingService(num_workers=0, store_dir=tmp_path / "store") as service:
+            result = service.result(
+                service.submit(fig1, num_solutions=8, config=CONFIG, coalesce=False)
+            )
+        stats = result.members[0]["cache_stats"]
+        assert stats["store_writes"] == 3  # transform + plan + program
+        assert "hits" in stats and "misses" in stats
+
+    def test_no_store_by_default(self, tmp_path, fig1, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE_DIR", raising=False)
+        with SamplingService(num_workers=0) as service:
+            assert service.store_dir is None
+            result = service.result(
+                service.submit(fig1, num_solutions=8, config=CONFIG, coalesce=False)
+            )
+            assert result.summary["cold_builds"] == 1
+            assert "store_writes" not in result.members[0].get("cache_stats", {})
+
+    def test_env_var_enables_store(self, tmp_path, fig1, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "env-store"))
+        with SamplingService(num_workers=0) as service:
+            assert service.store_dir == str(tmp_path / "env-store")
+            service.result(
+                service.submit(fig1, num_solutions=8, config=CONFIG, coalesce=False)
+            )
+        assert ArtifactStore(tmp_path / "env-store").entries()
+
+
+class TestPoolService:
+    def test_pool_single_flight_one_build_total(self, tmp_path, fig1):
+        # Enough same-formula jobs to overflow the affinity spill threshold:
+        # the backlog forces a second worker onto the signature, and the
+        # store (load or build-lease wait) spares it the recompile — one
+        # cold build total, however the pool interleaves.
+        store_dir = tmp_path / "store"
+        with SamplingService(num_workers=2, store_dir=store_dir) as service:
+            job_ids = [
+                service.submit(
+                    fig1,
+                    num_solutions=8,
+                    config=CONFIG.with_(seed=100 + index),
+                    coalesce=False,
+                )
+                for index in range(5)
+            ]
+            results = [service.result(job_id, timeout=TIMEOUT) for job_id in job_ids]
+        assert all(result.status == "done" for result in results)
+        sources = [result.members[0]["artifact_source"] for result in results]
+        assert sum(result.summary["cold_builds"] for result in results) == 1
+        assert sources.count("built") == 1
+        assert set(sources) <= {"built", "memory", "store"}
+        # The spilled worker warmed from the store, not a recompile.
+        workers = {result.members[0]["worker"] for result in results}
+        if len(workers) > 1:
+            assert "store" in sources
+
+    def test_second_pool_run_is_all_store_hits(self, tmp_path, fig1):
+        store_dir = tmp_path / "store"
+        with SamplingService(num_workers=2, store_dir=store_dir) as first:
+            first.result(
+                first.submit(fig1, num_solutions=8, config=CONFIG, coalesce=False),
+                timeout=TIMEOUT,
+            )
+        with SamplingService(num_workers=2, store_dir=store_dir) as second:
+            warm = second.result(
+                second.submit(fig1, num_solutions=8, config=CONFIG, coalesce=False),
+                timeout=TIMEOUT,
+            )
+        assert warm.summary["cold_builds"] == 0
+        assert warm.summary["store_hits"] == 1
+
+    def test_store_results_match_no_store_results(self, tmp_path, fig1):
+        with SamplingService(num_workers=1, store_dir=tmp_path / "store") as with_store:
+            stored = with_store.result(
+                with_store.submit(fig1, num_solutions=16, config=CONFIG, coalesce=False),
+                timeout=TIMEOUT,
+            )
+        with SamplingService(num_workers=1) as plain:
+            bare = plain.result(
+                plain.submit(fig1, num_solutions=16, config=CONFIG, coalesce=False),
+                timeout=TIMEOUT,
+            )
+        assert np.array_equal(
+            stored.solutions.to_matrix(), bare.solutions.to_matrix()
+        )
