@@ -25,7 +25,7 @@ import numpy as np
 import pytest
 
 import repro.xp as xp
-from benchmarks.bench_table2_throughput import _time_passes
+from repro.obs.bench import time_passes
 from benchmarks.conftest import engine_bench_batch
 from repro.core.model import ProbabilisticCircuitModel
 from repro.core.transform import transform_cnf
@@ -86,7 +86,7 @@ def test_backend_matrix(benchmark, largest_instance):
                     _, state["cache"] = engine_forward(program, probabilities, backend)
                     engine_backward(program, state["cache"], seed_grad)
 
-                seconds = _time_passes(step, repeats, passes)
+                seconds = time_passes(step, repeats, passes, reduce="best")
                 rows.append(
                     {
                         "backend": spec,

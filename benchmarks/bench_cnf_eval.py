@@ -19,7 +19,7 @@ from typing import List, Set
 import numpy as np
 import pytest
 
-from benchmarks.bench_table2_throughput import _time_passes
+from repro.obs.bench import time_passes
 from benchmarks.conftest import cnf_bench_batch, cnf_eval_min_speedup
 from repro.core.solutions import SolutionSet
 from repro.core.transform import transform_cnf
@@ -96,10 +96,10 @@ def test_cnf_kernel_vs_reference(benchmark, largest_instance):
     assert np.array_equal(formula.evaluate_batch(candidates, backend="packed"), reference_valid)
 
     passes, repeats = 5, 3
-    reference_seconds = _time_passes(reference_step, repeats, passes)
-    packed_seconds = _time_passes(packed_step, repeats, passes)
+    reference_seconds = time_passes(reference_step, repeats, passes, reduce="best")
+    packed_seconds = time_passes(packed_step, repeats, passes, reduce="best")
     compiled_seconds = benchmark.pedantic(
-        lambda: _time_passes(compiled_step, repeats, passes), rounds=1, iterations=1
+        lambda: time_passes(compiled_step, repeats, passes, reduce="best"), rounds=1, iterations=1
     )
     speedup = reference_seconds / compiled_seconds
     record = {

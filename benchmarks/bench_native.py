@@ -28,7 +28,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from benchmarks.bench_table2_throughput import _time_passes
+from repro.obs.bench import time_passes
 from benchmarks.bench_transform_cold import HEADLINE_INSTANCE, _cold
 from benchmarks.conftest import engine_bench_batch, native_min_speedup
 from repro import native
@@ -108,14 +108,14 @@ def test_native_kernels_vs_numpy(benchmark):
             _cold(lambda: transform_cnf(formula))
 
     passes, repeats = 5, 3
-    cnf_numpy_seconds = _time_passes(cnf_numpy, repeats, passes)
-    cnf_native_seconds = _time_passes(cnf_native, repeats, passes)
-    engine_numpy_seconds = _time_passes(engine_numpy, repeats, passes)
+    cnf_numpy_seconds = time_passes(cnf_numpy, repeats, passes, reduce="best")
+    cnf_native_seconds = time_passes(cnf_native, repeats, passes, reduce="best")
+    engine_numpy_seconds = time_passes(engine_numpy, repeats, passes, reduce="best")
     engine_native_seconds = benchmark.pedantic(
-        lambda: _time_passes(engine_native, repeats, passes), rounds=1, iterations=1
+        lambda: time_passes(engine_native, repeats, passes, reduce="best"), rounds=1, iterations=1
     )
-    transform_numpy_seconds = _time_passes(transform_numpy, 2, 2)
-    transform_native_seconds = _time_passes(transform_native, 2, 2)
+    transform_numpy_seconds = time_passes(transform_numpy, 2, 2, reduce="best")
+    transform_native_seconds = time_passes(transform_native, 2, 2, reduce="best")
 
     speedups = {
         "cnf_eval": cnf_numpy_seconds / cnf_native_seconds,

@@ -1,0 +1,210 @@
+"""Telemetry overhead benchmark: disabled ``repro.obs`` must be ~free.
+
+The observability layer threads spans and counters through every hot layer
+(sampler rounds, engine passes, CNF evaluation) behind a no-op fast path —
+a disabled tracer is one attribute check, a counter increment one dict
+update.  This benchmark prices that promise on the real hot loop, a full
+gradient-descent sampling pass, two ways:
+
+* **accounted overhead** (the gated number) — count every obs call the
+  pass makes (span opens, counter increments, histogram observations),
+  price each primitive in a tight measured loop, and divide the summed
+  cost by the pass wall-clock.  Deterministic to well under a percent,
+  which is what lets a 3% gate hold on shared CI runners where an A/B
+  wall-clock difference of two ~100 ms measurements swings by ±7%.
+* **paired A/B wall clock** (informational) — the same pass with every obs
+  entry point stubbed to a bare no-op vs the shipped disabled mode,
+  interleaved best-of pairs.  Recorded so drift shows up in the committed
+  JSON trajectory, but not gated: on a noisy box this measurement's error
+  bar exceeds the quantity itself.
+
+The record is rewritten to ``BENCH_obs.json``; committing the file each PR
+accumulates the overhead trajectory in version history.
+
+Environment:
+
+* ``REPRO_BENCH_OBS_MAX_OVERHEAD`` — allowed disabled-mode accounted
+  overhead fraction (default 0.03; CI uses 0.05; <= 0 skips the gate
+  loudly while still recording the measurement).
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import obs_max_overhead
+from repro import obs
+from repro.core.config import SamplerConfig
+from repro.core.sampler import GradientSATSampler
+from repro.core.transform import transform_cnf
+from repro.instances.registry import get_instance
+from repro.obs.bench import time_passes
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+#: Where the overhead comparison records its trajectory.
+BENCH_OBS_JSON = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+INSTANCE = "or-50-10-7-UC-10"
+BATCH_SIZE = 256
+MAX_ROUNDS = 4
+#: Interleaved stubbed/disabled wall-clock pairs (informational).
+TRIALS = 5
+PASSES = 3
+#: Iterations of the primitive-cost pricing loops.
+PRICE_LOOPS = 50_000
+
+
+@contextmanager
+def _stubbed_obs():
+    """Patch every obs entry point the hot loops touch to a bare no-op."""
+    saved = (obs.span, Counter.inc, Histogram.observe, Gauge.set)
+    try:
+        obs.span = lambda name, attributes=None: obs.NOOP_SPAN
+        Counter.inc = lambda self, amount=1.0, *labels, **kw: None
+        Histogram.observe = lambda self, value, *labels, **kw: None
+        Gauge.set = lambda self, value, *labels, **kw: None
+        yield
+    finally:
+        obs.span, Counter.inc, Histogram.observe, Gauge.set = saved
+
+
+@contextmanager
+def _counted_obs(calls):
+    """Wrap the obs entry points to tally how often a block calls them."""
+    saved = (obs.span, Counter.inc, Histogram.observe, Gauge.set)
+
+    def counting(key, original):
+        def wrapper(*args, **kwargs):
+            calls[key] += 1
+            return original(*args, **kwargs)
+
+        return wrapper
+
+    try:
+        obs.span = counting("span", saved[0])
+        Counter.inc = counting("inc", saved[1])
+        Histogram.observe = counting("observe", saved[2])
+        Gauge.set = counting("set", saved[3])
+        yield
+    finally:
+        obs.span, Counter.inc, Histogram.observe, Gauge.set = saved
+
+
+def _sampler_step():
+    """One fixed-work sampling pass (``MAX_ROUNDS`` rounds, identical RNG)."""
+    formula = get_instance(INSTANCE).build_cnf()
+    transform = transform_cnf(formula)
+    config = SamplerConfig.paper_defaults(
+        batch_size=BATCH_SIZE, seed=0, max_rounds=MAX_ROUNDS
+    )
+    sampler = GradientSATSampler(formula, transform=transform, config=config)
+
+    def step():
+        sampler.reset_rng()
+        # An unreachable target pins the work to exactly MAX_ROUNDS rounds.
+        sampler.sample(num_solutions=10**9)
+
+    return step
+
+
+def _price_primitives():
+    """Per-call seconds of each disabled-mode obs primitive."""
+    counter = obs.counter("repro_bench_obs_price_total", "pricing scratch",
+                          labels=("label",))
+    histogram = obs.histogram("repro_bench_obs_price_seconds", "pricing scratch")
+
+    def loop(call):
+        return time_passes(call, repeats=3, passes=PRICE_LOOPS,
+                           reduce="best") / PRICE_LOOPS
+
+    return {
+        "span": loop(lambda: obs.span("bench.price")),
+        "inc": loop(lambda: counter.inc(1.0, "x")),
+        "observe": loop(lambda: histogram.observe(0.001)),
+        "set": loop(lambda: counter.inc(1.0, "x")),  # gauges price like counters
+    }
+
+
+@pytest.mark.benchmark(group="obs")
+def test_obs_disabled_overhead(benchmark):
+    """Disabled telemetry on a sampler pass must cost <= the configured %."""
+    assert not obs.tracing_enabled(), "tracing must start disabled"
+    step = _sampler_step()
+    step()  # shared warm-up: plan compilation, kernels, lazy imports
+
+    # --- accounted overhead: calls per pass x measured per-call cost ---------
+    calls = {"span": 0, "inc": 0, "observe": 0, "set": 0}
+    with _counted_obs(calls):
+        step()
+    prices = _price_primitives()
+    obs_seconds_per_pass = sum(calls[key] * prices[key] for key in calls)
+    pass_seconds = time_passes(step, repeats=TRIALS, passes=1, warmup=0)
+    overhead = obs_seconds_per_pass / pass_seconds
+
+    # --- paired A/B wall clock (informational: noise-prone on shared CI) ----
+    def measure_pairs():
+        stubbed_samples, disabled_samples = [], []
+        for _ in range(TRIALS):
+            with _stubbed_obs():
+                stubbed_samples.append(
+                    time_passes(step, repeats=1, passes=PASSES, warmup=0)
+                )
+            disabled_samples.append(
+                time_passes(step, repeats=1, passes=PASSES, warmup=0)
+            )
+        return min(stubbed_samples), min(disabled_samples)
+
+    stubbed_seconds, disabled_seconds = benchmark.pedantic(
+        measure_pairs, rounds=1, iterations=1
+    )
+    with obs.trace_scope("mem"):
+        enabled_seconds = time_passes(step, repeats=TRIALS, passes=PASSES)
+
+    maximum = obs_max_overhead()
+    gate_skipped = None
+    if maximum <= 0:
+        gate_skipped = (
+            f"gate disabled via REPRO_BENCH_OBS_MAX_OVERHEAD={maximum} "
+            "(measurement still recorded)"
+        )
+    record = {
+        "instance": INSTANCE,
+        "batch_size": BATCH_SIZE,
+        "rounds_per_pass": MAX_ROUNDS,
+        "calls_per_pass": dict(calls),
+        "primitive_seconds": prices,
+        "obs_seconds_per_pass": obs_seconds_per_pass,
+        "pass_seconds": pass_seconds,
+        "disabled_overhead": overhead,
+        "max_overhead": maximum,
+        "ab_wall_clock": {
+            "passes_timed": PASSES,
+            "stubbed_seconds": stubbed_seconds,
+            "disabled_seconds": disabled_seconds,
+            "enabled_mem_seconds": enabled_seconds,
+            "disabled_over_stubbed": disabled_seconds / stubbed_seconds - 1.0,
+        },
+    }
+    if gate_skipped is not None:
+        record["no_regression_gate_skipped"] = gate_skipped
+    benchmark.extra_info.update(record)
+    BENCH_OBS_JSON.write_text(json.dumps(record, indent=2) + "\n")
+
+    print()
+    print(
+        f"{INSTANCE}: {sum(calls.values())} obs calls cost "
+        f"{obs_seconds_per_pass*1e6:.0f} us on a {pass_seconds*1000:.1f} ms "
+        f"pass ({overhead:.3%}); A/B wall clock "
+        f"{record['ab_wall_clock']['disabled_over_stubbed']:+.2%} (informational)"
+    )
+    if gate_skipped is not None:
+        # Never let the gate silently check nothing.
+        pytest.skip(gate_skipped)
+    assert overhead <= maximum, (
+        f"disabled telemetry costs {overhead:.3%} of a sampler pass, above "
+        f"the {maximum:.0%} bound (REPRO_BENCH_OBS_MAX_OVERHEAD)"
+    )

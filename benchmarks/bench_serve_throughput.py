@@ -31,7 +31,6 @@ counts per job (same seeds => same solutions) before any timing is trusted.
 from __future__ import annotations
 
 import json
-import time
 from pathlib import Path
 
 import pytest
@@ -39,6 +38,7 @@ import pytest
 from benchmarks.conftest import serve_bench_workers, serve_min_ratio
 from repro.core.config import SamplerConfig
 from repro.core.pipeline import sample_cnf
+from repro.obs.bench import timed
 from repro.serve import SamplingService
 
 #: Where the serving grid records its trajectory.
@@ -72,23 +72,23 @@ def _mode_record(seconds: float, unique_counts, cold_builds: int) -> dict:
 
 
 def _run_sequential(formula_path: str, configs) -> dict:
-    start = time.perf_counter()
     unique_counts = []
-    for config in configs:
-        result = sample_cnf(formula_path, num_solutions=NUM_SOLUTIONS, config=config)
-        unique_counts.append(result.sample.num_unique)
+    with timed() as timer:
+        for config in configs:
+            result = sample_cnf(formula_path, num_solutions=NUM_SOLUTIONS, config=config)
+            unique_counts.append(result.sample.num_unique)
     # The baseline loop re-transforms for every job by construction.
-    return _mode_record(time.perf_counter() - start, unique_counts, len(configs))
+    return _mode_record(timer.seconds, unique_counts, len(configs))
 
 
 def _run_service_pass(service: SamplingService, formula_path: str, configs) -> dict:
-    start = time.perf_counter()
-    job_ids = [
-        service.submit(formula_path, num_solutions=NUM_SOLUTIONS, config=config)
-        for config in configs
-    ]
-    results = [service.result(job_id, timeout=600) for job_id in job_ids]
-    seconds = time.perf_counter() - start
+    with timed() as timer:
+        job_ids = [
+            service.submit(formula_path, num_solutions=NUM_SOLUTIONS, config=config)
+            for config in configs
+        ]
+        results = [service.result(job_id, timeout=600) for job_id in job_ids]
+    seconds = timer.seconds
     assert all(result.status == "done" for result in results)
     cold_builds = sum(result.summary.get("cold_builds", 0) for result in results)
     return _mode_record(

@@ -37,13 +37,13 @@ while still recording every measurement.
 from __future__ import annotations
 
 import json
-import time
 from pathlib import Path
 
 import pytest
 
 from benchmarks.conftest import serve_bench_workers, store_min_speedup
 from repro.core.config import SamplerConfig
+from repro.obs.bench import median_seconds, timed
 from repro.serve import SamplingService
 from repro.serve.cache import build_artifact
 from repro.store import ArtifactStore, load_sampling_artifact, persist_artifact
@@ -70,13 +70,13 @@ def _run_cold_pool(formula_path: str, num_workers: int, store_dir) -> dict:
     """One manifest pass through a *fresh* pool (cold caches by construction)."""
     configs = _manifest_configs()
     with SamplingService(num_workers=num_workers, store_dir=store_dir) as service:
-        start = time.perf_counter()
-        job_ids = [
-            service.submit(formula_path, num_solutions=NUM_SOLUTIONS, config=config)
-            for config in configs
-        ]
-        results = [service.result(job_id, timeout=600) for job_id in job_ids]
-        seconds = time.perf_counter() - start
+        with timed() as timer:
+            job_ids = [
+                service.submit(formula_path, num_solutions=NUM_SOLUTIONS, config=config)
+                for config in configs
+            ]
+            results = [service.result(job_id, timeout=600) for job_id in job_ids]
+        seconds = timer.seconds
     assert all(result.status == "done" for result in results)
     return {
         "seconds": seconds,
@@ -104,9 +104,9 @@ def test_store_cold_vs_warm(benchmark, largest_instance, tmp_path):
 
     # --- round trip: cold build vs store load --------------------------------
     store = ArtifactStore(tmp_path / "store")
-    build_start = time.perf_counter()
-    artifact = build_artifact(formula)
-    build_seconds = time.perf_counter() - build_start
+    with timed() as build_timer:
+        artifact = build_artifact(formula)
+    build_seconds = build_timer.seconds
     assert persist_artifact(store, artifact)
 
     def _load():
@@ -117,10 +117,10 @@ def test_store_cold_vs_warm(benchmark, largest_instance, tmp_path):
 
     load_times = []
     for _ in range(LOAD_REPEATS):
-        load_start = time.perf_counter()
-        _load()
-        load_times.append(time.perf_counter() - load_start)
-    load_seconds = sorted(load_times)[len(load_times) // 2]
+        with timed() as load_timer:
+            _load()
+        load_times.append(load_timer.seconds)
+    load_seconds = median_seconds(load_times)
     speedup = build_seconds / load_seconds
     roundtrip = {
         "build_seconds": build_seconds,

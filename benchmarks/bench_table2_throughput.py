@@ -10,7 +10,6 @@ for side-by-side comparison); EXPERIMENTS.md records a full run.
 from __future__ import annotations
 
 import json
-import time
 from pathlib import Path
 
 import numpy as np
@@ -27,6 +26,7 @@ from repro.core.transform import transform_cnf
 from repro.engine.executor import backward as engine_backward
 from repro.engine.executor import forward as engine_forward
 from repro.eval.tables import build_table2, render_table2
+from repro.obs.bench import time_passes
 from repro.tensor.tensor import Tensor
 
 #: Where the engine-vs-interpreter comparison records its trajectory.
@@ -73,25 +73,12 @@ def test_table2_throughput(benchmark, table2_instances, sampler_config):
 def _time_passes(step, repeats: int, passes: int) -> float:
     """Best-of-``repeats`` seconds for ``passes`` forward+backward passes.
 
-    One untimed warm-up call precedes the measurement so one-time costs —
-    native kernel builds / Numba JIT, plan compilation, lazy imports — land
-    outside every timed loop (they are reported separately, via
-    ``repro.native.compile_seconds``, where they matter).  Garbage from one
-    contender (the interpreter's tape allocates thousands of nodes per pass)
-    must not be collected on the other's clock, so each measurement starts
-    from a collected heap.
+    Thin wrapper over :func:`repro.obs.bench.time_passes` (the shared
+    warm-up/collected-heap measurement loop every benchmark script uses),
+    pinned to ``reduce="best"`` — the honest statistic for these
+    micro-kernel contender comparisons.
     """
-    import gc
-
-    step()  # warm-up: compile/JIT outside the clock
-    best = float("inf")
-    for _ in range(repeats):
-        gc.collect()
-        start = time.perf_counter()
-        for _ in range(passes):
-            step()
-        best = min(best, time.perf_counter() - start)
-    return best
+    return time_passes(step, repeats=repeats, passes=passes, reduce="best")
 
 
 @pytest.mark.benchmark(group="engine")

@@ -38,7 +38,6 @@ from __future__ import annotations
 
 import json
 import os
-import time
 from pathlib import Path
 
 import numpy as np
@@ -49,6 +48,7 @@ from repro.core.config import SamplerConfig
 from repro.core.pipeline import sample_cnf
 from repro.core.transform import transform_cnf
 from repro.instances.registry import get_instance
+from repro.obs.bench import time_passes, timed
 
 #: Where the cold-start comparison records its trajectory.
 BENCH_TRANSFORM_JSON = Path(__file__).resolve().parent.parent / "BENCH_transform.json"
@@ -71,16 +71,10 @@ def _cold(fn):
 
 
 def _best_of(fn, repeats: int = 3) -> float:
-    # One untimed warm-up keeps process-wide one-time costs (native kernel
-    # build/JIT, lazy imports) out of the cold-start numbers; _cold still
-    # drops every per-artifact memo before each timed run.
-    _cold(fn)
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        _cold(fn)
-        best = min(best, time.perf_counter() - start)
-    return best
+    # The shared loop's untimed warm-up keeps process-wide one-time costs
+    # (native kernel build/JIT, lazy imports) out of the cold-start numbers;
+    # _cold still drops every per-artifact memo before each timed run.
+    return time_passes(lambda: _cold(fn), repeats=repeats, reduce="best")
 
 
 def _assert_transforms_identical(fast, reference) -> None:
@@ -120,16 +114,16 @@ def _serve_cold_vs_warm(formula) -> dict:
         import repro.xp
 
         repro.xp.clear_caches()
-        start = time.perf_counter()
-        cold_result = service.result(
-            service.submit(formula, num_solutions=STREAM_SOLUTIONS, config=config)
-        )
-        record["cold_job_seconds"] = time.perf_counter() - start
-        start = time.perf_counter()
-        warm_result = service.result(
-            service.submit(formula, num_solutions=STREAM_SOLUTIONS, config=config)
-        )
-        record["warm_job_seconds"] = time.perf_counter() - start
+        with timed() as cold_timer:
+            cold_result = service.result(
+                service.submit(formula, num_solutions=STREAM_SOLUTIONS, config=config)
+            )
+        record["cold_job_seconds"] = cold_timer.seconds
+        with timed() as warm_timer:
+            warm_result = service.result(
+                service.submit(formula, num_solutions=STREAM_SOLUTIONS, config=config)
+            )
+        record["warm_job_seconds"] = warm_timer.seconds
     assert cold_result.status == "done" and warm_result.status == "done"
     cold_member = cold_result.members[0]
     assert cold_member.get("cache_hit") is False

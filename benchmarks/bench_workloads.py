@@ -28,7 +28,6 @@ Environment:
 from __future__ import annotations
 
 import json
-import time
 from pathlib import Path
 
 import numpy as np
@@ -39,6 +38,7 @@ from repro.cnf import ClauseDelta
 from repro.core.solutions import SolutionSet
 from repro.core.transform import retransform, transform_cnf
 from repro.instances.registry import get_instance
+from repro.obs.bench import time_passes, timed
 from repro.serve import build_artifact, build_incremental_artifact
 
 #: Where the workload comparison records its trajectory.
@@ -63,24 +63,12 @@ def _cold(fn):
 
 
 def _best_of_cold(fn, repeats: int = 3) -> float:
-    _cold(fn)  # untimed warm-up: keep one-time process costs out
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        _cold(fn)
-        best = min(best, time.perf_counter() - start)
-    return best
+    return time_passes(lambda: _cold(fn), repeats=repeats, reduce="best")
 
 
 def _best_of_warm(fn, repeats: int = 3) -> float:
     """Timed without clearing memos: the incremental path *is* the warm path."""
-    fn()
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
+    return time_passes(fn, repeats=repeats, reduce="best")
 
 
 def _assert_records_identical(fast, cold) -> None:
@@ -120,9 +108,9 @@ def test_incremental_retransform_speedup(benchmark):
     # End-to-end artifact path: cold build vs incremental derivation.
     headline_delta = DELTAS["assume_one"]
     parent = build_artifact(formula)
-    start = time.perf_counter()
-    derived = build_incremental_artifact(parent, headline_delta)
-    incremental_artifact_seconds = time.perf_counter() - start
+    with timed() as derive_timer:
+        derived = build_incremental_artifact(parent, headline_delta)
+    incremental_artifact_seconds = derive_timer.seconds
     effective = formula.with_delta(headline_delta)
     cold_artifact_seconds = _best_of_cold(
         lambda: build_artifact(effective), repeats=1

@@ -24,6 +24,13 @@ Four subcommands cover the common workflows:
     Inspect and maintain a persistent artifact store (:mod:`repro.store`):
     ``stats``, ``ls``, ``verify`` (checksum walk) and ``prune --max-bytes``.
 
+``obs``
+    Pretty-print a recorded JSONL telemetry trace (:mod:`repro.obs`): a
+    per-job flame summary (stage tree with total/self wall-clock) plus the
+    merged metrics dump.  Traces come from ``--trace`` on ``sample``,
+    ``transform`` and ``serve``, or the ``REPRO_TRACE`` environment
+    variable.
+
 Entry point: ``python -m repro.cli <subcommand> ...`` or the ``repro-sat``
 console script.
 """
@@ -116,6 +123,11 @@ def _build_parser() -> argparse.ArgumentParser:
                              "REPRO_STORE_DIR environment variable — "
                              "precedence: env < config < CLI; default: off "
                              "unless REPRO_STORE_DIR is set)")
+    sample.add_argument("--trace", default=None, metavar="FILE",
+                        help="record a telemetry trace of the run to this "
+                             "JSONL file (inspect with 'repro-sat obs'; "
+                             "'mem' buffers spans without a file; overrides "
+                             "the REPRO_TRACE environment variable)")
 
     serve = subparsers.add_parser(
         "serve", help="run a jobs manifest through the multi-worker sampling service"
@@ -148,6 +160,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             "else ~/.cache/repro-sat/store")
     serve.add_argument("--no-store", action="store_true",
                        help="disable the persistent artifact store for this run")
+    serve.add_argument("--trace", nargs="?", const=True, default=None, metavar="FILE",
+                       help="record one JSONL telemetry trace covering the "
+                            "service and every worker (worker spans are "
+                            "merged under their job spans); FILE defaults "
+                            "to trace.jsonl in --output-dir (or the current "
+                            "directory); inspect with 'repro-sat obs'")
 
     cache = subparsers.add_parser(
         "cache", help="inspect and maintain a persistent artifact store"
@@ -181,6 +199,21 @@ def _build_parser() -> argparse.ArgumentParser:
                            choices=["auto", "native", "python", "off", "cext", "numba"],
                            help="native kernel mode for the complement-scan "
                                 "fast path (see 'sample --kernel')")
+    transform.add_argument("--trace", default=None, metavar="FILE",
+                           help="record a telemetry trace of the transform to "
+                                "this JSONL file (inspect with 'repro-sat obs')")
+
+    obs_cmd = subparsers.add_parser(
+        "obs", help="pretty-print a recorded JSONL telemetry trace"
+    )
+    obs_cmd.add_argument("trace", help="path to a trace file written by --trace / REPRO_TRACE")
+    obs_cmd.add_argument("--job", default=None, metavar="ID",
+                         help="render only this trace/job id's timeline")
+    obs_cmd.add_argument("--no-metrics", action="store_true",
+                         help="skip the metrics dump (timelines only)")
+    obs_cmd.add_argument("--prometheus", default=None, metavar="FILE",
+                         help="also write the trace's merged metrics in "
+                              "Prometheus text exposition format")
 
     instances = subparsers.add_parser("instances", help="inspect the built-in benchmark registry")
     instances.add_argument("--family", default=None, help="filter by family (or/q/iscas/prod)")
@@ -236,6 +269,7 @@ def _command_sample(arguments: argparse.Namespace) -> int:
         array_backend=arguments.array_backend,
         kernel=arguments.kernel,
         store_dir=arguments.store_dir,
+        telemetry=arguments.trace,
     )
     # The kernel scope also covers the transform inside the pipeline (the
     # sampler re-applies config.kernel around its own runs).
@@ -260,11 +294,18 @@ def _command_sample(arguments: argparse.Namespace) -> int:
     if arguments.output:
         path = write_solutions_file(sample.solutions, arguments.output)
         print(f"solutions written  : {path}")
+    if arguments.trace and arguments.trace not in ("off", "mem"):
+        print(f"trace written      : {arguments.trace} (repro-sat obs {arguments.trace})")
     return 0 if sample.num_unique > 0 else 1
 
 
 def _command_serve(arguments: argparse.Namespace) -> int:
-    from repro.io.results_io import write_job_results_json
+    from repro import obs
+    from repro.io.results_io import (
+        write_job_results_json,
+        write_metrics_json,
+        write_metrics_prometheus,
+    )
     from repro.serve import SamplingService, load_manifest
 
     jobs = load_manifest(arguments.manifest)
@@ -289,6 +330,10 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         from repro.store import resolve_store_dir
 
         store_spec = None if resolve_store_dir(None) is not None else True
+    # --trace without a FILE lands next to the results (or in the cwd).
+    trace = arguments.trace
+    if trace is True:
+        trace = str((output_dir or Path(".")) / "trace.jsonl")
     with SamplingService(
         num_workers=arguments.workers,
         array_backend=arguments.array_backend,
@@ -296,9 +341,13 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         cache_entries=arguments.cache_entries,
         cache_bytes=cache_bytes,
         store_dir=store_spec,
+        trace=trace,
     ) as service:
         job_ids = [service.submit(job) for job in jobs]
         results = [service.result(job_id, timeout=timeout) for job_id in job_ids]
+        # One dump covering the service process and every worker's latest
+        # cumulative snapshot — the same numbers results.json aggregates.
+        metrics = service.merged_metrics()
 
     rows = []
     for result in results:
@@ -324,6 +373,15 @@ def _command_serve(arguments: argparse.Namespace) -> int:
                 result.solutions, output_dir / f"{result.job_id}.solutions"
             )
             print(f"solutions written   : {path}")
+        prom_path = write_metrics_prometheus(metrics, output_dir / "metrics.prom")
+        write_metrics_json(metrics, output_dir / "metrics.json")
+        print(f"metrics written     : {prom_path} (+ metrics.json)")
+    counters = obs.artifact_counters(metrics)
+    if counters:
+        pairs = ", ".join(f"{key}={int(value)}" for key, value in sorted(counters.items()))
+        print(f"artifact counters   : {pairs}")
+    if trace:
+        print(f"trace written       : {trace} (repro-sat obs {trace})")
     failed = [result for result in results if result.status != "done"]
     for result in failed:
         print(f"job {result.job_id} failed: {result.error}", file=sys.stderr)
@@ -331,15 +389,17 @@ def _command_serve(arguments: argparse.Namespace) -> int:
 
 
 def _command_transform(arguments: argparse.Namespace) -> int:
+    from repro import obs
     from repro.native import use_kernel
 
     formula = load_formula(Path(arguments.cnf))
-    with use_kernel(arguments.kernel):
+    with obs.trace_scope(arguments.trace), use_kernel(arguments.kernel):
         result = transform_cnf(
             formula,
             simplify_expressions=not arguments.no_simplify,
             use_fast_path=not arguments.reference,
         )
+        obs.write_metrics_to_trace()
     stats = result.stats
     print(f"instance              : {formula.name or arguments.cnf}")
     print(f"clauses               : {stats.num_clauses}")
@@ -368,6 +428,9 @@ def _command_transform(arguments: argparse.Namespace) -> int:
     if arguments.bench:
         Path(arguments.bench).write_text(write_bench(result.circuit))
         print(f".bench written        : {arguments.bench}")
+    if arguments.trace and arguments.trace not in ("off", "mem"):
+        print(f"trace written         : {arguments.trace} "
+              f"(repro-sat obs {arguments.trace})")
     return 0
 
 
@@ -380,12 +443,22 @@ def _command_cache(arguments: argparse.Namespace) -> int:
     store = ArtifactStore(directory)
 
     if arguments.action == "stats":
+        from repro import obs
+
         stats = store.stats()
         print(f"store directory : {stats['dir']}")
         print(f"entries         : {stats['entries']}")
         print(f"bytes           : {stats['bytes']:,}")
         for kind, count in sorted(stats["kinds"].items()):
             print(f"  {kind:<13s} : {count}")
+        # Session counters come from the shared telemetry registry — the
+        # same accessor the serving layer's exports read (repro.obs), so
+        # the two views cannot drift.
+        counters = obs.artifact_counters()
+        if counters:
+            print("session counters:")
+            for key, value in sorted(counters.items()):
+                print(f"  {key:<13s} : {int(value)}")
         return 0
 
     if arguments.action == "ls":
@@ -422,6 +495,28 @@ def _command_cache(arguments: argparse.Namespace) -> int:
         return 0
 
     raise AssertionError(f"unhandled cache action {arguments.action!r}")
+
+
+def _command_obs(arguments: argparse.Namespace) -> int:
+    from repro import obs
+
+    path = Path(arguments.trace)
+    if not path.exists():
+        raise SystemExit(f"no such trace file: {path}")
+    spans, metric_records = obs.load_trace(path)
+    print(obs.render_trace(spans, trace_id=arguments.job), end="")
+    merged = obs.merge_metric_records(metric_records)
+    if not arguments.no_metrics and merged:
+        print()
+        print(f"-- metrics ({len(metric_records)} dump"
+              f"{'s' if len(metric_records) != 1 else ''}) --")
+        print(obs.render_metrics_dump(merged), end="")
+    if arguments.prometheus:
+        from repro.io.results_io import write_metrics_prometheus
+
+        prom_path = write_metrics_prometheus(merged, arguments.prometheus)
+        print(f"prometheus written: {prom_path}")
+    return 0
 
 
 def _command_instances(arguments: argparse.Namespace) -> int:
@@ -461,6 +556,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_instances(arguments)
     if arguments.command == "cache":
         return _command_cache(arguments)
+    if arguments.command == "obs":
+        return _command_obs(arguments)
     raise AssertionError(f"unhandled command {arguments.command!r}")
 
 

@@ -57,6 +57,17 @@ import numpy as np
 
 from repro.utils.weakcache import OwnerRegistry
 from repro.xp import ArrayBackend, backend_for, get_backend
+from repro import obs
+
+_PLAN_COMPILES = obs.counter(
+    "repro_cnf_plan_compiles_total",
+    "CNF evaluation plans flattened from clause lists.",
+)
+_CNF_EVALUATIONS = obs.counter(
+    "repro_cnf_evaluations_total",
+    "Batched CNF satisfaction evaluations by kernel flavour.",
+    labels=("kind",),
+)
 
 if TYPE_CHECKING:  # avoid a runtime import cycle with repro.cnf.formula
     from repro.cnf.formula import CNF
@@ -240,6 +251,7 @@ class CNFEvalPlan:
         """
         xpb = self._resolve_xpb(assignments, xpb)
         batch = assignments.shape[0]
+        _CNF_EVALUATIONS.inc(1.0, "bool")
         if self.num_empty:
             return xpb.zeros(batch, dtype=xpb.bool_dtype)
         if self.reduce_offsets.size == 0:
@@ -261,11 +273,13 @@ class CNFEvalPlan:
         """
         xpb = self._resolve_xpb(assignments, xpb)
         if not xpb.supports_packed:
+            # Counted by the NumPy-reference recursion below, not here.
             host = self.evaluate_packed(
                 np.asarray(xpb.asnumpy(assignments), dtype=bool),
                 get_backend("numpy"),
             )
             return xpb.from_numpy(host)
+        _CNF_EVALUATIONS.inc(1.0, "packed")
         batch = assignments.shape[0]
         if self.num_empty:
             return xpb.zeros(batch, dtype=xpb.bool_dtype)
@@ -326,6 +340,7 @@ def clear_plan_caches() -> None:
 
 def compile_evaluation_plan(formula: "CNF") -> CNFEvalPlan:
     """Flatten ``formula`` into a :class:`CNFEvalPlan` (one pass over the clauses)."""
+    _PLAN_COMPILES.inc()
     indexed = [(index, clause) for index, clause in enumerate(formula.clauses)]
     nonempty = [(index, clause) for index, clause in indexed if len(clause)]
     num_empty = len(indexed) - len(nonempty)

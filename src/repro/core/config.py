@@ -67,6 +67,13 @@ class SamplerConfig:
     #: *off*: enable it for workloads that resample the same formulas across
     #: processes or runs.
     store_dir: Optional[str] = None
+    #: Telemetry spec (:mod:`repro.obs`): ``"off"`` forces tracing off,
+    #: ``"mem"``/``"on"`` enable the in-memory span ring, any other string is
+    #: a JSONL trace-file path.  ``None`` defers to the ``REPRO_TRACE``
+    #: environment variable (off when unset) — precedence: environment <
+    #: config < CLI (the CLI writes this field, so ``--trace`` wins).
+    #: Metrics counters are always live regardless of this spec.
+    telemetry: Optional[str] = None
 
     def __post_init__(self) -> None:
         check_positive("batch_size", self.batch_size)

@@ -21,6 +21,7 @@ from repro.core.config import SamplerConfig
 from repro.core.sampler import GradientSATSampler, SampleResult
 from repro.core.task import SamplingTask
 from repro.core.transform import TransformResult, transform_cnf
+from repro import obs
 
 
 @dataclass
@@ -124,43 +125,51 @@ def sample_cnf(
     (store entries are keyed by formula content alone, so option variants
     must not share them).
     """
-    formula = load_formula(source)
-    if task is not None:
-        formula = task.apply_to(formula)
-    transform_start = time.perf_counter()
-    if transform is None:
-        store_spec = config.store_dir if config is not None else None
-        if not transform_options:
-            from repro.store import open_store
+    with obs.trace_scope(config.telemetry if config is not None else None):
+        with obs.span("pipeline.sample_cnf") as pspan:
+            formula = load_formula(source)
+            if task is not None:
+                formula = task.apply_to(formula)
+            transform_start = time.perf_counter()
+            if transform is None:
+                store_spec = config.store_dir if config is not None else None
+                if not transform_options:
+                    from repro.store import open_store
 
-            store = open_store(store_spec)
-        else:
-            store = None
-        if store is not None:
-            from repro.core.signatures import formula_signature
-            from repro.serve.cache import build_artifact
-            from repro.store import fetch_or_build_artifact
+                    store = open_store(store_spec)
+                else:
+                    store = None
+                if store is not None:
+                    from repro.core.signatures import formula_signature
+                    from repro.serve.cache import build_artifact
+                    from repro.store import fetch_or_build_artifact
 
-            signature = formula_signature(formula)
-            artifact, _source = fetch_or_build_artifact(
-                store, signature, lambda: build_artifact(formula, signature)
+                    signature = formula_signature(formula)
+                    artifact, _source = fetch_or_build_artifact(
+                        store, signature, lambda: build_artifact(formula, signature)
+                    )
+                    # Sample on the artifact's formula object so its memoised
+                    # evaluation plan (store-loaded or freshly compiled) is shared.
+                    formula = artifact.formula
+                    transform = artifact.transform
+                else:
+                    transform = transform_cnf(formula, **transform_options)
+            transform_seconds = time.perf_counter() - transform_start
+
+            sampler = GradientSATSampler(
+                formula, transform=transform, config=config, task=task
             )
-            # Sample on the artifact's formula object so its memoised
-            # evaluation plan (store-loaded or freshly compiled) is shared.
-            formula = artifact.formula
-            transform = artifact.transform
-        else:
-            transform = transform_cnf(formula, **transform_options)
-    transform_seconds = time.perf_counter() - transform_start
-
-    sampler = GradientSATSampler(
-        formula, transform=transform, config=config, task=task
-    )
-    sample_start = time.perf_counter()
-    sample = sampler.sample(
-        num_solutions=num_solutions, should_stop=should_stop, on_round=on_round
-    )
-    sample_seconds = time.perf_counter() - sample_start
+            sample_start = time.perf_counter()
+            sample = sampler.sample(
+                num_solutions=num_solutions, should_stop=should_stop,
+                on_round=on_round,
+            )
+            sample_seconds = time.perf_counter() - sample_start
+            pspan.set("instance", formula.name)
+            pspan.set("unique_solutions", sample.num_unique)
+        # End a file-backed trace with a metrics line so `repro-sat obs`
+        # can tabulate the run's counters (no-op without an open sink).
+        obs.write_metrics_to_trace()
     return PipelineResult(
         formula=formula,
         transform=transform,

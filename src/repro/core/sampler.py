@@ -58,6 +58,21 @@ from repro.tensor.tensor import Tensor
 from repro.tensor.functional import sigmoid
 from repro.native import use_kernel
 from repro.xp import use_backend
+from repro import obs
+
+_SAMPLER_ROUNDS = obs.counter(
+    "repro_sampler_rounds_total",
+    "Completed gradient-descent sampling rounds.",
+)
+_SAMPLER_SOLUTIONS = obs.counter(
+    "repro_sampler_solutions_total",
+    "Candidate assignments by outcome across sampling rounds.",
+    labels=("outcome",),
+)
+_ROUND_SECONDS = obs.histogram(
+    "repro_sampler_round_seconds",
+    "Wall-clock seconds per sampling round.",
+)
 
 
 @dataclass
@@ -210,8 +225,13 @@ class GradientSATSampler:
         hook ``repro.serve`` uses to forward incremental results.  The whole
         run executes on the configured array backend.
         """
-        with use_backend(self._xp), use_kernel(self.config.kernel):
-            return self._sample(num_solutions, should_stop, on_round)
+        with obs.trace_scope(self.config.telemetry):
+            with use_backend(self._xp), use_kernel(self.config.kernel):
+                with obs.span("sampler.sample") as sspan:
+                    result = self._sample(num_solutions, should_stop, on_round)
+                    sspan.set("rounds", len(result.rounds))
+                    sspan.set("unique_solutions", result.num_unique)
+                    return result
 
     def _sample(
         self,
@@ -252,15 +272,21 @@ class GradientSATSampler:
                 # solution space is very likely exhausted for this batch size.
                 break
             round_start = time.perf_counter()
-            assignments, valid_mask, loss_history, round_halted = self._run_round(
-                self.config.batch_size, deadline, should_stop
-            )
-            stored_before = len(solutions)
-            new_unique = solutions.add_batch(assignments, valid_mask)
-            num_generated += assignments.shape[0]
-            # One reduction per round: under device backends each .sum() is a
-            # blocking device-to-host synchronisation point.
-            round_valid = int(valid_mask.sum())
+            rspan = obs.span("sampler.round")
+            try:
+                assignments, valid_mask, loss_history, round_halted = self._run_round(
+                    self.config.batch_size, deadline, should_stop
+                )
+                stored_before = len(solutions)
+                new_unique = solutions.add_batch(assignments, valid_mask)
+                num_generated += assignments.shape[0]
+                # One reduction per round: under device backends each .sum()
+                # is a blocking device-to-host synchronisation point.
+                round_valid = int(valid_mask.sum())
+            except BaseException as exc:
+                rspan.set("error", type(exc).__name__)
+                rspan.finish()
+                raise
             num_valid += round_valid
             stalled_rounds = stalled_rounds + 1 if new_unique == 0 else 0
             record = RoundRecord(
@@ -272,6 +298,15 @@ class GradientSATSampler:
                 seconds=time.perf_counter() - round_start,
             )
             rounds.append(record)
+            rspan.set("round", round_index)
+            rspan.set("valid", round_valid)
+            rspan.set("new_unique", new_unique)
+            rspan.finish()
+            _SAMPLER_ROUNDS.inc()
+            _ROUND_SECONDS.observe(record.seconds)
+            _SAMPLER_SOLUTIONS.inc(record.num_candidates, "generated")
+            _SAMPLER_SOLUTIONS.inc(round_valid, "valid")
+            _SAMPLER_SOLUTIONS.inc(new_unique, "new_unique")
             if on_round is not None:
                 on_round(record, solutions.matrix_since(stored_before))
             if round_halted:

@@ -70,8 +70,23 @@ from repro.core.extraction import (
 )
 from repro.core.signatures import GateMatch, match_gate_signature
 from repro.circuit.gates import Gate, GateType
+from repro import obs
 
 _perf = time.perf_counter
+
+#: Registered form of :attr:`TransformStats.stage_seconds` — every stage
+#: bucket also accumulates here, process-wide, so ``repro-sat obs`` and the
+#: Prometheus export see transform time without threading stats objects.
+_STAGE_SECONDS = obs.counter(
+    "repro_transform_stage_seconds_total",
+    "Wall-clock seconds spent per CNF->circuit transform stage.",
+    labels=("stage",),
+)
+_TRANSFORM_RUNS = obs.counter(
+    "repro_transform_runs_total",
+    "Completed CNF->circuit transforms by mode.",
+    labels=("mode",),
+)
 
 
 @dataclass
@@ -93,11 +108,22 @@ class TransformStats:
     #: ``simplify`` (expression simplification before adoption) and ``flush``
     #: (under-specified group fallback); ``free_vars``, ``circuit_build`` and
     #: ``optimize`` follow the loop.
+    #:
+    #: .. deprecated::
+    #:    This per-result dict remains for back compatibility; the canonical
+    #:    process-wide record is the registered counter
+    #:    ``repro_transform_stage_seconds_total{stage=...}`` in
+    #:    :mod:`repro.obs` — both are fed by :meth:`add_stage`.
     stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     def add_stage(self, stage: str, seconds: float) -> None:
-        """Accumulate wall-clock time into a named stage bucket."""
+        """Accumulate wall-clock time into a named stage bucket.
+
+        Dual-writes the per-result :attr:`stage_seconds` dict (back compat)
+        and the process-wide ``repro_transform_stage_seconds_total`` counter.
+        """
         self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+        _STAGE_SECONDS.inc(seconds, stage)
 
     @property
     def operations_reduction(self) -> float:
@@ -806,6 +832,9 @@ def transform_cnf(
 ) -> TransformResult:
     """Run the transformation algorithm on ``formula``.
 
+    Traced as a ``transform.cnf`` span when telemetry is enabled; stage
+    timings always accumulate into ``repro_transform_stage_seconds_total``.
+
     Parameters
     ----------
     simplify_expressions:
@@ -827,6 +856,31 @@ def transform_cnf(
         rescan-everything reference implementation; the output is identical
         (the equivalence suite asserts it field by field), just slower.
     """
+    with obs.span("transform.cnf") as tspan:
+        result = _transform_cnf_impl(
+            formula,
+            simplify_expressions=simplify_expressions,
+            use_signature_fast_path=use_signature_fast_path,
+            optimize=optimize,
+            max_group_size=max_group_size,
+            max_candidate_vars=max_candidate_vars,
+            use_fast_path=use_fast_path,
+        )
+        tspan.set("clauses", result.stats.num_clauses)
+        tspan.set("definitions", result.stats.num_definitions)
+    _TRANSFORM_RUNS.inc(1.0, "cold")
+    return result
+
+
+def _transform_cnf_impl(
+    formula: CNF,
+    simplify_expressions: bool,
+    use_signature_fast_path: bool,
+    optimize: bool,
+    max_group_size: int,
+    max_candidate_vars: int,
+    use_fast_path: bool,
+) -> TransformResult:
     start = _perf()
     from repro import native as native_kernels
 
@@ -1054,6 +1108,21 @@ def _mutated_formula(
 
 
 def retransform(
+    prev: TransformResult,
+    delta,
+    use_fast_path: bool = True,
+) -> TransformResult:
+    """Traced front end of :func:`_retransform_impl` (span
+    ``transform.retransform``; counts under ``mode="incremental"``)."""
+    with obs.span("transform.retransform") as tspan:
+        result = _retransform_impl(prev, delta, use_fast_path=use_fast_path)
+        tspan.set("clauses", result.stats.num_clauses)
+    if result is not prev:
+        _TRANSFORM_RUNS.inc(1.0, "incremental")
+    return result
+
+
+def _retransform_impl(
     prev: TransformResult,
     delta,
     use_fast_path: bool = True,

@@ -36,6 +36,12 @@ from repro.engine.program import CompiledProgram
 from repro.tensor.optim import make_optimizer
 from repro.tensor.tensor import Tensor
 from repro.xp import ArrayBackend, active_backend, use_backend
+from repro import obs
+
+_GD_ITERATIONS = obs.counter(
+    "repro_engine_gd_iterations_total",
+    "Gradient-descent iterations executed by the compiled engine.",
+)
 
 if TYPE_CHECKING:  # imported lazily to keep the engine free of core imports
     from repro.core.config import SamplerConfig
@@ -92,6 +98,8 @@ def learn_chunk(
         parameter.grad = input_grads * probabilities * (1.0 - probabilities)
         optimizer.step()
         loss_history.append(loss)
+    if loss_history:
+        _GD_ITERATIONS.inc(len(loss_history))
     return parameter.data > 0.0, loss_history, halted
 
 
@@ -116,7 +124,9 @@ def learn_batch(
     the configured array backend), the first chunk's loss history (the
     round-level convergence signal), and whether the run was halted early.
     """
-    with use_backend(config.resolve_array_backend()) as xpb:
+    with obs.span("engine.learn_batch") as bspan, \
+            use_backend(config.resolve_array_backend()) as xpb:
+        bspan.set("batch_size", batch_size)
         hard = xpb.zeros((batch_size, program.input_width), dtype=xpb.bool_dtype)
         loss_history: List[float] = []
         completed = 0

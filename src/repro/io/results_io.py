@@ -112,3 +112,31 @@ def load_job_results_json(text: str) -> List[dict]:
     if not isinstance(data, list):
         raise ValueError("expected a JSON array of job results")
     return data
+
+
+# -- telemetry exports ---------------------------------------------------------------------
+
+def write_metrics_prometheus(dump: dict, path: Union[str, Path]) -> Path:
+    """Write a metrics dump in Prometheus text exposition format.
+
+    ``dump`` is a :meth:`repro.obs.MetricsRegistry.to_dict` dump — e.g.
+    :meth:`repro.serve.service.SamplingService.merged_metrics`, so the file
+    covers the service process *and* every worker.  This is the file a
+    node-exporter-style textfile collector scrapes; the future HTTP tier's
+    ``/metrics`` endpoint serves the same rendering.
+    """
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.merge(dump)
+    path = Path(path)
+    path.write_text(registry.to_prometheus())
+    return path
+
+
+def write_metrics_json(dump: dict, path: Union[str, Path]) -> Path:
+    """Write a metrics dump as indented JSON (the machine-readable twin of
+    :func:`write_metrics_prometheus`)."""
+    path = Path(path)
+    path.write_text(json.dumps(dump, indent=2, sort_keys=True) + "\n")
+    return path

@@ -46,6 +46,13 @@ from pathlib import Path
 from typing import Optional
 
 from repro.xp.backend import BackendUnavailableError
+from repro import obs
+
+_COMPILE_SECONDS_METRIC = obs.counter(
+    "repro_native_compile_seconds_total",
+    "Wall-clock seconds spent building native kernel tiers.",
+    labels=("tier",),
+)
 
 #: Environment variable overriding where compiled libraries are cached.
 CACHE_DIR_ENV_VAR = "REPRO_NATIVE_CACHE_DIR"
@@ -384,7 +391,11 @@ _load_error: Optional[str] = None
 
 
 def compile_seconds() -> float:
-    """Seconds this process spent building the C tier (0.0 on a disk-cache hit)."""
+    """Seconds this process spent building the C tier (0.0 on a disk-cache hit).
+
+    Back-compat accessor; the registered form is
+    ``repro_native_compile_seconds_total{tier="cext"}`` in :mod:`repro.obs`.
+    """
     return _compile_seconds
 
 
@@ -472,7 +483,9 @@ def _build_library() -> ctypes.CDLL:
                 f"native C tier unavailable: compile failed: {result.stderr.strip()}"
             )
         os.replace(scratch, library_path)
-        _compile_seconds += time.perf_counter() - start
+        delta = time.perf_counter() - start
+        _compile_seconds += delta
+        _COMPILE_SECONDS_METRIC.inc(delta, "cext")
     return _declare(ctypes.CDLL(str(library_path)))
 
 

@@ -29,12 +29,24 @@ except ImportError as exc:  # pragma: no cover - the common local case
         "numba is not installed; the native numba tier is unavailable"
     ) from exc
 
+from repro import obs as _obs
+
 _compile_seconds = 0.0
 _warmed = False
 
+_COMPILE_SECONDS_METRIC = _obs.counter(
+    "repro_native_compile_seconds_total",
+    "Wall-clock seconds spent building native kernel tiers.",
+    labels=("tier",),
+)
+
 
 def compile_seconds() -> float:
-    """Wall-clock seconds spent JIT-compiling kernels in this process."""
+    """Wall-clock seconds spent JIT-compiling kernels in this process.
+
+    Back-compat accessor; the registered form is
+    ``repro_native_compile_seconds_total{tier="numba"}`` in :mod:`repro.obs`.
+    """
     return _compile_seconds
 
 
@@ -321,5 +333,7 @@ def warm_up() -> None:
         1,
         4,
     )
-    _compile_seconds += time.perf_counter() - start
+    delta = time.perf_counter() - start
+    _compile_seconds += delta
+    _COMPILE_SECONDS_METRIC.inc(delta, "numba")
     _warmed = True

@@ -1,0 +1,392 @@
+"""Process-wide metrics: counters, gauges and fixed-bucket histograms.
+
+One :class:`MetricsRegistry` per process (:func:`registry`) collects every
+layer's counters under stable, Prometheus-compatible names — the registry
+the future HTTP serving tier's ``/metrics`` endpoint will expose directly.
+Exports: :meth:`MetricsRegistry.to_dict` (JSON-able, what worker snapshots
+carry over the result queue) and :meth:`MetricsRegistry.to_prometheus`
+(text exposition format, what ``repro-sat serve -o`` writes).
+
+Naming conventions (see README "Observability"):
+
+* names are ``repro_<layer>_<quantity>[_total|_seconds]`` — e.g.
+  ``repro_store_ops_total``, ``repro_sampler_round_seconds``;
+* labels discriminate within a metric (``op="hit"``, ``stage="stream"``),
+  never encode values;
+* counters only go up; gauges hold last-written values; histograms use
+  fixed upper-inclusive buckets (Prometheus ``le`` semantics).
+
+Cross-process semantics: counters are cumulative per process.  Merging
+snapshots from *distinct* processes sums them (:meth:`MetricsRegistry.merge`);
+re-merging a newer snapshot from the *same* process must replace the older
+one, which :class:`~repro.obs.snapshot.TelemetryAggregator` handles by
+keying dumps per worker.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Default duration buckets (seconds) — micro to tens of seconds, the range
+#: spanned by a CNF validation batch up to a cold ISCAS transform.
+DEFAULT_TIME_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+_NO_LABELS: Tuple[str, ...] = ()
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-friendly number formatting (integers without ``.0``)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_suffix(label_names: Sequence[str], label_values: Tuple[str, ...]) -> str:
+    if not label_names:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape(value)}"'
+        for name, value in zip(label_names, label_values)
+    )
+    return "{" + pairs + "}"
+
+
+def _escape(value: str) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+class _Metric:
+    """Shared machinery: label validation and per-labelset series."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, label_names: Sequence[str]) -> None:
+        self.name = name
+        self.help = help_text
+        self.label_names: Tuple[str, ...] = tuple(label_names)
+        self._series: Dict[Tuple[str, ...], object] = {}
+        self._lock = threading.Lock()
+
+    def _key(self, label_values: Tuple[str, ...], labels: Dict[str, str]) -> Tuple[str, ...]:
+        if labels:
+            if label_values:
+                raise ValueError("pass labels positionally or by name, not both")
+            try:
+                label_values = tuple(str(labels[name]) for name in self.label_names)
+            except KeyError as error:
+                raise ValueError(
+                    f"metric {self.name!r} expects labels {self.label_names}, "
+                    f"got {sorted(labels)}"
+                ) from error
+            if len(labels) != len(self.label_names):
+                raise ValueError(
+                    f"metric {self.name!r} expects labels {self.label_names}, "
+                    f"got {sorted(labels)}"
+                )
+            return label_values
+        label_values = tuple(str(value) for value in label_values)
+        if len(label_values) != len(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} expects {len(self.label_names)} label "
+                f"value(s) {self.label_names}, got {label_values!r}"
+            )
+        return label_values
+
+    def series(self) -> Dict[Tuple[str, ...], object]:
+        """Snapshot of every labelset's current value object."""
+        with self._lock:
+            return dict(self._series)
+
+    def reset(self) -> None:
+        """Drop every series (registration survives; used by tests)."""
+        with self._lock:
+            self._series.clear()
+
+
+class Counter(_Metric):
+    """A monotonically increasing sum (``*_total`` by convention)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, *label_values: str, **labels: str) -> None:
+        """Add ``amount`` (must be >= 0) to the labelled series."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        key = self._key(label_values, labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, *label_values: str, **labels: str) -> float:
+        """Current value of one labelled series (0.0 when never incremented)."""
+        key = self._key(label_values, labels)
+        with self._lock:
+            return float(self._series.get(key, 0.0))
+
+    def total(self) -> float:
+        """Sum across every labelset."""
+        with self._lock:
+            return float(sum(self._series.values()))
+
+
+class Gauge(_Metric):
+    """A value that goes up and down (last write wins)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, *label_values: str, **labels: str) -> None:
+        key = self._key(label_values, labels)
+        with self._lock:
+            self._series[key] = float(value)
+
+    def inc(self, amount: float = 1.0, *label_values: str, **labels: str) -> None:
+        key = self._key(label_values, labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, *label_values: str, **labels: str) -> None:
+        self.inc(-amount, *label_values, **labels)
+
+    def value(self, *label_values: str, **labels: str) -> float:
+        key = self._key(label_values, labels)
+        with self._lock:
+            return float(self._series.get(key, 0.0))
+
+
+class _HistogramSeries:
+    __slots__ = ("counts", "sum", "count")
+
+    def __init__(self, num_buckets: int) -> None:
+        self.counts = [0] * (num_buckets + 1)  # +1 for the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram with Prometheus ``le`` (upper-inclusive) edges.
+
+    A value exactly equal to a bucket's upper bound falls *into* that bucket;
+    values above the last bound land in the implicit ``+Inf`` bucket.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str, label_names: Sequence[str],
+                 buckets: Sequence[float] = DEFAULT_TIME_BUCKETS) -> None:
+        super().__init__(name, help_text, label_names)
+        bounds = tuple(sorted(float(bound) for bound in buckets))
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bucket bound")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram {name!r} has duplicate bucket bounds")
+        self.buckets: Tuple[float, ...] = bounds
+
+    def observe(self, value: float, *label_values: str, **labels: str) -> None:
+        key = self._key(label_values, labels)
+        value = float(value)
+        index = bisect_left(self.buckets, value)  # le: equal goes in-bucket
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(len(self.buckets))
+            series.counts[index] += 1
+            series.sum += value
+            series.count += 1
+
+    def snapshot(self, *label_values: str, **labels: str) -> Dict[str, object]:
+        """One series as ``{"counts": [...], "sum": s, "count": n}``."""
+        key = self._key(label_values, labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                return {"counts": [0] * (len(self.buckets) + 1), "sum": 0.0, "count": 0}
+            return {"counts": list(series.counts), "sum": series.sum, "count": series.count}
+
+
+class MetricsRegistry:
+    """A named collection of metrics with idempotent registration."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    # -- registration -------------------------------------------------------------------
+    def _register(self, cls, name: str, help_text: str,
+                  label_names: Sequence[str], **extra) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls or existing.label_names != tuple(label_names):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind} "
+                        f"with labels {existing.label_names}"
+                    )
+                return existing
+            metric = cls(name, help_text, label_names, **extra)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help_text: str = "",
+                labels: Sequence[str] = _NO_LABELS) -> Counter:
+        """Get or create a counter (re-registration must match exactly)."""
+        return self._register(Counter, name, help_text, labels)
+
+    def gauge(self, name: str, help_text: str = "",
+              labels: Sequence[str] = _NO_LABELS) -> Gauge:
+        """Get or create a gauge."""
+        return self._register(Gauge, name, help_text, labels)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labels: Sequence[str] = _NO_LABELS,
+                  buckets: Sequence[float] = DEFAULT_TIME_BUCKETS) -> Histogram:
+        """Get or create a fixed-bucket histogram."""
+        metric = self._register(Histogram, name, help_text, labels, buckets=buckets)
+        if metric.buckets != tuple(sorted(float(b) for b in buckets)):
+            raise ValueError(f"histogram {name!r} already registered with "
+                             f"buckets {metric.buckets}")
+        return metric
+
+    def get(self, name: str) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def reset(self) -> None:
+        """Zero every series in place (registrations and handles survive,
+        so modules holding metric objects keep working — used by tests)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric.reset()
+
+    # -- export -------------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Dict[str, object]]:
+        """JSON-able dump: the wire form of worker telemetry snapshots."""
+        dump: Dict[str, Dict[str, object]] = {}
+        for name in self.names():
+            metric = self.get(name)
+            entry: Dict[str, object] = {
+                "type": metric.kind,
+                "help": metric.help,
+                "labels": list(metric.label_names),
+            }
+            if isinstance(metric, Histogram):
+                entry["buckets"] = list(metric.buckets)
+                entry["series"] = {
+                    "\t".join(key): {
+                        "counts": list(series.counts),
+                        "sum": series.sum,
+                        "count": series.count,
+                    }
+                    for key, series in sorted(metric.series().items())
+                }
+            else:
+                entry["series"] = {
+                    "\t".join(key): value
+                    for key, value in sorted(metric.series().items())
+                }
+            dump[name] = entry
+        return dump
+
+    def merge(self, dump: Dict[str, Dict[str, object]]) -> None:
+        """Fold a :meth:`to_dict` dump from a *distinct* process into this
+        registry: counters and histograms sum, gauges take the dump's value."""
+        for name, entry in dump.items():
+            kind = entry.get("type")
+            labels = tuple(entry.get("labels") or ())
+            series = entry.get("series") or {}
+            if kind == "counter":
+                metric = self.counter(name, entry.get("help", ""), labels)
+                for key, value in series.items():
+                    values = tuple(key.split("\t")) if key else ()
+                    metric.inc(float(value), *values)
+            elif kind == "gauge":
+                metric = self.gauge(name, entry.get("help", ""), labels)
+                for key, value in series.items():
+                    values = tuple(key.split("\t")) if key else ()
+                    metric.set(float(value), *values)
+            elif kind == "histogram":
+                buckets = tuple(entry.get("buckets") or DEFAULT_TIME_BUCKETS)
+                metric = self.histogram(name, entry.get("help", ""), labels, buckets)
+                for key, data in series.items():
+                    values = tuple(key.split("\t")) if key else ()
+                    hist_key = metric._key(values, {})
+                    with metric._lock:
+                        target = metric._series.get(hist_key)
+                        if target is None:
+                            target = metric._series[hist_key] = _HistogramSeries(
+                                len(metric.buckets)
+                            )
+                        for index, count in enumerate(data.get("counts", [])):
+                            target.counts[index] += int(count)
+                        target.sum += float(data.get("sum", 0.0))
+                        target.count += int(data.get("count", 0))
+
+    def to_prometheus(self) -> str:
+        """Text exposition format (one HELP/TYPE block per metric)."""
+        lines: List[str] = []
+        for name in self.names():
+            metric = self.get(name)
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            if isinstance(metric, Histogram):
+                for key, series in sorted(metric.series().items()):
+                    cumulative = 0
+                    for bound, count in zip(metric.buckets, series.counts):
+                        cumulative += count
+                        le_labels = _label_suffix(
+                            metric.label_names + ("le",),
+                            key + (_format_value(bound),),
+                        )
+                        lines.append(f"{name}_bucket{le_labels} {cumulative}")
+                    cumulative += series.counts[-1]
+                    inf_labels = _label_suffix(
+                        metric.label_names + ("le",), key + ("+Inf",)
+                    )
+                    lines.append(f"{name}_bucket{inf_labels} {cumulative}")
+                    suffix = _label_suffix(metric.label_names, key)
+                    lines.append(f"{name}_sum{suffix} {_format_value(series.sum)}")
+                    lines.append(f"{name}_count{suffix} {series.count}")
+            else:
+                series = metric.series()
+                if not series and not metric.label_names:
+                    lines.append(f"{name} 0")
+                for key, value in sorted(series.items()):
+                    suffix = _label_suffix(metric.label_names, key)
+                    lines.append(f"{name}{suffix} {_format_value(value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: The process registry every layer registers into.
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _REGISTRY
+
+
+def counter(name: str, help_text: str = "",
+            labels: Sequence[str] = _NO_LABELS) -> Counter:
+    """Get or create a counter in the process registry."""
+    return _REGISTRY.counter(name, help_text, labels)
+
+
+def gauge(name: str, help_text: str = "",
+          labels: Sequence[str] = _NO_LABELS) -> Gauge:
+    """Get or create a gauge in the process registry."""
+    return _REGISTRY.gauge(name, help_text, labels)
+
+
+def histogram(name: str, help_text: str = "", labels: Sequence[str] = _NO_LABELS,
+              buckets: Sequence[float] = DEFAULT_TIME_BUCKETS) -> Histogram:
+    """Get or create a histogram in the process registry."""
+    return _REGISTRY.histogram(name, help_text, labels, buckets)

@@ -1,0 +1,170 @@
+"""Rendering recorded traces: per-job flame summaries and metric dumps.
+
+This is the read side of the trace-file format: :func:`load_trace` parses a
+JSONL trace, :func:`render_trace` pretty-prints each trace (= each job, for
+serve traces) as a stage tree with total/self wall-clock times and call
+counts, and :func:`render_metrics_dump` tabulates a metrics dump — the
+``repro-sat obs`` subcommand is a thin front end over these.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.trace import read_trace
+
+
+@dataclass
+class _Node:
+    """One aggregated tree position: spans sharing (path of names)."""
+
+    name: str
+    total: float = 0.0
+    count: int = 0
+    errors: int = 0
+    children: "Dict[str, _Node]" = field(default_factory=dict)
+
+    @property
+    def child_total(self) -> float:
+        return sum(child.total for child in self.children.values())
+
+    @property
+    def self_seconds(self) -> float:
+        """Time in this node not covered by its (aggregated) children."""
+        return max(0.0, self.total - self.child_total)
+
+
+def load_trace(path: os.PathLike) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]:
+    """Parse a JSONL trace file into (span records, metric-dump records)."""
+    return read_trace(path)
+
+
+def group_spans_by_trace(spans: List[Dict[str, Any]]) -> Dict[str, List[Dict[str, Any]]]:
+    """Spans bucketed by ``trace_id`` (untagged spans under ``""``)."""
+    groups: Dict[str, List[Dict[str, Any]]] = {}
+    for span in spans:
+        groups.setdefault(str(span.get("trace_id") or ""), []).append(span)
+    return groups
+
+
+def _build_forest(spans: List[Dict[str, Any]]) -> List[_Node]:
+    """Aggregate spans into name-path trees rooted at parentless spans.
+
+    A span whose ``parent_id`` is absent from the group (e.g. the parent
+    fell out of a bounded ring) is treated as a root rather than dropped —
+    a partial trace still renders.
+    """
+    by_id = {span.get("span_id"): span for span in spans}
+    roots: Dict[str, _Node] = {}
+
+    def node_for(span: Dict[str, Any], depth: int = 0) -> _Node:
+        parent_id = span.get("parent_id")
+        parent_span = by_id.get(parent_id) if parent_id else None
+        if parent_span is None or depth > 64:
+            bucket = roots
+        else:
+            bucket = node_for(parent_span, depth + 1).children
+        name = str(span.get("name", "?"))
+        node = bucket.get(name)
+        if node is None:
+            node = bucket[name] = _Node(name)
+        return node
+
+    for span in sorted(spans, key=lambda s: (s.get("start_unix") or 0.0)):
+        node = node_for(span)
+        node.total += float(span.get("duration") or 0.0)
+        node.count += 1
+        if span.get("status") == "error":
+            node.errors += 1
+    return sorted(roots.values(), key=lambda n: -n.total)
+
+
+def _render_node(node: _Node, lines: List[str], indent: int) -> None:
+    prefix = "  " * indent
+    count = f" x{node.count}" if node.count > 1 else ""
+    errors = f" ({node.errors} error{'s' if node.errors > 1 else ''})" if node.errors else ""
+    lines.append(
+        f"{prefix}{node.name:<{max(1, 36 - 2 * indent)}s} "
+        f"total {node.total:9.4f}s  self {node.self_seconds:9.4f}s{count}{errors}"
+    )
+    for child in sorted(node.children.values(), key=lambda n: -n.total):
+        _render_node(child, lines, indent + 1)
+
+
+def render_trace(spans: List[Dict[str, Any]],
+                 trace_id: Optional[str] = None) -> str:
+    """Per-trace flame summary: nested stage tree with total/self times.
+
+    Sibling spans with the same name aggregate into one line (a 12-round
+    sampler shows one ``sampler.round x12`` entry), which is what makes the
+    output a *summary* rather than a span dump.
+    """
+    groups = group_spans_by_trace(spans)
+    if trace_id is not None:
+        groups = {trace_id: groups.get(trace_id, [])}
+    lines: List[str] = []
+    for key in sorted(groups):
+        group = groups[key]
+        if not group:
+            lines.append(f"trace {key!r}: no spans")
+            continue
+        pids = sorted({span.get("pid") for span in group if span.get("pid")})
+        title = key or "(untagged spans)"
+        lines.append(f"== {title} — {len(group)} spans across "
+                     f"{len(pids)} process{'es' if len(pids) != 1 else ''} ==")
+        for root in _build_forest(group):
+            _render_node(root, lines, 1)
+        lines.append("")
+    return "\n".join(lines).rstrip("\n") + "\n" if lines else "no spans recorded\n"
+
+
+def merge_metric_records(records: List[Dict[str, Any]]) -> Dict[str, Dict[str, Any]]:
+    """Collapse a trace file's metric-dump lines into one registry dump.
+
+    Dumps are cumulative per process, so only the **latest** line per pid
+    counts; distinct pids then sum — the same rule
+    :class:`~repro.obs.snapshot.TelemetryAggregator` applies to worker
+    snapshots.
+    """
+    from repro.obs.metrics import MetricsRegistry
+
+    latest: Dict[int, Dict[str, Any]] = {}
+    for record in records:
+        latest[int(record.get("pid") or 0)] = record.get("metrics") or {}
+    merged = MetricsRegistry()
+    for dump in latest.values():
+        merged.merge(dump)
+    return merged.to_dict()
+
+
+def render_metrics_dump(dump: Dict[str, Dict[str, Any]]) -> str:
+    """Tabulate a :meth:`MetricsRegistry.to_dict` dump for the terminal."""
+    lines: List[str] = []
+    for name in sorted(dump):
+        entry = dump[name]
+        kind = entry.get("type", "?")
+        labels = list(entry.get("labels") or ())
+        series = entry.get("series") or {}
+        lines.append(f"{name} ({kind})")
+        if not series:
+            lines.append("  (no samples)")
+            continue
+        for key in sorted(series):
+            values = key.split("\t") if key else []
+            label_text = (
+                "{" + ", ".join(f"{n}={v}" for n, v in zip(labels, values)) + "}"
+                if values else ""
+            )
+            value = series[key]
+            if kind == "histogram":
+                lines.append(
+                    f"  {label_text or '(all)':<32s} count {value.get('count', 0):>8} "
+                    f" sum {float(value.get('sum', 0.0)):.4f}s"
+                )
+            else:
+                number = float(value)
+                text = str(int(number)) if number == int(number) else f"{number:.6g}"
+                lines.append(f"  {label_text or '(all)':<32s} {text}")
+    return "\n".join(lines) + "\n" if lines else "no metrics recorded\n"

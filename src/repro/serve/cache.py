@@ -45,10 +45,21 @@ from repro.engine.compiler import cached_programs
 from repro.store.artifacts import fetch_or_build_artifact
 from repro.store.store import ArtifactStore
 from repro.utils.weakcache import BoundedLRUCache
+from repro import obs
 
 #: Default bounds: a handful of hot formulas, capped at a quarter gigabyte.
 DEFAULT_MAX_ENTRIES = 8
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+#: Registered form of :meth:`ArtifactCache.stats` tier activity — memory-tier
+#: hits/misses/evictions and how misses were resolved (store load, cold
+#: build, incremental derivation).  One registry feeds ``repro-sat cache
+#: stats`` and the serve exports, so the two can never drift.
+_CACHE_OPS = obs.counter(
+    "repro_cache_ops_total",
+    "In-memory artifact-cache operations by tier and outcome.",
+    labels=("op",),
+)
 
 
 @dataclass
@@ -101,21 +112,25 @@ def build_artifact(formula: CNF, signature: Optional[str] = None) -> SamplingArt
     """
     from repro.core.model import ProbabilisticCircuitModel
 
-    start = time.perf_counter()
-    signature = signature or formula_signature(formula)
-    transform = transform_cnf(formula)
-    plan = formula.evaluation_plan()
-    if transform.constraints:
-        model = ProbabilisticCircuitModel.from_transform(transform, backend="engine")
-        model.program  # force compilation into the circuit's memo
-    return SamplingArtifact(
-        signature=signature,
-        formula=formula,
-        transform=transform,
-        plan=plan,
-        build_seconds=time.perf_counter() - start,
-        transform_seconds=transform.stats.seconds,
-    )
+    with obs.span("artifact.build") as bspan:
+        start = time.perf_counter()
+        signature = signature or formula_signature(formula)
+        bspan.set("signature", signature[:12])
+        transform = transform_cnf(formula)
+        plan = formula.evaluation_plan()
+        if transform.constraints:
+            model = ProbabilisticCircuitModel.from_transform(
+                transform, backend="engine"
+            )
+            model.program  # force compilation into the circuit's memo
+        return SamplingArtifact(
+            signature=signature,
+            formula=formula,
+            transform=transform,
+            plan=plan,
+            build_seconds=time.perf_counter() - start,
+            transform_seconds=transform.stats.seconds,
+        )
 
 
 def build_incremental_artifact(
@@ -136,24 +151,28 @@ def build_incremental_artifact(
     """
     from repro.core.model import ProbabilisticCircuitModel
 
-    start = time.perf_counter()
-    effective = parent.formula.with_delta(delta)
-    signature = signature or formula_signature(effective)
-    transform = retransform(parent.transform, delta)
-    plan = effective.evaluation_plan()
-    if transform.constraints:
-        model = ProbabilisticCircuitModel.from_transform(transform, backend="engine")
-        model.program  # force compilation into the circuit's memo
-    return SamplingArtifact(
-        signature=signature,
-        formula=effective,
-        transform=transform,
-        plan=plan,
-        build_seconds=time.perf_counter() - start,
-        transform_seconds=transform.stats.seconds,
-        incremental=True,
-        parent_signature=parent.signature,
-    )
+    with obs.span("artifact.build_incremental") as bspan:
+        start = time.perf_counter()
+        effective = parent.formula.with_delta(delta)
+        signature = signature or formula_signature(effective)
+        bspan.set("signature", signature[:12])
+        transform = retransform(parent.transform, delta)
+        plan = effective.evaluation_plan()
+        if transform.constraints:
+            model = ProbabilisticCircuitModel.from_transform(
+                transform, backend="engine"
+            )
+            model.program  # force compilation into the circuit's memo
+        return SamplingArtifact(
+            signature=signature,
+            formula=effective,
+            transform=transform,
+            plan=plan,
+            build_seconds=time.perf_counter() - start,
+            transform_seconds=transform.stats.seconds,
+            incremental=True,
+            parent_signature=parent.signature,
+        )
 
 
 class ArtifactCache:
@@ -188,12 +207,20 @@ class ArtifactCache:
     def _release(_key, artifact) -> None:
         # Drop the memoised state so an evicted artifact frees its compiled
         # bytes even if a caller still holds the bare formula/circuit.
+        _CACHE_OPS.inc(1.0, "eviction")
         artifact.formula.clear_evaluation_plan()
         artifact.transform.circuit.engine_cache().clear()
 
+    def _cache_get(self, signature: str) -> Optional[SamplingArtifact]:
+        """Memory-tier lookup with hit/miss accounting (the one code path
+        every public lookup goes through, so the counters cannot drift)."""
+        artifact = self._cache.get(signature)
+        _CACHE_OPS.inc(1.0, "memory_hit" if artifact is not None else "memory_miss")
+        return artifact
+
     def get(self, signature: str) -> Optional[SamplingArtifact]:
         """The cached artifact for a signature, refreshing recency."""
-        return self._cache.get(signature)
+        return self._cache_get(signature)
 
     def get_or_build(
         self,
@@ -215,7 +242,7 @@ class ArtifactCache:
             if formula is None:
                 formula = loader()
             signature = formula_signature(formula)
-        artifact = self._cache.get(signature)
+        artifact = self._cache_get(signature)
         if artifact is not None:
             return artifact, False
         if self._store is None:
@@ -229,8 +256,10 @@ class ArtifactCache:
 
             artifact, source = fetch_or_build_artifact(self._store, signature, _build)
             if source == "store":
+                _CACHE_OPS.inc(1.0, "store_hit")
                 self._cache.put(signature, artifact, artifact.nbytes)
                 return artifact, False
+        _CACHE_OPS.inc(1.0, "built")
         self._cache.put(signature, artifact, artifact.nbytes)
         return artifact, True
 
@@ -253,7 +282,7 @@ class ArtifactCache:
         of a cold transform.  Returns ``(artifact, was_built,
         was_derived_incrementally)``.
         """
-        artifact = self._cache.get(signature)
+        artifact = self._cache_get(signature)
         if artifact is not None:
             return artifact, False, False
         delta = None if task is None else task.delta
@@ -277,8 +306,10 @@ class ArtifactCache:
             artifact, source = fetch_or_build_artifact(self._store, signature, _build)
             derived = artifact.incremental and source == "built"
             if source == "store":
+                _CACHE_OPS.inc(1.0, "store_hit")
                 self._cache.put(signature, artifact, artifact.nbytes)
                 return artifact, False, False
+        _CACHE_OPS.inc(1.0, "incremental" if derived else "built")
         self._cache.put(signature, artifact, artifact.nbytes)
         return artifact, True, derived
 
@@ -296,6 +327,10 @@ class ArtifactCache:
         With a persistent store attached, its counters are merged in under
         ``store_*`` keys (hits/misses/writes/corrupt/lease activity of *this
         process's* handle — cheap, no directory walk).
+
+        Back-compat accessor; the registered (process-wide) form is
+        ``repro_cache_ops_total``/``repro_store_ops_total`` in
+        :mod:`repro.obs` — see :func:`repro.obs.artifact_counters`.
         """
         stats = self._cache.stats()
         if self._store is not None:

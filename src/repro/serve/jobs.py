@@ -89,6 +89,7 @@ CONFIG_FIELDS = (
     "timeout_seconds",
     "array_backend",
     "kernel",
+    "telemetry",
 )
 
 
@@ -155,6 +156,8 @@ def config_to_dict(config: SamplerConfig) -> Dict[str, object]:
         "stall_rounds": config.stall_rounds,
         "timeout_seconds": config.timeout_seconds,
         "array_backend": config.array_backend,
+        "kernel": config.kernel,
+        "telemetry": config.telemetry,
         "device": {
             "kind": config.device.kind.value,
             "chunk_size": config.device.chunk_size,

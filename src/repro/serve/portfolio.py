@@ -37,9 +37,16 @@ import numpy as np
 from repro.core.config import SamplerConfig
 from repro.core.solutions import SolutionSet
 from repro.serve.jobs import CONFIG_FIELDS, ManifestError, config_from_dict, config_to_dict
+from repro import obs
 
 #: Fan-out ceiling: a portfolio wider than this is almost certainly a typo.
 MAX_MEMBERS = 64
+
+_PORTFOLIO_MEMBERS = obs.counter(
+    "repro_serve_portfolio_members_total",
+    "Member solution sets merged into job results, by contribution.",
+    labels=("outcome",),
+)
 
 
 def normalize_portfolio(
@@ -109,9 +116,19 @@ def merge_member_solutions(
     the merge: members may find different witnesses of one projected
     pattern, and the pattern must still count once.
     """
-    merged = SolutionSet(num_variables, project=project)
-    for matrix in member_matrices:
-        if matrix is None or matrix.shape[0] == 0:
-            continue
-        merged.add_batch(matrix)
+    with obs.span("serve.merge_members") as mspan:
+        merged = SolutionSet(num_variables, project=project)
+        members = 0
+        for matrix in member_matrices:
+            members += 1
+            if matrix is None or matrix.shape[0] == 0:
+                _PORTFOLIO_MEMBERS.inc(1.0, "empty")
+                continue
+            before = len(merged)
+            merged.add_batch(matrix)
+            _PORTFOLIO_MEMBERS.inc(
+                1.0, "contributed" if len(merged) > before else "duplicate"
+            )
+        mspan.set("members", members)
+        mspan.set("unique", len(merged))
     return merged

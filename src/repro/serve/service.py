@@ -64,6 +64,27 @@ from repro.serve.workers import (
     unpack_rows,
     worker_main,
 )
+from repro import obs
+
+#: Service-side job/artifact accounting.  ``repro_serve_artifacts_total`` is
+#: incremented in :meth:`SamplingService._finalize` from exactly the member
+#: records that land in ``results.json``, so the registry's artifact-tier
+#: counters and the written summaries agree by construction.
+_SERVE_JOBS = obs.counter(
+    "repro_serve_jobs_total",
+    "Sampling jobs finalized by the service, by status.",
+    labels=("status",),
+)
+_SERVE_ARTIFACTS = obs.counter(
+    "repro_serve_artifacts_total",
+    "Artifact resolutions across job members, by tier.",
+    labels=("source",),
+)
+_SERVE_KERNEL_TIERS = obs.counter(
+    "repro_serve_kernel_tier_total",
+    "Job members by the native kernel tier they executed on.",
+    labels=("tier",),
+)
 
 #: How long one blocking poll of the result queue lasts (seconds); liveness
 #: of the worker processes is re-checked between polls.
@@ -138,6 +159,9 @@ class _JobState:
     result: Optional[JobResult] = None
     #: Follower jobs resolved from this primary when it finishes.
     primary: Optional[str] = None
+    #: Detached ``serve.job`` span (``None`` when tracing is off or the job
+    #: coalesced onto a primary); workers parent their task spans under it.
+    span: Optional[object] = None
 
     @property
     def tasks_remaining(self) -> int:
@@ -200,6 +224,13 @@ class SamplingService:
         path uses that directory.  With a store, a formula's cold
         transform/compile is paid once across the whole pool (single-flight
         build lease) and survives service restarts.
+    trace:
+        Telemetry spec (:mod:`repro.obs`) scoped to this service's lifetime:
+        ``True``/``"mem"`` enables the in-memory span ring, a path streams
+        the merged trace — service job spans plus every worker's task spans,
+        correctly parented — to that JSONL file, ``False``/``"off"`` forces
+        tracing off, and ``None`` defers to ``$REPRO_TRACE``.  On
+        :meth:`close` the merged metrics dump is appended to the trace file.
     """
 
     def __init__(
@@ -211,6 +242,7 @@ class SamplingService:
         cache_entries: int = DEFAULT_MAX_ENTRIES,
         cache_bytes: Optional[int] = DEFAULT_MAX_BYTES,
         store_dir: Union[None, bool, str, Path] = None,
+        trace: Union[None, bool, str, Path] = None,
     ) -> None:
         if num_workers < 0:
             raise ValueError(f"num_workers must be non-negative, got {num_workers}")
@@ -232,6 +264,15 @@ class SamplingService:
         self._coalesce = CoalesceTable()
         self._counter = 0
         self._closed = False
+        if trace is True:
+            trace = "mem"
+        elif trace is False:
+            trace = "off"
+        elif trace is not None:
+            trace = str(trace)
+        self._trace_scope = obs.trace_scope(trace)
+        self._trace_scope.__enter__()
+        self._telemetry = obs.TelemetryAggregator()
         if num_workers == 0:
             store = None
             if self.store_dir is not None:
@@ -280,6 +321,11 @@ class SamplingService:
             worker.cancel_queue.close()
         if self._result_queue is not None:
             self._result_queue.close()
+        if obs.tracing_enabled():
+            # The trace file ends with the merged (service + workers) metrics
+            # dump, so `repro-sat obs` can print counters next to the spans.
+            obs.write_metrics_to_trace(self.merged_metrics())
+        self._trace_scope.__exit__(None, None, None)
 
     def __enter__(self) -> "SamplingService":
         return self
@@ -367,6 +413,20 @@ class SamplingService:
                 state.primary = primary
                 return job_id
             state.key = key
+
+        if obs.tracing_enabled():
+            # Detached: the job outlives this call and finishes from
+            # _finalize; its id is what worker task spans parent under, and
+            # the job id doubles as the trace id grouping the whole timeline.
+            state.span = obs.tracer().begin(
+                "serve.job",
+                attributes={
+                    "job_id": job_id,
+                    "instance": str(job.source)[:120],
+                    "num_solutions": job.num_solutions,
+                },
+                trace_id=job_id,
+            )
 
         configs = (
             member_configs(job.config, job.portfolio)
@@ -483,6 +543,17 @@ class SamplingService:
             return None
         return self._inline_cache.stats()
 
+    @property
+    def telemetry(self) -> obs.TelemetryAggregator:
+        """The aggregator merging worker telemetry snapshots (see
+        :mod:`repro.obs.snapshot`)."""
+        return self._telemetry
+
+    def merged_metrics(self) -> Dict[str, Dict[str, object]]:
+        """One metrics dump covering this process *and* every worker seen so
+        far (each worker's latest cumulative snapshot — exact totals)."""
+        return self._telemetry.merged_metrics()
+
     # -- internals: common message handling ---------------------------------------------
     def _state(self, job_id: str) -> _JobState:
         state = self._jobs.get(job_id)
@@ -494,7 +565,7 @@ class SamplingService:
         return self._state(state.primary) if state.primary else state
 
     def _task_payload(self, state: _JobState, task_state: _TaskState) -> Dict[str, object]:
-        return {
+        payload = {
             "key": (state.job_id, task_state.member_index),
             "group": state.job_id,
             "source": state.job.source,
@@ -504,6 +575,11 @@ class SamplingService:
             "config": config_to_dict(task_state.config),
             "num_solutions": state.job.num_solutions,
         }
+        if state.span is not None:
+            payload["trace"] = True
+            payload["trace_parent"] = state.span.span_id
+            payload["trace_id"] = state.job_id
+        return payload
 
     def _handle_message(self, kind: str, key: Tuple, payload: Dict[str, object]) -> None:
         job_id, member_index = key
@@ -522,6 +598,7 @@ class SamplingService:
         elif kind == MSG_DONE:
             task_state.done = True
             task_state.payload = payload
+            self._telemetry.absorb(payload.get("telemetry"))
             if payload.get("worker") is not None:
                 task_state.worker = payload["worker"]
             if payload.get("summary") is None and payload.get("cancelled"):
@@ -535,6 +612,7 @@ class SamplingService:
             task_state.done = True
             task_state.error = payload.get("error", "unknown worker error")
             task_state.payload = payload
+            self._telemetry.absorb(payload.get("telemetry"))
             if self._dispatcher is not None and task_state.worker is not None:
                 self._dispatcher.record_done(task_state.worker)
             if state.tasks_remaining == 0:
@@ -699,6 +777,19 @@ class SamplingService:
         )
         state.done = True
         state.progress = None  # the cancellation pool is dead weight now
+        _SERVE_JOBS.inc(1.0, status)
+        for member in members:
+            source = member.get("artifact_source")
+            if source is not None:
+                _SERVE_ARTIFACTS.inc(1.0, str(source))
+            tier = member.get("kernel_tier")
+            if tier is not None:
+                _SERVE_KERNEL_TIERS.inc(1.0, str(tier))
+        if state.span is not None:
+            state.span.set("status", status)
+            state.span.set("unique_solutions", len(merged))
+            state.span.finish()
+            state.span = None
         if state.key is not None:
             self._coalesce.release(state.key, state.job_id)
 

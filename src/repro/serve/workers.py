@@ -47,6 +47,7 @@ from repro.core.sampler import GradientSATSampler
 from repro.core.task import SamplingTask
 from repro.serve.cache import ArtifactCache, DEFAULT_MAX_BYTES, DEFAULT_MAX_ENTRIES
 from repro.serve.jobs import config_from_dict, load_source
+from repro import obs
 
 #: Message kinds a worker emits.
 MSG_ROUND = "round"
@@ -74,17 +75,47 @@ def execute_task(
     should_stop: Optional[Callable[[], bool]],
     emit: Callable[[str, Tuple, Dict[str, object]], None],
     worker_id: int = 0,
+    snapshot_telemetry: bool = False,
 ) -> None:
     """Run one sampling task and emit its round/done/error messages.
 
     Never raises: failures are reported as an ``"error"`` message so a bad
     job cannot take its worker down.
+
+    Telemetry: a ``task["trace"]`` flag turns on ring-only tracing in this
+    process (workers never open trace files — the service owns the trace
+    sink) and the task runs under a ``serve.task`` span parented, via the
+    explicit ``task["trace_parent"]`` id, under the service's job span.
+    With ``snapshot_telemetry`` (the spawned-worker pool sets it) every
+    terminal payload carries a :class:`repro.obs.TelemetrySnapshot` — the
+    spans buffered while the task ran plus this process's cumulative metric
+    counters — for the service to merge.  Inline execution leaves it off:
+    the service already shares this process's tracer and registry.
     """
     from repro import native
 
     key = task["key"]
+    if task.get("trace") and not obs.tracing_enabled():
+        obs.enable_tracing()  # ring only; the service owns the trace file
+    if obs.tracing_enabled():
+        tspan = obs.tracer().start_span(
+            "serve.task",
+            attributes={"key": str(key), "worker": worker_id},
+            parent_id=task.get("trace_parent"),
+            trace_id=task.get("trace_id"),
+        )
+    else:
+        tspan = obs.NOOP_SPAN
+
+    def telemetry() -> Optional[Dict[str, object]]:
+        if not snapshot_telemetry:
+            return None
+        return obs.capture_snapshot(worker_id=worker_id).to_payload()
+
     try:
         if should_stop is not None and should_stop():
+            tspan.set("cancelled", True)
+            tspan.finish()
             emit(
                 MSG_DONE,
                 key,
@@ -98,6 +129,7 @@ def execute_task(
                     "kernel_tier": None,
                     "compile_seconds": 0.0,
                     "artifact_source": None,
+                    "telemetry": telemetry(),
                 },
             )
             return
@@ -153,6 +185,9 @@ def execute_task(
             should_stop=should_stop,
             on_round=on_round,
         )
+        tspan.set("artifact_source", artifact_source)
+        tspan.set("unique_solutions", result.num_unique)
+        tspan.finish()
         emit(
             MSG_DONE,
             key,
@@ -179,9 +214,14 @@ def execute_task(
                 # sampling seconds so cold and warm runs stay comparable.
                 "kernel_tier": native.active_tier(config.kernel) or "python",
                 "compile_seconds": native.compile_seconds() - compile_before,
+                "telemetry": telemetry(),
             },
         )
     except BaseException as error:  # noqa: BLE001 - the worker must survive
+        if tspan is not obs.NOOP_SPAN:
+            tspan.status = "error"
+            tspan.set("error", type(error).__name__)
+            tspan.finish()
         emit(
             MSG_ERROR,
             key,
@@ -189,6 +229,7 @@ def execute_task(
                 "error": f"{type(error).__name__}: {error}",
                 "traceback": traceback.format_exc(),
                 "worker": worker_id,
+                "telemetry": telemetry(),
             },
         )
 
@@ -241,4 +282,6 @@ def worker_main(
             drain_cancellations()
             return group in cancelled_groups
 
-        execute_task(task, cache, should_stop, emit, worker_id)
+        execute_task(
+            task, cache, should_stop, emit, worker_id, snapshot_telemetry=True
+        )

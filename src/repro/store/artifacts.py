@@ -28,6 +28,12 @@ import time
 from typing import Callable, Optional, Tuple
 
 from repro.store.store import ArtifactStore
+from repro import obs
+
+_LOAD_SECONDS = obs.counter(
+    "repro_store_load_seconds_total",
+    "Wall-clock seconds spent materialising artifacts from the store.",
+)
 
 #: Entry kinds (directory names under ``objects/``).
 KIND_TRANSFORM = "transform"
@@ -48,15 +54,17 @@ def persist_artifact(store: ArtifactStore, artifact) -> bool:
     signature = artifact.signature
     if store.contains(KIND_TRANSFORM, signature):
         return True
-    store.put(KIND_PLAN, signature, artifact.plan)
-    programs = list(artifact.transform.circuit.engine_cache().items())
-    if programs:
-        store.put(KIND_PROGRAM, signature, programs)
-    return store.put(
-        KIND_TRANSFORM,
-        signature,
-        {"formula": artifact.formula, "transform": artifact.transform},
-    )
+    with obs.span("store.persist") as pspan:
+        pspan.set("signature", signature[:12])
+        store.put(KIND_PLAN, signature, artifact.plan)
+        programs = list(artifact.transform.circuit.engine_cache().items())
+        if programs:
+            store.put(KIND_PROGRAM, signature, programs)
+        return store.put(
+            KIND_TRANSFORM,
+            signature,
+            {"formula": artifact.formula, "transform": artifact.transform},
+        )
 
 
 def load_sampling_artifact(store: ArtifactStore, signature: str):
@@ -75,49 +83,58 @@ def load_sampling_artifact(store: ArtifactStore, signature: str):
     from repro.serve.cache import SamplingArtifact
 
     start = time.perf_counter()
-    payload = store.get(KIND_TRANSFORM, signature)
-    if payload is None:
-        return None
-    try:
-        formula = payload["formula"]
-        transform = payload["transform"]
-    except (TypeError, KeyError):
-        return None
-
-    plan = store.get(KIND_PLAN, signature)
-    if plan is not None:
+    with obs.span("store.load") as lspan:
+        lspan.set("signature", signature[:12])
+        payload = store.get(KIND_TRANSFORM, signature)
+        if payload is None:
+            lspan.set("outcome", "miss")
+            return None
         try:
-            formula.install_evaluation_plan(plan)
-        except ValueError:
-            plan = None  # mismatched orphan: recompile below
-    if plan is None:
-        plan = formula.evaluation_plan()
+            formula = payload["formula"]
+            transform = payload["transform"]
+        except (TypeError, KeyError):
+            lspan.set("outcome", "miss")
+            return None
 
-    programs = store.get(KIND_PROGRAM, signature)
-    if programs is not None:
-        try:
-            for key, program in programs:
-                adopt_program(transform.circuit, tuple(key), program)
-        except (TypeError, ValueError):
-            programs = None
-    if programs is None and transform.constraints:
-        # Recompile through the same route build_artifact takes so the memo
-        # key matches the sampler's own model construction.
-        model = ProbabilisticCircuitModel.from_transform(transform, backend="engine")
-        model.program
+        plan = store.get(KIND_PLAN, signature)
+        if plan is not None:
+            try:
+                formula.install_evaluation_plan(plan)
+            except ValueError:
+                plan = None  # mismatched orphan: recompile below
+        if plan is None:
+            plan = formula.evaluation_plan()
 
-    return SamplingArtifact(
-        signature=signature,
-        formula=formula,
-        transform=transform,
-        plan=plan,
-        build_seconds=0.0,
-        transform_seconds=transform.stats.seconds,
-        incremental=False,
-        parent_signature=None,
-        source="store",
-        load_seconds=time.perf_counter() - start,
-    )
+        programs = store.get(KIND_PROGRAM, signature)
+        if programs is not None:
+            try:
+                for key, program in programs:
+                    adopt_program(transform.circuit, tuple(key), program)
+            except (TypeError, ValueError):
+                programs = None
+        if programs is None and transform.constraints:
+            # Recompile through the same route build_artifact takes so the
+            # memo key matches the sampler's own model construction.
+            model = ProbabilisticCircuitModel.from_transform(
+                transform, backend="engine"
+            )
+            model.program
+
+        load_seconds = time.perf_counter() - start
+        lspan.set("outcome", "hit")
+        _LOAD_SECONDS.inc(load_seconds)
+        return SamplingArtifact(
+            signature=signature,
+            formula=formula,
+            transform=transform,
+            plan=plan,
+            build_seconds=0.0,
+            transform_seconds=transform.stats.seconds,
+            incremental=False,
+            parent_signature=None,
+            source="store",
+            load_seconds=load_seconds,
+        )
 
 
 def fetch_or_build_artifact(

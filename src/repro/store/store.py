@@ -55,6 +55,16 @@ from repro.store.format import (
     encode_entry,
     read_header,
 )
+from repro import obs
+
+#: Registered form of :meth:`ArtifactStore.counters` — every per-handle
+#: counter bump also lands here, so ``repro-sat cache stats`` and the serve
+#: exports read store activity from one registry (:mod:`repro.obs`).
+_STORE_OPS = obs.counter(
+    "repro_store_ops_total",
+    "Persistent artifact-store operations by outcome.",
+    labels=("op",),
+)
 
 #: Environment variable naming the process-default store directory.
 STORE_ENV_VAR = "REPRO_STORE_DIR"
@@ -141,6 +151,11 @@ class ArtifactStore:
         # purpose (e.g. a shared artifact volume).
         self._writes_disabled = False
 
+    def _count(self, key: str) -> None:
+        """Bump one counter in the per-handle dict *and* the shared registry."""
+        self._counters[key] += 1
+        _STORE_OPS.inc(1.0, key)
+
     # -- paths --------------------------------------------------------------------------
     @property
     def version_root(self) -> Path:
@@ -171,16 +186,16 @@ class ArtifactStore:
         try:
             data = bytearray(path.read_bytes())
         except OSError:
-            self._counters["misses"] += 1
+            self._count("misses")
             return None
         try:
             obj = decode_entry(data, kind=kind, signature=signature)
         except StoreFormatError:
-            self._counters["corrupt"] += 1
-            self._counters["misses"] += 1
+            self._count("corrupt")
+            self._count("misses")
             self._quarantine(path)
             return None
-        self._counters["hits"] += 1
+        self._count("hits")
         self._touch(path)
         return obj
 
@@ -216,7 +231,7 @@ class ArtifactStore:
         except Exception:
             # Unpicklable payloads are a programming error upstream, but a
             # cache must not take the build path down with it.
-            self._counters["write_errors"] += 1
+            self._count("write_errors")
             return False
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -236,10 +251,10 @@ class ArtifactStore:
                     pass
                 raise
         except OSError:
-            self._counters["write_errors"] += 1
+            self._count("write_errors")
             self._writes_disabled = True
             return False
-        self._counters["writes"] += 1
+        self._count("writes")
         return True
 
     # -- maintenance --------------------------------------------------------------------
@@ -450,21 +465,21 @@ class BuildLease:
         builder finished or died; one final load decides which) or goes
         stale, and unconditionally at ``timeout``.
         """
-        self._store._counters["lease_waits"] += 1
+        self._store._count("lease_waits")
         deadline = time.monotonic() + (
             timeout if timeout is not None else self._store.wait_timeout_seconds
         )
         while True:
             loaded = loader()
             if loaded is not None:
-                self._store._counters["lease_wait_hits"] += 1
+                self._store._count("lease_wait_hits")
                 return loaded
             if not self.path.exists():
                 # Builder released (or crashed before publishing): one last
                 # look, then fall back to building locally.
                 loaded = loader()
                 if loaded is not None:
-                    self._store._counters["lease_wait_hits"] += 1
+                    self._store._count("lease_wait_hits")
                 return loaded
             if _lock_is_stale(self.path, self._store.stale_lock_seconds):
                 try:

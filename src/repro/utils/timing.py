@@ -4,6 +4,11 @@ The throughput numbers reported in Table II of the paper are
 ``unique solutions / wall-clock second``; :class:`Stopwatch` provides the
 wall-clock measurements and :class:`Timer` provides a context-manager
 convenience wrapper used throughout the benchmarks.
+
+Benchmark *measurement loops* (median/best-of-N with untimed warm-up and
+per-repeat garbage collection) live in :mod:`repro.obs.bench` — that is
+what ``benchmarks/bench_*.py`` scripts should use; the classes here remain
+for general-purpose elapsed-time bookkeeping inside the harness.
 """
 
 from __future__ import annotations

@@ -1,0 +1,16 @@
+"""Telemetry test isolation: every test leaves the process tracer disabled."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off_after():
+    """The process tracer is global state — force it off (and its sink
+    closed) after each test so one test's tracing can't leak into another."""
+    yield
+    obs.disable_tracing()
+    obs.tracer().clear()

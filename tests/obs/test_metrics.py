@@ -1,0 +1,195 @@
+"""Metrics contract: counter/gauge/histogram semantics, label validation,
+cross-process merge rules and the Prometheus exposition golden file."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+GOLDEN_PROM = Path(__file__).parent / "golden_metrics.prom"
+
+
+@pytest.fixture
+def reg():
+    """A fresh, private registry — tests never touch the process one."""
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, reg):
+        ops = reg.counter("repro_test_ops_total", "ops", labels=("op",))
+        ops.inc(1.0, "hit")
+        ops.inc(2.0, "hit")
+        ops.inc(1.0, "miss")
+        assert ops.value("hit") == 3.0
+        assert ops.value("miss") == 1.0
+        assert ops.value("never") == 0.0
+        assert ops.total() == 4.0
+
+    def test_counters_cannot_decrease(self, reg):
+        total = reg.counter("repro_test_total")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            total.inc(-1.0)
+
+    def test_keyword_labels(self, reg):
+        ops = reg.counter("repro_test_kw_total", labels=("op", "tier"))
+        ops.inc(1.0, op="hit", tier="disk")
+        assert ops.value("hit", "disk") == 1.0
+        with pytest.raises(ValueError, match="expects labels"):
+            ops.inc(1.0, op="hit")  # missing a label
+        with pytest.raises(ValueError, match="positionally or by name"):
+            ops.inc(1.0, "hit", tier="disk")
+
+    def test_label_arity_is_enforced(self, reg):
+        ops = reg.counter("repro_test_arity_total", labels=("op",))
+        with pytest.raises(ValueError, match="label"):
+            ops.inc(1.0)
+        with pytest.raises(ValueError, match="label"):
+            ops.inc(1.0, "a", "b")
+
+
+class TestGauge:
+    def test_last_write_wins(self, reg):
+        depth = reg.gauge("repro_test_depth")
+        depth.set(5.0)
+        depth.set(2.0)
+        assert depth.value() == 2.0
+        depth.inc(3.0)
+        depth.dec(1.0)
+        assert depth.value() == 4.0
+
+
+class TestHistogramBucketEdges:
+    def test_value_on_a_bound_falls_into_that_bucket(self, reg):
+        hist = reg.histogram("repro_test_seconds", buckets=(0.1, 0.5, 1.0))
+        hist.observe(0.1)  # le semantics: equal goes IN the 0.1 bucket
+        snap = hist.snapshot()
+        assert snap["counts"] == [1, 0, 0, 0]
+
+    def test_values_between_bounds_go_up(self, reg):
+        hist = reg.histogram("repro_test_mid_seconds", buckets=(0.1, 0.5, 1.0))
+        hist.observe(0.10000001)
+        assert hist.snapshot()["counts"] == [0, 1, 0, 0]
+
+    def test_overflow_lands_in_inf(self, reg):
+        hist = reg.histogram("repro_test_inf_seconds", buckets=(0.1, 0.5, 1.0))
+        hist.observe(2.0)
+        snap = hist.snapshot()
+        assert snap["counts"] == [0, 0, 0, 1]
+        assert snap["count"] == 1
+        assert snap["sum"] == 2.0
+
+    def test_every_default_bound_is_upper_inclusive(self, reg):
+        hist = reg.histogram("repro_test_default_seconds")
+        for bound in DEFAULT_TIME_BUCKETS:
+            hist.observe(bound)
+        counts = hist.snapshot()["counts"]
+        assert counts == [1] * len(DEFAULT_TIME_BUCKETS) + [0]
+
+    def test_buckets_are_sorted_and_deduplicated(self, reg):
+        hist = reg.histogram("repro_test_sort_seconds", buckets=(1.0, 0.1, 0.5))
+        assert hist.buckets == (0.1, 0.5, 1.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            Histogram("x", "", (), buckets=(0.1, 0.1))
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("x", "", (), buckets=())
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self, reg):
+        first = reg.counter("repro_test_idem_total", "help", labels=("op",))
+        again = reg.counter("repro_test_idem_total", "other help", labels=("op",))
+        assert again is first
+
+    def test_kind_and_label_conflicts_raise(self, reg):
+        reg.counter("repro_test_conflict", labels=("op",))
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("repro_test_conflict", labels=("op",))
+        with pytest.raises(ValueError, match="already registered"):
+            reg.counter("repro_test_conflict", labels=("other",))
+
+    def test_bucket_conflicts_raise(self, reg):
+        reg.histogram("repro_test_b_seconds", buckets=(0.1, 1.0))
+        with pytest.raises(ValueError, match="buckets"):
+            reg.histogram("repro_test_b_seconds", buckets=(0.2, 1.0))
+
+    def test_reset_zeroes_but_keeps_handles(self, reg):
+        ops = reg.counter("repro_test_reset_total", labels=("op",))
+        ops.inc(5.0, "hit")
+        reg.reset()
+        assert ops.value("hit") == 0.0
+        ops.inc(1.0, "hit")  # the held handle still works
+        assert ops.value("hit") == 1.0
+
+
+class TestMerge:
+    """Cross-process semantics: counters/histograms sum, gauges replace."""
+
+    def _dump(self, count: float):
+        source = MetricsRegistry()
+        source.counter("repro_m_total", "t", labels=("op",)).inc(count, "hit")
+        source.gauge("repro_m_depth").set(count)
+        source.histogram("repro_m_seconds", buckets=(0.1, 1.0)).observe(count / 10)
+        return source.to_dict()
+
+    def test_merging_distinct_dumps_sums_counters(self):
+        merged = MetricsRegistry()
+        merged.merge(self._dump(2.0))
+        merged.merge(self._dump(3.0))
+        assert merged.counter("repro_m_total", labels=("op",)).value("hit") == 5.0
+        assert merged.gauge("repro_m_depth").value() == 3.0  # last write wins
+        snap = merged.histogram("repro_m_seconds", buckets=(0.1, 1.0)).snapshot()
+        assert snap["count"] == 2
+        assert snap["counts"] == [0, 2, 0]  # 0.2 and 0.3 both in (0.1, 1.0]
+
+    def test_dump_round_trips_through_merge(self):
+        dump = self._dump(4.0)
+        copy = MetricsRegistry()
+        copy.merge(dump)
+        assert copy.to_dict() == dump
+
+
+class TestPrometheusExposition:
+    def _populated(self):
+        reg = MetricsRegistry()
+        ops = reg.counter("repro_store_ops_total",
+                          "Store operations by outcome.", labels=("op",))
+        ops.inc(3.0, "hit")
+        ops.inc(1.0, "miss")
+        reg.gauge("repro_serve_queue_depth", "Jobs awaiting a worker.").set(2.0)
+        hist = reg.histogram("repro_sampler_round_seconds",
+                             "Sampling round wall-clock.", buckets=(0.1, 0.5, 1.0))
+        for value in (0.05, 0.1, 0.3, 2.0):
+            hist.observe(value)
+        escapes = reg.counter("repro_test_escapes_total", "", labels=("path",))
+        escapes.inc(1.0, 'quo"te\\back\nline')
+        return reg
+
+    def test_exposition_matches_the_golden_file(self):
+        text = self._populated().to_prometheus()
+        assert text == GOLDEN_PROM.read_text(), (
+            f"Prometheus exposition drifted from {GOLDEN_PROM}; if the "
+            "change is intentional, regenerate the golden file."
+        )
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = self._populated().to_prometheus()
+        assert 'repro_sampler_round_seconds_bucket{le="0.1"} 2' in text
+        assert 'repro_sampler_round_seconds_bucket{le="0.5"} 3' in text
+        assert 'repro_sampler_round_seconds_bucket{le="1"} 3' in text
+        assert 'repro_sampler_round_seconds_bucket{le="+Inf"} 4' in text
+        assert "repro_sampler_round_seconds_count 4" in text
+
+    def test_unlabelled_metrics_default_to_zero_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_never_hit_total", "never incremented")
+        assert "repro_never_hit_total 0" in reg.to_prometheus()

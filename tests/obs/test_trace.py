@@ -1,0 +1,240 @@
+"""Tracing contract: nesting, exception safety, disabled-mode freeness,
+scope reentrancy and the JSONL trace-file round trip."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+
+
+def _spans_by_name():
+    return {record["name"]: record for record in obs.tracer().spans()}
+
+
+class TestDisabledMode:
+    def test_span_returns_the_noop_singleton(self):
+        assert not obs.tracing_enabled()
+        assert obs.span("anything") is obs.NOOP_SPAN
+        assert obs.span("anything", {"k": 1}) is obs.NOOP_SPAN
+
+    def test_noop_span_surface_is_inert(self):
+        with obs.span("x") as span:
+            assert span is obs.NOOP_SPAN
+            assert span.set("key", "value") is obs.NOOP_SPAN
+        span.finish()  # idempotent, still a no-op
+        assert obs.NOOP_SPAN.attributes == {}
+
+    def test_disabled_span_allocates_nothing(self):
+        """The disabled fast path must return the same object every call —
+        the zero-allocation guarantee the hot loops are instrumented under."""
+        spans = {id(obs.span("hot.loop")) for _ in range(1000)}
+        assert spans == {id(obs.NOOP_SPAN)}
+
+    def test_current_span_is_none_when_disabled(self):
+        assert obs.current_span() is None
+
+    def test_nothing_recorded_while_disabled(self):
+        with obs.span("invisible"):
+            pass
+        assert obs.tracer().spans() == []
+
+
+class TestNesting:
+    def test_children_parent_under_the_enclosing_span(self):
+        obs.enable_tracing()
+        with obs.span("outer") as outer:
+            with obs.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert obs.current_span() is inner
+            assert obs.current_span() is outer
+        records = _spans_by_name()
+        assert records["inner"]["parent_id"] == records["outer"]["span_id"]
+        assert records["outer"]["parent_id"] is None
+
+    def test_children_finish_before_parents(self):
+        obs.enable_tracing()
+        with obs.span("parent"):
+            with obs.span("child"):
+                pass
+        names = [record["name"] for record in obs.tracer().spans()]
+        assert names == ["child", "parent"]
+
+    def test_trace_id_inherits_down_the_stack(self):
+        obs.enable_tracing()
+        job = obs.tracer().begin("job", trace_id="job-42")
+        with obs.span("stage", {"n": 1}) as stage:
+            # The detached span is not on the thread stack, so the nested
+            # span roots itself; explicit parentage wires it to the job.
+            assert stage.parent_id is None
+        job.finish()
+        nested = obs.tracer().start_span("task", parent_id=job.span_id,
+                                         trace_id=job.trace_id)
+        with nested, obs.span("round") as inner:
+            assert inner.trace_id == "job-42"
+            assert inner.parent_id == nested.span_id
+
+    def test_attributes_and_set_chaining(self):
+        obs.enable_tracing()
+        with obs.span("work", {"batch": 8}) as span:
+            span.set("rounds", 3).set("batch", 16)
+        record = _spans_by_name()["work"]
+        assert record["attributes"] == {"batch": 16, "rounds": 3}
+
+    def test_threads_have_independent_stacks(self):
+        obs.enable_tracing()
+        seen = {}
+
+        def worker():
+            seen["inside"] = obs.current_span()
+            with obs.span("threaded") as span:
+                seen["parent_id"] = span.parent_id
+
+        with obs.span("main-side"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["inside"] is None  # the main thread's span is invisible
+        assert seen["parent_id"] is None
+
+
+class TestExceptionSafety:
+    def test_raising_block_still_closes_its_span(self):
+        obs.enable_tracing()
+        with pytest.raises(ValueError):
+            with obs.span("doomed"):
+                raise ValueError("boom")
+        record = _spans_by_name()["doomed"]
+        assert record["status"] == "error"
+        assert record["attributes"]["error"] == "ValueError"
+        assert record["attributes"]["error_message"] == "boom"
+        assert record["duration"] >= 0.0
+
+    def test_stack_is_not_corrupted_by_the_raise(self):
+        obs.enable_tracing()
+        with obs.span("outer"):
+            with pytest.raises(RuntimeError):
+                with obs.span("failing"):
+                    raise RuntimeError("x")
+            # the failing span popped itself; new spans nest under outer again
+            with obs.span("after") as after:
+                assert after.parent_id is not None
+        records = _spans_by_name()
+        assert records["after"]["parent_id"] == records["outer"]["span_id"]
+        assert records["outer"]["status"] == "ok"
+
+    def test_finish_is_idempotent(self):
+        obs.enable_tracing()
+        span = obs.tracer().begin("detached")
+        span.finish()
+        first = span.duration
+        span.finish()
+        assert span.duration == first
+        assert len(obs.tracer().spans()) == 1
+
+
+class TestRing:
+    def test_ring_is_bounded(self):
+        obs.enable_tracing(ring_size=4)
+        for index in range(10):
+            with obs.span(f"s{index}"):
+                pass
+        names = [record["name"] for record in obs.tracer().spans()]
+        assert names == ["s6", "s7", "s8", "s9"]
+
+    def test_drain_clears_the_ring(self):
+        obs.enable_tracing()
+        with obs.span("once"):
+            pass
+        assert [r["name"] for r in obs.tracer().drain()] == ["once"]
+        assert obs.tracer().spans() == []
+
+
+class TestTraceScope:
+    def test_scope_enables_and_restores(self):
+        assert not obs.tracing_enabled()
+        with obs.trace_scope("mem"):
+            assert obs.tracing_enabled()
+        assert not obs.tracing_enabled()
+
+    def test_inner_scope_is_a_noop(self, tmp_path):
+        outer_path = tmp_path / "outer.jsonl"
+        with obs.trace_scope(str(outer_path)):
+            sink = obs.tracer().sink
+            with obs.trace_scope(str(tmp_path / "inner.jsonl")):
+                # the outermost scope owns the sink; the inner one must not
+                # re-open, replace, or later close it
+                assert obs.tracer().sink is sink
+            assert obs.tracing_enabled()
+            with obs.span("still-traced"):
+                pass
+        assert not obs.tracing_enabled()
+        spans, _ = obs.read_trace(outer_path)
+        assert [record["name"] for record in spans] == ["still-traced"]
+        assert not (tmp_path / "inner.jsonl").exists()
+
+    def test_off_and_none_specs_leave_tracing_alone(self, monkeypatch):
+        monkeypatch.delenv(obs.TRACE_ENV_VAR, raising=False)
+        with obs.trace_scope("off"):
+            assert not obs.tracing_enabled()
+        with obs.trace_scope(None):  # no env var: leave as-is
+            assert not obs.tracing_enabled()
+
+    def test_none_spec_defers_to_the_environment(self, monkeypatch, tmp_path):
+        path = tmp_path / "env.jsonl"
+        monkeypatch.setenv(obs.TRACE_ENV_VAR, str(path))
+        with obs.trace_scope(None):
+            with obs.span("from-env"):
+                pass
+        spans, _ = obs.read_trace(path)
+        assert [record["name"] for record in spans] == ["from-env"]
+
+    @pytest.mark.parametrize("spec,expected", [
+        ("off", "off"), ("0", "off"), ("none", "off"), ("disabled", "off"),
+        ("1", "mem"), ("on", "mem"), ("mem", "mem"), ("ring", "mem"),
+        ("/tmp/t.jsonl", "/tmp/t.jsonl"),
+    ])
+    def test_resolve_trace_spec(self, monkeypatch, spec, expected):
+        monkeypatch.delenv(obs.TRACE_ENV_VAR, raising=False)
+        assert obs.resolve_trace_spec(spec) == expected
+
+
+class TestTraceFileRoundTrip:
+    def test_spans_and_metrics_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        obs.enable_tracing(sink=path)
+        with obs.span("outer", {"note": "a"}):
+            with obs.span("inner"):
+                pass
+        wrote = obs.write_metrics_to_trace({"repro_x_total": {
+            "type": "counter", "help": "", "labels": [], "series": {"": 2.0},
+        }})
+        assert wrote
+        obs.disable_tracing()  # closes (and flushes) the sink
+
+        spans, metrics = obs.read_trace(path)
+        by_name = {record["name"]: record for record in spans}
+        assert set(by_name) == {"outer", "inner"}
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+        for record in spans:  # every span field survives JSON
+            assert record["duration"] >= 0.0
+            assert record["status"] == "ok"
+            assert isinstance(record["pid"], int)
+        assert len(metrics) == 1
+        assert metrics[0]["metrics"]["repro_x_total"]["series"] == {"": 2.0}
+
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "partial.jsonl"
+        good = json.dumps({"name": "ok", "span_id": "1", "parent_id": None,
+                           "trace_id": None, "start_unix": 0.0,
+                           "duration": 0.5, "status": "ok", "pid": 1})
+        path.write_text(good + "\n" + '{"name": "trunc', )
+        spans, metrics = obs.read_trace(path)
+        assert [record["name"] for record in spans] == ["ok"]
+        assert metrics == []
+
+    def test_write_metrics_without_a_sink_is_a_noop(self):
+        assert obs.write_metrics_to_trace() is False
