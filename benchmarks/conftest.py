@@ -137,6 +137,13 @@ def serve_bench_workers() -> int:
     return int(os.environ.get("REPRO_BENCH_SERVE_WORKERS", "4"))
 
 
+def resilience_min_ratio() -> float:
+    """Required faulted-pool / fault-free-pool unique-solutions/sec ratio
+    when one worker is killed mid-manifest (lower it on noisy shared CI;
+    <= 0 skips the gate loudly while still recording the measurement)."""
+    return float(os.environ.get("REPRO_BENCH_RESILIENCE_MIN_RATIO", "0.7"))
+
+
 @pytest.fixture(scope="session")
 def table2_instances():
     """Instance list for the Table II benchmark."""

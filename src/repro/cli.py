@@ -166,6 +166,26 @@ def _build_parser() -> argparse.ArgumentParser:
                             "merged under their job spans); FILE defaults "
                             "to trace.jsonl in --output-dir (or the current "
                             "directory); inspect with 'repro-sat obs'")
+    serve.add_argument("--retry", default=None, metavar="SPEC",
+                       help="service retry policy for failed tasks: an integer "
+                            "max attempts or a spec like "
+                            "'attempts=5,backoff=0.5,deadline=60' (layered "
+                            "over $REPRO_RETRY; per-job 'retry' manifest keys "
+                            "override)")
+    serve.add_argument("--no-supervise", action="store_true",
+                       help="do not respawn dead workers or requeue their "
+                            "tasks (a worker death fails its jobs, the "
+                            "pre-supervision behaviour)")
+    serve.add_argument("--resume", default=None, metavar="DIR",
+                       help="resume an interrupted run from DIR's journal: "
+                            "jobs whose completion was journaled (and whose "
+                            "solutions file survived) are skipped, the rest "
+                            "re-run; implies --output-dir DIR")
+    serve.add_argument("--faults", default=None, metavar="SPEC",
+                       help="deterministic fault-injection plan "
+                            "(repro.faults), e.g. "
+                            "'seed=7;kill:at=2,incarnation=0' — testing aid; "
+                            "defaults to $REPRO_FAULTS")
 
     cache = subparsers.add_parser(
         "cache", help="inspect and maintain a persistent artifact store"
@@ -300,19 +320,41 @@ def _command_sample(arguments: argparse.Namespace) -> int:
 
 
 def _command_serve(arguments: argparse.Namespace) -> int:
+    import os
+    import signal
+
     from repro import obs
     from repro.io.results_io import (
         write_job_results_json,
         write_metrics_json,
         write_metrics_prometheus,
     )
-    from repro.serve import SamplingService, load_manifest
+    from repro.serve import JobJournal, SamplingService, load_manifest, plan_resume
+    from repro.serve.journal import JOURNAL_NAME
 
     jobs = load_manifest(arguments.manifest)
     cache_bytes = int(arguments.cache_mb * 1024 * 1024) if arguments.cache_mb else None
     output_dir = Path(arguments.output_dir) if arguments.output_dir else None
+    if arguments.resume is not None:
+        if output_dir is not None and output_dir != Path(arguments.resume):
+            print("error: --resume DIR already names the output directory; "
+                  "drop the conflicting --output-dir", file=sys.stderr)
+            return 2
+        output_dir = Path(arguments.resume)
     if output_dir is not None:
         output_dir.mkdir(parents=True, exist_ok=True)
+
+    # --resume: the journal proves which manifest jobs already finished (and
+    # their solutions files survived); only the remainder is submitted.
+    entries = list(enumerate(jobs))
+    resumed_rows: List[Optional[dict]] = [None] * len(jobs)
+    if arguments.resume is not None:
+        entries, resumed_rows = plan_resume(
+            jobs, output_dir / JOURNAL_NAME, output_dir
+        )
+        skipped = len(jobs) - len(entries)
+        print(f"resuming            : {skipped}/{len(jobs)} jobs already "
+              f"complete in {output_dir}, running {len(entries)}")
 
     timeout = arguments.timeout
     if timeout is not None and arguments.workers == 0:
@@ -334,23 +376,99 @@ def _command_serve(arguments: argparse.Namespace) -> int:
     trace = arguments.trace
     if trace is True:
         trace = str((output_dir or Path(".")) / "trace.jsonl")
-    with SamplingService(
-        num_workers=arguments.workers,
-        array_backend=arguments.array_backend,
-        kernel=arguments.kernel,
-        cache_entries=arguments.cache_entries,
-        cache_bytes=cache_bytes,
-        store_dir=store_spec,
-        trace=trace,
-    ) as service:
-        job_ids = [service.submit(job) for job in jobs]
-        results = [service.result(job_id, timeout=timeout) for job_id in job_ids]
-        # One dump covering the service process and every worker's latest
-        # cumulative snapshot — the same numbers results.json aggregates.
-        metrics = service.merged_metrics()
+    journal = None
+    if output_dir is not None:
+        journal = JobJournal(output_dir / JOURNAL_NAME)
+        journal.record(
+            "run",
+            manifest=str(arguments.manifest),
+            workers=arguments.workers,
+            pid=os.getpid(),
+            resumed=arguments.resume is not None,
+        )
 
+    # Results keyed by manifest index: journal-recovered rows (dicts) and
+    # fresh JobResults mix in manifest order.
+    collected: dict = {
+        index: row for index, row in enumerate(resumed_rows) if row is not None
+    }
+    interrupts = {"count": 0}
+    metrics = None
+    try:
+        with SamplingService(
+            num_workers=arguments.workers,
+            array_backend=arguments.array_backend,
+            kernel=arguments.kernel,
+            cache_entries=arguments.cache_entries,
+            cache_bytes=cache_bytes,
+            store_dir=store_spec,
+            trace=trace,
+            retry=arguments.retry,
+            supervise=not arguments.no_supervise,
+            journal=journal,
+            faults=arguments.faults,
+        ) as service:
+
+            def handle_signal(_signum, _frame):
+                # First signal: graceful drain (flag only — handler-safe).
+                # Second: abort hard through the normal exception path.
+                interrupts["count"] += 1
+                if interrupts["count"] == 1:
+                    service.request_drain()
+                    print("drain requested: checkpointing in-flight jobs "
+                          "(interrupt again to abort hard)", file=sys.stderr)
+                else:
+                    raise KeyboardInterrupt
+
+            previous = {
+                signal.SIGINT: signal.signal(signal.SIGINT, handle_signal),
+                signal.SIGTERM: signal.signal(signal.SIGTERM, handle_signal),
+            }
+            try:
+                submitted = []
+                for index, job in entries:
+                    if interrupts["count"]:
+                        break
+                    try:
+                        submitted.append((index, service.submit(job)))
+                    except RuntimeError:
+                        break  # the drain closed admissions under us
+                for index, job_id in submitted:
+                    result = service.result(job_id, timeout=timeout)
+                    collected[index] = result
+                    if output_dir is not None:
+                        # Written per job as collected (not batched at the
+                        # end), so an interrupted run leaves every journaled
+                        # completion's solutions on disk for --resume.
+                        write_solutions_file(
+                            result.solutions,
+                            output_dir / f"{result.job_id}.solutions",
+                        )
+                metrics = service.merged_metrics()
+            finally:
+                for signum, handler in previous.items():
+                    signal.signal(signum, handler)
+    except KeyboardInterrupt:
+        print("aborted", file=sys.stderr)
+        return 130
+
+    results = [collected[index] for index in sorted(collected)]
     rows = []
     for result in results:
+        if isinstance(result, dict):
+            rows.append(
+                {
+                    "job": result.get("job_id"),
+                    "status": f"{result.get('status')} (resumed)",
+                    "unique": result.get("num_unique"),
+                    "requested": result.get("num_requested"),
+                    "seconds": f"{result.get('elapsed_seconds', 0.0):.3f}",
+                    "throughput": "",
+                    "members": len(result.get("members", [])),
+                    "coalesced": result.get("coalesced_with") or "",
+                }
+            )
+            continue
         rows.append(
             {
                 "job": result.job_id,
@@ -368,24 +486,36 @@ def _command_serve(arguments: argparse.Namespace) -> int:
     if output_dir is not None:
         results_path = write_job_results_json(results, output_dir / "results.json")
         print(f"results written     : {results_path}")
-        for result in results:
-            path = write_solutions_file(
-                result.solutions, output_dir / f"{result.job_id}.solutions"
+        if metrics is not None:
+            prom_path = write_metrics_prometheus(metrics, output_dir / "metrics.prom")
+            write_metrics_json(metrics, output_dir / "metrics.json")
+            print(f"metrics written     : {prom_path} (+ metrics.json)")
+    if metrics is not None:
+        counters = obs.artifact_counters(metrics)
+        if counters:
+            pairs = ", ".join(
+                f"{key}={int(value)}" for key, value in sorted(counters.items())
             )
-            print(f"solutions written   : {path}")
-        prom_path = write_metrics_prometheus(metrics, output_dir / "metrics.prom")
-        write_metrics_json(metrics, output_dir / "metrics.json")
-        print(f"metrics written     : {prom_path} (+ metrics.json)")
-    counters = obs.artifact_counters(metrics)
-    if counters:
-        pairs = ", ".join(f"{key}={int(value)}" for key, value in sorted(counters.items()))
-        print(f"artifact counters   : {pairs}")
+            print(f"artifact counters   : {pairs}")
     if trace:
         print(f"trace written       : {trace} (repro-sat obs {trace})")
-    failed = [result for result in results if result.status != "done"]
+
+    def status_of(result) -> str:
+        return result.get("status") if isinstance(result, dict) else result.status
+
+    failed = [r for r in results if status_of(r) in ("error", "poisoned")]
     for result in failed:
-        print(f"job {result.job_id} failed: {result.error}", file=sys.stderr)
-    return 1 if failed else 0
+        error = result.get("error") if isinstance(result, dict) else result.error
+        job_id = result.get("job_id") if isinstance(result, dict) else result.job_id
+        print(f"job {job_id} failed: {error}", file=sys.stderr)
+    if failed:
+        return 1
+    if interrupts["count"] or any(status_of(r) == "interrupted" for r in results):
+        print("run interrupted; finish it with: repro-sat serve "
+              f"{arguments.manifest} --resume {output_dir or '<output-dir>'}",
+              file=sys.stderr)
+        return 130
+    return 0
 
 
 def _command_transform(arguments: argparse.Namespace) -> int:

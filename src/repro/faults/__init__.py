@@ -1,0 +1,112 @@
+"""``repro.faults`` — deterministic fault injection for resilience testing.
+
+The serving layer promises to survive process faults (see
+:mod:`repro.serve.service`); this package is how that promise is *tested*
+without flaky sleeps or real OOM kills.  A seeded :class:`FaultPlan` —
+installed programmatically or via the ``REPRO_FAULTS`` environment variable
+(spawn-started workers inherit it) — decides up front which hook *site*
+misbehaves on which event, and production code stays fault-free: each site
+is a single :func:`fire` call that is a no-op unless a matching rule is
+active.
+
+Quick start::
+
+    REPRO_FAULTS="seed=7;kill:at=2,incarnation=0" repro-sat serve jobs.json -w 4
+
+kills each original worker at its 2nd task; the supervisor respawns them
+(incarnation 1, where the rule no longer matches) and every job still
+completes.  See :mod:`repro.faults.plan` for the grammar and site list.
+
+Every activation bumps the registered counter
+``repro_faults_injected_total{site=...}``, so chaos runs can assert from
+exported metrics alone that faults actually fired.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.faults.plan import (
+    ENV_VAR,
+    FAULT_SITES,
+    FaultPlan,
+    FaultRule,
+    FaultSpecError,
+    InjectedFault,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultRule",
+    "FaultSpecError",
+    "InjectedFault",
+    "active_plan",
+    "clear",
+    "corrupt_file",
+    "fire",
+    "install_plan",
+    "set_identity",
+]
+
+#: Sentinel distinguishing "not resolved yet" from "resolved to no plan".
+_UNSET = object()
+_active: object = _UNSET
+
+
+def install_plan(plan) -> Optional[FaultPlan]:
+    """Install the process-wide plan (a :class:`FaultPlan`, a spec string,
+    or ``None``/``""`` to disable).  Returns the installed plan."""
+    global _active
+    if plan is None or plan == "":
+        _active = None
+    elif isinstance(plan, FaultPlan):
+        _active = plan
+    else:
+        _active = FaultPlan.from_spec(str(plan))
+    return _active
+
+
+def clear() -> None:
+    """Forget the installed plan *and* the env memo (tests call this)."""
+    global _active
+    _active = _UNSET
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The process-wide plan: installed one, else lazily from ``REPRO_FAULTS``."""
+    global _active
+    if _active is _UNSET:
+        spec = os.environ.get(ENV_VAR, "")
+        _active = FaultPlan.from_spec(spec) if spec else None
+    return _active  # type: ignore[return-value]
+
+
+def set_identity(worker: Optional[int], incarnation: Optional[int] = 0) -> None:
+    """Pin this process's worker slot/incarnation on the active plan."""
+    plan = active_plan()
+    if plan is not None:
+        plan.set_identity(worker, incarnation)
+
+
+def fire(site: str, **context) -> Optional[FaultRule]:
+    """Record one eligible event at ``site`` on the active plan (if any).
+
+    Returns the activated :class:`FaultRule` or ``None``; the *caller*
+    enacts the fault (exit, sleep, raise, corrupt), keeping the plan itself
+    passive and unit-testable.
+    """
+    plan = active_plan()
+    if plan is None:
+        return None
+    return plan.fire(site, **context)
+
+
+def corrupt_file(path) -> bool:
+    """Flip one byte of ``path`` via the active plan's seeded RNG."""
+    plan = active_plan()
+    if plan is None:
+        return False
+    return plan.corrupt_file(path)

@@ -1,0 +1,264 @@
+"""Seeded fault plans: *which* fault fires *where*, decided up front.
+
+A :class:`FaultPlan` is a small, deterministic rule machine.  Production
+code never imports chaos behaviour — it only calls :func:`repro.faults.fire`
+at a handful of *sites* (documented below), and a site does nothing unless
+the active plan holds a matching rule.  Rules are counted per process: the
+Nth eligible event at a site either activates or it does not, identically
+on every run with the same plan, seed and process identity — chaos tests
+and the CI chaos job rely on that reproducibility.
+
+Sites (the hook points wired through the codebase):
+
+``kill``
+    A worker process exits hard (``os._exit(137)``, an OOM-kill lookalike).
+    Fired by :func:`repro.serve.workers.worker_main` once per dequeued task
+    (phase ``"task"``) and once per streamed round (phase ``"round"``).
+``delay``
+    Sleep ``seconds`` before a result-queue put (scheduling jitter).
+``build``
+    Raise :class:`InjectedFault` inside
+    :func:`repro.serve.cache.build_artifact` (a transient build failure).
+``corrupt``
+    Flip one byte of a just-written store entry
+    (:meth:`repro.store.store.ArtifactStore.put`) — the store's verified
+    reads must quarantine it and fall back to a rebuild.
+
+Spec grammar (the ``REPRO_FAULTS`` environment variable)::
+
+    spec    := segment (";" segment)*
+    segment := "seed=" INT | site [":" option ("," option)*]
+    site    := "kill" | "delay" | "build" | "corrupt"
+    option  := key "=" value
+
+    e.g.  REPRO_FAULTS="seed=7;kill:at=3,incarnation=0;corrupt:every=2"
+
+Rule options: ``at=N`` (activate on exactly the Nth eligible event,
+1-based), ``every=N`` (every Nth event), ``prob=P`` (each event activates
+with probability P, drawn from the plan's seeded RNG), ``times=N`` (cap
+total activations), ``worker=I`` / ``incarnation=K`` (only in worker slot
+I / its Kth incarnation — a respawned worker runs incarnation K+1, so
+``kill:at=1,incarnation=0`` kills the original once and lets the
+replacement succeed), ``seconds=S`` (delay duration) and ``phase``
+(``task``/``round`` for ``kill``).  A rule with none of ``at``/``every``/
+``prob`` activates on every eligible event.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs
+
+#: Sites production code fires (see the module docstring).
+FAULT_SITES = ("kill", "delay", "build", "corrupt")
+
+#: Environment variable carrying the process-default fault plan.
+ENV_VAR = "REPRO_FAULTS"
+
+#: Every activation is visible in the shared registry, so chaos runs can
+#: assert "faults actually fired" from the exported metrics alone.
+_FAULTS_INJECTED = obs.counter(
+    "repro_faults_injected_total",
+    "Deterministic fault-plan activations, by site.",
+    labels=("site",),
+)
+
+
+class FaultSpecError(ValueError):
+    """A ``REPRO_FAULTS`` spec (or one of its rules) is malformed."""
+
+
+class InjectedFault(RuntimeError):
+    """The error a ``build`` fault raises (and tests match on)."""
+
+
+_INT_KEYS = ("at", "every", "times", "worker", "incarnation")
+_FLOAT_KEYS = ("prob", "seconds")
+_STR_KEYS = ("phase",)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One parsed rule of a plan (see the module docstring for semantics)."""
+
+    site: str
+    at: Optional[int] = None
+    every: Optional[int] = None
+    prob: Optional[float] = None
+    times: Optional[int] = None
+    worker: Optional[int] = None
+    incarnation: Optional[int] = None
+    seconds: float = 0.01
+    phase: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.site not in FAULT_SITES:
+            raise FaultSpecError(
+                f"unknown fault site {self.site!r} (sites: {', '.join(FAULT_SITES)})"
+            )
+        for name in ("at", "every", "times"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise FaultSpecError(f"fault option {name}= must be >= 1, got {value}")
+        if self.prob is not None and not 0.0 < self.prob <= 1.0:
+            raise FaultSpecError(f"fault option prob= must be in (0, 1], got {self.prob}")
+        if self.seconds < 0:
+            raise FaultSpecError(f"fault option seconds= must be >= 0, got {self.seconds}")
+
+    def matches_identity(
+        self, worker: Optional[int], incarnation: Optional[int], phase: Optional[str]
+    ) -> bool:
+        """Whether this rule applies to the given process identity/site phase."""
+        if self.worker is not None and self.worker != worker:
+            return False
+        if self.incarnation is not None and self.incarnation != incarnation:
+            return False
+        if (self.phase or "task") != (phase or "task"):
+            return False
+        return True
+
+
+def _parse_rule(segment: str) -> FaultRule:
+    site, _, options = segment.partition(":")
+    fields: Dict[str, object] = {"site": site.strip()}
+    if options.strip():
+        for item in options.split(","):
+            key, separator, value = item.partition("=")
+            key = key.strip()
+            if not separator:
+                raise FaultSpecError(f"fault option {item!r} is not key=value")
+            try:
+                if key in _INT_KEYS:
+                    fields[key] = int(value)
+                elif key in _FLOAT_KEYS:
+                    fields[key] = float(value)
+                elif key in _STR_KEYS:
+                    fields[key] = value.strip()
+                else:
+                    raise FaultSpecError(
+                        f"unknown fault option {key!r} (accepted: "
+                        f"{', '.join(_INT_KEYS + _FLOAT_KEYS + _STR_KEYS)})"
+                    )
+            except ValueError as error:
+                raise FaultSpecError(f"bad fault option {item!r}: {error}") from error
+    return FaultRule(**fields)  # type: ignore[arg-type]
+
+
+class FaultPlan:
+    """A parsed, seeded fault plan (see the module docstring).
+
+    Event counting is per plan instance — one per process in practice, so
+    "the Kth task" means the Kth task *this process* dequeued.  The
+    probability RNG is seeded from ``(seed, worker, incarnation)`` at
+    :meth:`set_identity` time, so two incarnations of one worker slot draw
+    independent but individually reproducible sequences.
+    """
+
+    def __init__(self, rules: List[FaultRule], seed: int = 0, spec: str = "") -> None:
+        self.rules: Tuple[FaultRule, ...] = tuple(rules)
+        self.seed = seed
+        self.spec = spec
+        self.worker: Optional[int] = None
+        self.incarnation: Optional[int] = None
+        self._events: Dict[int, int] = {}
+        self._activations: Dict[int, int] = {}
+        self._rng = random.Random(seed)
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse a ``REPRO_FAULTS`` spec string (grammar in the module doc)."""
+        seed = 0
+        rules: List[FaultRule] = []
+        for segment in spec.split(";"):
+            segment = segment.strip()
+            if not segment:
+                continue
+            if segment.startswith("seed="):
+                try:
+                    seed = int(segment[len("seed="):])
+                except ValueError as error:
+                    raise FaultSpecError(f"bad seed segment {segment!r}") from error
+                continue
+            rules.append(_parse_rule(segment))
+        plan = cls(rules, seed=seed, spec=spec)
+        return plan
+
+    def set_identity(self, worker: Optional[int], incarnation: Optional[int] = 0) -> None:
+        """Pin this process's worker slot/incarnation (reseeds the prob RNG)."""
+        self.worker = worker
+        self.incarnation = incarnation
+        self._rng = random.Random((self.seed, worker, incarnation).__repr__())
+
+    def fire(
+        self,
+        site: str,
+        *,
+        worker: Optional[int] = None,
+        incarnation: Optional[int] = None,
+        phase: Optional[str] = None,
+    ) -> Optional[FaultRule]:
+        """Record one eligible event at ``site``; return the activated rule.
+
+        ``None`` means no rule matched or the matching rule stayed quiet on
+        this event.  Explicit ``worker``/``incarnation`` override the
+        identity pinned by :meth:`set_identity` (tests use that).
+        """
+        worker = worker if worker is not None else self.worker
+        incarnation = incarnation if incarnation is not None else self.incarnation
+        for index, rule in enumerate(self.rules):
+            if rule.site != site:
+                continue
+            if not rule.matches_identity(worker, incarnation, phase):
+                continue
+            count = self._events.get(index, 0) + 1
+            self._events[index] = count
+            if rule.times is not None and self._activations.get(index, 0) >= rule.times:
+                continue
+            if rule.at is not None:
+                active = count == rule.at
+            elif rule.every is not None:
+                active = count % rule.every == 0
+            elif rule.prob is not None:
+                active = self._rng.random() < rule.prob
+            else:
+                active = True
+            if active:
+                self._activations[index] = self._activations.get(index, 0) + 1
+                _FAULTS_INJECTED.inc(1.0, site)
+                return rule
+        return None
+
+    def activations(self) -> Dict[str, int]:
+        """Activation counts by site (for assertions and debugging)."""
+        totals: Dict[str, int] = {}
+        for index, count in self._activations.items():
+            site = self.rules[index].site
+            totals[site] = totals.get(site, 0) + count
+        return totals
+
+    def corrupt_file(self, path: os.PathLike) -> bool:
+        """Flip one seeded-random byte of ``path`` in place; ``False`` on I/O error.
+
+        The flip lands past any fixed header region (offset is drawn over
+        the payload half of the file when it is large enough), so checksum
+        verification — not header parsing — is what must catch it.
+        """
+        path = Path(os.fspath(path))
+        try:
+            data = bytearray(path.read_bytes())
+            if not data:
+                return False
+            offset = self._rng.randrange(len(data) // 2, len(data)) if len(data) > 1 else 0
+            data[offset] ^= 0xFF
+            path.write_bytes(bytes(data))
+        except OSError:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({self.spec!r}, seed={self.seed}, rules={len(self.rules)})"

@@ -75,8 +75,12 @@ def job_result_row(result: "JobResult") -> dict:
 
     The row carries the aggregate summary plus the per-member records (the
     solutions themselves go to separate files via
-    :func:`repro.io.solutions_io.write_solutions_file`).
+    :func:`repro.io.solutions_io.write_solutions_file`).  A dictionary
+    passes through unchanged — that is how ``repro-sat serve --resume``
+    re-exports rows recovered from the job journal next to fresh results.
     """
+    if isinstance(result, dict):
+        return result
     row = {
         "job_id": result.job_id,
         "status": result.status,
@@ -93,7 +97,8 @@ def job_result_row(result: "JobResult") -> dict:
 
 
 def job_results_to_json(results: Iterable["JobResult"], indent: int = 2) -> str:
-    """Serialise service job results to a JSON array (submission order)."""
+    """Serialise service job results (or recovered row dicts) to a JSON
+    array (submission order)."""
     return json.dumps([job_result_row(result) for result in results], indent=indent)
 
 

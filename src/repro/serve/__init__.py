@@ -14,7 +14,11 @@ sampler, not inside it:
 * the formula-keyed compiled-artifact cache (:mod:`repro.serve.cache`);
 * portfolio fan-out with first-to-target cancellation and exact-dedup
   merging (:mod:`repro.serve.portfolio`);
-* the spawn-safe worker processes (:mod:`repro.serve.workers`).
+* the spawn-safe worker processes (:mod:`repro.serve.workers`);
+* fault tolerance: worker supervision with bounded respawns
+  (:mod:`repro.serve.supervisor`), per-job retry policies
+  (:mod:`repro.serve.retry`) and the crash-safe job journal behind
+  ``repro-sat serve --resume`` (:mod:`repro.serve.journal`).
 
 Quick start::
 
@@ -45,24 +49,41 @@ from repro.serve.jobs import (
     load_manifest,
     parse_manifest,
 )
+from repro.serve.journal import (
+    JobJournal,
+    job_fingerprint,
+    plan_resume,
+    read_journal,
+)
 from repro.serve.portfolio import member_configs, merge_member_solutions, normalize_portfolio
+from repro.serve.retry import RetryPolicy, RetrySpecError, resolve_retry_policy
 from repro.serve.service import JobResult, SamplingService
+from repro.serve.supervisor import RestartPolicy, WorkerSupervisor
 
 __all__ = [
     "ArtifactCache",
+    "JobJournal",
     "JobResult",
     "ManifestError",
+    "RestartPolicy",
+    "RetryPolicy",
+    "RetrySpecError",
     "SamplingArtifact",
     "SamplingJob",
     "SamplingService",
     "SUPPORTED_JOB_TYPES",
+    "WorkerSupervisor",
     "build_artifact",
     "build_incremental_artifact",
     "config_from_dict",
     "config_to_dict",
+    "job_fingerprint",
     "load_manifest",
     "member_configs",
     "merge_member_solutions",
     "normalize_portfolio",
     "parse_manifest",
+    "plan_resume",
+    "read_journal",
+    "resolve_retry_policy",
 ]

@@ -111,7 +111,12 @@ def build_artifact(formula: CNF, signature: Optional[str] = None) -> SamplingArt
     construction later becomes a pure cache hit.
     """
     from repro.core.model import ProbabilisticCircuitModel
+    from repro import faults
 
+    if faults.fire("build") is not None:
+        # Deterministic chaos hook (repro.faults): a transient build
+        # failure the service's retry policy must absorb.
+        raise faults.InjectedFault("injected artifact build fault")
     with obs.span("artifact.build") as bspan:
         start = time.perf_counter()
         signature = signature or formula_signature(formula)

@@ -36,6 +36,10 @@ or JSON Lines (one job object per line).  Job object keys:
 ``coalesce``
     Whether the job may share work with an identical in-flight job
     (default true).
+``retry``
+    Per-job retry-policy overrides (:mod:`repro.serve.retry`): an integer
+    ``max_attempts``, a spec string (``"attempts=5,backoff=0.5"``) or an
+    object with those keys.  Layered over the service/CLI policy.
 ``type``
     The workload kind — one of :data:`SUPPORTED_JOB_TYPES`
     (``"sample"``, ``"project"``, ``"weighted"``, ``"incremental"``;
@@ -224,6 +228,11 @@ class SamplingJob:
     #: task is plain sampling).  Frozen and tuple-backed, so it pickles into
     #: spawn workers and participates in coalescing keys.
     task: SamplingTask = field(default_factory=SamplingTask)
+    #: Per-job retry-policy overrides layered over the service policy —
+    #: anything :func:`repro.serve.retry.normalize_retry_overrides` accepts
+    #: (an int ``max_attempts``, a spec string, a mapping, a
+    #: :class:`~repro.serve.retry.RetryPolicy`).  ``None`` inherits.
+    retry: object = None
 
     def __post_init__(self) -> None:
         if self.num_solutions <= 0:
@@ -247,6 +256,7 @@ class SamplingJob:
         coalesce: bool = True,
         job_id: Optional[str] = None,
         task: Optional[SamplingTask] = None,
+        retry: object = None,
     ) -> "SamplingJob":
         """The permissive constructor ``SamplingService.submit`` uses."""
         from repro.serve.portfolio import normalize_portfolio
@@ -259,6 +269,7 @@ class SamplingJob:
             coalesce=coalesce,
             job_id=job_id,
             task=task if task is not None else DEFAULT_TASK,
+            retry=retry,
         )
 
 
@@ -312,7 +323,7 @@ def job_from_manifest_entry(entry: Dict[str, object], index: int = 0) -> Samplin
         raise ManifestError(f"job #{index}: expected an object, got {type(entry).__name__}")
     known = {
         "id", "path", "instance", "dimacs", "num_solutions", "config",
-        "portfolio", "coalesce", "type", *TASK_KEYS,
+        "portfolio", "coalesce", "type", "retry", *TASK_KEYS,
     }
     unknown = set(entry) - known
     if unknown:
@@ -326,6 +337,14 @@ def job_from_manifest_entry(entry: Dict[str, object], index: int = 0) -> Samplin
     if not isinstance(config_data, dict):
         raise ManifestError(f"job #{index}: 'config' must be an object")
     task = _task_from_manifest_entry(entry, str(entry.get("id", f"job-{index}")))
+    retry = entry.get("retry")
+    if retry is not None:
+        from repro.serve.retry import RetrySpecError, normalize_retry_overrides
+
+        try:
+            retry = normalize_retry_overrides(retry)
+        except RetrySpecError as error:
+            raise ManifestError(f"job #{index}: {error}") from error
     try:
         return SamplingJob.build(
             source={sources[0]: entry[sources[0]]},
@@ -338,6 +357,7 @@ def job_from_manifest_entry(entry: Dict[str, object], index: int = 0) -> Samplin
             # be replayed on one long-lived service without collisions.
             job_id=str(entry["id"]) if "id" in entry else None,
             task=task,
+            retry=retry,
         )
     except (ValueError, TypeError) as error:
         raise ManifestError(f"job #{index}: {error}") from error

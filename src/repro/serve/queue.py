@@ -87,6 +87,9 @@ class CoalesceTable:
 class _WorkerState:
     outstanding: int = 0
     signatures: Set[str] = field(default_factory=set)
+    #: Dead slots (between death and respawn, or abandoned) never receive
+    #: work; the supervisor flips this through set_offline/set_online.
+    online: bool = True
 
 
 class Dispatcher:
@@ -99,21 +102,26 @@ class Dispatcher:
         self.spill_threshold = spill_threshold
 
     def choose(self, signature: str) -> int:
-        """The worker the next task for ``signature`` should go to.
+        """The *online* worker the next task for ``signature`` should go to.
 
         A worker that already compiled this formula wins unless its backlog
         exceeds the globally least-loaded worker's by more than
         ``spill_threshold`` tasks — then the work spills (the cold worker
         will recompile once, after which both are warm and the formula's
-        traffic parallelises).
+        traffic parallelises).  Raises :class:`RuntimeError` when every
+        slot is offline (the service checks :attr:`has_online` first).
         """
+        candidates = [
+            index for index, state in enumerate(self._workers) if state.online
+        ]
+        if not candidates:
+            raise RuntimeError("no online workers to dispatch to")
         least_loaded = min(
-            range(len(self._workers)), key=lambda i: (self._workers[i].outstanding, i)
+            candidates, key=lambda i: (self._workers[i].outstanding, i)
         )
         warm = [
-            index
-            for index, state in enumerate(self._workers)
-            if signature in state.signatures
+            index for index in candidates
+            if signature in self._workers[index].signatures
         ]
         if warm:
             best_warm = min(warm, key=lambda i: (self._workers[i].outstanding, i))
@@ -137,3 +145,30 @@ class Dispatcher:
     def outstanding(self, worker: int) -> int:
         """Tasks currently queued or running on ``worker``."""
         return self._workers[worker].outstanding
+
+    # -- supervision hooks --------------------------------------------------------------
+    def set_offline(self, worker: int) -> None:
+        """Take a dead slot out of rotation and zero its accounting.
+
+        The process (and its task queue and in-memory artifact cache) is
+        gone, so both the backlog and the warm-signature set are reset; a
+        respawned replacement re-primes its cache through the persistent
+        store, not through memory affinity.
+        """
+        state = self._workers[worker]
+        state.online = False
+        state.outstanding = 0
+        state.signatures.clear()
+
+    def set_online(self, worker: int) -> None:
+        """Return a (respawned) slot to the dispatch rotation."""
+        self._workers[worker].online = True
+
+    def is_online(self, worker: int) -> bool:
+        """Whether the slot currently receives work."""
+        return self._workers[worker].online
+
+    @property
+    def has_online(self) -> bool:
+        """Whether any slot can receive work at all."""
+        return any(state.online for state in self._workers)

@@ -35,15 +35,30 @@ The service is deliberately synchronous and single-threaded: messages from
 workers are pumped while a caller waits inside :meth:`result`,
 :meth:`stream` or :meth:`drain`.  It is not itself thread-safe; wrap calls
 in a lock to share one service across threads.
+
+Fault tolerance (with a worker pool): dead workers are *supervised* — the
+pool respawns them with per-slot exponential backoff under a bounded
+restart budget (:mod:`repro.serve.supervisor`), the replacement re-primes
+its artifact cache through the persistent store, and the dead worker's
+in-flight tasks are requeued under a per-job :class:`RetryPolicy`
+(:mod:`repro.serve.retry`) instead of erroring.  A task whose retries keep
+killing workers is quarantined as ``poisoned`` with its attempt history in
+the :class:`JobResult`.  Because sampling is seed-deterministic and the
+solution sets dedup exactly, a job that survives a worker kill returns a
+solution set bitwise identical to an undisturbed run.  An optional
+:class:`~repro.serve.journal.JobJournal` records submissions, attempts and
+completions for crash recovery (``repro-sat serve --resume``), and
+:meth:`request_drain` initiates a graceful, signal-safe shutdown.
 """
 
 from __future__ import annotations
 
+import heapq
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from queue import Empty
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -54,8 +69,11 @@ from repro.core.solutions import SolutionSet
 from repro.core.task import SamplingTask
 from repro.serve.cache import ArtifactCache, DEFAULT_MAX_BYTES, DEFAULT_MAX_ENTRIES
 from repro.serve.jobs import SamplingJob, config_to_dict
+from repro.serve.journal import JobJournal, job_fingerprint
 from repro.serve.portfolio import member_configs, merge_member_solutions
 from repro.serve.queue import CoalesceTable, Dispatcher, coalesce_key
+from repro.serve.retry import RetryPolicy, normalize_retry_overrides, resolve_retry_policy
+from repro.serve.supervisor import RestartPolicy, WorkerSupervisor
 from repro.serve.workers import (
     MSG_DONE,
     MSG_ERROR,
@@ -85,6 +103,16 @@ _SERVE_KERNEL_TIERS = obs.counter(
     "Job members by the native kernel tier they executed on.",
     labels=("tier",),
 )
+_SERVE_WORKER_EVENTS = obs.counter(
+    "repro_serve_worker_events_total",
+    "Worker-pool lifecycle events seen by the supervisor.",
+    labels=("event",),  # death / respawn / abandoned
+)
+_SERVE_RETRIES = obs.counter(
+    "repro_serve_task_retries_total",
+    "Task attempts requeued by the retry policy, by failure cause.",
+    labels=("cause",),  # died / error
+)
 
 #: How long one blocking poll of the result queue lasts (seconds); liveness
 #: of the worker processes is re-checked between polls.
@@ -96,7 +124,10 @@ class JobResult:
     """Everything the service reports for one finished job."""
 
     job_id: str
-    #: ``"done"`` or ``"error"`` (a job errors only when *every* member did).
+    #: ``"done"``, ``"error"`` (every member failed), ``"poisoned"`` (every
+    #: member failed and at least one was quarantined for repeatedly killing
+    #: its worker), or ``"interrupted"`` (a graceful drain checkpointed the
+    #: job before it reached its target — re-runnable via ``--resume``).
     status: str
     #: Merged, exactly-deduplicated unique solutions (member-index order).
     solutions: SolutionSet
@@ -133,6 +164,18 @@ class _TaskState:
     payload: Optional[Dict[str, object]] = None
     error: Optional[str] = None
     skipped: bool = False
+    #: Attempt epoch: bumped on every requeue; messages carrying a stale
+    #: epoch (buffered by a dead incarnation) are dropped.
+    attempt: int = 0
+    #: One record per *failed* attempt (error text, worker, died flag).
+    attempts: List[Dict[str, object]] = field(default_factory=list)
+    #: Whether the task sits in some worker's queue / is executing there.
+    in_flight: bool = False
+    #: Monotonic time of the first dispatch (anchors the deadline budget).
+    first_dispatch: Optional[float] = None
+    #: Quarantined: the task's failures kept killing workers until the
+    #: retry budget ran out.
+    poisoned: bool = False
 
 
 @dataclass
@@ -156,6 +199,11 @@ class _JobState:
     stream_buffer: List[np.ndarray] = field(default_factory=list)
     cancelled: bool = False
     done: bool = False
+    #: Set when a graceful drain checkpointed this job (finalizes as
+    #: ``"interrupted"`` unless the target was already reached).
+    drained: bool = False
+    #: Effective retry policy (service policy + per-job overrides).
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
     result: Optional[JobResult] = None
     #: Follower jobs resolved from this primary when it finishes.
     primary: Optional[str] = None
@@ -169,11 +217,17 @@ class _JobState:
 
 
 class _WorkerHandle:
-    """One spawned worker process and its task/cancel queues."""
+    """One spawned worker process (a given incarnation of its slot) and its
+    task/cancel queues."""
 
     def __init__(self, context, worker_id, result_queue, backend_spec,
-                 kernel_mode, cache_entries, cache_bytes, store_dir) -> None:
+                 kernel_mode, cache_entries, cache_bytes, store_dir,
+                 incarnation: int = 0, faults_spec: Optional[str] = None) -> None:
         self.worker_id = worker_id
+        self.incarnation = incarnation
+        #: Set once the service has processed this process's death (requeued
+        #: its tasks, told the supervisor); a handled-dead handle is inert.
+        self.dead_handled = False
         self.task_queue = context.Queue()
         self.cancel_queue = context.Queue()
         self.process = context.Process(
@@ -188,9 +242,11 @@ class _WorkerHandle:
                 cache_bytes,
                 kernel_mode,
                 store_dir,
+                incarnation,
+                faults_spec,
             ),
             daemon=True,
-            name=f"repro-serve-worker-{worker_id}",
+            name=f"repro-serve-worker-{worker_id}.{incarnation}",
         )
         self.process.start()
 
@@ -231,6 +287,29 @@ class SamplingService:
         correctly parented — to that JSONL file, ``False``/``"off"`` forces
         tracing off, and ``None`` defers to ``$REPRO_TRACE``.  On
         :meth:`close` the merged metrics dump is appended to the trace file.
+    retry:
+        Service-level retry policy for failed tasks: a
+        :class:`~repro.serve.retry.RetryPolicy`, an override mapping/spec
+        string, or an integer (= ``max_attempts``).  Layered over the
+        ``REPRO_RETRY`` environment default; per-job ``retry`` overrides
+        layer over this (precedence env < service < job).
+    supervise:
+        Whether dead workers are respawned and their in-flight tasks
+        requeued (the default).  ``False`` restores the fail-fast
+        semantics: a worker death finalizes its tasks as errors and the
+        pool shrinks permanently.
+    restart_policy:
+        Bounds on worker respawns (:class:`~repro.serve.supervisor.RestartPolicy`).
+    journal:
+        Crash-safe job journal: a :class:`~repro.serve.journal.JobJournal`
+        or a path to create one at.  Records submissions, attempts,
+        requeues, worker events and completions — the WAL behind
+        ``repro-sat serve --resume``.  ``None`` (default) journals nothing.
+    faults:
+        Deterministic fault-injection spec (:mod:`repro.faults`) installed
+        in this process and shipped to every worker.  ``None`` defers to
+        the ``REPRO_FAULTS`` environment variable (which spawn workers
+        inherit anyway).
     """
 
     def __init__(
@@ -243,6 +322,11 @@ class SamplingService:
         cache_bytes: Optional[int] = DEFAULT_MAX_BYTES,
         store_dir: Union[None, bool, str, Path] = None,
         trace: Union[None, bool, str, Path] = None,
+        retry: Union[None, int, str, Dict[str, object], RetryPolicy] = None,
+        supervise: bool = True,
+        restart_policy: Optional[RestartPolicy] = None,
+        journal: Union[None, str, Path, JobJournal] = None,
+        faults: Optional[str] = None,
     ) -> None:
         if num_workers < 0:
             raise ValueError(f"num_workers must be non-negative, got {num_workers}")
@@ -264,6 +348,22 @@ class SamplingService:
         self._coalesce = CoalesceTable()
         self._counter = 0
         self._closed = False
+        self._retry_policy = resolve_retry_policy(retry)
+        self._supervise = supervise and num_workers > 0
+        self._journal: Optional[JobJournal] = (
+            journal if isinstance(journal, (JobJournal, type(None))) else JobJournal(journal)
+        )
+        if faults is not None:
+            from repro import faults as faults_module
+
+            faults_module.install_plan(faults)
+        self._faults_spec = faults
+        #: min-heap of (ready_time, job_id, member_index) awaiting re-dispatch.
+        self._retry_ready: List[Tuple[float, str, int]] = []
+        #: every group id ever cancelled — re-broadcast to respawned workers.
+        self._cancelled_groups: Set[str] = set()
+        self._drain_requested = False
+        self._drain_applied = False
         if trace is True:
             trace = "mem"
         elif trace is False:
@@ -284,18 +384,25 @@ class SamplingService:
             )
             self._workers: List[_WorkerHandle] = []
             self._dispatcher: Optional[Dispatcher] = None
+            self._supervisor: Optional[WorkerSupervisor] = None
             self._result_queue = None
+            self._context = None
         else:
             import multiprocessing
 
             context = multiprocessing.get_context("spawn")
+            self._context = context
+            self._cache_entries = cache_entries
+            self._cache_bytes = cache_bytes
             self._inline_cache = None
             self._result_queue = context.Queue()
             self._dispatcher = Dispatcher(num_workers)
+            self._supervisor = WorkerSupervisor(num_workers, restart_policy)
             self._workers = [
                 _WorkerHandle(
                     context, worker_id, self._result_queue, array_backend,
                     kernel, cache_entries, cache_bytes, self.store_dir,
+                    incarnation=0, faults_spec=faults,
                 )
                 for worker_id in range(num_workers)
             ]
@@ -307,6 +414,8 @@ class SamplingService:
             return
         self._closed = True
         for worker in self._workers:
+            if worker.dead_handled:
+                continue
             try:
                 worker.task_queue.put(None)
             except (OSError, ValueError):
@@ -321,6 +430,8 @@ class SamplingService:
             worker.cancel_queue.close()
         if self._result_queue is not None:
             self._result_queue.close()
+        if self._journal is not None:
+            self._journal.close()
         if obs.tracing_enabled():
             # The trace file ends with the merged (service + workers) metrics
             # dump, so `repro-sat obs` can print counters next to the spans.
@@ -344,19 +455,24 @@ class SamplingService:
         coalesce: bool = True,
         job_id: Optional[str] = None,
         task: Optional[SamplingTask] = None,
+        retry: Union[None, int, str, Dict[str, object], RetryPolicy] = None,
     ) -> str:
         """Submit one sampling job; returns its job id immediately.
 
         ``source`` may be a ready :class:`SamplingJob` (remaining arguments
-        are then ignored) or anything
+        are then ignored, except ``retry`` which still overrides the job's
+        own policy) or anything
         :func:`~repro.serve.jobs.normalize_source` accepts — a
         :class:`CNF`, DIMACS text, a ``.cnf`` path, a registry-instance
         spec.  ``task`` attaches a workload spec
         (:class:`~repro.core.task.SamplingTask`): projection, weights
-        and/or a clause delta.
+        and/or a clause delta.  ``retry`` overrides the service retry
+        policy for this job only.
         """
         if self._closed:
             raise RuntimeError("the service is closed")
+        if self._drain_requested:
+            raise RuntimeError("the service is draining; no new jobs are admitted")
         if isinstance(source, SamplingJob):
             job = source
         else:
@@ -404,7 +520,19 @@ class SamplingService:
             project=job.task.projection_columns(num_variables) or None,
         )
         job.task.weight_map(num_variables)  # fail fast on out-of-range weights
+        effective_retry = retry if retry is not None else job.retry
+        state.retry_policy = self._retry_policy.with_overrides(
+            normalize_retry_overrides(effective_retry)
+        )
         self._jobs[job_id] = state
+        if self._journal is not None:
+            self._journal.record(
+                "submit",
+                job=job_id,
+                fingerprint=job_fingerprint(job),
+                signature=signature,
+                num_solutions=job.num_solutions,
+            )
 
         if job.coalesce:
             key = coalesce_key(job, signature)
@@ -447,12 +575,7 @@ class SamplingService:
             self._pending_inline.append(job_id)
         else:
             for task_state in state.tasks:
-                worker = self._dispatcher.choose(signature)
-                task_state.worker = worker
-                self._dispatcher.record_dispatch(worker, signature)
-                self._workers[worker].task_queue.put(
-                    self._task_payload(state, task_state)
-                )
+                self._dispatch_or_defer(state, task_state)
         return job_id
 
     def run_manifest(self, jobs: Sequence[SamplingJob]) -> List[JobResult]:
@@ -574,6 +697,7 @@ class SamplingService:
             "task": None if state.job.task.is_default else state.job.task.to_dict(),
             "config": config_to_dict(task_state.config),
             "num_solutions": state.job.num_solutions,
+            "attempt": task_state.attempt,
         }
         if state.span is not None:
             payload["trace"] = True
@@ -587,16 +711,27 @@ class SamplingService:
         if state is None or state.done:
             return  # late message for a finished/forgotten job
         task_state = state.tasks[member_index]
+        if task_state.done:
+            return  # duplicate terminal message (e.g. a buffered straggler)
+        attempt = payload.get("attempt")
+        if attempt is not None and attempt != task_state.attempt:
+            # A dead incarnation's buffered message arriving after the task
+            # was requeued: the live attempt supersedes it.
+            return
         if kind == MSG_ROUND:
             rows, cols = payload["shape"]
             matrix = unpack_rows(payload["rows"], rows, cols)
-            task_state.solutions.add_batch(matrix)
-            if matrix.shape[0]:
+            added = task_state.solutions.add_batch(matrix)
+            # A retried attempt deterministically replays its predecessor's
+            # rounds; rounds that add nothing to the member's set were
+            # already streamed by the dead attempt and are not re-streamed.
+            if matrix.shape[0] and added:
                 state.stream_buffer.append(matrix)
                 state.progress.add_batch(matrix)
             self._maybe_cancel_rest(state)
         elif kind == MSG_DONE:
             task_state.done = True
+            task_state.in_flight = False
             task_state.payload = payload
             self._telemetry.absorb(payload.get("telemetry"))
             if payload.get("worker") is not None:
@@ -605,18 +740,30 @@ class SamplingService:
                 task_state.skipped = True
             if self._dispatcher is not None and task_state.worker is not None:
                 self._dispatcher.record_done(task_state.worker)
+            if (
+                self._supervisor is not None
+                and task_state.worker is not None
+                and payload.get("summary") is not None
+            ):
+                # A completed task ends its worker slot's crash streak.
+                self._supervisor.record_success(task_state.worker)
             self._maybe_cancel_rest(state)
             if state.tasks_remaining == 0:
                 self._finalize(state)
         elif kind == MSG_ERROR:
-            task_state.done = True
-            task_state.error = payload.get("error", "unknown worker error")
+            task_state.in_flight = False
             task_state.payload = payload
             self._telemetry.absorb(payload.get("telemetry"))
+            if payload.get("worker") is not None:
+                task_state.worker = payload["worker"]
             if self._dispatcher is not None and task_state.worker is not None:
                 self._dispatcher.record_done(task_state.worker)
-            if state.tasks_remaining == 0:
-                self._finalize(state)
+            self._record_task_failure(
+                state,
+                task_state,
+                payload.get("error", "unknown worker error"),
+                died=False,
+            )
         else:  # pragma: no cover - defensive
             raise AssertionError(f"unknown worker message kind {kind!r}")
 
@@ -629,10 +776,23 @@ class SamplingService:
             return
         if len(state.progress) >= state.job.num_solutions:
             state.cancelled = True
-            for worker in self._workers:
-                worker.cancel_queue.put(state.job_id)
+            self._broadcast_cancel(state.job_id)
+
+    def _broadcast_cancel(self, group: str) -> None:
+        """Tell every live worker ``group`` is cancelled; remember it so
+        respawned workers are told as well."""
+        self._cancelled_groups.add(group)
+        for worker in self._workers:
+            if worker.dead_handled:
+                continue
+            try:
+                worker.cancel_queue.put(group)
+            except (OSError, ValueError):
+                pass
 
     def _finalize(self, state: _JobState) -> None:
+        if self._drain_requested:
+            self._apply_drain()
         members = []
         matrices = []
         any_ok = False
@@ -651,7 +811,7 @@ class SamplingService:
             payload = task_state.payload or {}
             summary = payload.get("summary") or {}
             if task_state.error is not None:
-                record["status"] = "error"
+                record["status"] = "poisoned" if task_state.poisoned else "error"
                 record["error"] = task_state.error
                 matrices.append(None)
             else:
@@ -690,6 +850,11 @@ class SamplingService:
                 if payload.get("cache_stats") is not None:
                     record["cache_stats"] = payload["cache_stats"]
                 matrices.append(task_state.solutions.to_matrix())
+            if task_state.attempts:
+                # The failed-attempt history (worker, error, died) and how
+                # many requeues the member consumed.
+                record["attempts"] = list(task_state.attempts)
+                record["retries"] = task_state.attempt
             members.append(record)
 
         merged = merge_member_solutions(
@@ -697,8 +862,17 @@ class SamplingService:
         )
         elapsed = time.perf_counter() - state.start
         status = "done" if any_ok else "error"
+        if not any_ok and any(task_state.poisoned for task_state in state.tasks):
+            status = "poisoned"
+        if (
+            state.drained
+            and status == "done"
+            and len(merged) < state.job.num_solutions
+        ):
+            # A graceful drain checkpointed the job short of its target.
+            status = "interrupted"
         error = None
-        if status == "error":
+        if status in ("error", "poisoned"):
             error = "; ".join(
                 str(member.get("error")) for member in members if "error" in member
             )
@@ -763,6 +937,12 @@ class SamplingService:
             "workers": sorted(
                 {member["worker"] for member in members if member["worker"] is not None}
             ),
+            # Resilience accounting: total requeued attempts across members
+            # and how many members were quarantined as poisoned.
+            "retries": sum(task_state.attempt for task_state in state.tasks),
+            "poisoned_members": sum(
+                1 for member in members if member.get("status") == "poisoned"
+            ),
             "status": status,
         }
         state.result = JobResult(
@@ -792,6 +972,22 @@ class SamplingService:
             state.span = None
         if state.key is not None:
             self._coalesce.release(state.key, state.job_id)
+        self._journal_done(state)
+
+    def _journal_done(self, state: _JobState) -> None:
+        """WAL the finished job (fingerprint + full result row) so a resumed
+        run can skip it."""
+        if self._journal is None or state.result is None:
+            return
+        from repro.io.results_io import job_result_row
+
+        self._journal.record(
+            "done",
+            job=state.job_id,
+            fingerprint=job_fingerprint(state.job),
+            status=state.result.status,
+            result=job_result_row(state.result),
+        )
 
     def _resolve_result(self, state: _JobState) -> JobResult:
         primary = self._resolve_primary(state)
@@ -812,6 +1008,7 @@ class SamplingService:
                 coalesced_with=primary.job_id,
             )
             state.done = True
+            self._journal_done(state)
         return state.result
 
     # -- internals: inline execution -----------------------------------------------------
@@ -827,61 +1024,220 @@ class SamplingService:
             self._run_inline_job(self._state(next_id))
 
     def _run_inline_job(self, state: _JobState) -> None:
-        for task_state in state.tasks:
-            task_state.worker = 0
-            if state.cancelled:
-                # First-to-target already satisfied: skip without work, the
-                # same way a pool worker skips a task whose group flag is set.
-                self._handle_message(
-                    MSG_DONE,
-                    (state.job_id, task_state.member_index),
-                    {
-                        "summary": None,
-                        "cancelled": True,
-                        "worker": 0,
-                        "cache_hit": None,
-                        "build_seconds": 0.0,
-                        "elapsed_seconds": 0.0,
-                        "kernel_tier": None,
-                        "compile_seconds": 0.0,
-                        "artifact_source": None,
-                    },
-                )
-                continue
-            from repro.native import use_kernel
+        if self._drain_requested:
+            self._apply_drain()
+        while True:
+            # Re-scan: a retryable failure leaves its task not-done with a
+            # bumped attempt epoch, and the next sweep re-runs it (inline
+            # retries are immediate — there is no pool to back off against).
+            pending = [task for task in state.tasks if not task.done]
+            if not pending:
+                return
+            for task_state in pending:
+                task_state.worker = 0
+                if state.cancelled or state.drained:
+                    # First-to-target already satisfied (or a drain was
+                    # requested): skip without work, the same way a pool
+                    # worker skips a task whose group flag is set.
+                    self._handle_message(
+                        MSG_DONE,
+                        (state.job_id, task_state.member_index),
+                        {
+                            "summary": None,
+                            "cancelled": True,
+                            "worker": 0,
+                            "attempt": task_state.attempt,
+                            "cache_hit": None,
+                            "build_seconds": 0.0,
+                            "elapsed_seconds": 0.0,
+                            "kernel_tier": None,
+                            "compile_seconds": 0.0,
+                            "artifact_source": None,
+                        },
+                    )
+                    continue
+                from repro.native import use_kernel
 
-            with use_kernel(self.kernel):
-                execute_task(
-                    self._task_payload(state, task_state),
-                    self._inline_cache,
-                    should_stop=lambda: state.cancelled,
-                    emit=self._handle_message,
-                    worker_id=0,
+                if task_state.first_dispatch is None:
+                    task_state.first_dispatch = time.monotonic()
+                with use_kernel(self.kernel):
+                    execute_task(
+                        self._task_payload(state, task_state),
+                        self._inline_cache,
+                        should_stop=lambda: state.cancelled or self._drain_requested,
+                        emit=self._handle_message,
+                        worker_id=0,
+                    )
+
+    # -- internals: worker-pool dispatch -------------------------------------------------
+    def _dispatch_task(self, state: _JobState, task_state: _TaskState) -> None:
+        worker = self._dispatcher.choose(state.signature)
+        self._dispatcher.record_dispatch(worker, state.signature)
+        task_state.worker = worker
+        task_state.in_flight = True
+        if task_state.first_dispatch is None:
+            task_state.first_dispatch = time.monotonic()
+        self._workers[worker].task_queue.put(self._task_payload(state, task_state))
+        if self._journal is not None:
+            self._journal.record(
+                "attempt",
+                job=state.job_id,
+                member=task_state.member_index,
+                attempt=task_state.attempt,
+                worker=worker,
+            )
+
+    def _dispatch_or_defer(self, state: _JobState, task_state: _TaskState) -> None:
+        """Dispatch now, or park on the retry heap until a slot respawns."""
+        if self._dispatcher.has_online:
+            self._dispatch_task(state, task_state)
+        else:
+            heapq.heappush(
+                self._retry_ready,
+                (time.monotonic(), state.job_id, task_state.member_index),
+            )
+
+    def _record_task_failure(
+        self, state: _JobState, task_state: _TaskState, error: str, *, died: bool
+    ) -> None:
+        """One attempt failed: requeue under the job's retry policy, or make
+        the failure terminal (quarantined as *poisoned* when worker deaths
+        spent the budget under supervision)."""
+        now = time.monotonic()
+        task_state.in_flight = False
+        task_state.attempts.append(
+            {
+                "attempt": task_state.attempt,
+                "worker": task_state.worker,
+                "error": error,
+                "died": died,
+            }
+        )
+        policy = state.retry_policy
+        attempts_used = task_state.attempt + 1
+        retryable = attempts_used < policy.max_attempts
+        if died and not self._supervise:
+            retryable = False  # fail-fast mode: a worker death is terminal
+        if (
+            retryable
+            and policy.deadline_budget_seconds is not None
+            and task_state.first_dispatch is not None
+            and now - task_state.first_dispatch >= policy.deadline_budget_seconds
+        ):
+            retryable = False  # the member's wall-clock budget is spent
+        if retryable and not self._closed and not state.cancelled and not state.drained:
+            task_state.attempt += 1
+            _SERVE_RETRIES.inc(1.0, "died" if died else "error")
+            if self._journal is not None:
+                self._journal.record(
+                    "retry",
+                    job=state.job_id,
+                    member=task_state.member_index,
+                    attempt=task_state.attempt,
+                    cause="died" if died else "error",
                 )
+            if self._dispatcher is None:
+                return  # the inline sweep re-runs the task immediately
+            heapq.heappush(
+                self._retry_ready,
+                (now + policy.delay_for(attempts_used), state.job_id,
+                 task_state.member_index),
+            )
+            return
+        task_state.done = True
+        task_state.error = error
+        task_state.poisoned = died and self._supervise
+        if state.tasks_remaining == 0:
+            self._finalize(state)
+
+    # -- graceful drain ------------------------------------------------------------------
+    def request_drain(self) -> None:
+        """Ask for a graceful drain.  Signal-handler safe: only sets a flag.
+
+        On the next pump (or inline sweep) in-flight sampling is cancelled
+        at its next checkpoint, queued work is skipped, unfinished jobs
+        finalize — as ``"interrupted"`` when short of their target — and new
+        submissions are refused.  Callers blocked in :meth:`result` get the
+        checkpointed result back instead of hanging.
+        """
+        self._drain_requested = True
+
+    def _apply_drain(self) -> None:
+        if self._drain_applied:
+            return
+        self._drain_applied = True
+        if self._journal is not None:
+            self._journal.record("drain")
+        for state in self._jobs.values():
+            if state.done:
+                continue
+            state.drained = True
+            if not state.cancelled:
+                state.cancelled = True
+                self._broadcast_cancel(state.job_id)
 
     # -- internals: worker-pool pumping --------------------------------------------------
     def _pump(self, block: bool) -> bool:
         """Process queued worker messages; returns whether any arrived.
 
-        With ``block`` the call waits at most one poll interval for the
-        first message, then drains whatever else is queued.  It always
-        returns within ~one interval so callers can re-check their own
-        conditions — job completion, their deadline, worker liveness (a
-        dead worker's tasks are finalized as errors here, which is the only
-        way such a job ever finishes).
+        With ``block`` the call waits — on the result-queue pipe *and* on
+        every live worker's process sentinel, so a worker death wakes it
+        immediately instead of on the next poll tick — at most until the
+        next housekeeping deadline (retry due, respawn due, or one poll
+        interval).  Every pump ends with supervision housekeeping: dead
+        workers are detected and their tasks requeued, due respawns and
+        retries happen, and a requested drain is applied.
         """
+        received = self._drain_message_queue()
+        if block and not received:
+            reader = getattr(self._result_queue, "_reader", None)
+            if reader is None:  # pragma: no cover - non-CPython queue impl
+                try:
+                    kind, key, payload = self._result_queue.get(
+                        timeout=self._wait_timeout()
+                    )
+                except Empty:
+                    pass
+                else:
+                    received = True
+                    self._handle_message(kind, key, payload)
+            else:
+                from multiprocessing.connection import wait as mp_wait
+
+                sentinels = [
+                    worker.process.sentinel
+                    for worker in self._workers
+                    if not worker.dead_handled
+                ]
+                try:
+                    mp_wait([reader] + sentinels, timeout=self._wait_timeout())
+                except OSError:  # pragma: no cover - sentinel raced a death
+                    time.sleep(0.001)
+                received = self._drain_message_queue()
+        self._check_workers_alive()
+        self._maintenance()
+        return received
+
+    def _drain_message_queue(self) -> bool:
         received = False
         while True:
             try:
-                kind, key, payload = self._result_queue.get(
-                    timeout=_POLL_SECONDS if (block and not received) else 0
-                )
+                kind, key, payload = self._result_queue.get_nowait()
             except Empty:
-                if not received:
-                    self._check_workers_alive()
                 return received
             received = True
             self._handle_message(kind, key, payload)
+
+    def _wait_timeout(self) -> float:
+        """How long the pump may sleep before housekeeping is due."""
+        timeout = _POLL_SECONDS
+        now = time.monotonic()
+        if self._retry_ready:
+            timeout = min(timeout, self._retry_ready[0][0] - now)
+        deadline = self._supervisor.next_deadline()
+        if deadline is not None:
+            timeout = min(timeout, deadline - now)
+        return max(timeout, 0.001)
 
     def _pump_until(self, job_id: str, timeout: Optional[float]) -> None:
         deadline = None if timeout is None else time.perf_counter() + timeout
@@ -892,22 +1248,134 @@ class SamplingService:
                 )
             self._pump(block=True)
 
+    # -- internals: supervision ----------------------------------------------------------
     def _check_workers_alive(self) -> None:
-        dead = [w for w in self._workers if not w.process.is_alive()]
-        if not dead:
-            return
-        dead_ids = {w.worker_id for w in dead}
-        for state in self._jobs.values():
+        for handle in self._workers:
+            if handle.dead_handled or handle.process.is_alive():
+                continue
+            self._on_worker_death(handle)
+
+    def _on_worker_death(self, handle: _WorkerHandle) -> None:
+        """Handle one worker process death exactly once: take the slot out
+        of rotation, requeue its in-flight tasks, schedule the respawn."""
+        handle.dead_handled = True
+        slot = handle.worker_id
+        exitcode = handle.process.exitcode
+        _SERVE_WORKER_EVENTS.inc(1.0, "death")
+        if self._journal is not None:
+            self._journal.record(
+                "worker",
+                event="death",
+                worker=slot,
+                incarnation=handle.incarnation,
+                exitcode=exitcode,
+            )
+        self._dispatcher.set_offline(slot)
+        error = f"worker {slot} died (exit code {exitcode})"
+        for state in list(self._jobs.values()):
             if state.done:
                 continue
             for task_state in state.tasks:
-                if not task_state.done and task_state.worker in dead_ids:
-                    self._handle_message(
-                        MSG_ERROR,
-                        (state.job_id, task_state.member_index),
-                        {
-                            "error": f"worker {task_state.worker} died "
-                            f"(exit code {self._workers[task_state.worker].process.exitcode})",
-                            "worker": task_state.worker,
-                        },
+                if (
+                    not task_state.done
+                    and task_state.in_flight
+                    and task_state.worker == slot
+                ):
+                    self._record_task_failure(state, task_state, error, died=True)
+        if self._supervise and not self._supervisor.is_failed(slot):
+            restart_at = self._supervisor.record_death(slot, time.monotonic())
+            if restart_at is None:
+                # Restart budget spent: the slot stays down for good.
+                _SERVE_WORKER_EVENTS.inc(1.0, "abandoned")
+                if self._journal is not None:
+                    self._journal.record(
+                        "worker",
+                        event="abandoned",
+                        worker=slot,
+                        incarnation=handle.incarnation,
                     )
+
+    def _respawn(self, slot: int) -> None:
+        incarnation = self._supervisor.record_respawn(slot)
+        handle = _WorkerHandle(
+            self._context, slot, self._result_queue, self.array_backend,
+            self.kernel, self._cache_entries, self._cache_bytes, self.store_dir,
+            incarnation=incarnation, faults_spec=self._faults_spec,
+        )
+        self._workers[slot] = handle
+        self._dispatcher.set_online(slot)
+        # A fresh process starts with an empty cancellation set; replay it so
+        # tasks of already-cancelled groups are skipped, not re-sampled.
+        for group in sorted(self._cancelled_groups):
+            try:
+                handle.cancel_queue.put(group)
+            except (OSError, ValueError):  # pragma: no cover - defensive
+                pass
+        _SERVE_WORKER_EVENTS.inc(1.0, "respawn")
+        if self._journal is not None:
+            self._journal.record(
+                "worker", event="respawn", worker=slot, incarnation=incarnation
+            )
+
+    def _maintenance(self) -> None:
+        """Pool housekeeping after every pump: apply a requested drain,
+        respawn due slots, re-dispatch due retries, and fail what's left
+        when no worker can ever come back."""
+        if self._drain_requested:
+            self._apply_drain()
+        now = time.monotonic()
+        for slot in self._supervisor.due(now):
+            self._respawn(slot)
+        while self._retry_ready and (
+            self._retry_ready[0][0] <= now or self._drain_applied
+        ):
+            _, job_id, member_index = heapq.heappop(self._retry_ready)
+            state = self._jobs.get(job_id)
+            if state is None or state.done:
+                continue
+            task_state = state.tasks[member_index]
+            if task_state.done:
+                continue
+            if state.cancelled or state.drained:
+                # The job no longer needs this member: account it the same
+                # way a worker accounts a cancelled skip.
+                self._handle_message(
+                    MSG_DONE,
+                    (job_id, member_index),
+                    {
+                        "summary": None,
+                        "cancelled": True,
+                        "worker": None,
+                        "attempt": task_state.attempt,
+                        "cache_hit": None,
+                        "build_seconds": 0.0,
+                        "elapsed_seconds": 0.0,
+                        "kernel_tier": None,
+                        "compile_seconds": 0.0,
+                        "artifact_source": None,
+                    },
+                )
+                continue
+            if not self._dispatcher.has_online:
+                heapq.heappush(self._retry_ready, (now, job_id, member_index))
+                break
+            self._dispatch_task(state, task_state)
+        if not self._dispatcher.has_online and not self._supervisor.any_pending():
+            self._fail_stranded()
+
+    def _fail_stranded(self) -> None:
+        """Every worker is gone and none will return: finish what's left as
+        errors instead of letting callers hang."""
+        for state in list(self._jobs.values()):
+            if state.done:
+                continue
+            for task_state in state.tasks:
+                if not task_state.done:
+                    task_state.done = True
+                    task_state.in_flight = False
+                    if task_state.error is None:
+                        task_state.error = (
+                            "no workers available (restart budget exhausted)"
+                        )
+            if not state.done:
+                self._finalize(state)

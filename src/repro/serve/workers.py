@@ -244,10 +244,30 @@ def worker_main(
     cache_bytes: Optional[int] = DEFAULT_MAX_BYTES,
     kernel_mode: Optional[str] = None,
     store_dir: Optional[str] = None,
+    incarnation: int = 0,
+    faults_spec: Optional[str] = None,
 ) -> None:
-    """Entry point of one worker process: loop until the ``None`` sentinel."""
-    import repro.xp as xp
+    """Entry point of one worker process: loop until the ``None`` sentinel.
 
+    ``incarnation`` counts respawns of this worker slot (0 = the original
+    process); it exists so fault-plan rules (:mod:`repro.faults`) can target
+    "the original worker only" — the pattern chaos tests use to kill a
+    worker exactly once and assert its replacement recovers the job.
+    ``faults_spec`` carries the service's explicit plan; when ``None`` the
+    plan comes lazily from the inherited ``REPRO_FAULTS`` environment.
+
+    Every message echoes its task's ``attempt`` epoch, so the service can
+    discard messages a dead incarnation left buffered in the result queue
+    after the task was requeued elsewhere.
+    """
+    import os
+
+    import repro.xp as xp
+    from repro import faults
+
+    if faults_spec is not None:
+        faults.install_plan(faults_spec)
+    faults.set_identity(worker=worker_id, incarnation=incarnation)
     if backend_spec is not None:
         xp.set_active_backend(xp.get_backend(backend_spec))
     if kernel_mode is not None:
@@ -261,6 +281,7 @@ def worker_main(
         store = ArtifactStore(store_dir)
     cache = ArtifactCache(max_entries=cache_entries, max_bytes=cache_bytes, store=store)
     cancelled_groups: Set[object] = set()
+    current_attempt = {"value": 0}
 
     def drain_cancellations() -> None:
         try:
@@ -269,14 +290,35 @@ def worker_main(
         except queue_module.Empty:
             pass
 
+    def die() -> None:
+        # Simulated OOM kill.  Flush the result-queue feeder thread first so
+        # rounds emitted *before* the injected death are delivered — the
+        # fault models a crash between tasks/rounds, not message loss (the
+        # service's dedup makes replays idempotent either way).
+        try:
+            result_queue.close()
+            result_queue.join_thread()
+        except (OSError, ValueError):
+            pass
+        os._exit(137)
+
     def emit(kind: str, key, payload: Dict[str, object]) -> None:
+        payload.setdefault("attempt", current_attempt["value"])
+        delay_rule = faults.fire("delay")
+        if delay_rule is not None:
+            time.sleep(delay_rule.seconds)
         result_queue.put((kind, key, payload))
+        if kind == MSG_ROUND and faults.fire("kill", phase="round") is not None:
+            die()
 
     while True:
         task = task_queue.get()
         if task is None:
             break
+        if faults.fire("kill", phase="task") is not None:
+            die()
         group = task.get("group")
+        current_attempt["value"] = int(task.get("attempt", 0))
 
         def should_stop(group=group) -> bool:
             drain_cancellations()

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import errno
 import os
+import random
 import socket
 import tempfile
 import time
@@ -55,7 +56,7 @@ from repro.store.format import (
     encode_entry,
     read_header,
 )
-from repro import obs
+from repro import faults, obs
 
 #: Registered form of :meth:`ArtifactStore.counters` — every per-handle
 #: counter bump also lands here, so ``repro-sat cache stats`` and the serve
@@ -78,7 +79,9 @@ DEFAULT_STALE_LOCK_SECONDS = 120.0
 #: building itself (correctness never depends on the wait succeeding).
 DEFAULT_WAIT_TIMEOUT_SECONDS = 300.0
 
-#: Poll interval while waiting on another process's build.
+#: Base poll interval while waiting on another process's build.  Each sleep
+#: is jittered to 0.5x-1.5x of this so N waiters released by one publish do
+#: not re-check (and hit the filesystem) in lockstep.
 _WAIT_POLL_SECONDS = 0.02
 
 
@@ -144,6 +147,11 @@ class ArtifactStore:
             "corrupt": 0,
             "lease_waits": 0,
             "lease_wait_hits": 0,
+            # Lease failure modes (previously silent): a stale claim broken
+            # by acquire/wait/sweep, and a waiter that gave up and fell back
+            # to a local build.
+            "lease_broken": 0,
+            "lease_wait_timeouts": 0,
         }
         # After the first failed write the store stops attempting writes (an
         # unwritable directory would otherwise pay a temp-file round trip on
@@ -255,6 +263,11 @@ class ArtifactStore:
             self._writes_disabled = True
             return False
         self._count("writes")
+        if faults.fire("corrupt") is not None:
+            # Deterministic chaos hook (repro.faults): damage the entry we
+            # just published.  The next verified read must quarantine it and
+            # report a miss — never surface corrupt bytes.
+            faults.corrupt_file(path)
         return True
 
     # -- maintenance --------------------------------------------------------------------
@@ -335,7 +348,8 @@ class ArtifactStore:
                 try:
                     os.unlink(path)
                 except OSError:
-                    pass
+                    continue
+                self._count("lease_broken")
 
     def counters(self) -> Dict[str, int]:
         """This handle's hit/miss/write/corrupt/lease counters (no disk I/O)."""
@@ -433,6 +447,8 @@ class BuildLease:
                         os.unlink(self.path)
                     except OSError:
                         pass
+                    else:
+                        self._store._count("lease_broken")
                     continue
                 return False
             except OSError:
@@ -480,13 +496,24 @@ class BuildLease:
                 loaded = loader()
                 if loaded is not None:
                     self._store._count("lease_wait_hits")
+                else:
+                    self._store._count("lease_wait_timeouts")
                 return loaded
             if _lock_is_stale(self.path, self._store.stale_lock_seconds):
                 try:
                     os.unlink(self.path)
                 except OSError:
                     pass
-                return loader()
+                else:
+                    self._store._count("lease_broken")
+                loaded = loader()
+                if loaded is not None:
+                    self._store._count("lease_wait_hits")
+                else:
+                    self._store._count("lease_wait_timeouts")
+                return loaded
             if time.monotonic() >= deadline:
+                self._store._count("lease_wait_timeouts")
                 return None
-            time.sleep(_WAIT_POLL_SECONDS)
+            # Jittered poll: waiters released together must not stampede.
+            time.sleep(_WAIT_POLL_SECONDS * (0.5 + random.random()))

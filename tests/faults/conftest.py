@@ -1,0 +1,13 @@
+"""Shared fixtures for the fault-injection and resilience suite."""
+
+import pytest
+
+from repro import faults
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_plan():
+    """The plan is process-global state; every test starts and ends clean."""
+    faults.clear()
+    yield
+    faults.clear()

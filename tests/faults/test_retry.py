@@ -1,0 +1,151 @@
+"""RetryPolicy resolution, WorkerSupervisor bookkeeping, journal units."""
+
+import json
+
+import pytest
+
+from repro.serve.journal import JobJournal, job_fingerprint, read_journal
+from repro.serve.jobs import SamplingJob
+from repro.serve.retry import (
+    RetryPolicy,
+    RetrySpecError,
+    normalize_retry_overrides,
+    resolve_retry_policy,
+)
+from repro.serve.supervisor import RestartPolicy, WorkerSupervisor
+
+
+class TestRetryPolicy:
+    def test_defaults_and_validation(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3
+        with pytest.raises(RetrySpecError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(RetrySpecError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(RetrySpecError):
+            RetryPolicy(deadline_budget_seconds=0)
+
+    def test_delay_grows_and_caps(self):
+        policy = RetryPolicy(
+            backoff_seconds=0.1, backoff_factor=2.0, backoff_max_seconds=0.35
+        )
+        assert policy.delay_for(1) == pytest.approx(0.1)
+        assert policy.delay_for(2) == pytest.approx(0.2)
+        assert policy.delay_for(3) == pytest.approx(0.35)  # capped
+
+    def test_normalize_accepts_every_form(self):
+        assert normalize_retry_overrides(None) is None
+        assert normalize_retry_overrides(5) == {"max_attempts": 5}
+        assert normalize_retry_overrides("attempts=4,backoff=0.5") == {
+            "max_attempts": 4,
+            "backoff_seconds": 0.5,
+        }
+        assert normalize_retry_overrides({"deadline": 60}) == {
+            "deadline_budget_seconds": 60.0
+        }
+        assert normalize_retry_overrides({"deadline": "none"}) == {
+            "deadline_budget_seconds": None
+        }
+        full = normalize_retry_overrides(RetryPolicy(max_attempts=7))
+        assert full["max_attempts"] == 7
+
+    @pytest.mark.parametrize("bad", [True, "attempts", "wat=3", {"wat": 1}, 3.5])
+    def test_normalize_rejects_garbage(self, bad):
+        with pytest.raises(RetrySpecError):
+            normalize_retry_overrides(bad)
+
+    def test_resolution_precedence(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRY", "attempts=9,backoff=9")
+        # env is the weakest layer; later layers override per-field
+        policy = resolve_retry_policy("attempts=4", {"backoff": 0.25})
+        assert policy.max_attempts == 4
+        assert policy.backoff_seconds == 0.25
+
+    def test_env_only(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRY", "attempts=2")
+        assert resolve_retry_policy().max_attempts == 2
+        monkeypatch.delenv("REPRO_RETRY")
+        assert resolve_retry_policy().max_attempts == 3
+
+
+class TestWorkerSupervisor:
+    def test_backoff_grows_then_resets_on_success(self):
+        policy = RestartPolicy(backoff_seconds=1.0, backoff_factor=2.0,
+                               backoff_max_seconds=100.0, max_restarts=10)
+        supervisor = WorkerSupervisor(1, policy)
+        assert supervisor.record_death(0, now=0.0) == pytest.approx(1.0)
+        supervisor.record_respawn(0)
+        assert supervisor.record_death(0, now=10.0) == pytest.approx(12.0)
+        supervisor.record_respawn(0)
+        supervisor.record_success(0)  # a completed task ends the streak
+        assert supervisor.record_death(0, now=20.0) == pytest.approx(21.0)
+
+    def test_restart_budget_abandons_slot(self):
+        policy = RestartPolicy(max_restarts=2, window_seconds=100.0)
+        supervisor = WorkerSupervisor(1, policy)
+        assert supervisor.record_death(0, now=0.0) is not None
+        assert supervisor.record_death(0, now=1.0) is not None
+        assert supervisor.record_death(0, now=2.0) is None  # third in window
+        assert supervisor.is_failed(0)
+        assert not supervisor.any_pending()
+
+    def test_window_slides(self):
+        policy = RestartPolicy(max_restarts=2, window_seconds=10.0)
+        supervisor = WorkerSupervisor(1, policy)
+        supervisor.record_death(0, now=0.0)
+        supervisor.record_death(0, now=1.0)
+        # old deaths age out of the window: no abandonment
+        assert supervisor.record_death(0, now=50.0) is not None
+        assert not supervisor.is_failed(0)
+
+    def test_due_and_deadline(self):
+        policy = RestartPolicy(backoff_seconds=5.0, backoff_factor=1.0)
+        supervisor = WorkerSupervisor(2, policy)
+        supervisor.record_death(0, now=0.0)
+        supervisor.record_death(1, now=2.0)
+        assert supervisor.due(4.0) == []
+        assert supervisor.due(6.0) == [0]
+        assert supervisor.due(10.0) == [0, 1]
+        assert supervisor.next_deadline() == pytest.approx(5.0)
+        assert supervisor.record_respawn(0) == 1
+        assert supervisor.incarnation(0) == 1
+        assert supervisor.next_deadline() == pytest.approx(7.0)
+
+
+class TestJournalUnits:
+    def test_round_trip_and_torn_line(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with JobJournal(path) as journal:
+            journal.record("run", pid=1)
+            journal.record("done", job="job-0", status="done")
+        # simulate a crash mid-write: a torn trailing line
+        with open(path, "a") as handle:
+            handle.write('{"type": "done", "job"')
+        records = read_journal(path)
+        assert [record["type"] for record in records] == ["run", "done"]
+        assert all("time" in record for record in records)
+
+    def test_unwritable_journal_goes_quiet(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        journal.close()
+        journal.record("run")  # no raise after close
+
+    def test_unserialisable_fields_stringified(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with JobJournal(path) as journal:
+            journal.record("done", weird=object())
+        (record,) = read_journal(path)
+        assert isinstance(record["weird"], str)
+
+    def test_fingerprint_ignores_id_and_retry(self):
+        a = SamplingJob.build({"dimacs": "p cnf 1 1\n1 0\n"}, num_solutions=10,
+                              job_id="a", retry=5)
+        b = SamplingJob.build({"dimacs": "p cnf 1 1\n1 0\n"}, num_solutions=10,
+                              job_id="b", retry=None)
+        assert job_fingerprint(a) == job_fingerprint(b)
+        c = SamplingJob.build({"dimacs": "p cnf 1 1\n1 0\n"}, num_solutions=11)
+        assert job_fingerprint(a) != job_fingerprint(c)
+
+    def test_read_missing_journal(self, tmp_path):
+        assert read_journal(tmp_path / "nope.jsonl") == []

@@ -103,7 +103,9 @@ class TestPoolFailureModes:
         config = CONFIG.with_(
             batch_size=4096, iterations=10, max_rounds=64, stall_rounds=None
         )
-        service = SamplingService(num_workers=1)
+        # supervise=False opts into the fail-fast semantics this test pins
+        # down; the supervised recovery path is covered in tests/faults/.
+        service = SamplingService(num_workers=1, supervise=False)
         try:
             job_id = service.submit(formula, num_solutions=10**9, config=config)
             # the timeout must fire on schedule even while the worker is
